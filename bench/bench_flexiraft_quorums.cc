@@ -1,0 +1,97 @@
+// FlexiRaft ablation (§4.1): commit latency under the three quorum
+// strategies — single-region-dynamic (production default), multi-region
+// (consistency over latency), and vanilla majority-of-all-voters.
+//
+// Paper claims: single-region dynamic mode "is able to offer latencies on
+// the order of hundreds of microseconds", while majority quorums across
+// geographic regions were "prohibitive".
+
+#include "bench_util.h"
+#include "flexiraft/flexiraft.h"
+#include "sim/cluster.h"
+#include "util/logging.h"
+
+namespace {
+
+using namespace myraft;
+using namespace myraft::bench;
+using flexiraft::FlexiRaftOptions;
+using flexiraft::FlexiRaftQuorumEngine;
+using flexiraft::QuorumMode;
+constexpr uint64_t kSecond = 1'000'000;
+
+Histogram RunMode(const FlexiRaftQuorumEngine* engine, uint64_t seed,
+                  int writes) {
+  sim::ClusterOptions options;
+  options.seed = seed;
+  options.db_regions = 6;
+  options.logtailers_per_db = 2;
+  options.learners = 2;
+  // Measure the server-side commit path: co-located client, tiny
+  // processing cost, so the quorum RTT dominates.
+  options.client_one_way_micros = 10;
+  options.server_processing_micros = 50;
+  sim::ClusterHarness cluster(options, engine);
+  MYRAFT_CHECK(cluster.Bootstrap().ok());
+  MYRAFT_CHECK(!cluster.WaitForPrimary(120 * kSecond).empty());
+  cluster.loop()->RunFor(3 * kSecond);
+
+  Histogram latency;
+  for (int i = 0; i < writes; ++i) {
+    auto result = cluster.SyncWrite("k" + std::to_string(i), "v");
+    if (result.status.ok()) latency.Add(result.latency_micros);
+    cluster.loop()->RunFor(2'000);
+  }
+  return latency;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace myraft;
+  using namespace myraft::bench;
+  SetMinLogLevel(LogLevel::kError);
+  BenchArgs args = ParseArgs(argc, argv);
+  const int writes = args.quick ? 80 : 400;
+
+  PrintHeader("§4.1 ablation: FlexiRaft quorum modes vs commit latency",
+              "§4.1: single-region dynamic quorums commit in hundreds of "
+              "microseconds; cross-region majorities are prohibitive");
+
+  static FlexiRaftQuorumEngine single(
+      {QuorumMode::kSingleRegionDynamic});
+  FlexiRaftOptions multi_options;
+  multi_options.mode = QuorumMode::kMultiRegion;
+  multi_options.multi_region_commit_regions = 2;
+  static FlexiRaftQuorumEngine multi(multi_options);
+  static FlexiRaftQuorumEngine vanilla({QuorumMode::kVanillaMajority});
+
+  struct Row {
+    const char* name;
+    Histogram latency;
+  };
+  Row rows[] = {
+      {"single-region-dynamic", RunMode(&single, args.seed + 1, writes)},
+      {"multi-region (k=2)", RunMode(&multi, args.seed + 2, writes)},
+      {"vanilla majority (17 voters)",
+       RunMode(&vanilla, args.seed + 3, writes)},
+  };
+
+  printf("\n%-30s %10s %10s %10s %10s\n", "Quorum mode", "p50 (us)",
+         "p95 (us)", "p99 (us)", "avg (us)");
+  for (const Row& row : rows) {
+    printf("%-30s %10.0f %10.0f %10.0f %10.0f   (n=%llu)\n", row.name,
+           row.latency.Median(), row.latency.Percentile(95),
+           row.latency.Percentile(99), row.latency.Mean(),
+           (unsigned long long)row.latency.count());
+  }
+
+  printf("\nShape check:\n");
+  printf("  single-region commits stay in the hundreds of microseconds "
+         "(in-region logtailer ack)\n");
+  printf("  multi-region and vanilla majorities pay cross-region RTTs "
+         "(~%d ms one way): 30-100x slower\n", 15);
+  printf("  measured ratio vanilla/single-region: %.1fx\n",
+         rows[2].latency.Mean() / std::max(1.0, rows[0].latency.Mean()));
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Mock-elections ablation (§4.3): graceful TransferLeadership towards a
+// region whose logtailers are lagging, with the mock-election pre-check
+// enabled vs disabled.
+//
+// Paper: without the pre-check, "lagging in-region logtailers can prevent
+// a new leader from committing any transactions until they catch up",
+// causing write unavailability; the mock election "has eliminated
+// situations of availability loss" by refusing such transfers while
+// writes continue on the old leader.
+
+#include "bench_util.h"
+#include "flexiraft/flexiraft.h"
+#include "sim/cluster.h"
+#include "util/logging.h"
+
+namespace {
+
+using namespace myraft;
+using namespace myraft::bench;
+constexpr uint64_t kSecond = 1'000'000;
+
+struct TrialResult {
+  bool transfer_happened = false;
+  bool saw_outage = false;
+  uint64_t downtime_micros = 0;
+};
+
+TrialResult RunTrial(bool mock_enabled, uint64_t seed,
+                     uint64_t logtailer_lag_micros) {
+  static flexiraft::FlexiRaftQuorumEngine engine(
+      {flexiraft::QuorumMode::kSingleRegionDynamic});
+  sim::ClusterOptions options;
+  options.seed = seed;
+  options.db_regions = 3;
+  options.logtailers_per_db = 2;
+  options.raft.enable_mock_election = mock_enabled;
+  sim::ClusterHarness cluster(options, &engine);
+  MYRAFT_CHECK(cluster.Bootstrap().ok());
+  const MemberId primary = cluster.WaitForPrimary(60 * kSecond);
+  MYRAFT_CHECK(!primary.empty());
+  (void)cluster.SyncWrite("warm", "up");
+  cluster.loop()->RunFor(3 * kSecond);
+
+  // Pick a target in another region and make that region's logtailers
+  // laggards (slow host / overloaded disk).
+  MemberId target;
+  for (const MemberId& id : cluster.database_ids()) {
+    if (id != primary &&
+        cluster.node(id)->region() != cluster.node(primary)->region()) {
+      target = id;
+      break;
+    }
+  }
+  MYRAFT_CHECK(!target.empty());
+  const RegionId target_region = cluster.node(target)->region();
+  for (const MemberId& id : cluster.ids()) {
+    if (id != target && cluster.node(id)->region() == target_region) {
+      cluster.network()->SetNodeReplicationLag(id, logtailer_lag_micros);
+    }
+  }
+  // Generate traffic so the lag turns into real log distance.
+  for (int i = 0; i < 50; ++i) {
+    (void)cluster.SyncWrite("pre" + std::to_string(i), "v");
+  }
+
+  TrialResult trial;
+  // The unhealthy logtailers get replaced by automation ~10 s later (the
+  // paper's "not being replaced quickly enough"); until then a leader in
+  // their region cannot reach its commit quorum within client timeouts.
+  cluster.loop()->Schedule(10 * kSecond, [&cluster, target,
+                                          target_region]() {
+    for (const MemberId& id : cluster.ids()) {
+      if (id != target && cluster.node(id)->region() == target_region) {
+        cluster.network()->SetNodeReplicationLag(id, 0);
+      }
+    }
+  });
+  auto downtime = cluster.MeasureWriteDowntime(
+      [&]() {
+        Status s =
+            cluster.node(primary)->server()->TransferLeadership(target);
+        if (!s.ok()) MYRAFT_LOG(Warning) << "transfer: " << s;
+      },
+      50'000, 45 * kSecond, /*expect_outage=*/!mock_enabled);
+  trial.saw_outage = downtime.downtime_micros > 0;
+  trial.downtime_micros = downtime.downtime_micros;
+  cluster.loop()->RunFor(5 * kSecond);
+  trial.transfer_happened = cluster.CurrentPrimary() == target;
+  return trial;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace myraft;
+  using namespace myraft::bench;
+  SetMinLogLevel(LogLevel::kError);
+  BenchArgs args = ParseArgs(argc, argv);
+  const int trials = args.trials > 0 ? args.trials : (args.quick ? 3 : 20);
+  const uint64_t lag = 800'000;  // laggards run ~0.8 s behind
+
+  PrintHeader("§4.3 ablation: mock elections vs transfer availability",
+              "§4.3: mock elections reject transfers whose target region "
+              "quorum lags, eliminating the availability loss");
+
+  Histogram downtime_with, downtime_without;
+  int transfers_with = 0, transfers_without = 0;
+  for (int t = 0; t < trials; ++t) {
+    TrialResult with_mock = RunTrial(true, args.seed + t, lag);
+    TrialResult without_mock = RunTrial(false, args.seed + t, lag);
+    downtime_with.Add(with_mock.downtime_micros);
+    downtime_without.Add(without_mock.downtime_micros);
+    transfers_with += with_mock.transfer_happened ? 1 : 0;
+    transfers_without += without_mock.transfer_happened ? 1 : 0;
+  }
+
+  printf("\n%-26s %18s %18s\n", "", "mock elections ON", "mock OFF");
+  printf("%-26s %17d%% %17d%%\n", "transfers completed",
+         100 * transfers_with / trials, 100 * transfers_without / trials);
+  printf("%-26s %15.0f ms %15.0f ms\n", "avg write downtime",
+         downtime_with.Mean() / 1000.0, downtime_without.Mean() / 1000.0);
+  printf("%-26s %15.0f ms %15.0f ms\n", "p99 write downtime",
+         downtime_with.Percentile(99) / 1000.0,
+         downtime_without.Percentile(99) / 1000.0);
+
+  printf("\nShape check: with mock elections the risky transfer is "
+         "refused (writes keep flowing on the old leader, ~0 downtime); "
+         "without them the new leader stalls until its lagging in-region "
+         "logtailers catch up to the commit marker.\n");
+  return 0;
+}

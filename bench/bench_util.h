@@ -1,0 +1,67 @@
+// Shared helpers for the experiment-reproduction binaries: argument
+// parsing (--trials=N, --quick), percentile table formatting and the
+// standard "paper vs measured" framing.
+
+#ifndef MYRAFT_BENCH_BENCH_UTIL_H_
+#define MYRAFT_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "util/histogram.h"
+#include "util/string_util.h"
+
+namespace myraft::bench {
+
+struct BenchArgs {
+  int trials = 0;     // 0 = binary default
+  bool quick = false; // reduced workload for smoke runs
+  uint64_t seed = 1;
+};
+
+inline BenchArgs ParseArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    uint64_t value;
+    if (strncmp(argv[i], "--trials=", 9) == 0 &&
+        ParseUint64(argv[i] + 9, &value)) {
+      args.trials = static_cast<int>(value);
+    } else if (strcmp(argv[i], "--quick") == 0) {
+      args.quick = true;
+    } else if (strncmp(argv[i], "--seed=", 7) == 0 &&
+               ParseUint64(argv[i] + 7, &value)) {
+      args.seed = value;
+    }
+  }
+  return args;
+}
+
+inline void PrintHeader(const std::string& title, const std::string& paper) {
+  printf("==============================================================\n");
+  printf("%s\n", title.c_str());
+  printf("paper reference: %s\n", paper.c_str());
+  printf("==============================================================\n");
+}
+
+/// One row of a Table-2-style percentile table, in milliseconds.
+inline void PrintPercentileRowMs(const char* mode, const char* operation,
+                                 const Histogram& h) {
+  printf("%-10s %-10s %10.0f %10.0f %10.0f %10.0f   (n=%llu)\n", mode,
+         operation, h.Percentile(99) / 1000.0, h.Percentile(95) / 1000.0,
+         h.Median() / 1000.0, h.Mean() / 1000.0,
+         (unsigned long long)h.count());
+}
+
+inline void PrintPercentileHeaderMs() {
+  printf("%-10s %-10s %10s %10s %10s %10s\n", "Mode", "Operation", "pct99",
+         "pct95", "Median", "Avg");
+}
+
+inline double PercentDiff(double a, double b) {
+  return b == 0 ? 0.0 : (a - b) / b * 100.0;
+}
+
+}  // namespace myraft::bench
+
+#endif  // MYRAFT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,61 @@
+// Failover drill: the §5.1 shadow-testing workflow as a runnable example.
+// Drives a production-like workload while repeatedly crashing the leader
+// and gracefully transferring leadership, continuously checking replica
+// consistency and committed-write durability.
+//
+//   ./build/examples/failover_drill
+
+#include <cstdio>
+
+#include "flexiraft/flexiraft.h"
+#include "tools/myshadow.h"
+#include "util/logging.h"
+
+int main() {
+  using namespace myraft;
+  SetMinLogLevel(LogLevel::kError);
+
+  flexiraft::FlexiRaftQuorumEngine quorum(
+      {flexiraft::QuorumMode::kSingleRegionDynamic});
+  sim::ClusterOptions options;
+  options.db_regions = 3;
+  options.logtailers_per_db = 2;
+  options.seed = 7;
+  sim::ClusterHarness cluster(options, &quorum);
+  if (!cluster.Bootstrap().ok()) return 1;
+
+  tools::MyShadowOptions shadow;
+  shadow.failure_injection_rounds = 5;
+  shadow.functional_rounds = 5;
+  shadow.workload_rate_per_sec = 100;
+
+  printf("running %d crash rounds + %d graceful-transfer rounds under "
+         "load...\n",
+         shadow.failure_injection_rounds, shadow.functional_rounds);
+  auto report = tools::RunMyShadow(&cluster, shadow);
+  if (!report.status.ok()) {
+    fprintf(stderr, "drill failed: %s\n", report.status.ToString().c_str());
+    return 1;
+  }
+
+  printf("\nrounds run:              %d\n", report.rounds_run);
+  printf("writes committed:        %llu (failed: %llu)\n",
+         (unsigned long long)report.writes_committed,
+         (unsigned long long)report.writes_failed);
+  printf("consistency violations:  %d\n", report.consistency_violations);
+  printf("durability violations:   %d\n", report.durability_violations);
+  printf("failover downtime (ms):  p50=%.0f avg=%.0f p99=%.0f\n",
+         report.failover_downtime_micros.Median() / 1000.0,
+         report.failover_downtime_micros.Mean() / 1000.0,
+         report.failover_downtime_micros.Percentile(99) / 1000.0);
+  printf("promotion downtime (ms): p50=%.0f avg=%.0f p99=%.0f\n",
+         report.promotion_downtime_micros.Median() / 1000.0,
+         report.promotion_downtime_micros.Mean() / 1000.0,
+         report.promotion_downtime_micros.Percentile(99) / 1000.0);
+  printf("\nevery committed write audited on the final primary; every "
+         "caught-up engine checksum-compared (§5.1).\n");
+  return report.consistency_violations == 0 &&
+                 report.durability_violations == 0
+             ? 0
+             : 1;
+}

@@ -1,0 +1,103 @@
+#include "binlog/binlog_file.h"
+
+namespace myraft::binlog {
+
+Result<std::unique_ptr<BinlogFileWriter>> BinlogFileWriter::Create(
+    Env* env, const std::string& path, const Options& options) {
+  auto file = env->NewWritableFile(path);
+  if (!file.ok()) return file.status();
+  auto writer = std::unique_ptr<BinlogFileWriter>(
+      new BinlogFileWriter(path, std::move(*file)));
+
+  std::string header;
+  header.append(kBinlogMagic, kBinlogMagicLen);
+  MakeEvent(EventType::kFormatDescription, options.created_micros,
+            options.server_id, kZeroOpId,
+            FormatDescriptionBody{options.server_version,
+                                  options.created_micros}
+                .Encode())
+      .EncodeTo(&header);
+  MakeEvent(EventType::kPreviousGtids, options.created_micros,
+            options.server_id, kZeroOpId,
+            PreviousGtidsBody{options.previous_gtids}.Encode())
+      .EncodeTo(&header);
+  MYRAFT_RETURN_NOT_OK(writer->file_->Append(header));
+  return writer;
+}
+
+Result<std::unique_ptr<BinlogFileWriter>> BinlogFileWriter::OpenForAppend(
+    Env* env, const std::string& path) {
+  auto file = env->NewAppendableFile(path);
+  if (!file.ok()) return file.status();
+  return std::unique_ptr<BinlogFileWriter>(
+      new BinlogFileWriter(path, std::move(*file)));
+}
+
+Result<uint64_t> BinlogFileWriter::AppendRaw(const Slice& bytes) {
+  const uint64_t offset = file_->Size();
+  MYRAFT_RETURN_NOT_OK(file_->Append(bytes));
+  return offset;
+}
+
+Result<uint64_t> BinlogFileWriter::AppendEvent(const BinlogEvent& event) {
+  std::string buf;
+  event.EncodeTo(&buf);
+  return AppendRaw(buf);
+}
+
+Result<std::unique_ptr<BinlogFileReader>> BinlogFileReader::Open(
+    Env* env, const std::string& path) {
+  auto contents = env->ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  auto reader = std::unique_ptr<BinlogFileReader>(
+      new BinlogFileReader(path, std::move(*contents)));
+  MYRAFT_RETURN_NOT_OK(reader->ReadHeader());
+  return reader;
+}
+
+Status BinlogFileReader::ReadHeader() {
+  if (contents_.size() < kBinlogMagicLen ||
+      memcmp(contents_.data(), kBinlogMagic, kBinlogMagicLen) != 0) {
+    return Status::Corruption("binlog file: bad magic: " + path_);
+  }
+  offset_ = kBinlogMagicLen;
+
+  uint64_t event_offset;
+  auto format_event = Next(&event_offset);
+  if (!format_event.ok()) return format_event.status();
+  if (format_event->type != EventType::kFormatDescription) {
+    return Status::Corruption("binlog file: missing FormatDescription");
+  }
+  MYRAFT_ASSIGN_OR_RETURN(format_,
+                          FormatDescriptionBody::Decode(format_event->body));
+
+  auto gtids_event = Next(&event_offset);
+  if (!gtids_event.ok()) return gtids_event.status();
+  if (gtids_event->type != EventType::kPreviousGtids) {
+    return Status::Corruption("binlog file: missing PreviousGtids");
+  }
+  PreviousGtidsBody gtids;
+  MYRAFT_ASSIGN_OR_RETURN(gtids, PreviousGtidsBody::Decode(gtids_event->body));
+  previous_gtids_ = std::move(gtids.gtids);
+  body_start_ = offset_;
+  return Status::OK();
+}
+
+Result<BinlogEvent> BinlogFileReader::Next(uint64_t* offset) {
+  if (offset_ >= contents_.size()) {
+    return Status::EndOfFile(path_);
+  }
+  Slice in(contents_.data() + offset_, contents_.size() - offset_);
+  const uint64_t start = offset_;
+  auto event = BinlogEvent::DecodeFrom(&in);
+  if (!event.ok()) {
+    // offset_ stays at the last good boundary so callers can truncate a
+    // torn tail there during crash recovery.
+    return event.status();
+  }
+  offset_ = contents_.size() - in.size();
+  if (offset != nullptr) *offset = start;
+  return event;
+}
+
+}  // namespace myraft::binlog

@@ -1,0 +1,117 @@
+#include "flexiraft/flexiraft.h"
+
+#include "util/string_util.h"
+
+namespace myraft::flexiraft {
+
+std::string_view QuorumModeToString(QuorumMode mode) {
+  switch (mode) {
+    case QuorumMode::kVanillaMajority:
+      return "vanilla-majority";
+    case QuorumMode::kSingleRegionDynamic:
+      return "single-region-dynamic";
+    case QuorumMode::kMultiRegion:
+      return "multi-region";
+  }
+  return "?";
+}
+
+bool FlexiRaftQuorumEngine::HasRegionMajority(
+    const MembershipConfig& config, const RegionId& region,
+    const std::set<MemberId>& members) {
+  if (region.empty()) return false;
+  int voters = 0;
+  int present = 0;
+  for (const auto& m : config.members) {
+    if (!m.is_voter() || m.region != region) continue;
+    ++voters;
+    if (members.count(m.id) > 0) ++present;
+  }
+  return voters > 0 && present > voters / 2;
+}
+
+int FlexiRaftQuorumEngine::CountRegionMajorities(
+    const MembershipConfig& config, const std::set<MemberId>& members) {
+  int count = 0;
+  for (const auto& [region, voters] : config.VotersByRegion()) {
+    if (HasRegionMajority(config, region, members)) ++count;
+  }
+  return count;
+}
+
+bool FlexiRaftQuorumEngine::IsCommitQuorumSatisfied(
+    const raft::QuorumContext& context,
+    const std::set<MemberId>& ackers) const {
+  const MembershipConfig& config = *context.config;
+  switch (options_.mode) {
+    case QuorumMode::kVanillaMajority: {
+      raft::MajorityQuorumEngine vanilla;
+      return vanilla.IsCommitQuorumSatisfied(context, ackers);
+    }
+    case QuorumMode::kSingleRegionDynamic: {
+      // §4.1: "the leader [reaches] consensus commit on a log entry as
+      // soon as acknowledgements have been received from its in-region
+      // data quorum (a self-vote from the leader and an acknowledgement
+      // from one of the two in-region logtailers)".
+      if (context.subject_region.empty()) {
+        raft::MajorityQuorumEngine vanilla;
+        return vanilla.IsCommitQuorumSatisfied(context, ackers);
+      }
+      return HasRegionMajority(config, context.subject_region, ackers);
+    }
+    case QuorumMode::kMultiRegion:
+      return CountRegionMajorities(config, ackers) >=
+             options_.multi_region_commit_regions;
+  }
+  return false;
+}
+
+bool FlexiRaftQuorumEngine::IsElectionQuorumSatisfied(
+    const raft::QuorumContext& context,
+    const std::set<MemberId>& granted) const {
+  const MembershipConfig& config = *context.config;
+  switch (options_.mode) {
+    case QuorumMode::kVanillaMajority: {
+      raft::MajorityQuorumEngine vanilla;
+      return vanilla.IsElectionQuorumSatisfied(context, granted);
+    }
+    case QuorumMode::kSingleRegionDynamic: {
+      // The committed tail can only live in the last known leader's
+      // region's majority, so the election quorum must cover it; the
+      // candidate's own region majority is additionally required since it
+      // becomes the next data quorum (§4.3).
+      const bool own_region_ok =
+          HasRegionMajority(config, context.subject_region, granted);
+      if (!own_region_ok) return false;
+      if (context.last_leader_region.empty()) {
+        // No commits can exist before the first leader; a majority of all
+        // voters is the safe bootstrap quorum.
+        raft::MajorityQuorumEngine vanilla;
+        return vanilla.IsElectionQuorumSatisfied(context, granted);
+      }
+      if (context.last_leader_region == context.subject_region) return true;
+      return HasRegionMajority(config, context.last_leader_region, granted);
+    }
+    case QuorumMode::kMultiRegion: {
+      // Must intersect every possible K-region data quorum: majorities in
+      // at least R - K + 1 regions (pigeonhole).
+      const int regions_with_voters =
+          static_cast<int>(config.VotersByRegion().size());
+      const int needed = regions_with_voters -
+                         options_.multi_region_commit_regions + 1;
+      return CountRegionMajorities(config, granted) >= std::max(1, needed);
+    }
+  }
+  return false;
+}
+
+std::string FlexiRaftQuorumEngine::Describe() const {
+  if (options_.mode == QuorumMode::kMultiRegion) {
+    return StringPrintf("flexiraft(multi-region, k=%d)",
+                        options_.multi_region_commit_regions);
+  }
+  return std::string("flexiraft(") +
+         std::string(QuorumModeToString(options_.mode)) + ")";
+}
+
+}  // namespace myraft::flexiraft

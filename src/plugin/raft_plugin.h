@@ -1,0 +1,106 @@
+// mysql_raft_repl (§3.1): the MySQL plugin binding the server to the Raft
+// library. It owns the consensus instance and its durable metadata, plugs
+// the binlog in as Raft's log via BinlogLogAdapter, and forwards Raft's
+// orchestration callbacks to the server through the ServerHooks API —
+// "the API is generic and other RDBMS systems can follow the design".
+
+#ifndef MYRAFT_PLUGIN_RAFT_PLUGIN_H_
+#define MYRAFT_PLUGIN_RAFT_PLUGIN_H_
+
+#include <memory>
+
+#include "plugin/binlog_log_adapter.h"
+#include "raft/consensus.h"
+
+namespace myraft::plugin {
+
+/// Callback API from Raft into the server (§3.1): "used by Raft to
+/// orchestrate a set of steps to configure MySQL as a primary ... on
+/// promotion, and to configure the MySQL to replica ... on demotion".
+class ServerHooks {
+ public:
+  virtual ~ServerHooks() = default;
+
+  /// Won an election; the no-op asserting leadership is at `noop_opid`.
+  /// The server runs promotion steps 1-5 of §3.3 from here.
+  virtual void OnPromotionStarted(uint64_t term, OpId noop_opid) = 0;
+  /// Lost leadership; run demotion steps 1-5 of §3.3.
+  virtual void OnDemotion(uint64_t term) = 0;
+  virtual void OnConsensusCommitAdvanced(OpId marker) = 0;
+  /// New entry in the local log (signals the applier on replicas, §3.5).
+  virtual void OnLogEntryAppended(const LogEntry& entry) = 0;
+  /// Raft truncated a not-consensus-committed suffix; these GTIDs were
+  /// removed from the log's GTID metadata (§3.3 demotion step 4).
+  virtual void OnGtidsTruncated(const binlog::GtidSet& removed) = 0;
+  virtual void OnMembershipChanged(const MembershipConfig& config) = 0;
+  virtual void OnTransferFailed(const MemberId& target,
+                                const Status& reason) = 0;
+};
+
+struct RaftPluginOptions {
+  raft::RaftOptions raft;
+  /// Path of the durable consensus metadata file.
+  std::string meta_path;
+};
+
+class RaftPlugin final : public raft::StateMachineListener {
+ public:
+  /// `binlog_manager` becomes the Raft log. `hooks` may be null for
+  /// log-only members (witnesses).
+  RaftPlugin(Env* env, RaftPluginOptions options,
+             binlog::BinlogManager* binlog_manager,
+             const raft::QuorumEngine* quorum, Clock* clock, Random* rng,
+             raft::RaftOutbox* outbox, ServerHooks* hooks)
+      : options_(std::move(options)),
+        adapter_(binlog_manager),
+        meta_store_(env, options_.meta_path),
+        hooks_(hooks),
+        consensus_(options_.raft, &adapter_, quorum, &meta_store_, clock,
+                   rng, outbox, this) {
+    adapter_.set_gtids_truncated_callback([this](const binlog::GtidSet& g) {
+      if (hooks_ != nullptr) hooks_->OnGtidsTruncated(g);
+    });
+  }
+
+  Status Bootstrap(const MembershipConfig& config) {
+    return consensus_.Bootstrap(config);
+  }
+  Status Start() { return consensus_.Start(); }
+
+  raft::RaftConsensus* consensus() { return &consensus_; }
+  const raft::RaftConsensus* consensus() const { return &consensus_; }
+  BinlogLogAdapter* adapter() { return &adapter_; }
+
+  // StateMachineListener (Raft -> plugin -> server):
+  void OnLeadershipAcquired(uint64_t term, OpId noop_opid) override {
+    if (hooks_ != nullptr) hooks_->OnPromotionStarted(term, noop_opid);
+  }
+  void OnLeadershipLost(uint64_t term) override {
+    if (hooks_ != nullptr) hooks_->OnDemotion(term);
+  }
+  void OnCommitAdvanced(OpId marker) override {
+    if (hooks_ != nullptr) hooks_->OnConsensusCommitAdvanced(marker);
+  }
+  void OnEntryAppended(const LogEntry& entry) override {
+    if (hooks_ != nullptr) hooks_->OnLogEntryAppended(entry);
+  }
+  void OnSuffixTruncated(OpId new_last) override {}
+  void OnMembershipChanged(const MembershipConfig& config) override {
+    if (hooks_ != nullptr) hooks_->OnMembershipChanged(config);
+  }
+  void OnLeadershipTransferFailed(const MemberId& target,
+                                  const Status& reason) override {
+    if (hooks_ != nullptr) hooks_->OnTransferFailed(target, reason);
+  }
+
+ private:
+  RaftPluginOptions options_;
+  BinlogLogAdapter adapter_;
+  raft::ConsensusMetadataStore meta_store_;
+  ServerHooks* hooks_;
+  raft::RaftConsensus consensus_;
+};
+
+}  // namespace myraft::plugin
+
+#endif  // MYRAFT_PLUGIN_RAFT_PLUGIN_H_

@@ -1,0 +1,212 @@
+#include "proxy/proxy_router.h"
+
+#include "util/logging.h"
+
+namespace myraft::proxy {
+
+void ProxyRouter::ObserveTraffic(const MemberId& from) {
+  last_traffic_micros_[from] = loop_->now();
+}
+
+RegionId ProxyRouter::RegionOf(const MemberId& member) const {
+  if (consensus_ == nullptr) return "";
+  const MemberInfo* info = consensus_->config().Find(member);
+  return info != nullptr ? info->region : "";
+}
+
+bool ProxyRouter::RelayHealthy(const MemberId& relay) const {
+  // A healthy relay constantly produces traffic: relayed requests to its
+  // region-mates, responses to the leader. Silence for the threshold —
+  // including never having been heard from once the router has been up
+  // that long — marks it unhealthy (§4.2.3 health checks).
+  const uint64_t now = loop_->now();
+  auto it = last_traffic_micros_.find(relay);
+  const uint64_t reference =
+      it != last_traffic_micros_.end() ? it->second : created_micros_;
+  return now - reference <= options_.relay_unhealthy_after_micros;
+}
+
+MemberId ProxyRouter::ChooseRelay(const RegionId& region,
+                                  bool allow_self) const {
+  if (consensus_ == nullptr) return "";
+  const MemberId* fallback = nullptr;
+  for (const auto& member : consensus_->config().members) {
+    if (member.region != region) continue;
+    if (member.id == self_) {
+      if (!allow_self) continue;
+    } else if (!RelayHealthy(member.id)) {
+      continue;
+    }
+    if (member.kind == MemberKind::kMySql && member.is_voter()) {
+      return member.id;  // preferred relay: the region's failover replica
+    }
+    if (fallback == nullptr) fallback = &member.id;
+  }
+  return fallback != nullptr ? *fallback : "";
+}
+
+void ProxyRouter::Send(Message message) {
+  if (!options_.enabled) {
+    lower_send_(std::move(message));
+    return;
+  }
+  if (auto* request = std::get_if<AppendEntriesRequest>(&message)) {
+    RouteRequest(std::move(*request));
+    return;
+  }
+  if (auto* response = std::get_if<AppendEntriesResponse>(&message)) {
+    RouteResponse(std::move(*response));
+    return;
+  }
+  // Votes and election control are never proxied (§4.2.1).
+  lower_send_(std::move(message));
+}
+
+void ProxyRouter::RouteRequest(AppendEntriesRequest request) {
+  const RegionId dest_region = RegionOf(request.dest);
+  // Same-region traffic, empty payload (heartbeat) routing overhead is
+  // pointless; and only the leader originates requests.
+  if (dest_region.empty() || dest_region == region_ ||
+      request.entries.empty()) {
+    ++stats_.direct_requests;
+    lower_send_(std::move(request));
+    return;
+  }
+  const MemberId relay = ChooseRelay(dest_region, /*allow_self=*/false);
+  if (relay.empty() || relay == request.dest) {
+    // The relay IS the destination (it gets full payload), or no healthy
+    // relay exists — route around (§4.2.3).
+    if (relay.empty()) ++stats_.route_arounds;
+    ++stats_.direct_requests;
+    lower_send_(std::move(request));
+    return;
+  }
+
+  // PROXY_OP: strip payloads; the relay reconstitutes from its own log.
+  ++stats_.proxied_requests;
+  request.route.push_back(relay);
+  request.proxy_payload_omitted = true;
+  for (LogEntry& entry : request.entries) {
+    entry.payload.clear();  // checksum retained for verification
+  }
+  lower_send_(std::move(request));
+}
+
+void ProxyRouter::RouteResponse(AppendEntriesResponse response) {
+  const RegionId dest_region = RegionOf(response.dest);
+  if (dest_region.empty() || dest_region == region_) {
+    lower_send_(std::move(response));
+    return;
+  }
+  // Responses travel back up the tree via our in-region relay (§4.2.1:
+  // "the response ... will then be proxied back upstream"). If we ARE the
+  // region's relay, upstream means direct.
+  const MemberId relay = ChooseRelay(region_, /*allow_self=*/true);
+  if (relay.empty() || relay == self_) {
+    lower_send_(std::move(response));
+    return;
+  }
+  response.route.push_back(relay);
+  lower_send_(std::move(response));
+}
+
+bool ProxyRouter::HandleInbound(const Message& message) {
+  if (auto* request = std::get_if<AppendEntriesRequest>(&message)) {
+    if (request->route.empty()) return false;
+    if (request->route.front() != self_) {
+      // Misrouted; drop.
+      return true;
+    }
+    AppendEntriesRequest hop = *request;
+    hop.route.erase(hop.route.begin());
+    if (!hop.route.empty()) {
+      // Intermediate hop: forward along the remaining path.
+      ++stats_.relayed_requests;
+      lower_send_(std::move(hop));
+      return true;
+    }
+    if (hop.dest == self_) {
+      // We were the final relay and also the destination (shouldn't
+      // normally happen): deliver locally.
+      return false;
+    }
+    if (!hop.proxy_payload_omitted) {
+      ++stats_.relayed_requests;
+      lower_send_(std::move(hop));
+      return true;
+    }
+    ReconstituteAndForward(std::move(hop),
+                           loop_->now() + options_.reconstitute_wait_micros);
+    return true;
+  }
+
+  if (auto* response = std::get_if<AppendEntriesResponse>(&message)) {
+    if (response->route.empty()) return false;
+    if (response->route.front() != self_) return true;
+    AppendEntriesResponse hop = *response;
+    hop.route.erase(hop.route.begin());
+    ++stats_.relayed_responses;
+    lower_send_(std::move(hop));
+    return true;
+  }
+
+  return false;
+}
+
+Result<LogEntry> ProxyRouter::LookupEntry(const LogEntry& proxy_entry) const {
+  if (consensus_ == nullptr) return Status::IllegalState("unbound router");
+  auto cached = consensus_->log_cache().Get(proxy_entry.id.index);
+  Result<LogEntry> entry =
+      cached.ok() ? std::move(cached)
+                  : consensus_->log()->Read(proxy_entry.id.index);
+  if (!entry.ok()) return entry.status();
+  if (entry->id != proxy_entry.id ||
+      entry->checksum != proxy_entry.checksum) {
+    return Status::NotFound("local entry does not match PROXY_OP stamp");
+  }
+  return entry;
+}
+
+void ProxyRouter::ReconstituteAndForward(AppendEntriesRequest request,
+                                         uint64_t deadline_micros) {
+  // Try to restore every payload from our local log/cache.
+  bool all_present = true;
+  AppendEntriesRequest full = request;
+  for (LogEntry& entry : full.entries) {
+    auto local = LookupEntry(entry);
+    if (!local.ok()) {
+      all_present = false;
+      break;
+    }
+    entry = std::move(*local);
+  }
+
+  if (all_present) {
+    ++stats_.reconstitutions;
+    full.proxy_payload_omitted = false;
+    lower_send_(std::move(full));
+    return;
+  }
+
+  if (loop_->now() >= deadline_micros) {
+    // §4.2.1: degrade to a simple heartbeat so the downstream follower
+    // still learns the term and commit marker; the leader will retry.
+    ++stats_.degraded_to_heartbeat;
+    AppendEntriesRequest heartbeat = std::move(request);
+    heartbeat.entries.clear();
+    heartbeat.proxy_payload_omitted = false;
+    lower_send_(std::move(heartbeat));
+    return;
+  }
+
+  // The entry is probably in flight to us; poll until the deadline. The
+  // router may be destroyed (process crash) before the poll fires.
+  loop_->Schedule(options_.reconstitute_poll_micros,
+                  [this, alive = alive_, request = std::move(request),
+                   deadline_micros]() {
+                    if (!*alive) return;
+                    ReconstituteAndForward(request, deadline_micros);
+                  });
+}
+
+}  // namespace myraft::proxy

@@ -1,0 +1,122 @@
+// Raft Proxying (§4.2). The leader keeps all replication bookkeeping
+// (safety-wise this is standard Raft); the router sits between
+// RaftConsensus and the network and rewrites the *transport* of
+// AppendEntries:
+//
+//  * outbound from the leader, messages to a remote-region member are
+//    addressed through a relay in that region, with payloads stripped
+//    (PROXY_OP: "request metadata but no payload");
+//  * the final relay hop reconstitutes each entry from its own log-entry
+//    cache (falling back to its log); if an entry has not arrived yet it
+//    waits a configurable period, then degrades the message to a simple
+//    heartbeat;
+//  * responses are relayed back upstream through the same tree;
+//  * votes are never proxied (§4.2.1);
+//  * unhealthy relays are detected via recent-traffic health checks and
+//    routed around (§4.2.3).
+
+#ifndef MYRAFT_PROXY_PROXY_ROUTER_H_
+#define MYRAFT_PROXY_PROXY_ROUTER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "raft/consensus.h"
+#include "sim/event_loop.h"
+
+namespace myraft::proxy {
+
+struct ProxyOptions {
+  bool enabled = true;
+  /// How long a relay waits for a missing entry before degrading the
+  /// message to a heartbeat.
+  uint64_t reconstitute_wait_micros = 100'000;
+  uint64_t reconstitute_poll_micros = 10'000;
+  /// A relay with no traffic for this long is considered unhealthy and
+  /// routed around.
+  uint64_t relay_unhealthy_after_micros = 3'000'000;
+};
+
+class ProxyRouter final : public raft::RaftOutbox {
+ public:
+  struct Stats {
+    uint64_t direct_requests = 0;
+    uint64_t proxied_requests = 0;       // leader-side PROXY_OPs created
+    uint64_t relayed_requests = 0;       // forwarded as intermediate hop
+    uint64_t reconstitutions = 0;        // payloads restored at final hop
+    uint64_t degraded_to_heartbeat = 0;  // missing entry after wait
+    uint64_t relayed_responses = 0;
+    uint64_t route_arounds = 0;          // unhealthy relay bypassed
+  };
+
+  using SendFn = std::function<void(Message)>;
+
+  ProxyRouter(MemberId self, RegionId region, ProxyOptions options,
+              sim::EventLoop* loop, SendFn lower_send)
+      : self_(std::move(self)),
+        region_(std::move(region)),
+        options_(options),
+        loop_(loop),
+        lower_send_(std::move(lower_send)),
+        created_micros_(loop->now()) {}
+
+  ~ProxyRouter() {
+    // Scheduled reconstitution polls may outlive the router (process
+    // crash); they check this guard before touching it.
+    *alive_ = false;
+  }
+
+  /// Must be called once the consensus instance exists (the router needs
+  /// its config, cache and log for relay selection and reconstitution).
+  void BindConsensus(raft::RaftConsensus* consensus) {
+    consensus_ = consensus;
+  }
+
+  // RaftOutbox: outbound messages from the local consensus.
+  void Send(Message message) override;
+
+  /// Inbound hook. Returns true if the message was consumed by the proxy
+  /// layer (relayed / reconstituted); false if the host should hand it to
+  /// the local consensus.
+  bool HandleInbound(const Message& message);
+
+  /// Host calls this for every message received from `from` so relay
+  /// health can be tracked.
+  void ObserveTraffic(const MemberId& from);
+
+  void set_enabled(bool enabled) { options_.enabled = enabled; }
+  bool enabled() const { return options_.enabled; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  /// Relay member for `region` (prefers MySQL voters), or "" when no
+  /// healthy relay exists. `allow_self` lets a node recognise itself as
+  /// its region's relay (responses then go direct).
+  MemberId ChooseRelay(const RegionId& region, bool allow_self) const;
+  bool RelayHealthy(const MemberId& relay) const;
+  RegionId RegionOf(const MemberId& member) const;
+
+  void RouteRequest(AppendEntriesRequest request);
+  void RouteResponse(AppendEntriesResponse response);
+  /// Final hop: restore payloads and deliver to the downstream member.
+  void ReconstituteAndForward(AppendEntriesRequest request,
+                              uint64_t deadline_micros);
+  Result<LogEntry> LookupEntry(const LogEntry& proxy_entry) const;
+
+  MemberId self_;
+  RegionId region_;
+  ProxyOptions options_;
+  sim::EventLoop* loop_;
+  SendFn lower_send_;
+  raft::RaftConsensus* consensus_ = nullptr;
+
+  std::map<MemberId, uint64_t> last_traffic_micros_;
+  uint64_t created_micros_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  Stats stats_;
+};
+
+}  // namespace myraft::proxy
+
+#endif  // MYRAFT_PROXY_PROXY_ROUTER_H_

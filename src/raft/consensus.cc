@@ -1,0 +1,1087 @@
+#include "raft/consensus.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace myraft::raft {
+
+namespace {
+/// Marker used in VoteResponse.reason when a transfer target reports its
+/// aggregated mock-election outcome back to the initiating leader.
+constexpr char kMockOutcomeReason[] = "mock-outcome";
+}  // namespace
+
+RaftConsensus::RaftConsensus(RaftOptions options, LogAbstraction* log,
+                             const QuorumEngine* quorum,
+                             ConsensusMetadataStore* meta_store, Clock* clock,
+                             Random* rng, RaftOutbox* outbox,
+                             StateMachineListener* listener)
+    : options_(std::move(options)),
+      log_(log),
+      quorum_(quorum),
+      meta_store_(meta_store),
+      clock_(clock),
+      rng_(rng),
+      outbox_(outbox),
+      listener_(listener),
+      cache_(options_.log_cache_capacity_bytes) {}
+
+Status RaftConsensus::Bootstrap(const MembershipConfig& config) {
+  if (started_) return Status::IllegalState("already started");
+  if (!config.Contains(options_.self)) {
+    return Status::InvalidArgument("bootstrap config does not include self");
+  }
+  meta_ = ConsensusMetadata{};
+  meta_.config = config;
+  MYRAFT_RETURN_NOT_OK(meta_store_->Save(meta_));
+  return Start();
+}
+
+Status RaftConsensus::Start() {
+  if (started_) return Status::IllegalState("already started");
+  MYRAFT_ASSIGN_OR_RETURN(meta_, meta_store_->Load());
+  if (meta_.config.members.empty()) {
+    return Status::Uninitialized("no membership config; bootstrap first");
+  }
+  // The current term can never trail the log (relevant when Raft is
+  // enabled over a pre-existing binlog, §5.2: the semi-sync generation
+  // numbers become Raft terms).
+  if (log_->LastOpId().term > meta_.current_term) {
+    meta_.current_term = log_->LastOpId().term;
+    meta_.voted_for.clear();
+    MYRAFT_RETURN_NOT_OK(meta_store_->Save(meta_));
+  }
+  const MemberInfo* self = SelfInfo();
+  if (self == nullptr) {
+    return Status::IllegalState("self not in recovered config");
+  }
+  role_ = self->is_learner() ? RaftRole::kLearner : RaftRole::kFollower;
+  commit_marker_ = kZeroOpId;
+  ResetElectionTimer();
+  started_ = true;
+  return Status::OK();
+}
+
+const MemberInfo* RaftConsensus::SelfInfo() const {
+  return meta_.config.Find(options_.self);
+}
+
+bool RaftConsensus::IsVoterSelf() const {
+  const MemberInfo* self = SelfInfo();
+  return self != nullptr && self->is_voter();
+}
+
+Status RaftConsensus::PersistMeta() { return meta_store_->Save(meta_); }
+
+uint64_t RaftConsensus::ElectionTimeoutMicros() const {
+  return options_.heartbeat_interval_micros *
+         static_cast<uint64_t>(options_.missed_heartbeats_before_election);
+}
+
+void RaftConsensus::ResetElectionTimer() {
+  last_leader_contact_micros_ = clock_->NowMicros();
+  election_timeout_micros_ =
+      ElectionTimeoutMicros() +
+      (options_.election_jitter_micros > 0
+           ? rng_->Uniform(options_.election_jitter_micros)
+           : 0);
+}
+
+void RaftConsensus::PotentialLeaderEvidence(const MemberId& candidate,
+                                            uint64_t* term,
+                                            RegionId* region) const {
+  *term = meta_.last_leader_term;
+  *region = meta_.last_leader_region;
+  // Voting history (§4.1): a binding vote for X at term T implies a
+  // possible term-T leader in X's region. Votes for `candidate` itself
+  // carry no such implication for its own election.
+  if (!meta_.last_voted_for.empty() && meta_.last_voted_for != candidate &&
+      meta_.last_vote_term > *term) {
+    *term = meta_.last_vote_term;
+    *region = meta_.last_voted_region;
+  }
+}
+
+QuorumContext RaftConsensus::MakeQuorumContext(const MemberId& subject) const {
+  QuorumContext context;
+  context.config = &meta_.config;
+  context.subject = subject;
+  const MemberInfo* info = meta_.config.Find(subject);
+  context.subject_region = info != nullptr ? info->region : "";
+  context.last_known_leader = meta_.last_known_leader;
+  context.last_leader_region = meta_.last_leader_region;
+  return context;
+}
+
+// --- Event dispatch ----------------------------------------------------------
+
+void RaftConsensus::HandleMessage(const Message& message) {
+  if (!started_) return;
+  if (MessageDest(message) != options_.self) return;  // proxy handles routing
+  std::visit(
+      [this](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, AppendEntriesRequest>) {
+          HandleAppendEntries(m);
+        } else if constexpr (std::is_same_v<T, AppendEntriesResponse>) {
+          HandleAppendEntriesResponse(m);
+        } else if constexpr (std::is_same_v<T, VoteRequest>) {
+          HandleVoteRequest(m);
+        } else if constexpr (std::is_same_v<T, VoteResponse>) {
+          HandleVoteResponse(m);
+        } else if constexpr (std::is_same_v<T, StartElectionRequest>) {
+          HandleStartElection(m);
+        }
+      },
+      message);
+}
+
+void RaftConsensus::Tick() {
+  if (!started_) return;
+  const uint64_t now = clock_->NowMicros();
+
+  if (role_ == RaftRole::kLeader) {
+    if (options_.enable_auto_step_down && !peers_.empty()) {
+      std::set<MemberId> responsive{options_.self};
+      for (const auto& [peer_id, peer] : peers_) {
+        if (now - peer.last_response_micros <=
+            options_.auto_step_down_after_micros) {
+          responsive.insert(peer_id);
+        }
+      }
+      if (!quorum_->IsCommitQuorumSatisfied(
+              MakeQuorumContext(options_.self), responsive)) {
+        ++stats_.auto_step_downs;
+        MYRAFT_LOG(Warning)
+            << options_.self
+            << ": auto step down — commit quorum unreachable for "
+            << options_.auto_step_down_after_micros / 1000 << " ms";
+        StepDown(meta_.current_term, "", "");
+        return;
+      }
+    }
+    for (auto& [peer_id, peer] : peers_) {
+      if (peer.awaiting_response &&
+          now - peer.last_rpc_sent_micros > options_.rpc_timeout_micros) {
+        peer.awaiting_response = false;  // resend below
+      }
+      if (!peer.awaiting_response &&
+          (peer.next_index <= log_->LastOpId().index ||
+           now - peer.last_rpc_sent_micros >=
+               options_.heartbeat_interval_micros)) {
+        SendAppendEntriesTo(peer_id, /*allow_empty=*/true);
+      }
+    }
+    if (transfer_.has_value() && now > transfer_->deadline_micros) {
+      FailTransfer(Status::TimedOut("leadership transfer deadline"));
+    }
+    return;
+  }
+
+  // Non-leaders: drive stalled elections and failure detection.
+  if (election_.has_value()) {
+    if (now - election_->started_micros >
+        options_.election_round_timeout_micros) {
+      AbortElection(Status::TimedOut("election round timed out"));
+    }
+    return;
+  }
+  if (role_ == RaftRole::kLearner || !IsVoterSelf()) return;
+  if (now - last_leader_contact_micros_ > election_timeout_micros_) {
+    MYRAFT_LOG(Info) << options_.self << ": leader timed out, campaigning";
+    Status s = StartElection(options_.enable_pre_vote
+                                 ? ElectionMode::kPreVote
+                                 : ElectionMode::kRealElection);
+    if (!s.ok()) ResetElectionTimer();
+  }
+}
+
+// --- Replication: leader side --------------------------------------------------
+
+Result<OpId> RaftConsensus::Replicate(EntryType type, std::string payload) {
+  if (role_ != RaftRole::kLeader) {
+    return Status::IllegalState("not the leader");
+  }
+  if (is_quiesced_for_transfer() && type == EntryType::kTransaction) {
+    return Status::ServiceUnavailable("quiesced for leadership transfer");
+  }
+  const OpId opid{meta_.current_term, log_->LastOpId().index + 1};
+  const LogEntry entry = LogEntry::Make(opid, type, std::move(payload));
+  MYRAFT_RETURN_NOT_OK(AppendToLocalLog(entry));
+  MYRAFT_RETURN_NOT_OK(log_->Sync());
+
+  if (type == EntryType::kConfigChange) {
+    auto config = DecodeMembershipConfig(entry.payload);
+    if (!config.ok()) return config.status();
+    previous_config_ = meta_.config;
+    pending_config_index_ = opid.index;
+    MYRAFT_RETURN_NOT_OK(ApplyConfig(*config, /*from_log=*/true));
+  }
+
+  AdvanceCommitMarker();  // single-voter rings commit immediately
+  BroadcastAppendEntries();
+  return opid;
+}
+
+Status RaftConsensus::AppendToLocalLog(const LogEntry& entry) {
+  MYRAFT_RETURN_NOT_OK(log_->Append(entry));
+  cache_.Put(entry);
+  listener_->OnEntryAppended(entry);
+  return Status::OK();
+}
+
+Result<std::vector<LogEntry>> RaftConsensus::FetchEntriesFor(
+    uint64_t next_index, uint64_t* prev_term) {
+  // Preceding entry's term for the log-matching check.
+  if (next_index == 1) {
+    *prev_term = 0;
+  } else {
+    auto prev = log_->OpIdAt(next_index - 1);
+    if (prev.ok()) {
+      *prev_term = prev->term;
+    } else {
+      auto cached = cache_.Get(next_index - 1);
+      if (!cached.ok()) {
+        return Status::NotFound(
+            "previous entry unavailable (member needs re-provisioning)");
+      }
+      *prev_term = cached->id.term;
+    }
+  }
+
+  std::vector<LogEntry> entries;
+  uint64_t bytes = 0;
+  uint64_t index = next_index;
+  const uint64_t last = log_->LastOpId().index;
+  while (index <= last && entries.size() < options_.max_entries_per_rpc &&
+         bytes < options_.max_bytes_per_rpc) {
+    auto cached = cache_.Get(index);
+    if (cached.ok()) {
+      bytes += cached->payload.size();
+      entries.push_back(std::move(*cached));
+      ++index;
+      continue;
+    }
+    // Cache miss: the follower lags behind the in-memory cache; read the
+    // historical log files through the log abstraction (§3.1).
+    ++stats_.cache_fallback_reads;
+    auto batch = log_->ReadBatch(
+        index, options_.max_entries_per_rpc - entries.size(),
+        options_.max_bytes_per_rpc - bytes);
+    if (!batch.ok()) return batch.status();
+    for (auto& e : *batch) {
+      bytes += e.payload.size();
+      entries.push_back(std::move(e));
+      ++index;
+    }
+  }
+  return entries;
+}
+
+void RaftConsensus::SendAppendEntriesTo(const MemberId& peer_id,
+                                        bool allow_empty) {
+  auto it = peers_.find(peer_id);
+  if (it == peers_.end()) return;
+  PeerStatus& peer = it->second;
+  if (peer.awaiting_response) return;
+
+  AppendEntriesRequest request;
+  request.leader = options_.self;
+  request.dest = peer_id;
+  request.term = meta_.current_term;
+  request.commit_marker = commit_marker_;
+
+  uint64_t prev_term = 0;
+  auto entries = FetchEntriesFor(peer.next_index, &prev_term);
+  if (!entries.ok()) {
+    MYRAFT_LOG(Warning) << options_.self << ": cannot serve entries to "
+                        << peer_id << ": " << entries.status();
+    return;
+  }
+  request.prev = OpId{prev_term, peer.next_index - 1};
+  request.entries = std::move(*entries);
+  if (request.entries.empty()) {
+    if (!allow_empty) return;
+    ++stats_.heartbeats_sent;
+  } else {
+    stats_.entries_replicated += request.entries.size();
+  }
+
+  peer.awaiting_response = true;
+  peer.last_rpc_sent_micros = clock_->NowMicros();
+  outbox_->Send(std::move(request));
+}
+
+void RaftConsensus::BroadcastAppendEntries() {
+  for (const auto& [peer_id, peer] : peers_) {
+    SendAppendEntriesTo(peer_id, /*allow_empty=*/false);
+  }
+}
+
+void RaftConsensus::AdvanceCommitMarker() {
+  if (role_ != RaftRole::kLeader) return;
+  const uint64_t last = log_->LastOpId().index;
+  for (uint64_t n = last; n > commit_marker_.index; --n) {
+    auto opid = log_->OpIdAt(n);
+    if (!opid.ok()) break;
+    // Raft safety: a leader only commits entries from its own term by
+    // counting replicas (older entries commit transitively).
+    if (opid->term != meta_.current_term) break;
+    std::set<MemberId> ackers{options_.self};
+    for (const auto& [peer_id, peer] : peers_) {
+      if (peer.match_index >= n) ackers.insert(peer_id);
+    }
+    if (quorum_->IsCommitQuorumSatisfied(MakeQuorumContext(options_.self),
+                                         ackers)) {
+      SetCommitMarker(*opid);
+      break;
+    }
+  }
+}
+
+void RaftConsensus::SetCommitMarker(OpId new_marker) {
+  if (new_marker.index <= commit_marker_.index) return;
+  commit_marker_ = new_marker;
+  if (pending_config_index_ != 0 &&
+      pending_config_index_ <= new_marker.index) {
+    pending_config_index_ = 0;  // membership change committed
+  }
+  listener_->OnCommitAdvanced(commit_marker_);
+}
+
+// --- Replication: receiver side -------------------------------------------------
+
+void RaftConsensus::HandleAppendEntries(const AppendEntriesRequest& request) {
+  AppendEntriesResponse response;
+  response.from = options_.self;
+  response.dest = request.leader;
+  response.term = meta_.current_term;
+  response.success = false;
+  response.last_received = log_->LastOpId();
+  response.last_durable_index = response.last_received.index;
+
+  if (request.term < meta_.current_term) {
+    ++stats_.append_rejections;
+    outbox_->Send(std::move(response));
+    return;
+  }
+
+  // A valid leader for this (or a newer) term: follow it.
+  if (request.term > meta_.current_term || role_ == RaftRole::kCandidate ||
+      role_ == RaftRole::kLeader || leader_ != request.leader) {
+    const MemberInfo* leader_info = meta_.config.Find(request.leader);
+    StepDown(request.term, request.leader,
+             leader_info != nullptr ? leader_info->region : "");
+  }
+  last_leader_contact_micros_ = clock_->NowMicros();
+  response.term = meta_.current_term;
+
+  // Log-matching check on the preceding entry.
+  if (request.prev.index > 0) {
+    const uint64_t last = log_->LastOpId().index;
+    if (request.prev.index > last) {
+      ++stats_.append_rejections;
+      outbox_->Send(std::move(response));  // hint: our last opid
+      return;
+    }
+    auto local_prev = log_->OpIdAt(request.prev.index);
+    if (!local_prev.ok() || local_prev->term != request.prev.term) {
+      // Conflict below our tail: ask the leader to rewind.
+      response.last_received =
+          OpId{0, request.prev.index > 0 ? request.prev.index - 1 : 0};
+      ++stats_.append_rejections;
+      outbox_->Send(std::move(response));
+      return;
+    }
+  }
+
+  // Append new entries, truncating any conflicting suffix first.
+  bool appended = false;
+  for (const LogEntry& entry : request.entries) {
+    auto local = log_->OpIdAt(entry.id.index);
+    if (local.ok()) {
+      if (local->term == entry.id.term) continue;  // duplicate
+      // Conflict: drop our uncommitted suffix (§3.3 demotion step 4 —
+      // GTID cleanup happens inside the log abstraction).
+      Status s = log_->TruncateAfter(entry.id.index - 1);
+      if (!s.ok()) {
+        MYRAFT_LOG(Error) << options_.self << ": truncate failed: " << s;
+        outbox_->Send(std::move(response));
+        return;
+      }
+      cache_.TruncateAfter(entry.id.index - 1);
+      if (pending_config_index_ >= entry.id.index) {
+        // The uncommitted membership change was truncated away: fall back
+        // to the previous config.
+        pending_config_index_ = 0;
+        Status cs = ApplyConfig(previous_config_, /*from_log=*/true);
+        if (!cs.ok()) {
+          MYRAFT_LOG(Error) << "config rollback failed: " << cs;
+        }
+      }
+      listener_->OnSuffixTruncated(log_->LastOpId());
+    }
+    if (!entry.VerifyChecksum()) {
+      MYRAFT_LOG(Error) << options_.self
+                        << ": corrupt entry from leader at "
+                        << entry.id.ToString();
+      outbox_->Send(std::move(response));
+      return;
+    }
+    Status s = AppendToLocalLog(entry);
+    if (!s.ok()) {
+      MYRAFT_LOG(Error) << options_.self << ": append failed: " << s;
+      break;
+    }
+    appended = true;
+    if (entry.type == EntryType::kConfigChange) {
+      auto config = DecodeMembershipConfig(entry.payload);
+      if (config.ok()) {
+        previous_config_ = meta_.config;
+        pending_config_index_ = entry.id.index;
+        Status cs = ApplyConfig(*config, /*from_log=*/true);
+        if (!cs.ok()) MYRAFT_LOG(Error) << "apply config failed: " << cs;
+      }
+    }
+  }
+  if (appended) {
+    Status s = log_->Sync();
+    if (!s.ok()) {
+      MYRAFT_LOG(Error) << options_.self << ": log sync failed: " << s;
+      outbox_->Send(std::move(response));
+      return;
+    }
+  }
+
+  response.success = true;
+  response.last_received = log_->LastOpId();
+  response.last_durable_index = response.last_received.index;
+
+  // Advance our commit marker to what the leader has committed (§3.4:
+  // piggybacked commit marker).
+  const uint64_t commit_to =
+      std::min(request.commit_marker.index, log_->LastOpId().index);
+  if (commit_to > commit_marker_.index) {
+    auto opid = log_->OpIdAt(commit_to);
+    if (opid.ok()) SetCommitMarker(*opid);
+  }
+  outbox_->Send(std::move(response));
+}
+
+void RaftConsensus::HandleAppendEntriesResponse(
+    const AppendEntriesResponse& response) {
+  if (response.term > meta_.current_term) {
+    StepDown(response.term, "", "");
+    return;
+  }
+  if (role_ != RaftRole::kLeader) return;
+  auto it = peers_.find(response.from);
+  if (it == peers_.end()) return;
+  PeerStatus& peer = it->second;
+  peer.awaiting_response = false;
+  peer.last_response_micros = clock_->NowMicros();
+
+  if (response.success) {
+    peer.match_index = std::max(peer.match_index, response.last_received.index);
+    peer.next_index = peer.match_index + 1;
+    AdvanceCommitMarker();
+
+    // Graceful transfer: once the quiesced target is fully caught up,
+    // fire TimeoutNow (§2.2 Promotion).
+    if (transfer_.has_value() &&
+        transfer_->phase == TransferState::Phase::kQuiesced &&
+        response.from == transfer_->target &&
+        peer.match_index == log_->LastOpId().index) {
+      StartElectionRequest go;
+      go.from = options_.self;
+      go.dest = transfer_->target;
+      go.term = meta_.current_term;
+      outbox_->Send(std::move(go));
+      // Leave transfer_ set: we stay quiesced until the new leader's term
+      // arrives (or the deadline fails the transfer).
+    }
+    if (peer.next_index <= log_->LastOpId().index) {
+      SendAppendEntriesTo(response.from, /*allow_empty=*/false);
+    }
+  } else {
+    // Rewind and retry.
+    const uint64_t hint = response.last_received.index;
+    peer.next_index = std::max<uint64_t>(
+        1, std::min(peer.next_index - 1, hint + 1));
+    SendAppendEntriesTo(response.from, /*allow_empty=*/true);
+  }
+}
+
+// --- Elections ---------------------------------------------------------------
+
+Status RaftConsensus::StartElection(ElectionMode mode) {
+  // A manual election (tooling, TimeoutNow) preempts any stalled round.
+  if (election_.has_value()) {
+    AbortElection(Status::Aborted("preempted by manual election"));
+  }
+  return BeginElection(mode, /*report_to=*/"", /*cursor=*/kZeroOpId);
+}
+
+Status RaftConsensus::BeginElection(ElectionMode mode,
+                                    const MemberId& report_to, OpId cursor) {
+  if (!started_) return Status::IllegalState("not started");
+  if (!IsVoterSelf()) return Status::IllegalState("not a voter");
+  if (role_ == RaftRole::kLeader) {
+    return Status::IllegalState("already leader");
+  }
+  if (election_.has_value()) {
+    return Status::IllegalState("election already in progress");
+  }
+
+  ElectionState election;
+  election.mode = mode;
+  election.started_micros = clock_->NowMicros();
+  election.report_to = report_to;
+  election.cursor_snapshot = cursor;
+  PotentialLeaderEvidence(options_.self, &election.known_leader_term,
+                          &election.known_leader_region);
+
+  switch (mode) {
+    case ElectionMode::kRealElection: {
+      ++stats_.elections_started;
+      meta_.current_term += 1;
+      meta_.voted_for = options_.self;
+      meta_.last_vote_term = meta_.current_term;
+      meta_.last_voted_for = options_.self;
+      meta_.last_voted_region = options_.region;
+      MYRAFT_RETURN_NOT_OK(PersistMeta());
+      role_ = RaftRole::kCandidate;
+      leader_.clear();
+      election.election_term = meta_.current_term;
+      break;
+    }
+    case ElectionMode::kPreVote: {
+      ++stats_.pre_votes_started;
+      election.election_term = meta_.current_term + 1;
+      break;
+    }
+    case ElectionMode::kMockElection: {
+      ++stats_.mock_elections_started;
+      election.election_term = meta_.current_term + 1;
+      break;
+    }
+  }
+  election.granted.insert(options_.self);
+  election.responded.insert(options_.self);
+  election_ = std::move(election);
+
+  // Single-voter rings win immediately.
+  if (ElectionQuorumSatisfied(election_->granted)) {
+    WinElection();
+    return Status::OK();
+  }
+  RequestVotes();
+  return Status::OK();
+}
+
+void RaftConsensus::RequestVotes() {
+  for (const MemberId& voter : meta_.config.VoterIds()) {
+    if (voter == options_.self) continue;
+    VoteRequest request;
+    request.candidate = options_.self;
+    request.dest = voter;
+    request.term = election_->election_term;
+    request.last_log = log_->LastOpId();
+    request.candidate_region = options_.region;
+    request.pre_vote = election_->mode == ElectionMode::kPreVote;
+    request.mock_election = election_->mode == ElectionMode::kMockElection;
+    request.leader_cursor_snapshot = election_->cursor_snapshot;
+    outbox_->Send(std::move(request));
+  }
+}
+
+bool RaftConsensus::ElectionQuorumSatisfied(
+    const std::set<MemberId>& granted) const {
+  if (election_votes_override_.has_value()) {
+    return static_cast<int>(granted.size()) >= *election_votes_override_;
+  }
+  QuorumContext context = MakeQuorumContext(options_.self);
+  if (election_.has_value()) {
+    // Use the freshest last-leader view aggregated across voters, not
+    // just our own (possibly starved) one — the committed tail lives in
+    // THAT leader's region.
+    context.last_leader_region = election_->known_leader_region;
+  }
+  return quorum_->IsElectionQuorumSatisfied(context, granted);
+}
+
+void RaftConsensus::HandleVoteRequest(const VoteRequest& request) {
+  VoteResponse response = EvaluateVote(request);
+  outbox_->Send(std::move(response));
+}
+
+VoteResponse RaftConsensus::EvaluateVote(const VoteRequest& request) {
+  VoteResponse response;
+  response.from = options_.self;
+  response.dest = request.candidate;
+  response.pre_vote = request.pre_vote;
+  response.mock_election = request.mock_election;
+  response.voter_region = options_.region;
+  response.granted = false;
+  PotentialLeaderEvidence(request.candidate, &response.last_leader_term,
+                          &response.last_leader_region);
+
+  const bool binding = !request.pre_vote && !request.mock_election;
+
+  // A real vote request at a higher term dethrones us first — this is one
+  // of the ways an erstwhile, fenced-off leader learns to demote (§2.2).
+  if (binding && request.term > meta_.current_term) {
+    StepDown(request.term, "", "");
+  }
+  response.term = meta_.current_term;
+
+  if (!IsVoterSelf()) {
+    response.reason = "not-a-voter";
+    return response;
+  }
+  if (request.term < meta_.current_term) {
+    response.reason = "stale-term";
+    return response;
+  }
+  // A member we know to have been removed (or demoted to learner) cannot
+  // take leadership; it may still believe it is a voter if it never
+  // received the config-change entry.
+  const MemberInfo* candidate_info = meta_.config.Find(request.candidate);
+  if (candidate_info == nullptr || !candidate_info->is_voter()) {
+    response.reason = "candidate-not-a-voter";
+    return response;
+  }
+
+  const OpId my_last = log_->LastOpId();
+
+  if (request.mock_election) {
+    // §4.3: the leader's cursor snapshot "mimics the act of quiescing the
+    // leader" — the candidate will be caught up to the log tail before
+    // TimeoutNow, so the live stale-log check does not apply. What must
+    // hold is that the candidate's region can function as the new data
+    // quorum: reject when this voter is lagging in the same region as the
+    // candidate.
+    if (request.candidate_region == options_.region &&
+        request.leader_cursor_snapshot.index >
+            my_last.index + options_.mock_election_lag_allowance) {
+      response.reason = "lagging-same-region";
+      return response;
+    }
+    response.granted = true;
+    return response;
+  }
+
+  // Log up-to-dateness (longest log wins, §2.2 Failover).
+  if (my_last.IsLaterThan(request.last_log)) {
+    response.reason = "stale-log";
+    return response;
+  }
+
+  if (request.pre_vote) {
+    // Leader stickiness: ignore disruptive pre-votes while our leader is
+    // healthy.
+    if (!leader_.empty() &&
+        clock_->NowMicros() - last_leader_contact_micros_ <
+            ElectionTimeoutMicros()) {
+      response.reason = "leader-alive";
+      return response;
+    }
+    response.granted = true;
+    return response;
+  }
+
+  // Binding vote.
+  if (!meta_.voted_for.empty() && meta_.voted_for != request.candidate) {
+    response.reason = "already-voted";
+    return response;
+  }
+  meta_.voted_for = request.candidate;
+  if (request.term >= meta_.last_vote_term) {
+    meta_.last_vote_term = request.term;
+    meta_.last_voted_for = request.candidate;
+    meta_.last_voted_region = request.candidate_region;
+  }
+  Status s = PersistMeta();
+  if (!s.ok()) {
+    MYRAFT_LOG(Error) << options_.self << ": vote persist failed: " << s;
+    response.reason = "persist-failed";
+    return response;
+  }
+  last_leader_contact_micros_ = clock_->NowMicros();  // reset timer on grant
+  response.granted = true;
+  return response;
+}
+
+void RaftConsensus::HandleVoteResponse(const VoteResponse& response) {
+  // Leader receiving the aggregated mock-election outcome from a transfer
+  // target (§4.3).
+  if (role_ == RaftRole::kLeader && response.mock_election &&
+      response.reason == kMockOutcomeReason) {
+    if (!transfer_.has_value() || response.from != transfer_->target ||
+        transfer_->phase != TransferState::Phase::kMockElection) {
+      return;  // stale outcome
+    }
+    if (!response.granted) {
+      FailTransfer(Status::Aborted("mock election lost"));
+      return;
+    }
+    // Quiesce writes and wait for the target to be fully caught up; the
+    // TimeoutNow fires from HandleAppendEntriesResponse.
+    transfer_->phase = TransferState::Phase::kQuiesced;
+    transfer_->deadline_micros =
+        clock_->NowMicros() + options_.transfer_timeout_micros;
+    auto it = peers_.find(transfer_->target);
+    if (it != peers_.end() &&
+        it->second.match_index == log_->LastOpId().index) {
+      StartElectionRequest go;
+      go.from = options_.self;
+      go.dest = transfer_->target;
+      go.term = meta_.current_term;
+      outbox_->Send(std::move(go));
+    } else {
+      SendAppendEntriesTo(transfer_->target, /*allow_empty=*/true);
+    }
+    return;
+  }
+
+  if (response.term > meta_.current_term) {
+    StepDown(response.term, "", "");
+    return;
+  }
+  if (!election_.has_value()) return;
+  // Responses must match the election mode in flight.
+  const bool mode_matches =
+      (election_->mode == ElectionMode::kPreVote && response.pre_vote) ||
+      (election_->mode == ElectionMode::kMockElection &&
+       response.mock_election) ||
+      (election_->mode == ElectionMode::kRealElection && !response.pre_vote &&
+       !response.mock_election);
+  if (!mode_matches) return;
+
+  election_->responded.insert(response.from);
+  if (response.granted) election_->granted.insert(response.from);
+  // Aggregate the voter's last-known-leader view (denials count too).
+  if (response.last_leader_term > election_->known_leader_term) {
+    election_->known_leader_term = response.last_leader_term;
+    election_->known_leader_region = response.last_leader_region;
+  }
+
+  if (ElectionQuorumSatisfied(election_->granted)) {
+    WinElection();
+    return;
+  }
+
+  // Fail fast when no quorum is reachable any more.
+  bool doomed;
+  if (election_votes_override_.has_value()) {
+    const int outstanding = meta_.config.NumVoters() -
+                            static_cast<int>(election_->responded.size());
+    doomed = static_cast<int>(election_->granted.size()) + outstanding <
+             *election_votes_override_;
+  } else {
+    doomed = quorum_->IsElectionDoomed(MakeQuorumContext(options_.self),
+                                       election_->granted,
+                                       election_->responded);
+  }
+  if (doomed) {
+    AbortElection(Status::Aborted("election quorum unreachable"));
+  }
+}
+
+void RaftConsensus::WinElection() {
+  MYRAFT_CHECK(election_.has_value());
+  const ElectionMode mode = election_->mode;
+  const MemberId report_to = election_->report_to;
+  election_.reset();
+
+  switch (mode) {
+    case ElectionMode::kPreVote: {
+      Status s = StartElection(ElectionMode::kRealElection);
+      if (!s.ok()) {
+        MYRAFT_LOG(Warning) << options_.self
+                            << ": real election after pre-vote failed: " << s;
+      }
+      break;
+    }
+    case ElectionMode::kMockElection: {
+      if (!report_to.empty()) ReportMockOutcome(report_to, true);
+      break;
+    }
+    case ElectionMode::kRealElection:
+      BecomeLeader();
+      break;
+  }
+}
+
+void RaftConsensus::AbortElection(const Status& reason) {
+  if (!election_.has_value()) return;
+  MYRAFT_LOG(Info) << options_.self << ": election aborted: " << reason;
+  const ElectionMode mode = election_->mode;
+  const MemberId report_to = election_->report_to;
+  election_.reset();
+  if (mode == ElectionMode::kMockElection && !report_to.empty()) {
+    ReportMockOutcome(report_to, false);
+  }
+  if (role_ == RaftRole::kCandidate) {
+    role_ = RaftRole::kFollower;
+  }
+  ResetElectionTimer();
+}
+
+void RaftConsensus::ReportMockOutcome(const MemberId& report_to,
+                                      bool success) {
+  // The aggregated outcome travels back to the initiating leader as a
+  // flagged VoteResponse.
+  VoteResponse outcome;
+  outcome.from = options_.self;
+  outcome.dest = report_to;
+  outcome.term = meta_.current_term;
+  outcome.granted = success;
+  outcome.mock_election = true;
+  outcome.reason = kMockOutcomeReason;
+  outcome.voter_region = options_.region;
+  outbox_->Send(std::move(outcome));
+}
+
+void RaftConsensus::BecomeLeader() {
+  ++stats_.elections_won;
+  role_ = RaftRole::kLeader;
+  leader_ = options_.self;
+  meta_.last_known_leader = options_.self;
+  meta_.last_leader_region = options_.region;
+  meta_.last_leader_term = meta_.current_term;
+  Status s = PersistMeta();
+  if (!s.ok()) MYRAFT_LOG(Error) << "persist on becoming leader: " << s;
+
+  RefreshPeers();
+  transfer_.reset();
+
+  // §3.3 promotion step 1: assert leadership with a no-op and
+  // consensus-commit the tail of the log.
+  auto noop = Replicate(EntryType::kNoOp, "");
+  OpId noop_opid = noop.ok() ? *noop : kZeroOpId;
+  if (!noop.ok()) {
+    MYRAFT_LOG(Error) << options_.self
+                      << ": no-op append failed: " << noop.status();
+  }
+  MYRAFT_LOG(Info) << options_.self << ": became leader of term "
+                   << meta_.current_term;
+  listener_->OnLeadershipAcquired(meta_.current_term, noop_opid);
+}
+
+void RaftConsensus::StepDown(uint64_t new_term, const MemberId& new_leader,
+                             const RegionId& leader_region) {
+  const bool was_leader = role_ == RaftRole::kLeader;
+  const uint64_t old_term = meta_.current_term;
+
+  bool dirty = false;
+  if (new_term > meta_.current_term) {
+    meta_.current_term = new_term;
+    meta_.voted_for.clear();
+    dirty = true;
+  }
+  if (!new_leader.empty() && new_term >= meta_.last_leader_term &&
+      (meta_.last_known_leader != new_leader ||
+       meta_.last_leader_term != new_term)) {
+    meta_.last_known_leader = new_leader;
+    meta_.last_leader_region = leader_region;
+    meta_.last_leader_term = new_term;
+    dirty = true;
+  }
+  if (dirty) {
+    Status s = PersistMeta();
+    if (!s.ok()) MYRAFT_LOG(Error) << "persist on step down: " << s;
+  }
+
+  leader_ = new_leader;
+  const MemberInfo* self = SelfInfo();
+  role_ = (self != nullptr && self->is_learner()) ? RaftRole::kLearner
+                                                  : RaftRole::kFollower;
+  election_.reset();
+  transfer_.reset();
+  peers_.clear();
+  ResetElectionTimer();
+
+  if (was_leader) {
+    ++stats_.step_downs;
+    MYRAFT_LOG(Info) << options_.self << ": stepping down from term "
+                     << old_term;
+    listener_->OnLeadershipLost(old_term);
+  }
+}
+
+// --- Leadership transfer ---------------------------------------------------------
+
+Status RaftConsensus::TransferLeadership(const MemberId& target) {
+  if (role_ != RaftRole::kLeader) return Status::IllegalState("not leader");
+  if (target == options_.self) {
+    return Status::InvalidArgument("cannot transfer to self");
+  }
+  const MemberInfo* info = meta_.config.Find(target);
+  if (info == nullptr || !info->is_voter()) {
+    return Status::InvalidArgument("target is not a voter: " + target);
+  }
+  if (transfer_.has_value()) {
+    return Status::IllegalState("transfer already in progress");
+  }
+
+  TransferState transfer;
+  transfer.target = target;
+  transfer.deadline_micros =
+      clock_->NowMicros() + options_.transfer_timeout_micros;
+
+  if (options_.enable_mock_election) {
+    // §4.3: capture a cursor snapshot and ask the target to run a mock
+    // round first, so clients see no downtime if it cannot win.
+    transfer.phase = TransferState::Phase::kMockElection;
+    transfer_ = transfer;
+    StartElectionRequest request;
+    request.from = options_.self;
+    request.dest = target;
+    request.term = meta_.current_term;
+    request.mock = true;
+    request.leader_cursor_snapshot = log_->LastOpId();
+    outbox_->Send(std::move(request));
+  } else {
+    transfer.phase = TransferState::Phase::kQuiesced;
+    transfer_ = transfer;
+    auto it = peers_.find(target);
+    if (it != peers_.end() &&
+        it->second.match_index == log_->LastOpId().index) {
+      StartElectionRequest go;
+      go.from = options_.self;
+      go.dest = target;
+      go.term = meta_.current_term;
+      outbox_->Send(std::move(go));
+    } else {
+      SendAppendEntriesTo(target, /*allow_empty=*/true);
+    }
+  }
+  return Status::OK();
+}
+
+void RaftConsensus::FailTransfer(const Status& reason) {
+  if (!transfer_.has_value()) return;
+  const MemberId target = transfer_->target;
+  transfer_.reset();
+  MYRAFT_LOG(Warning) << options_.self << ": transfer to " << target
+                      << " failed: " << reason;
+  listener_->OnLeadershipTransferFailed(target, reason);
+}
+
+void RaftConsensus::HandleStartElection(const StartElectionRequest& request) {
+  if (request.term < meta_.current_term) return;
+  if (!IsVoterSelf()) return;
+  if (role_ == RaftRole::kLeader) return;
+
+  if (request.mock) {
+    if (election_.has_value()) return;
+    Status s = BeginElection(ElectionMode::kMockElection, request.from,
+                             request.leader_cursor_snapshot);
+    if (!s.ok()) {
+      MYRAFT_LOG(Warning) << options_.self << ": mock election: " << s;
+    }
+    return;
+  }
+
+  // TimeoutNow: campaign immediately, skipping pre-vote.
+  election_.reset();
+  Status s = StartElection(ElectionMode::kRealElection);
+  if (!s.ok()) {
+    MYRAFT_LOG(Warning) << options_.self << ": TimeoutNow election: " << s;
+  }
+}
+
+// --- Membership --------------------------------------------------------------
+
+Status RaftConsensus::AddMember(const MemberInfo& member) {
+  if (role_ != RaftRole::kLeader) return Status::IllegalState("not leader");
+  if (pending_config_index_ != 0) {
+    return Status::IllegalState("another membership change is in flight");
+  }
+  if (meta_.config.Contains(member.id)) {
+    return Status::AlreadyPresent("member already in config: " + member.id);
+  }
+  MembershipConfig new_config = meta_.config;
+  new_config.members.push_back(member);
+  new_config.config_index = log_->LastOpId().index + 1;
+  std::string payload;
+  EncodeMembershipConfig(new_config, &payload);
+  auto opid = Replicate(EntryType::kConfigChange, std::move(payload));
+  if (!opid.ok()) return opid.status();
+  return Status::OK();
+}
+
+Status RaftConsensus::RemoveMember(const MemberId& member) {
+  if (role_ != RaftRole::kLeader) return Status::IllegalState("not leader");
+  if (pending_config_index_ != 0) {
+    return Status::IllegalState("another membership change is in flight");
+  }
+  if (member == options_.self) {
+    return Status::InvalidArgument("leader cannot remove itself");
+  }
+  if (!meta_.config.Contains(member)) {
+    return Status::NotFound("member not in config: " + member);
+  }
+  MembershipConfig new_config = meta_.config;
+  new_config.members.erase(
+      std::remove_if(new_config.members.begin(), new_config.members.end(),
+                     [&](const MemberInfo& m) { return m.id == member; }),
+      new_config.members.end());
+  new_config.config_index = log_->LastOpId().index + 1;
+  std::string payload;
+  EncodeMembershipConfig(new_config, &payload);
+  auto opid = Replicate(EntryType::kConfigChange, std::move(payload));
+  if (!opid.ok()) return opid.status();
+  return Status::OK();
+}
+
+Status RaftConsensus::ApplyConfig(const MembershipConfig& config,
+                                  bool from_log) {
+  meta_.config = config;
+  MYRAFT_RETURN_NOT_OK(PersistMeta());
+  if (role_ == RaftRole::kLeader) RefreshPeers();
+  // Role may change if our own voter/learner status changed.
+  if (role_ != RaftRole::kLeader && role_ != RaftRole::kCandidate) {
+    const MemberInfo* self = SelfInfo();
+    if (self != nullptr) {
+      role_ = self->is_learner() ? RaftRole::kLearner : RaftRole::kFollower;
+    }
+  }
+  listener_->OnMembershipChanged(meta_.config);
+  return Status::OK();
+}
+
+void RaftConsensus::RefreshPeers() {
+  // Keep progress for surviving peers, add new ones, drop removed ones.
+  std::map<MemberId, PeerStatus> new_peers;
+  for (const auto& member : meta_.config.members) {
+    if (member.id == options_.self) continue;
+    auto it = peers_.find(member.id);
+    if (it != peers_.end()) {
+      new_peers[member.id] = it->second;
+    } else {
+      PeerStatus peer;
+      peer.next_index = log_->LastOpId().index + 1;
+      peer.match_index = 0;
+      // Arm the auto-step-down / health window from now.
+      peer.last_response_micros = clock_->NowMicros();
+      new_peers[member.id] = peer;
+    }
+  }
+  peers_ = std::move(new_peers);
+}
+
+std::string RaftConsensus::ToString() const {
+  return StringPrintf(
+      "%s[%s] term=%llu role=%s leader=%s last=%s commit=%s voters=%d",
+      options_.self.c_str(), options_.region.c_str(),
+      (unsigned long long)meta_.current_term,
+      std::string(RaftRoleToString(role_)).c_str(), leader_.c_str(),
+      log_->LastOpId().ToString().c_str(),
+      commit_marker_.ToString().c_str(), meta_.config.NumVoters());
+}
+
+}  // namespace myraft::raft

@@ -1,0 +1,331 @@
+// RaftConsensus: the Raft implementation at the heart of MyRaft (the
+// kuduraft stand-in). Event-driven: the host (simulator node or a real
+// transport loop) feeds HandleMessage() and a periodic Tick(); outbound
+// RPCs go through RaftOutbox and state-machine orchestration happens via
+// StateMachineListener callbacks — the callback API of §3.1/§3.3.
+//
+// Features beyond textbook Raft, per the paper:
+//  * pluggable log (LogAbstraction) so the plugin can keep MySQL binlogs
+//    as the replicated log;
+//  * pluggable quorums (QuorumEngine) for FlexiRaft;
+//  * pre-vote, leader stickiness, and Mock Elections (§4.3) ahead of
+//    graceful TransferLeadership;
+//  * witnesses (voting logtailers) and learners (non-voting replicas);
+//  * single-server membership changes with config-takes-effect-on-append
+//    semantics (§2.2);
+//  * an election-quorum override used by Quorum Fixer (§5.3);
+//  * a compressed in-memory entry cache with disk fallback for laggards.
+
+#ifndef MYRAFT_RAFT_CONSENSUS_H_
+#define MYRAFT_RAFT_CONSENSUS_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "raft/consensus_metadata.h"
+#include "raft/log_abstraction.h"
+#include "raft/log_cache.h"
+#include "raft/quorum.h"
+#include "util/clock.h"
+#include "util/random.h"
+#include "wire/messages.h"
+
+namespace myraft::raft {
+
+struct RaftOptions {
+  MemberId self;
+  RegionId region;
+  MemberKind kind = MemberKind::kMySql;
+
+  /// §6.2: production runs 500 ms heartbeats and three consecutive missed
+  /// heartbeats before an election (≈1.5 s detection).
+  uint64_t heartbeat_interval_micros = 500'000;
+  int missed_heartbeats_before_election = 3;
+  /// Random extra per election round to de-synchronise candidates.
+  uint64_t election_jitter_micros = 300'000;
+  /// Outstanding-RPC resend window.
+  uint64_t rpc_timeout_micros = 1'000'000;
+  /// Candidate retry window when an election stalls.
+  uint64_t election_round_timeout_micros = 1'500'000;
+
+  size_t max_entries_per_rpc = 64;
+  uint64_t max_bytes_per_rpc = 1 << 20;
+
+  bool enable_pre_vote = true;
+  /// §4.3: run a mock election before TransferLeadership.
+  bool enable_mock_election = true;
+  /// A mock-election voter in the candidate's region rejects only when it
+  /// trails the leader's cursor snapshot by more than this many entries —
+  /// normal in-flight replication must not doom routine transfers under
+  /// load; a genuinely unhealthy logtailer trails by far more.
+  uint64_t mock_election_lag_allowance = 32;
+  uint64_t transfer_timeout_micros = 3'000'000;
+
+  uint64_t log_cache_capacity_bytes = 8ull << 20;
+
+  /// Extension (off by default, matching kuduraft — §4.1 notes it "does
+  /// not implement automatic step down" and the deployment waits out
+  /// partitions, choosing consistency over availability): when enabled, a
+  /// leader that cannot hear from a commit quorum for this long demotes
+  /// itself so clients fail fast to the next leader.
+  bool enable_auto_step_down = false;
+  uint64_t auto_step_down_after_micros = 3'000'000;
+};
+
+enum class ElectionMode { kPreVote, kRealElection, kMockElection };
+
+/// Transport hook: implementations route/deliver the message (the proxy
+/// layer and the simulator network sit behind this).
+class RaftOutbox {
+ public:
+  virtual ~RaftOutbox() = default;
+  virtual void Send(Message message) = 0;
+};
+
+/// Callbacks from Raft into the state machine / database (§3.1: "The
+/// callback API from Raft to MySQL server is used by Raft to orchestrate
+/// ... promotion ... demotion"). All methods have empty defaults so
+/// log-only members (witnesses) can subclass selectively.
+class StateMachineListener {
+ public:
+  virtual ~StateMachineListener() = default;
+
+  /// This member won an election. The no-op asserting leadership has been
+  /// appended at `noop_opid`; the plugin runs promotion orchestration and
+  /// typically waits for it to commit before enabling writes (§3.3).
+  virtual void OnLeadershipAcquired(uint64_t term, OpId noop_opid) {}
+  /// Stepped down (higher term observed / transfer completed): run
+  /// demotion orchestration.
+  virtual void OnLeadershipLost(uint64_t term) {}
+  /// The consensus-commit marker moved forward.
+  virtual void OnCommitAdvanced(OpId commit_marker) {}
+  /// A new entry landed in the local log (on followers this signals the
+  /// applier, §3.5).
+  virtual void OnEntryAppended(const LogEntry& entry) {}
+  /// Conflicting suffix removed; entries after `new_last` are gone (GTID
+  /// cleanup happens inside the log abstraction).
+  virtual void OnSuffixTruncated(OpId new_last) {}
+  virtual void OnMembershipChanged(const MembershipConfig& config) {}
+  /// A graceful TransferLeadership this member initiated failed (mock
+  /// election lost, catch-up timeout, ...).
+  virtual void OnLeadershipTransferFailed(const MemberId& target,
+                                          const Status& reason) {}
+};
+
+class RaftConsensus {
+ public:
+  struct PeerStatus {
+    uint64_t next_index = 1;
+    uint64_t match_index = 0;
+    bool awaiting_response = false;
+    uint64_t last_rpc_sent_micros = 0;
+    uint64_t last_response_micros = 0;
+  };
+
+  struct Stats {
+    uint64_t elections_started = 0;
+    uint64_t elections_won = 0;
+    uint64_t pre_votes_started = 0;
+    uint64_t mock_elections_started = 0;
+    uint64_t heartbeats_sent = 0;
+    uint64_t entries_replicated = 0;
+    uint64_t append_rejections = 0;
+    uint64_t cache_fallback_reads = 0;
+    uint64_t step_downs = 0;
+    uint64_t auto_step_downs = 0;
+  };
+
+  RaftConsensus(RaftOptions options, LogAbstraction* log,
+                const QuorumEngine* quorum, ConsensusMetadataStore* meta_store,
+                Clock* clock, Random* rng, RaftOutbox* outbox,
+                StateMachineListener* listener);
+
+  RaftConsensus(const RaftConsensus&) = delete;
+  RaftConsensus& operator=(const RaftConsensus&) = delete;
+
+  /// First boot of a new ring: persists `config` and starts as follower.
+  /// Every member must bootstrap with an identical config.
+  Status Bootstrap(const MembershipConfig& config);
+  /// Recovers term/vote/config from the metadata store.
+  Status Start();
+
+  // --- Event entry points ----------------------------------------------------
+
+  void HandleMessage(const Message& message);
+  /// Drive heartbeats, election timeouts, RPC resends and transfer
+  /// deadlines. Call every few tens of milliseconds.
+  void Tick();
+
+  // --- Leader API -------------------------------------------------------------
+
+  /// OpId the next Replicate call will assign. Transaction payloads carry
+  /// OpId stamps in their binlog events (§3.4), so the server plans the
+  /// OpId, finalises the payload, then calls Replicate — atomic within one
+  /// event-loop turn.
+  OpId NextOpId() const { return {meta_.current_term, log_->LastOpId().index + 1}; }
+
+  /// Appends an operation to the replicated log, ships it, and returns its
+  /// OpId. Commit is observed via OnCommitAdvanced / IsCommitted.
+  Result<OpId> Replicate(EntryType type, std::string payload);
+  bool IsCommitted(OpId opid) const {
+    return !opid.IsZero() && opid.index <= commit_marker_.index;
+  }
+
+  /// Graceful promotion (§2.2): mock election → quiesce → catch-up →
+  /// TimeoutNow. Progress/failure surfaces via listener callbacks.
+  Status TransferLeadership(const MemberId& target);
+
+  /// Single-server membership changes (§2.2). One at a time.
+  Status AddMember(const MemberInfo& member);
+  Status RemoveMember(const MemberId& member);
+
+  // --- Manual elections & remediation ------------------------------------------
+
+  Status StartElection(ElectionMode mode);
+  /// Quorum Fixer (§5.3): when set, an election succeeds once `min_votes`
+  /// votes (including self) are granted, bypassing the quorum engine.
+  void SetElectionVotesOverride(std::optional<int> min_votes) {
+    election_votes_override_ = min_votes;
+  }
+
+  // --- Introspection -------------------------------------------------------------
+
+  RaftRole role() const { return role_; }
+  uint64_t term() const { return meta_.current_term; }
+  const MemberId& self() const { return options_.self; }
+  const RegionId& region() const { return options_.region; }
+  /// Currently known leader ("" if unknown).
+  const MemberId& leader() const { return leader_; }
+  OpId commit_marker() const { return commit_marker_; }
+  OpId last_logged() const { return log_->LastOpId(); }
+  const MembershipConfig& config() const { return meta_.config; }
+  const MemberId& last_known_leader() const {
+    return meta_.last_known_leader;
+  }
+  bool has_pending_config_change() const {
+    return pending_config_index_ != 0;
+  }
+  std::optional<MemberId> transfer_target() const {
+    return transfer_ ? std::optional<MemberId>(transfer_->target)
+                     : std::nullopt;
+  }
+  /// Writes quiesced for a pending leadership transfer?
+  bool is_quiesced_for_transfer() const {
+    return transfer_.has_value() &&
+           transfer_->phase == TransferState::Phase::kQuiesced;
+  }
+  const std::map<MemberId, PeerStatus>& peers() const { return peers_; }
+  const Stats& stats() const { return stats_; }
+  const LogCache& log_cache() const { return cache_; }
+  LogAbstraction* log() const { return log_; }
+
+  /// One-line human-readable state for tools.
+  std::string ToString() const;
+
+ private:
+  struct ElectionState {
+    ElectionMode mode = ElectionMode::kPreVote;
+    uint64_t election_term = 0;  // term being campaigned for
+    std::set<MemberId> granted;
+    std::set<MemberId> responded;
+    uint64_t started_micros = 0;
+    /// For mock elections requested by a leader: where to report the
+    /// outcome.
+    MemberId report_to;
+    OpId cursor_snapshot;
+    /// FlexiRaft: most recent last-known-leader view aggregated from our
+    /// own metadata plus every vote response (grants and denials); the
+    /// election quorum must cover this leader's region.
+    uint64_t known_leader_term = 0;
+    RegionId known_leader_region;
+  };
+
+  struct TransferState {
+    enum class Phase { kMockElection, kQuiesced };
+    MemberId target;
+    Phase phase = Phase::kMockElection;
+    uint64_t deadline_micros = 0;
+  };
+
+  // Message handlers.
+  void HandleAppendEntries(const AppendEntriesRequest& request);
+  void HandleAppendEntriesResponse(const AppendEntriesResponse& response);
+  void HandleVoteRequest(const VoteRequest& request);
+  void HandleVoteResponse(const VoteResponse& response);
+  void HandleStartElection(const StartElectionRequest& request);
+
+  // Role transitions.
+  void BecomeLeader();
+  void StepDown(uint64_t new_term, const MemberId& new_leader,
+                const RegionId& leader_region);
+  void WinElection();
+  void AbortElection(const Status& reason);
+  void FailTransfer(const Status& reason);
+
+  // Replication plumbing.
+  void SendAppendEntriesTo(const MemberId& peer_id, bool allow_empty);
+  void BroadcastAppendEntries();
+  void AdvanceCommitMarker();
+  void SetCommitMarker(OpId new_marker);
+  Status AppendToLocalLog(const LogEntry& entry);
+  Result<std::vector<LogEntry>> FetchEntriesFor(uint64_t next_index,
+                                                uint64_t* prev_term);
+
+  // Election plumbing.
+  Status BeginElection(ElectionMode mode, const MemberId& report_to,
+                       OpId cursor);
+  void RequestVotes();
+  bool ElectionQuorumSatisfied(const std::set<MemberId>& granted) const;
+  VoteResponse EvaluateVote(const VoteRequest& request);
+  void ReportMockOutcome(const MemberId& report_to, bool success);
+
+  // Config plumbing.
+  Status ApplyConfig(const MembershipConfig& config, bool from_log);
+  void RefreshPeers();
+  Status PersistMeta();
+
+  uint64_t ElectionTimeoutMicros() const;
+  void ResetElectionTimer();
+  /// Most recent evidence of a leader's existence (last-known-leader view
+  /// combined with voting history, excluding votes for `candidate`).
+  void PotentialLeaderEvidence(const MemberId& candidate, uint64_t* term,
+                               RegionId* region) const;
+  QuorumContext MakeQuorumContext(const MemberId& subject) const;
+  const MemberInfo* SelfInfo() const;
+  bool IsVoterSelf() const;
+
+  RaftOptions options_;
+  LogAbstraction* log_;
+  const QuorumEngine* quorum_;
+  ConsensusMetadataStore* meta_store_;
+  Clock* clock_;
+  Random* rng_;
+  RaftOutbox* outbox_;
+  StateMachineListener* listener_;
+
+  ConsensusMetadata meta_;
+  RaftRole role_ = RaftRole::kFollower;
+  MemberId leader_;
+  OpId commit_marker_;
+  LogCache cache_;
+
+  std::map<MemberId, PeerStatus> peers_;  // leader-side progress
+  std::optional<ElectionState> election_;
+  std::optional<TransferState> transfer_;
+  std::optional<int> election_votes_override_;
+
+  uint64_t last_leader_contact_micros_ = 0;
+  uint64_t election_timeout_micros_ = 0;  // current randomized timeout
+  uint64_t pending_config_index_ = 0;     // uncommitted config entry index
+  MembershipConfig previous_config_;      // rollback target on truncation
+
+  Stats stats_;
+  bool started_ = false;
+};
+
+}  // namespace myraft::raft
+
+#endif  // MYRAFT_RAFT_CONSENSUS_H_

@@ -1,0 +1,67 @@
+#include "raft/log_abstraction.h"
+
+#include "util/string_util.h"
+
+namespace myraft::raft {
+
+Status MemLog::Append(const LogEntry& entry) {
+  if (entry.id.index == 0) {
+    return Status::InvalidArgument("entry index must be > 0");
+  }
+  if (!entries_.empty() && entry.id.index != entries_.rbegin()->first + 1) {
+    return Status::IllegalState(StringPrintf(
+        "append at index %llu, expected %llu",
+        (unsigned long long)entry.id.index,
+        (unsigned long long)(entries_.rbegin()->first + 1)));
+  }
+  if (!entry.VerifyChecksum()) {
+    return Status::Corruption("entry checksum mismatch at append");
+  }
+  entries_[entry.id.index] = entry;
+  return Status::OK();
+}
+
+Result<LogEntry> MemLog::Read(uint64_t index) const {
+  auto it = entries_.find(index);
+  if (it == entries_.end()) return Status::NotFound("no entry");
+  return it->second;
+}
+
+Result<std::vector<LogEntry>> MemLog::ReadBatch(uint64_t first_index,
+                                                size_t max_entries,
+                                                uint64_t max_bytes) const {
+  if (entries_.count(first_index) == 0) {
+    return Status::NotFound("no entry at first index");
+  }
+  std::vector<LogEntry> out;
+  uint64_t bytes = 0;
+  for (uint64_t i = first_index;
+       out.size() < max_entries && entries_.count(i) > 0; ++i) {
+    const LogEntry& e = entries_.at(i);
+    bytes += e.payload.size();
+    out.push_back(e);
+    if (bytes >= max_bytes) break;
+  }
+  return out;
+}
+
+Result<OpId> MemLog::OpIdAt(uint64_t index) const {
+  auto it = entries_.find(index);
+  if (it == entries_.end()) return Status::NotFound("no entry");
+  return it->second.id;
+}
+
+OpId MemLog::LastOpId() const {
+  return entries_.empty() ? kZeroOpId : entries_.rbegin()->second.id;
+}
+
+uint64_t MemLog::FirstIndex() const {
+  return entries_.empty() ? 0 : entries_.begin()->first;
+}
+
+Status MemLog::TruncateAfter(uint64_t index) {
+  entries_.erase(entries_.upper_bound(index), entries_.end());
+  return Status::OK();
+}
+
+}  // namespace myraft::raft

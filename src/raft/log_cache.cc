@@ -1,0 +1,72 @@
+#include "raft/log_cache.h"
+
+#include "util/compression.h"
+
+namespace myraft::raft {
+
+void LogCache::Put(const LogEntry& entry) {
+  Cached cached;
+  cached.id = entry.id;
+  cached.type = entry.type;
+  cached.checksum = entry.checksum;
+  LzCompress(entry.payload, &cached.compressed_payload);
+
+  stats_.uncompressed_bytes += entry.payload.size();
+  stats_.compressed_bytes += cached.compressed_payload.size();
+
+  auto it = entries_.find(entry.id.index);
+  if (it != entries_.end()) {
+    size_bytes_ -= it->second.compressed_payload.size();
+  }
+  size_bytes_ += cached.compressed_payload.size();
+  entries_[entry.id.index] = std::move(cached);
+
+  while (size_bytes_ > capacity_ && entries_.size() > 1) {
+    auto head = entries_.begin();
+    size_bytes_ -= head->second.compressed_payload.size();
+    entries_.erase(head);
+    ++stats_.evictions;
+  }
+}
+
+Result<LogEntry> LogCache::Get(uint64_t index) const {
+  auto it = entries_.find(index);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return Status::NotFound("log cache miss");
+  }
+  ++stats_.hits;
+  LogEntry entry;
+  entry.id = it->second.id;
+  entry.type = it->second.type;
+  entry.checksum = it->second.checksum;
+  MYRAFT_RETURN_NOT_OK(
+      LzDecompress(it->second.compressed_payload, &entry.payload));
+  if (!entry.VerifyChecksum()) {
+    return Status::Corruption("log cache entry failed checksum");
+  }
+  return entry;
+}
+
+void LogCache::TruncateAfter(uint64_t index) {
+  for (auto it = entries_.upper_bound(index); it != entries_.end();) {
+    size_bytes_ -= it->second.compressed_payload.size();
+    it = entries_.erase(it);
+  }
+}
+
+void LogCache::EvictBefore(uint64_t index) {
+  for (auto it = entries_.begin();
+       it != entries_.end() && it->first < index;) {
+    size_bytes_ -= it->second.compressed_payload.size();
+    it = entries_.erase(it);
+    ++stats_.evictions;
+  }
+}
+
+void LogCache::Clear() {
+  entries_.clear();
+  size_bytes_ = 0;
+}
+
+}  // namespace myraft::raft

@@ -1,0 +1,64 @@
+// In-memory log-entry cache. §3.4: the leader "compresses the transaction
+// and stores it in its in-memory cache" before shipping; followers that
+// fall behind the cache are served from historical binlog files through
+// the log abstraction. Proxy relays also reconstitute PROXY_OP payloads
+// from this cache.
+
+#ifndef MYRAFT_RAFT_LOG_CACHE_H_
+#define MYRAFT_RAFT_LOG_CACHE_H_
+
+#include <map>
+
+#include "util/result.h"
+#include "wire/log_entry.h"
+
+namespace myraft::raft {
+
+class LogCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t compressed_bytes = 0;
+    uint64_t uncompressed_bytes = 0;
+  };
+
+  explicit LogCache(uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  /// Inserts (compressed); evicts from the head if over capacity.
+  void Put(const LogEntry& entry);
+
+  /// Returns the decompressed entry or NotFound on a cache miss. Fails
+  /// with Corruption if the cached bytes fail checksum on the way out.
+  Result<LogEntry> Get(uint64_t index) const;
+
+  bool Contains(uint64_t index) const { return entries_.count(index) > 0; }
+
+  /// Drops entries with index > `index` (log truncation).
+  void TruncateAfter(uint64_t index);
+  /// Drops entries with index < `index` (after durable replication).
+  void EvictBefore(uint64_t index);
+  void Clear();
+
+  uint64_t size_bytes() const { return size_bytes_; }
+  size_t entry_count() const { return entries_.size(); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Cached {
+    OpId id;
+    EntryType type = EntryType::kNoOp;
+    uint32_t checksum = 0;
+    std::string compressed_payload;
+  };
+
+  uint64_t capacity_;
+  uint64_t size_bytes_ = 0;
+  std::map<uint64_t, Cached> entries_;
+  mutable Stats stats_;
+};
+
+}  // namespace myraft::raft
+
+#endif  // MYRAFT_RAFT_LOG_CACHE_H_

@@ -1,0 +1,42 @@
+#include "raft/quorum.h"
+
+namespace myraft::raft {
+
+namespace {
+
+int CountVotersIn(const MembershipConfig& config,
+                  const std::set<MemberId>& members) {
+  int n = 0;
+  for (const auto& m : config.members) {
+    if (m.is_voter() && members.count(m.id) > 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+bool QuorumEngine::IsElectionDoomed(const QuorumContext& context,
+                                    const std::set<MemberId>& granted,
+                                    const std::set<MemberId>& responded) const {
+  // Generic pessimistic check: assume every voter that has not responded
+  // yet grants; if even that cannot reach quorum, the election is doomed.
+  std::set<MemberId> optimistic = granted;
+  for (const auto& m : context.config->members) {
+    if (m.is_voter() && responded.count(m.id) == 0) optimistic.insert(m.id);
+  }
+  return !IsElectionQuorumSatisfied(context, optimistic);
+}
+
+bool MajorityQuorumEngine::IsCommitQuorumSatisfied(
+    const QuorumContext& context, const std::set<MemberId>& ackers) const {
+  const int voters = context.config->NumVoters();
+  return CountVotersIn(*context.config, ackers) > voters / 2;
+}
+
+bool MajorityQuorumEngine::IsElectionQuorumSatisfied(
+    const QuorumContext& context, const std::set<MemberId>& granted) const {
+  const int voters = context.config->NumVoters();
+  return CountVotersIn(*context.config, granted) > voters / 2;
+}
+
+}  // namespace myraft::raft

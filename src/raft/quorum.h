@@ -1,0 +1,65 @@
+// Quorum strategy interface. Vanilla Raft uses majority-of-all-voters for
+// both data commit and leader election; FlexiRaft (src/flexiraft)
+// substitutes region-based quorums behind the same interface (§4.1).
+
+#ifndef MYRAFT_RAFT_QUORUM_H_
+#define MYRAFT_RAFT_QUORUM_H_
+
+#include <set>
+#include <string>
+
+#include "wire/types.h"
+
+namespace myraft::raft {
+
+/// Everything a quorum decision may depend on.
+struct QuorumContext {
+  const MembershipConfig* config = nullptr;
+  /// The member whose quorum is being evaluated: the leader for data
+  /// commit, the candidate for elections.
+  MemberId subject;
+  RegionId subject_region;
+  /// Last known leader, as recorded in consensus metadata (drives
+  /// FlexiRaft's dynamic quorum shifting).
+  MemberId last_known_leader;
+  RegionId last_leader_region;
+};
+
+class QuorumEngine {
+ public:
+  virtual ~QuorumEngine() = default;
+
+  /// True if the voters in `ackers` (always including the subject's own
+  /// self-ack when applicable) satisfy the data-commit quorum.
+  virtual bool IsCommitQuorumSatisfied(
+      const QuorumContext& context,
+      const std::set<MemberId>& ackers) const = 0;
+
+  /// True if `granted` satisfies the leader-election quorum.
+  virtual bool IsElectionQuorumSatisfied(
+      const QuorumContext& context,
+      const std::set<MemberId>& granted) const = 0;
+
+  /// True once the outstanding voters can no longer produce a quorum, so
+  /// the candidate may fail fast. `responded` includes denials.
+  virtual bool IsElectionDoomed(const QuorumContext& context,
+                                const std::set<MemberId>& granted,
+                                const std::set<MemberId>& responded) const;
+
+  virtual std::string Describe() const = 0;
+};
+
+/// Standard Raft: majority of all voting members, for both quorums.
+class MajorityQuorumEngine final : public QuorumEngine {
+ public:
+  bool IsCommitQuorumSatisfied(const QuorumContext& context,
+                               const std::set<MemberId>& ackers) const override;
+  bool IsElectionQuorumSatisfied(
+      const QuorumContext& context,
+      const std::set<MemberId>& granted) const override;
+  std::string Describe() const override { return "majority-of-all-voters"; }
+};
+
+}  // namespace myraft::raft
+
+#endif  // MYRAFT_RAFT_QUORUM_H_

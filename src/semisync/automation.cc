@@ -1,0 +1,282 @@
+#include "semisync/automation.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace myraft::semisync {
+
+SemiSyncAutomation::SemiSyncAutomation(
+    sim::EventLoop* loop, AutomationOptions options,
+    std::vector<MemberId> members, std::map<MemberId, MemberKind> kinds,
+    std::map<MemberId, RegionId> regions, NodeAccessor accessor,
+    server::ServiceDiscovery* discovery)
+    : loop_(loop),
+      options_(std::move(options)),
+      members_(std::move(members)),
+      kinds_(std::move(kinds)),
+      regions_(std::move(regions)),
+      accessor_(std::move(accessor)),
+      discovery_(discovery) {}
+
+std::set<MemberId> SemiSyncAutomation::AckersFor(
+    const MemberId& primary) const {
+  std::set<MemberId> ackers;
+  const RegionId region = regions_.at(primary);
+  for (const MemberId& member : members_) {
+    if (member == primary) continue;
+    if (kinds_.at(member) == MemberKind::kLogtailer &&
+        regions_.at(member) == region) {
+      ackers.insert(member);
+    }
+  }
+  return ackers;
+}
+
+std::vector<MemberId> SemiSyncAutomation::ReceiversFor(
+    const MemberId& primary) const {
+  std::vector<MemberId> receivers;
+  for (const MemberId& member : members_) {
+    if (member != primary) receivers.push_back(member);
+  }
+  return receivers;
+}
+
+Status SemiSyncAutomation::Repoint(const MemberId& new_primary) {
+  SemiSyncServer* primary = accessor_(new_primary);
+  if (primary == nullptr) {
+    return Status::ServiceUnavailable("candidate unreachable");
+  }
+  ++generation_;
+  MYRAFT_RETURN_NOT_OK(primary->MakePrimary(
+      generation_, ReceiversFor(new_primary), AckersFor(new_primary)));
+  for (const MemberId& member : members_) {
+    if (member == new_primary) continue;
+    SemiSyncServer* server = accessor_(member);
+    if (server == nullptr) continue;  // down; re-pointed when it returns
+    Status s = server->MakeReplica(new_primary);
+    if (!s.ok()) {
+      MYRAFT_LOG(Warning) << "repoint " << member << ": " << s;
+    }
+  }
+  primary_ = new_primary;
+  return Status::OK();
+}
+
+Status SemiSyncAutomation::InstallPrimary(const MemberId& primary) {
+  MYRAFT_RETURN_NOT_OK(Repoint(primary));
+  discovery_->PublishPrimary(options_.replicaset, primary, generation_);
+  ScheduleHealthCheck();
+  return Status::OK();
+}
+
+void SemiSyncAutomation::ScheduleHealthCheck() {
+  loop_->Schedule(options_.health_check_interval_micros, [this]() {
+    if (failover_in_progress_) {
+      ScheduleHealthCheck();
+      return;
+    }
+    SemiSyncServer* primary = accessor_(primary_);
+    if (primary != nullptr) {
+      consecutive_failures_ = 0;
+      // Reconcile stragglers: restarted members come back unconfigured
+      // and are re-pointed at the current primary.
+      for (const MemberId& member : members_) {
+        if (member == primary_) continue;
+        SemiSyncServer* server = accessor_(member);
+        if (server != nullptr && !server->is_primary() &&
+            server->replication_source() != primary_) {
+          Status s = server->MakeReplica(primary_);
+          if (!s.ok()) MYRAFT_LOG(Warning) << "reconcile " << member << s;
+        }
+      }
+      ScheduleHealthCheck();
+      return;
+    }
+    // Dead primary: the probe burns its timeout before failing.
+    loop_->Schedule(options_.health_check_timeout_micros, [this]() {
+      if (accessor_(primary_) != nullptr) {
+        consecutive_failures_ = 0;  // came back during the probe
+      } else if (++consecutive_failures_ >=
+                 options_.failures_before_failover) {
+        ++stats_.detections;
+        OnPrimaryUnhealthy();
+        return;  // health loop resumes after failover
+      }
+      ScheduleHealthCheck();
+    });
+  });
+}
+
+MemberId SemiSyncAutomation::PickCandidate() const {
+  // Most-caught-up reachable database replica (by binlog position).
+  MemberId best;
+  OpId best_opid;
+  for (const MemberId& member : members_) {
+    if (member == primary_) continue;
+    if (kinds_.at(member) != MemberKind::kMySql) continue;
+    SemiSyncServer* server = accessor_(member);
+    if (server == nullptr) continue;
+    const OpId last = server->LastLogged();
+    if (best.empty() || last.IsLaterThan(best_opid)) {
+      best = member;
+      best_opid = last;
+    }
+  }
+  return best;
+}
+
+bool SemiSyncAutomation::StepFails() {
+  if (loop_->rng()->Bernoulli(options_.step_retry_probability)) {
+    ++stats_.step_retries;
+    return true;
+  }
+  return false;
+}
+
+uint64_t SemiSyncAutomation::Jitter(uint64_t base) {
+  // Control-plane step costs vary with worker load: [0.5x, 2x).
+  if (base == 0) return 0;
+  return base / 2 + loop_->rng()->Uniform(base + base / 2);
+}
+
+void SemiSyncAutomation::OnPrimaryUnhealthy() {
+  MYRAFT_LOG(Info) << "automation: primary " << primary_
+                   << " declared dead; starting failover";
+  failover_in_progress_ = true;
+  consecutive_failures_ = 0;
+  RunFailoverStep(0, "");
+}
+
+void SemiSyncAutomation::RunFailoverStep(int step, MemberId candidate) {
+  auto retry_or = [this, step, candidate](uint64_t cost,
+                                          std::function<void()> next) {
+    if (StepFails()) {
+      loop_->Schedule(options_.retry_backoff_micros,
+                      [this, step, candidate]() {
+                        RunFailoverStep(step, candidate);
+                      });
+      return;
+    }
+    loop_->Schedule(Jitter(cost), std::move(next));
+  };
+
+  switch (step) {
+    case 0:  // Acquire the replicaset's distributed lock.
+      retry_or(options_.lock_acquisition_micros,
+               [this]() { RunFailoverStep(1, ""); });
+      return;
+    case 1: {  // Query surviving members' positions, pick the candidate.
+      const uint64_t cost =
+          options_.position_query_micros * members_.size();
+      retry_or(cost, [this]() {
+        const MemberId picked = PickCandidate();
+        if (picked.empty()) {
+          // Nothing promotable yet; back off and retry.
+          loop_->Schedule(options_.retry_backoff_micros,
+                          [this]() { RunFailoverStep(1, ""); });
+          return;
+        }
+        RunFailoverStep(2, picked);
+      });
+      return;
+    }
+    case 2:  // Fence the dead primary (wait out its semi-sync session).
+      retry_or(options_.fencing_timeout_micros, [this, candidate]() {
+        RunFailoverStep(3, candidate);
+      });
+      return;
+    case 3:  // Re-point the replicaset.
+      retry_or(options_.position_query_micros, [this, candidate]() {
+        Status s = Repoint(candidate);
+        if (!s.ok()) {
+          MYRAFT_LOG(Warning) << "failover repoint failed: " << s;
+          loop_->Schedule(options_.retry_backoff_micros,
+                          [this]() { RunFailoverStep(1, ""); });
+          return;
+        }
+        RunFailoverStep(4, candidate);
+      });
+      return;
+    case 4:  // Publish to service discovery.
+      loop_->Schedule(Jitter(options_.discovery_update_micros), [this, candidate]() {
+        discovery_->PublishPrimary(options_.replicaset, candidate,
+                                   generation_);
+        failover_in_progress_ = false;
+        ++stats_.failovers_completed;
+        MYRAFT_LOG(Info) << "automation: failover to " << candidate
+                         << " complete";
+        ScheduleHealthCheck();
+      });
+      return;
+  }
+}
+
+Status SemiSyncAutomation::StartPromotion(const MemberId& target) {
+  if (failover_in_progress_ || promotion_in_progress_) {
+    return Status::IllegalState("another workflow is in progress");
+  }
+  if (accessor_(target) == nullptr) {
+    return Status::ServiceUnavailable("target unreachable");
+  }
+  if (kinds_.at(target) != MemberKind::kMySql) {
+    return Status::InvalidArgument("target is not a database");
+  }
+  promotion_in_progress_ = true;
+  RunPromotionStep(0, target);
+  return Status::OK();
+}
+
+void SemiSyncAutomation::RunPromotionStep(int step, MemberId target) {
+  switch (step) {
+    case 0:  // Lock.
+      loop_->Schedule(Jitter(options_.promotion_lock_micros), [this, target]() {
+        RunPromotionStep(1, target);
+      });
+      return;
+    case 1:  // Set the old primary read-only (downtime begins).
+      loop_->Schedule(Jitter(options_.promotion_readonly_micros), [this, target]() {
+        SemiSyncServer* old_primary = accessor_(primary_);
+        if (old_primary != nullptr) old_primary->SetReadOnly(true);
+        RunPromotionStep(2, target);
+      });
+      return;
+    case 2: {  // Poll until the target has caught up to the old primary.
+      SemiSyncServer* old_primary = accessor_(primary_);
+      SemiSyncServer* new_primary = accessor_(target);
+      if (old_primary == nullptr || new_primary == nullptr) {
+        promotion_in_progress_ = false;  // a failover will take over
+        return;
+      }
+      if (new_primary->LastLogged().index < old_primary->LastLogged().index) {
+        loop_->Schedule(options_.promotion_catchup_poll_micros,
+                        [this, target]() { RunPromotionStep(2, target); });
+        return;
+      }
+      RunPromotionStep(3, target);
+      return;
+    }
+    case 3:  // Switch roles.
+      loop_->Schedule(Jitter(options_.promotion_switch_micros), [this, target]() {
+        Status s = Repoint(target);
+        if (!s.ok()) {
+          MYRAFT_LOG(Warning) << "promotion repoint: " << s;
+          SemiSyncServer* old_primary = accessor_(primary_);
+          if (old_primary != nullptr) old_primary->SetReadOnly(false);
+          promotion_in_progress_ = false;
+          return;
+        }
+        RunPromotionStep(4, target);
+      });
+      return;
+    case 4:  // Publish.
+      loop_->Schedule(Jitter(options_.discovery_update_micros), [this, target]() {
+        discovery_->PublishPrimary(options_.replicaset, target, generation_);
+        promotion_in_progress_ = false;
+        ++stats_.promotions_completed;
+      });
+      return;
+  }
+}
+
+}  // namespace myraft::semisync

@@ -1,0 +1,500 @@
+#include "server/mysql_server.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace myraft::server {
+
+Result<std::unique_ptr<MySqlServer>> MySqlServer::Create(
+    Env* env, MySqlServerOptions options, const raft::QuorumEngine* quorum,
+    Clock* clock, Random* rng, raft::RaftOutbox* outbox,
+    ServiceDiscovery* discovery) {
+  if (clock == nullptr || outbox == nullptr) {
+    return Status::InvalidArgument("server: clock and outbox are required");
+  }
+  auto server = std::unique_ptr<MySqlServer>(
+      new MySqlServer(env, std::move(options), clock));
+  MYRAFT_RETURN_NOT_OK(server->Init(quorum, rng, outbox, discovery));
+  return server;
+}
+
+Status MySqlServer::Init(const raft::QuorumEngine* quorum, Random* rng,
+                         raft::RaftOutbox* outbox,
+                         ServiceDiscovery* discovery) {
+  discovery_ = discovery;
+  rng_ = rng;
+  MYRAFT_RETURN_NOT_OK(env_->CreateDirIfMissing(options_.data_dir));
+
+  binlog::BinlogManagerOptions binlog_options;
+  binlog_options.dir = options_.data_dir + "/log";
+  // Every member boots as a replica; logs start in relay-log persona and
+  // are rewired on promotion (§3.2).
+  binlog_options.persona = binlog::kRelayLogPersona;
+  binlog_options.server_version = options_.server_version;
+  binlog_options.server_id = options_.numeric_server_id;
+  binlog_options.clock = clock_;
+  auto manager = binlog::BinlogManager::Open(env_, binlog_options);
+  if (!manager.ok()) return manager.status().WithPrefix("opening binlog");
+  binlog_ = std::move(*manager);
+
+  if (options_.kind == MemberKind::kMySql) {
+    storage::EngineOptions engine_options;
+    engine_options.dir = options_.data_dir + "/engine";
+    engine_options.clock = clock_;
+    auto engine = storage::MiniEngine::Open(env_, engine_options);
+    if (!engine.ok()) return engine.status().WithPrefix("opening engine");
+    engine_ = std::move(*engine);
+    // §3.3 demotion step 5 / §A.2: the applier cursor starts right after
+    // the last transaction committed in the engine.
+    next_apply_index_ = engine_->LastAppliedOpId().index + 1;
+  }
+
+  plugin::RaftPluginOptions plugin_options;
+  plugin_options.raft = options_.raft;
+  plugin_options.raft.self = options_.id;
+  plugin_options.raft.region = options_.region;
+  plugin_options.raft.kind = options_.kind;
+  plugin_options.meta_path = options_.data_dir + "/cmeta";
+  plugin_ = std::make_unique<plugin::RaftPlugin>(
+      env_, std::move(plugin_options), binlog_.get(), quorum, clock_, rng,
+      outbox, this);
+  return Status::OK();
+}
+
+Status MySqlServer::Bootstrap(const MembershipConfig& config) {
+  return plugin_->Bootstrap(config);
+}
+
+Status MySqlServer::Start() { return plugin_->Start(); }
+
+void MySqlServer::Tick() {
+  plugin_->consensus()->Tick();
+  if (witness_handoff_pending_) MaybeWitnessHandoff();
+  if (promotion_.has_value()) MaybeCompletePromotion();
+  // Periodic engine checkpointing bounds WAL replay at restart. Skipped
+  // while transactions are prepared (pipeline in flight).
+  if (engine_ != nullptr && options_.engine_checkpoint_wal_bytes > 0 &&
+      engine_->WalSizeBytes() > options_.engine_checkpoint_wal_bytes &&
+      engine_->PreparedXids().empty()) {
+    Status s = engine_->Checkpoint();
+    if (s.ok()) {
+      ++stats_.engine_checkpoints;
+    } else {
+      MYRAFT_LOG(Warning) << options_.id << ": checkpoint failed: " << s;
+    }
+  }
+}
+
+DbRole MySqlServer::db_role() const {
+  if (options_.kind == MemberKind::kLogtailer) return DbRole::kNone;
+  return db_role_;
+}
+
+void MySqlServer::SetDbRole(DbRole role) {
+  if (role == db_role_) return;
+  db_role_ = role;
+  if (role_change_cb_) role_change_cb_(role);
+}
+
+// --- Client writes: pipeline stage 1 (§3.4) -----------------------------------
+
+void MySqlServer::SubmitWrite(std::vector<binlog::RowOperation> ops,
+                              WriteCallback done) {
+  auto fail = [&done](Status status) {
+    done(WriteResult{std::move(status), {}, {}});
+  };
+  if (engine_ == nullptr) {
+    fail(Status::NotSupported("logtailers do not accept writes"));
+    return;
+  }
+  if (!writes_enabled_) {
+    ++stats_.writes_rejected_read_only;
+    fail(Status::ServiceUnavailable("server is read-only (not primary)"));
+    return;
+  }
+
+  // Execute: prepare the transaction in the engine under row locks.
+  const storage::TxnId txn = engine_->Begin();
+  binlog::TransactionPayloadBuilder builder;
+  for (binlog::RowOperation& op : ops) {
+    Status s;
+    if (op.kind == binlog::RowOperation::Kind::kDelete) {
+      s = engine_->Delete(txn, op.database + "." + op.table, op.before_image);
+      // Row images for RBR: the delete's before image is the key.
+    } else {
+      // The after image is "key=value"; store under the key part.
+      const std::string& image = op.after_image;
+      const size_t eq = image.find('=');
+      const std::string key = image.substr(0, eq);
+      s = engine_->Put(txn, op.database + "." + op.table, key, image);
+    }
+    if (!s.ok()) {
+      ++stats_.writes_rejected_conflict;
+      Status rollback = engine_->Rollback(txn);
+      if (!rollback.ok()) {
+        MYRAFT_LOG(Error) << options_.id << ": rollback failed: " << rollback;
+      }
+      fail(std::move(s));
+      return;
+    }
+    builder.AddOperation(std::move(op));
+  }
+
+  // Commit: assign identity (GTID then OpId, §3.4), prepare, flush via
+  // Raft. Planned OpId and Replicate run in the same event-loop turn, so
+  // the stamp cannot be stolen by an interleaved append.
+  const OpId opid = plugin_->consensus()->NextOpId();
+  const uint64_t xid = opid.index;
+  Status prepared = engine_->Prepare(txn, xid);
+  if (!prepared.ok()) {
+    Status rollback = engine_->Rollback(txn);
+    (void)rollback;
+    fail(std::move(prepared));
+    return;
+  }
+  const binlog::Gtid gtid{options_.server_uuid, next_txn_no_++};
+  std::string payload = builder.Finalize(gtid, opid, xid, clock_->NowMicros(),
+                                         options_.numeric_server_id);
+  auto replicated =
+      plugin_->consensus()->Replicate(EntryType::kTransaction,
+                                      std::move(payload));
+  if (!replicated.ok()) {
+    Status rollback = engine_->RollbackPrepared(xid);
+    (void)rollback;
+    --next_txn_no_;
+    fail(replicated.status());
+    return;
+  }
+  MYRAFT_CHECK(*replicated == opid) << "OpId plan mismatch";
+  ++stats_.writes_accepted;
+  pending_[opid.index] = PendingCommit{xid, opid, gtid, std::move(done)};
+}
+
+std::optional<std::string> MySqlServer::Read(const std::string& table,
+                                             const std::string& key) const {
+  if (engine_ == nullptr) return std::nullopt;
+  return engine_->Get(table, key);
+}
+
+// --- Consensus-commit stage + applier (§3.4/§3.5) --------------------------------
+
+void MySqlServer::OnConsensusCommitAdvanced(OpId marker) {
+  // Stage 3: engine-commit every pending write covered by the marker.
+  while (!pending_.empty() && pending_.begin()->first <= marker.index) {
+    PendingCommit pending = std::move(pending_.begin()->second);
+    pending_.erase(pending_.begin());
+    Status s = engine_->CommitPrepared(pending.xid, pending.opid,
+                                       pending.gtid);
+    if (!s.ok()) {
+      MYRAFT_LOG(Error) << options_.id << ": engine commit failed: " << s;
+      pending.done(WriteResult{std::move(s), pending.gtid, pending.opid});
+      continue;
+    }
+    ++stats_.writes_committed;
+    pending.done(WriteResult{Status::OK(), pending.gtid, pending.opid});
+  }
+
+  RunApplier();
+  MaybeCompletePromotion();
+  if (witness_handoff_pending_) MaybeWitnessHandoff();
+}
+
+void MySqlServer::OnLogEntryAppended(const LogEntry& entry) {
+  // §3.5: the plugin informs MySQL of the new relay-log entry and signals
+  // the applier. (Uncommitted entries park until the marker covers them.)
+  RunApplier();
+}
+
+void MySqlServer::RunApplier() {
+  if (engine_ == nullptr) return;
+  if (writes_enabled_) return;  // primaries commit through the pipeline
+  const OpId marker = plugin_->consensus()->commit_marker();
+  // A freshly provisioned member may have an engine ahead of a purged log
+  // prefix.
+  const uint64_t first = binlog_->FirstIndex();
+  if (first > 0 && next_apply_index_ < first &&
+      engine_->LastAppliedOpId().index + 1 >= first) {
+    next_apply_index_ = std::max(next_apply_index_, first);
+  }
+  while (next_apply_index_ <= marker.index) {
+    if (!binlog_->HasEntry(next_apply_index_)) break;  // not yet received
+    auto entry = binlog_->ReadEntry(next_apply_index_);
+    if (!entry.ok()) {
+      MYRAFT_LOG(Error) << options_.id
+                        << ": applier read failed: " << entry.status();
+      break;
+    }
+    if (entry->type == EntryType::kTransaction) {
+      Status s = ApplyOneTransaction(*entry);
+      if (!s.ok()) {
+        MYRAFT_LOG(Error) << options_.id << ": apply failed at "
+                          << entry->id.ToString() << ": " << s;
+        break;
+      }
+      ++stats_.applier_transactions_applied;
+    }
+    // No-ops, config changes and rotate events advance the cursor only.
+    ++next_apply_index_;
+  }
+}
+
+Status MySqlServer::ApplyOneTransaction(const LogEntry& entry) {
+  auto txn = binlog::ParseTransactionPayload(entry.payload);
+  if (!txn.ok()) return txn.status();
+  // Idempotence: skip transactions the engine already has (e.g. replayed
+  // after the crash-recovery rollback of §A.2 case 3 re-runs them).
+  if (engine_->ExecutedGtids().Contains(txn->gtid)) return Status::OK();
+
+  const storage::TxnId engine_txn = engine_->Begin();
+  for (const binlog::RowOperation& op : txn->ops) {
+    Status s;
+    const std::string table = op.database + "." + op.table;
+    if (op.kind == binlog::RowOperation::Kind::kDelete) {
+      s = engine_->Delete(engine_txn, table, op.before_image);
+    } else {
+      const std::string& image = op.after_image;
+      const std::string key = image.substr(0, image.find('='));
+      s = engine_->Put(engine_txn, table, key, image);
+    }
+    if (!s.ok()) {
+      Status rollback = engine_->Rollback(engine_txn);
+      (void)rollback;
+      return s;
+    }
+  }
+  MYRAFT_RETURN_NOT_OK(engine_->Prepare(engine_txn, txn->xid));
+  return engine_->CommitPrepared(txn->xid, entry.id, txn->gtid);
+}
+
+// --- Promotion (§3.3) --------------------------------------------------------------
+
+void MySqlServer::OnPromotionStarted(uint64_t term, OpId noop_opid) {
+  if (options_.kind == MemberKind::kLogtailer) {
+    // §2.2: a logtailer elected as temporary leader transfers leadership
+    // to a database replica via a regular promotion.
+    witness_handoff_pending_ = true;
+    MaybeWitnessHandoff();
+    return;
+  }
+  promotion_ = PromotionState{term, noop_opid};
+  // Step 1 (no-op append) already happened inside Raft; steps 2-5 resume
+  // from MaybeCompletePromotion as the applier catches up.
+  RunApplier();
+  MaybeCompletePromotion();
+}
+
+void MySqlServer::MaybeCompletePromotion() {
+  if (!promotion_.has_value()) return;
+  raft::RaftConsensus* consensus = plugin_->consensus();
+  if (consensus->role() != RaftRole::kLeader ||
+      consensus->term() != promotion_->term) {
+    promotion_.reset();  // lost leadership before completing
+    return;
+  }
+  // Step 2: the applier must have committed everything up to (and
+  // including the position of) the no-op, and the no-op must be
+  // consensus-committed.
+  if (!consensus->IsCommitted(promotion_->noop)) return;
+  if (next_apply_index_ <= promotion_->noop.index) {
+    RunApplier();
+    if (next_apply_index_ <= promotion_->noop.index) return;
+  }
+  // Steps 3-5 take real orchestration time in production; model it with
+  // a +-50% spread (host load, discovery round trips).
+  if (promotion_->ready_at_micros == 0) {
+    const uint64_t base = options_.promotion_orchestration_micros;
+    uint64_t cost = base;
+    if (rng_ != nullptr && base > 0) cost = base / 2 + rng_->Uniform(base);
+    promotion_->ready_at_micros = clock_->NowMicros() + cost;
+  }
+  if (clock_->NowMicros() < promotion_->ready_at_micros) return;
+
+  // Step 3: rewire relay-log -> binlog.
+  Status s = binlog_->SwitchPersona(binlog::kBinlogPersona);
+  if (!s.ok()) {
+    MYRAFT_LOG(Error) << options_.id << ": persona rewire failed: " << s;
+    return;
+  }
+  // Step 4: allow client writes.
+  writes_enabled_ = true;
+  next_txn_no_ = binlog_->gtids_in_log().NextTxnNo(options_.server_uuid);
+  SetDbRole(DbRole::kPrimary);
+  // Step 5: publish to service discovery.
+  if (discovery_ != nullptr) {
+    discovery_->PublishPrimary(options_.replicaset, options_.id,
+                               promotion_->term);
+  }
+  ++stats_.promotions_completed;
+  promotion_.reset();
+  MYRAFT_LOG(Info) << options_.id << ": promotion complete (term "
+                   << consensus->term() << ")";
+}
+
+void MySqlServer::MaybeWitnessHandoff() {
+  raft::RaftConsensus* consensus = plugin_->consensus();
+  if (consensus->role() != RaftRole::kLeader) {
+    witness_handoff_pending_ = false;
+    return;
+  }
+  if (consensus->transfer_target().has_value()) return;  // in flight
+  const auto& peers = consensus->peers();
+  MemberId best;
+  uint64_t best_match = 0;
+  for (const auto& member : consensus->config().members) {
+    if (member.kind != MemberKind::kMySql || !member.is_voter()) continue;
+    auto it = peers.find(member.id);
+    if (it == peers.end()) continue;
+    if (best.empty() || it->second.match_index > best_match) {
+      best = member.id;
+      best_match = it->second.match_index;
+    }
+  }
+  if (best.empty() || best_match < consensus->last_logged().index) {
+    return;  // wait for a database replica to catch up
+  }
+  Status s = consensus->TransferLeadership(best);
+  if (s.ok()) {
+    MYRAFT_LOG(Info) << options_.id << ": witness handing leadership to "
+                     << best;
+  }
+}
+
+// --- Demotion (§3.3) ----------------------------------------------------------------
+
+void MySqlServer::OnDemotion(uint64_t term) {
+  promotion_.reset();
+  witness_handoff_pending_ = false;
+  if (options_.kind == MemberKind::kLogtailer) return;
+
+  // Step 1: abort in-flight transactions awaiting consensus; they are in
+  // prepared state so the rollback is online. The client outcome is
+  // "unknown": the transaction may still be committed by the new leader
+  // and re-applied by the applier (§A.2 case 3).
+  for (auto& [index, pending] : pending_) {
+    Status s = engine_->RollbackPrepared(pending.xid);
+    if (!s.ok()) {
+      MYRAFT_LOG(Error) << options_.id << ": demotion rollback: " << s;
+    }
+    ++stats_.writes_aborted_on_demotion;
+    pending.done(WriteResult{
+        Status::Aborted("demoted: outcome unknown, retry against new primary"),
+        pending.gtid, pending.opid});
+  }
+  pending_.clear();
+
+  // Step 2: disable client writes.
+  writes_enabled_ = false;
+  // Step 3: rewire binlog -> relay-log.
+  Status s = binlog_->SwitchPersona(binlog::kRelayLogPersona);
+  if (!s.ok()) {
+    MYRAFT_LOG(Error) << options_.id << ": persona rewire failed: " << s;
+  }
+  // Step 4 (truncation + GTID cleanup) happens inside Raft/log-adapter
+  // when the new leader's log conflicts; see OnGtidsTruncated.
+  // Step 5: the applier resumes from the engine's recovered cursor.
+  next_apply_index_ = engine_->LastAppliedOpId().index + 1;
+  SetDbRole(DbRole::kReplica);
+  if (discovery_ != nullptr) {
+    discovery_->WithdrawPrimary(options_.replicaset, options_.id, term);
+  }
+  ++stats_.demotions;
+}
+
+void MySqlServer::OnGtidsTruncated(const binlog::GtidSet& removed) {
+  MYRAFT_LOG(Info) << options_.id << ": truncated GTIDs "
+                   << removed.ToString();
+  // The applier cursor may now point past the truncated tail; clamp it.
+  const uint64_t last = binlog_->LastIndex();
+  if (next_apply_index_ > last + 1) next_apply_index_ = last + 1;
+}
+
+void MySqlServer::OnTransferFailed(const MemberId& target,
+                                   const Status& reason) {
+  MYRAFT_LOG(Warning) << options_.id << ": leadership transfer to " << target
+                      << " failed: " << reason;
+  // Witnesses keep trying with the next candidate on subsequent ticks.
+}
+
+// --- Admin commands (§3) ---------------------------------------------------------------
+
+MasterStatus MySqlServer::ShowMasterStatus() const {
+  MasterStatus status;
+  const auto position = binlog_->CurrentPosition();
+  status.file = position.file;
+  status.position = position.offset;
+  status.executed_gtid_set = engine_ != nullptr
+                                 ? engine_->ExecutedGtids().ToString()
+                                 : binlog_->gtids_in_log().ToString();
+  return status;
+}
+
+std::vector<BinaryLogInfo> MySqlServer::ShowBinaryLogs() const {
+  std::vector<BinaryLogInfo> out;
+  for (const std::string& file : binlog_->ListLogFiles()) {
+    BinaryLogInfo info;
+    info.name = file;
+    auto size = binlog_->FileSize(file);
+    info.size = size.ok() ? *size : 0;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+ReplicaStatus MySqlServer::ShowReplicaStatus() const {
+  ReplicaStatus status;
+  status.applier_running = engine_ != nullptr && !writes_enabled_;
+  status.last_applied =
+      engine_ != nullptr ? engine_->LastAppliedOpId() : OpId{};
+  status.commit_marker = plugin_->consensus()->commit_marker();
+  status.lag_entries =
+      status.commit_marker.index >= next_apply_index_
+          ? status.commit_marker.index - next_apply_index_ + 1
+          : 0;
+  status.primary = plugin_->consensus()->leader();
+  return status;
+}
+
+Status MySqlServer::FlushBinaryLogs() {
+  if (!writes_enabled_) {
+    return Status::IllegalState("FLUSH BINARY LOGS runs on the primary");
+  }
+  // §A.1: the rotate event is replicated with an OpId so log files stay
+  // identical across the replicaset.
+  auto opid = plugin_->consensus()->Replicate(EntryType::kRotate, "");
+  if (!opid.ok()) return opid.status();
+  return Status::OK();
+}
+
+Status MySqlServer::PurgeLogsTo(const std::string& file) {
+  uint64_t first_surviving;
+  MYRAFT_ASSIGN_OR_RETURN(first_surviving, binlog_->FirstIndexOfFile(file));
+  if (first_surviving == 0) return Status::OK();
+  const uint64_t last_purged = first_surviving - 1;
+
+  raft::RaftConsensus* consensus = plugin_->consensus();
+  if (consensus->role() == RaftRole::kLeader) {
+    // §A.1: never purge entries some member (any region) still needs.
+    for (const auto& [peer, progress] : consensus->peers()) {
+      if (progress.match_index < last_purged) {
+        return Status::IllegalState(
+            StringPrintf("%s has only replicated up to %llu", peer.c_str(),
+                         (unsigned long long)progress.match_index));
+      }
+    }
+  } else {
+    // Replicas only purge what is consensus-committed (the leader's
+    // watermark check already gated the fleet-wide purge).
+    if (consensus->commit_marker().index < last_purged) {
+      return Status::IllegalState("cannot purge uncommitted entries");
+    }
+  }
+  if (engine_ != nullptr &&
+      engine_->LastAppliedOpId().index < last_purged) {
+    return Status::IllegalState("cannot purge entries not yet applied");
+  }
+  return binlog_->PurgeLogsTo(file);
+}
+
+}  // namespace myraft::server

@@ -1,0 +1,245 @@
+// MySqlServer: the MySQL stand-in at the heart of MyRaft. One instance
+// models one replicaset member: a full database (storage engine + binlog +
+// applier + client sessions) for MySQL members, or a log-only logtailer
+// for witnesses.
+//
+// §3.4 — writes on the primary run the three-stage commit pipeline:
+//   1. Flush: the transaction is prepared in the engine, its binlog
+//      payload is finalised with GTID + OpId, and written to the binlog
+//      via Raft (Replicate);
+//   2. Wait for Raft consensus commit: the write parks in pending_ until
+//      the commit marker covers it;
+//   3. Storage-engine commit: CommitPrepared releases row locks and the
+//      client callback fires.
+//
+// §3.5 — on replicas the applier consumes committed entries from the
+// relay log and drives them through the same prepare/commit path.
+//
+// §3.3 — role changes are orchestrated through the plugin's ServerHooks:
+// promotion (no-op barrier → applier catch-up → log rewiring → enable
+// writes → service-discovery publish) and demotion (abort in-flight →
+// disable writes → rewiring → truncation GTID cleanup → applier restart
+// from the engine's recovered cursor).
+
+#ifndef MYRAFT_SERVER_MYSQL_SERVER_H_
+#define MYRAFT_SERVER_MYSQL_SERVER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "plugin/raft_plugin.h"
+#include "server/service_discovery.h"
+#include "storage/engine.h"
+
+namespace myraft::server {
+
+struct MySqlServerOptions {
+  std::string replicaset = "rs0";
+  MemberId id;
+  RegionId region;
+  MemberKind kind = MemberKind::kMySql;
+  std::string data_dir;
+  uint32_t numeric_server_id = 0;
+  Uuid server_uuid;
+  std::string server_version = "myraft-1.0";
+  raft::RaftOptions raft;
+  /// Modelled cost of the promotion orchestration tail (§3.3 steps 3-5:
+  /// rewiring replication logs, re-enabling writes, publishing to service
+  /// discovery) once the no-op has committed and the applier is caught
+  /// up. Production promotions average ~200 ms end to end (Table 2).
+  uint64_t promotion_orchestration_micros = 120'000;
+  /// Checkpoint the storage engine once its WAL exceeds this size
+  /// (bounds crash-recovery replay). 0 disables.
+  uint64_t engine_checkpoint_wal_bytes = 32ull << 20;
+};
+
+struct WriteResult {
+  Status status;
+  binlog::Gtid gtid;
+  OpId opid;
+};
+using WriteCallback = std::function<void(const WriteResult&)>;
+
+struct MasterStatus {
+  std::string file;
+  uint64_t position = 0;
+  std::string executed_gtid_set;
+};
+
+struct ReplicaStatus {
+  bool applier_running = false;
+  OpId last_applied;
+  OpId commit_marker;
+  uint64_t lag_entries = 0;
+  MemberId primary;
+};
+
+struct BinaryLogInfo {
+  std::string name;
+  uint64_t size = 0;
+};
+
+class MySqlServer final : public plugin::ServerHooks {
+ public:
+  struct Stats {
+    uint64_t writes_accepted = 0;
+    uint64_t writes_rejected_read_only = 0;
+    uint64_t writes_rejected_conflict = 0;
+    uint64_t writes_committed = 0;
+    uint64_t writes_aborted_on_demotion = 0;
+    uint64_t applier_transactions_applied = 0;
+    uint64_t promotions_completed = 0;
+    uint64_t demotions = 0;
+    uint64_t engine_checkpoints = 0;
+  };
+
+  /// Opens (or recovers) all storage and wires the plugin. Call
+  /// Bootstrap() (first boot of the ring) or Start() (restart) next.
+  static Result<std::unique_ptr<MySqlServer>> Create(
+      Env* env, MySqlServerOptions options, const raft::QuorumEngine* quorum,
+      Clock* clock, Random* rng, raft::RaftOutbox* outbox,
+      ServiceDiscovery* discovery);
+
+  MySqlServer(const MySqlServer&) = delete;
+  MySqlServer& operator=(const MySqlServer&) = delete;
+
+  Status Bootstrap(const MembershipConfig& config);
+  Status Start();
+
+  // --- Event entry points (driven by the host) -------------------------------
+
+  void HandleMessage(const Message& message) {
+    plugin_->consensus()->HandleMessage(message);
+  }
+  void Tick();
+
+  // --- Client surface ----------------------------------------------------------
+
+  /// Submits a write transaction. `done` fires after engine commit
+  /// (success) or on abort. Asynchronous: commit requires consensus.
+  void SubmitWrite(std::vector<binlog::RowOperation> ops, WriteCallback done);
+  /// Committed read (any MySQL member; logtailers have no data).
+  std::optional<std::string> Read(const std::string& table,
+                                  const std::string& key) const;
+
+  bool writes_enabled() const { return writes_enabled_; }
+  DbRole db_role() const;
+
+  // --- Admin commands (§3) ------------------------------------------------------
+
+  MasterStatus ShowMasterStatus() const;
+  std::vector<BinaryLogInfo> ShowBinaryLogs() const;
+  /// SHOW BINLOG EVENTS IN '<file>'.
+  Result<std::vector<binlog::BinlogManager::EventSummary>> ShowBinlogEvents(
+      const std::string& file) const {
+    return binlog_->DescribeFile(file);
+  }
+  ReplicaStatus ShowReplicaStatus() const;
+  /// Replicated rotation (§A.1); primary only.
+  Status FlushBinaryLogs();
+  /// Purges files strictly before `file`, consulting Raft watermarks so
+  /// logs are never purged before they are fully shipped (§A.1).
+  Status PurgeLogsTo(const std::string& file);
+  /// Replication is Raft-managed; these legacy commands are disallowed.
+  Status ChangeMasterTo() { return Status::NotSupported("handled by Raft"); }
+  Status ResetMaster() { return Status::NotSupported("handled by Raft"); }
+  Status ResetReplica() { return Status::NotSupported("handled by Raft"); }
+
+  // --- Control-plane passthrough -------------------------------------------------
+
+  Status TransferLeadership(const MemberId& target) {
+    return plugin_->consensus()->TransferLeadership(target);
+  }
+  Status AddMember(const MemberInfo& member) {
+    return plugin_->consensus()->AddMember(member);
+  }
+  Status RemoveMember(const MemberId& member) {
+    return plugin_->consensus()->RemoveMember(member);
+  }
+
+  // --- Introspection -------------------------------------------------------------
+
+  raft::RaftConsensus* consensus() { return plugin_->consensus(); }
+  const raft::RaftConsensus* consensus() const { return plugin_->consensus(); }
+  storage::MiniEngine* engine() { return engine_.get(); }
+  binlog::BinlogManager* binlog_manager() { return binlog_.get(); }
+  const MySqlServerOptions& options() const { return options_; }
+  const Stats& stats() const { return stats_; }
+  /// Checksum of committed database state (§5.1 consistency checks).
+  uint64_t StateChecksum() const {
+    return engine_ != nullptr ? engine_->StateChecksum() : 0;
+  }
+  /// Observer for role changes (instrumentation for downtime probes).
+  void set_role_change_callback(std::function<void(DbRole)> cb) {
+    role_change_cb_ = std::move(cb);
+  }
+
+  // --- ServerHooks (Raft -> plugin -> server) --------------------------------------
+
+  void OnPromotionStarted(uint64_t term, OpId noop_opid) override;
+  void OnDemotion(uint64_t term) override;
+  void OnConsensusCommitAdvanced(OpId marker) override;
+  void OnLogEntryAppended(const LogEntry& entry) override;
+  void OnGtidsTruncated(const binlog::GtidSet& removed) override;
+  void OnMembershipChanged(const MembershipConfig& config) override {}
+  void OnTransferFailed(const MemberId& target, const Status& reason) override;
+
+ private:
+  struct PendingCommit {
+    uint64_t xid = 0;
+    OpId opid;
+    binlog::Gtid gtid;
+    WriteCallback done;
+  };
+
+  struct PromotionState {
+    uint64_t term = 0;
+    OpId noop;
+    /// Set once prerequisites hold; completion fires when the clock
+    /// passes it (modelling the orchestration steps' latency).
+    uint64_t ready_at_micros = 0;
+  };
+
+  MySqlServer(Env* env, MySqlServerOptions options, Clock* clock)
+      : env_(env), options_(std::move(options)), clock_(clock) {}
+
+  Random* rng_ = nullptr;
+
+  Status Init(const raft::QuorumEngine* quorum, Random* rng,
+              raft::RaftOutbox* outbox, ServiceDiscovery* discovery);
+
+  /// Applies committed entries from the log to the engine (§3.5).
+  void RunApplier();
+  Status ApplyOneTransaction(const LogEntry& entry);
+  void MaybeCompletePromotion();
+  /// A logtailer that won an election hands leadership to the most
+  /// caught-up MySQL voter (§2.2).
+  void MaybeWitnessHandoff();
+  void SetDbRole(DbRole role);
+
+  Env* env_;
+  MySqlServerOptions options_;
+  Clock* clock_;
+  std::unique_ptr<binlog::BinlogManager> binlog_;
+  std::unique_ptr<storage::MiniEngine> engine_;  // null for logtailers
+  std::unique_ptr<plugin::RaftPlugin> plugin_;
+  ServiceDiscovery* discovery_ = nullptr;
+
+  bool writes_enabled_ = false;
+  DbRole db_role_ = DbRole::kReplica;
+  uint64_t next_txn_no_ = 1;
+  uint64_t next_apply_index_ = 1;
+  std::map<uint64_t, PendingCommit> pending_;  // by raft index
+  std::optional<PromotionState> promotion_;
+  bool witness_handoff_pending_ = false;
+  std::function<void(DbRole)> role_change_cb_;
+  Stats stats_;
+};
+
+}  // namespace myraft::server
+
+#endif  // MYRAFT_SERVER_MYSQL_SERVER_H_

@@ -1,0 +1,278 @@
+#include "sim/cluster.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace myraft::sim {
+
+ClusterHarness::ClusterHarness(ClusterOptions options,
+                               const raft::QuorumEngine* quorum)
+    : options_(std::move(options)),
+      quorum_(quorum),
+      loop_(options_.seed),
+      network_(&loop_, options_.network) {}
+
+Status ClusterHarness::Bootstrap() {
+  // Build the membership config: one database voter + logtailers per
+  // region, learners round-robin across follower regions.
+  uint32_t numeric_id = 1;
+  auto add_member = [&](const MemberId& id, const RegionId& region,
+                        MemberKind kind, RaftMemberType type) {
+    config_.members.push_back(MemberInfo{id, region, kind, type});
+
+    SimNode::Options node_options;
+    node_options.server.replicaset = options_.replicaset;
+    node_options.server.id = id;
+    node_options.server.region = region;
+    node_options.server.kind = kind;
+    node_options.server.data_dir = "/" + id;
+    node_options.server.numeric_server_id = numeric_id;
+    node_options.server.server_uuid = Uuid::FromIndex(numeric_id);
+    node_options.server.raft = options_.raft;
+    node_options.server.engine_checkpoint_wal_bytes =
+        options_.engine_checkpoint_wal_bytes;
+    node_options.proxy = options_.proxy;
+    node_options.proxy_enabled = options_.proxy_enabled;
+    ++numeric_id;
+    nodes_[id] = std::make_unique<SimNode>(&loop_, &network_, &discovery_,
+                                           quorum_, std::move(node_options));
+  };
+
+  for (int r = 0; r < options_.db_regions; ++r) {
+    const RegionId region = "region" + std::to_string(r);
+    add_member("db" + std::to_string(r), region, MemberKind::kMySql,
+               RaftMemberType::kVoter);
+    for (int l = 0; l < options_.logtailers_per_db; ++l) {
+      add_member(StringPrintf("lt%d%c", r, static_cast<char>('a' + l)),
+                 region, MemberKind::kLogtailer, RaftMemberType::kVoter);
+    }
+  }
+  for (int i = 0; i < options_.learners; ++i) {
+    const int r = options_.db_regions > 1
+                      ? 1 + i % (options_.db_regions - 1)
+                      : 0;
+    add_member("learner" + std::to_string(i), "region" + std::to_string(r),
+               MemberKind::kMySql, RaftMemberType::kNonVoter);
+  }
+
+  for (auto& [id, node] : nodes_) {
+    MYRAFT_RETURN_NOT_OK_PREPEND(node->Bootstrap(config_),
+                                 "bootstrapping " + id);
+  }
+  return Status::OK();
+}
+
+std::vector<MemberId> ClusterHarness::ids() const {
+  std::vector<MemberId> out;
+  for (const auto& [id, node] : nodes_) out.push_back(id);
+  return out;
+}
+
+std::vector<MemberId> ClusterHarness::database_ids() const {
+  std::vector<MemberId> out;
+  for (const auto& member : config_.members) {
+    if (member.kind == MemberKind::kMySql && member.is_voter()) {
+      out.push_back(member.id);
+    }
+  }
+  return out;
+}
+
+MemberId ClusterHarness::CurrentPrimary() {
+  auto primary = discovery_.GetPrimary(options_.replicaset);
+  if (!primary.has_value()) return "";
+  auto it = nodes_.find(*primary);
+  if (it == nodes_.end() || !it->second->up()) return "";
+  if (!it->second->server()->writes_enabled()) return "";
+  return *primary;
+}
+
+MemberId ClusterHarness::WaitForPrimary(uint64_t timeout_micros) {
+  const uint64_t deadline = loop_.now() + timeout_micros;
+  while (loop_.now() < deadline) {
+    const MemberId primary = CurrentPrimary();
+    if (!primary.empty()) return primary;
+    loop_.RunFor(10'000);
+  }
+  return CurrentPrimary();
+}
+
+void ClusterHarness::ClientWrite(const std::string& key,
+                                 const std::string& value,
+                                 ClientCallback done,
+                                 const MemberId& target) {
+  const uint64_t issued_at = loop_.now();
+  MemberId dest = target;
+  if (dest.empty()) {
+    auto primary = discovery_.GetPrimary(options_.replicaset);
+    if (!primary.has_value()) {
+      done(ClientWriteResult{
+          Status::ServiceUnavailable("no primary in service discovery"), 0});
+      return;
+    }
+    dest = *primary;
+  }
+
+  // Shared completion guard: the first of {server response, client
+  // timeout} wins.
+  auto responded = std::make_shared<bool>(false);
+  auto finish = [this, done, issued_at, responded](Status status) {
+    if (*responded) return;
+    *responded = true;
+    done(ClientWriteResult{std::move(status), loop_.now() - issued_at});
+  };
+  loop_.Schedule(options_.client_timeout_micros, [finish]() {
+    finish(Status::TimedOut("client write timed out"));
+  });
+
+  loop_.Schedule(options_.client_one_way_micros, [this, dest, key, value,
+                                                  finish]() {
+    auto it = nodes_.find(dest);
+    if (it == nodes_.end() || !it->second->up()) {
+      // Connection refused travels back to the client.
+      loop_.Schedule(options_.client_one_way_micros, [finish]() {
+        finish(Status::NetworkError("primary unreachable"));
+      });
+      return;
+    }
+    SimNode* node = it->second.get();
+    uint64_t processing = options_.server_processing_micros;
+    if (options_.server_processing_jitter_micros > 0) {
+      processing +=
+          loop_.rng()->Uniform(options_.server_processing_jitter_micros);
+    }
+    loop_.Schedule(processing, [this, node, key, value, finish]() {
+      if (!node->up()) {
+        loop_.Schedule(options_.client_one_way_micros, [finish]() {
+          finish(Status::NetworkError("primary died mid-request"));
+        });
+        return;
+      }
+      binlog::RowOperation op;
+      op.kind = binlog::RowOperation::Kind::kInsert;
+      op.database = "bench";
+      op.table = "kv";
+      op.column_count = 2;
+      op.after_image = key + "=" + value;
+      std::vector<binlog::RowOperation> ops{std::move(op)};
+      node->server()->SubmitWrite(
+          std::move(ops), [this, finish](const server::WriteResult& result) {
+            loop_.Schedule(options_.client_one_way_micros,
+                           [finish, status = result.status]() {
+                             finish(status);
+                           });
+          });
+    });
+  });
+}
+
+ClusterHarness::ClientWriteResult ClusterHarness::SyncWrite(
+    const std::string& key, const std::string& value,
+    uint64_t timeout_micros) {
+  ClientWriteResult result;
+  bool completed = false;
+  ClientWrite(key, value, [&](const ClientWriteResult& r) {
+    result = r;
+    completed = true;
+  });
+  const uint64_t deadline = loop_.now() + timeout_micros;
+  while (!completed && loop_.now() < deadline) {
+    loop_.RunFor(1'000);
+  }
+  if (!completed) {
+    result.status = Status::TimedOut("SyncWrite: no completion");
+  }
+  return result;
+}
+
+Status ClusterHarness::AddNewMember(const MemberInfo& member,
+                                    PrepareDiskFn prepare_disk) {
+  if (nodes_.count(member.id) > 0) {
+    return Status::AlreadyPresent("member already provisioned: " + member.id);
+  }
+  const MemberId primary = CurrentPrimary();
+  if (primary.empty()) return Status::ServiceUnavailable("no primary");
+  server::MySqlServer* leader = nodes_.at(primary)->server();
+
+  // Prepare the new member: seed it with the post-change config (current
+  // committed config + itself). Real automation also clones data; new
+  // rings here retain their full log so catch-up from index 1 works.
+  MembershipConfig seed_config = leader->consensus()->config();
+  seed_config.members.push_back(member);
+
+  SimNode::Options node_options;
+  node_options.server.replicaset = options_.replicaset;
+  node_options.server.id = member.id;
+  node_options.server.region = member.region;
+  node_options.server.kind = member.kind;
+  node_options.server.data_dir = "/" + member.id;
+  node_options.server.numeric_server_id =
+      static_cast<uint32_t>(nodes_.size() + 1);
+  node_options.server.server_uuid =
+      Uuid::FromIndex(500 + nodes_.size());
+  node_options.server.raft = options_.raft;
+  node_options.proxy = options_.proxy;
+  node_options.proxy_enabled = options_.proxy_enabled;
+  auto node = std::make_unique<SimNode>(&loop_, &network_, &discovery_,
+                                        quorum_, std::move(node_options));
+  if (prepare_disk != nullptr) {
+    MYRAFT_RETURN_NOT_OK_PREPEND(
+        prepare_disk(node->env(), "/" + member.id),
+        "preparing disk for " + member.id);
+  }
+  MYRAFT_RETURN_NOT_OK(node->Bootstrap(seed_config));
+  nodes_[member.id] = std::move(node);
+  config_.members.push_back(member);
+
+  return leader->AddMember(member);
+}
+
+Status ClusterHarness::RemoveMemberViaLeader(const MemberId& member) {
+  const MemberId primary = CurrentPrimary();
+  if (primary.empty()) return Status::ServiceUnavailable("no primary");
+  return nodes_.at(primary)->server()->RemoveMember(member);
+}
+
+ClusterHarness::DowntimeResult ClusterHarness::MeasureWriteDowntime(
+    std::function<void()> disruption, uint64_t probe_interval_micros,
+    uint64_t timeout_micros, bool expect_outage) {
+  DowntimeProbe::Options probe_options;
+  probe_options.probe_interval_micros = probe_interval_micros;
+  probe_options.timeout_micros = timeout_micros;
+  probe_options.expect_outage = expect_outage;
+  auto probe_result = DowntimeProbe::Measure(
+      &loop_,
+      [this](const std::string& key, std::function<void(bool)> report) {
+        ClientWrite(key, "v", [report](const ClientWriteResult& r) {
+          report(r.status.ok());
+        });
+      },
+      std::move(disruption), []() { return true; }, probe_options);
+  DowntimeResult result;
+  result.recovered = probe_result.completed;
+  result.downtime_micros =
+      probe_result.completed ? probe_result.downtime_micros : timeout_micros;
+  return result;
+}
+
+bool ClusterHarness::CheckReplicaConsistency() {
+  // Compare engines that have applied up to the same OpId.
+  std::map<uint64_t, uint64_t> checksum_by_applied;  // applied index -> sum
+  bool consistent = true;
+  for (auto& [id, node] : nodes_) {
+    if (!node->up()) continue;
+    server::MySqlServer* server = node->server();
+    if (server->engine() == nullptr) continue;
+    const uint64_t applied = server->engine()->LastAppliedOpId().index;
+    const uint64_t checksum = server->StateChecksum();
+    auto [it, inserted] = checksum_by_applied.emplace(applied, checksum);
+    if (!inserted && it->second != checksum) {
+      MYRAFT_LOG(Error) << "replica divergence at applied index " << applied
+                        << ": " << id;
+      consistent = false;
+    }
+  }
+  return consistent;
+}
+
+}  // namespace myraft::sim

@@ -1,0 +1,139 @@
+// ClusterHarness: builds the paper's replicaset topology (§6.1: a primary
+// with two in-region logtailers, N-1 follower regions each with a database
+// + two logtailers, plus learners) on the simulator, and provides the
+// client machinery used by the evaluation: routed writes with modelled
+// client/server costs, and write-downtime probes for the failover and
+// promotion experiments (Table 2).
+
+#ifndef MYRAFT_SIM_CLUSTER_H_
+#define MYRAFT_SIM_CLUSTER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/downtime_probe.h"
+#include "sim/node.h"
+
+namespace myraft::sim {
+
+struct ClusterOptions {
+  std::string replicaset = "rs0";
+  /// Regions hosting a database voter + its logtailers. Region 0 is the
+  /// bootstrap primary's.
+  int db_regions = 3;
+  int logtailers_per_db = 2;
+  /// Non-voting replicas, placed round-robin in follower regions.
+  int learners = 0;
+
+  uint64_t seed = 1;
+  NetworkOptions network;
+  raft::RaftOptions raft;
+  proxy::ProxyOptions proxy;
+  bool proxy_enabled = true;
+  /// Forwarded to every member's MySqlServerOptions.
+  uint64_t engine_checkpoint_wal_bytes = 32ull << 20;
+
+  // Modelled client-path constants (see EXPERIMENTS.md, "calibration"):
+  /// One-way client <-> primary latency.
+  uint64_t client_one_way_micros = 150;
+  /// Server-side execute+prepare+flush CPU/IO cost before Raft takes over
+  /// (base + uniform jitter models statement mix and host load).
+  uint64_t server_processing_micros = 200;
+  uint64_t server_processing_jitter_micros = 0;
+  /// Client-side timeout treated as a failed write (dead primary).
+  uint64_t client_timeout_micros = 500'000;
+};
+
+class ClusterHarness {
+ public:
+  struct ClientWriteResult {
+    Status status;
+    uint64_t latency_micros = 0;
+  };
+  using ClientCallback = std::function<void(const ClientWriteResult&)>;
+
+  struct DowntimeResult {
+    bool recovered = false;
+    uint64_t downtime_micros = 0;
+  };
+
+  ClusterHarness(ClusterOptions options, const raft::QuorumEngine* quorum);
+
+  /// Creates all nodes and bootstraps the ring.
+  Status Bootstrap();
+
+  // --- Accessors ---------------------------------------------------------------
+
+  EventLoop* loop() { return &loop_; }
+  SimNetwork* network() { return &network_; }
+  server::InMemoryServiceDiscovery* discovery() { return &discovery_; }
+  SimNode* node(const MemberId& id) { return nodes_.at(id).get(); }
+  std::vector<MemberId> ids() const;
+  std::vector<MemberId> database_ids() const;
+  const MembershipConfig& config() const { return config_; }
+
+  /// Database member currently published as primary with writes enabled
+  /// ("" if none).
+  MemberId CurrentPrimary();
+  /// Runs the loop until a primary is serving writes ("" on timeout).
+  MemberId WaitForPrimary(uint64_t timeout_micros);
+
+  // --- Client operations ----------------------------------------------------------
+
+  /// Write routed to the published primary (or `target` if given), with
+  /// modelled client latency + server processing cost.
+  void ClientWrite(const std::string& key, const std::string& value,
+                   ClientCallback done, const MemberId& target = "");
+  /// Convenience: issue a write and run the loop until it completes.
+  ClientWriteResult SyncWrite(const std::string& key,
+                              const std::string& value,
+                              uint64_t timeout_micros = 5'000'000);
+
+  // --- Fault injection -------------------------------------------------------------
+
+  void Crash(const MemberId& id) { nodes_.at(id)->Crash(); }
+  Status Restart(const MemberId& id) { return nodes_.at(id)->Restart(); }
+
+  /// §2.2 membership change, end to end: provisions a brand-new process
+  /// ("automation allocates and prepares a new member"), seeds it with
+  /// the current config plus itself, then invokes AddMember on the
+  /// leader. `prepare_disk`, if given, runs against the new member's
+  /// empty disk before first boot (e.g. restoring a backup so the member
+  /// can join a ring whose old log files were purged).
+  using PrepareDiskFn =
+      std::function<Status(Env* env, const std::string& data_dir)>;
+  Status AddNewMember(const MemberInfo& member,
+                      PrepareDiskFn prepare_disk = nullptr);
+  /// RemoveMember via the current leader; the node keeps running but is
+  /// no longer part of the ring (automation would decommission it).
+  Status RemoveMemberViaLeader(const MemberId& member);
+
+  /// Executes `disruption` and measures the client-observed write
+  /// unavailability: the longest window during which probe writes
+  /// (issued every `probe_interval`) fail.
+  DowntimeResult MeasureWriteDowntime(std::function<void()> disruption,
+                                      uint64_t probe_interval_micros = 10'000,
+                                      uint64_t timeout_micros = 180'000'000,
+                                      bool expect_outage = true);
+
+  /// §5.1-style consistency check: all database engines that are caught up
+  /// report the same state checksum. Returns false on divergence.
+  bool CheckReplicaConsistency();
+
+ private:
+  ClusterOptions options_;
+  const raft::QuorumEngine* quorum_;
+  EventLoop loop_;
+  SimNetwork network_;
+  server::InMemoryServiceDiscovery discovery_;
+  MembershipConfig config_;
+  std::map<MemberId, std::unique_ptr<SimNode>> nodes_;
+  uint64_t client_seq_ = 0;
+};
+
+}  // namespace myraft::sim
+
+#endif  // MYRAFT_SIM_CLUSTER_H_

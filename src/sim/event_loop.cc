@@ -1,0 +1,45 @@
+#include "sim/event_loop.h"
+
+#include "util/logging.h"
+
+namespace myraft::sim {
+
+uint64_t EventLoop::Schedule(uint64_t delay_micros, Callback callback) {
+  const uint64_t seq = next_seq_++;
+  queue_.push(Event{now() + delay_micros, seq, std::move(callback)});
+  return seq;
+}
+
+void EventLoop::Cancel(uint64_t event_id) { cancelled_.insert(event_id); }
+
+bool EventLoop::RunOne() {
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    queue_.pop();
+    if (cancelled_.erase(event.seq) > 0) continue;
+    MYRAFT_CHECK(event.time >= clock_.now_micros_)
+        << "event scheduled in the past";
+    clock_.now_micros_ = event.time;
+    event.callback();
+    return true;
+  }
+  return false;
+}
+
+void EventLoop::RunUntil(uint64_t deadline_micros) {
+  while (!queue_.empty()) {
+    const Event& next = queue_.top();
+    if (cancelled_.count(next.seq) > 0) {
+      cancelled_.erase(next.seq);
+      queue_.pop();
+      continue;
+    }
+    if (next.time > deadline_micros) break;
+    RunOne();
+  }
+  if (clock_.now_micros_ < deadline_micros) {
+    clock_.now_micros_ = deadline_micros;
+  }
+}
+
+}  // namespace myraft::sim

@@ -1,0 +1,183 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace myraft::sim {
+
+namespace {
+
+std::pair<MemberId, MemberId> NormalisedPair(const MemberId& a,
+                                             const MemberId& b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+std::pair<RegionId, RegionId> NormalisedRegionPair(const RegionId& a,
+                                                   const RegionId& b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+}  // namespace
+
+void SimNetwork::RegisterNode(const MemberId& id, const RegionId& region,
+                              DeliverFn deliver) {
+  nodes_[id] = Node{region, std::move(deliver)};
+}
+
+void SimNetwork::UnregisterNode(const MemberId& id) { nodes_.erase(id); }
+
+RegionId SimNetwork::RegionOf(const MemberId& id) const {
+  auto it = nodes_.find(id);
+  return it != nodes_.end() ? it->second.region : RegionId();
+}
+
+void SimNetwork::SetRegionLatency(const RegionId& a, const RegionId& b,
+                                  LatencyModel latency) {
+  region_latency_[NormalisedRegionPair(a, b)] = latency;
+}
+
+void SimNetwork::SetNodeUp(const MemberId& id, bool up) {
+  if (up) {
+    down_.erase(id);
+  } else {
+    down_.insert(id);
+  }
+}
+
+void SimNetwork::SetLinkCut(const MemberId& a, const MemberId& b, bool cut) {
+  if (cut) {
+    cut_links_.insert(NormalisedPair(a, b));
+  } else {
+    cut_links_.erase(NormalisedPair(a, b));
+  }
+}
+
+void SimNetwork::SetRegionPartitioned(const RegionId& region,
+                                      bool partitioned) {
+  if (partitioned) {
+    partitioned_regions_.insert(region);
+  } else {
+    partitioned_regions_.erase(region);
+  }
+}
+
+void SimNetwork::SetNodeExtraDelay(const MemberId& id, uint64_t extra_micros) {
+  if (extra_micros == 0) {
+    extra_delay_.erase(id);
+  } else {
+    extra_delay_[id] = extra_micros;
+  }
+}
+
+void SimNetwork::SetNodeReplicationLag(const MemberId& id,
+                                       uint64_t extra_micros) {
+  if (extra_micros == 0) {
+    replication_lag_.erase(id);
+  } else {
+    replication_lag_[id] = extra_micros;
+  }
+}
+
+bool SimNetwork::LinkCutBetween(const MemberId& a, const MemberId& b) const {
+  if (cut_links_.count(NormalisedPair(a, b)) > 0) return true;
+  if (!partitioned_regions_.empty()) {
+    const RegionId ra = RegionOf(a);
+    const RegionId rb = RegionOf(b);
+    if (ra != rb && (partitioned_regions_.count(ra) > 0 ||
+                     partitioned_regions_.count(rb) > 0)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t SimNetwork::SampleLatency(const RegionId& from, const RegionId& to) {
+  LatencyModel model;
+  auto it = region_latency_.find(NormalisedRegionPair(from, to));
+  if (it != region_latency_.end()) {
+    model = it->second;
+  } else {
+    model = (from == to) ? options_.same_region : options_.cross_region;
+  }
+  uint64_t latency = model.base_micros;
+  if (model.jitter_micros > 0) {
+    latency += loop_->rng()->Uniform(model.jitter_micros);
+  }
+  return latency;
+}
+
+void SimNetwork::Send(const MemberId& from, Message message) {
+  // Deliver to the physical next hop (a proxy relay when routed).
+  const MemberId dest = MessageNextHop(message);
+  auto from_it = nodes_.find(from);
+  auto dest_it = nodes_.find(dest);
+  if (from_it == nodes_.end() || dest_it == nodes_.end() ||
+      down_.count(from) > 0 || down_.count(dest) > 0 ||
+      LinkCutBetween(from, dest)) {
+    ++dropped_;
+    return;
+  }
+  if (options_.loss_rate > 0 && loop_->rng()->Bernoulli(options_.loss_rate)) {
+    ++dropped_;
+    return;
+  }
+
+  const RegionId from_region = from_it->second.region;
+  const RegionId dest_region = dest_it->second.region;
+  const uint64_t bytes = MessageWireBytes(message);
+  LinkStats& stats = link_stats_[{from_region, dest_region}];
+  ++stats.messages;
+  stats.bytes += bytes;
+  LinkStats& member_stats = member_link_stats_[{from, dest}];
+  ++member_stats.messages;
+  member_stats.bytes += bytes;
+
+  uint64_t latency = SampleLatency(from_region, dest_region);
+  auto delay_it = extra_delay_.find(from);
+  if (delay_it != extra_delay_.end()) latency += delay_it->second;
+  delay_it = extra_delay_.find(dest);
+  if (delay_it != extra_delay_.end()) latency += delay_it->second;
+  if (!replication_lag_.empty()) {
+    auto lag_it = replication_lag_.find(dest);
+    if (lag_it != replication_lag_.end()) {
+      const auto* request = std::get_if<AppendEntriesRequest>(&message);
+      if (request != nullptr && !request->entries.empty()) {
+        latency += lag_it->second;
+      }
+    }
+  }
+
+  loop_->Schedule(latency, [this, from, dest, msg = std::move(message)]() {
+    auto it = nodes_.find(dest);
+    // Re-check liveness at delivery time (node may have crashed in
+    // flight).
+    if (it == nodes_.end() || down_.count(dest) > 0) {
+      ++dropped_;
+      return;
+    }
+    it->second.deliver(from, msg);
+  });
+}
+
+uint64_t SimNetwork::CrossRegionBytes() const {
+  uint64_t total = 0;
+  for (const auto& [pair, stats] : link_stats_) {
+    if (pair.first != pair.second) total += stats.bytes;
+  }
+  return total;
+}
+
+uint64_t SimNetwork::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& [pair, stats] : link_stats_) total += stats.bytes;
+  return total;
+}
+
+void SimNetwork::ResetStats() {
+  link_stats_.clear();
+  member_link_stats_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace myraft::sim

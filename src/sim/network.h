@@ -1,0 +1,128 @@
+// Simulated multi-region network: per-region-pair latency distributions,
+// crash/partition/loss injection, and byte accounting per region pair
+// (the measurement behind the Proxying bandwidth experiment, §4.2).
+
+#ifndef MYRAFT_SIM_NETWORK_H_
+#define MYRAFT_SIM_NETWORK_H_
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+#include "sim/event_loop.h"
+#include "wire/messages.h"
+
+namespace myraft::sim {
+
+struct LatencyModel {
+  uint64_t base_micros = 0;
+  uint64_t jitter_micros = 0;  // uniform extra in [0, jitter)
+};
+
+struct NetworkOptions {
+  /// One-way latency within a region.
+  LatencyModel same_region{150, 100};
+  /// One-way latency between distinct regions (uniform default; override
+  /// per pair with SetRegionLatency).
+  LatencyModel cross_region{15'000, 2'000};
+  /// Probability each message is dropped (applied after partitions).
+  double loss_rate = 0.0;
+};
+
+class SimNetwork {
+ public:
+  /// Delivery callback: `physical_from` is the member that put the
+  /// message on the wire (a relay for proxied traffic), which may differ
+  /// from the logical MessageFrom.
+  using DeliverFn =
+      std::function<void(const MemberId& physical_from, const Message&)>;
+
+  SimNetwork(EventLoop* loop, NetworkOptions options)
+      : loop_(loop), options_(options) {}
+
+  // --- Topology ---------------------------------------------------------------
+
+  void RegisterNode(const MemberId& id, const RegionId& region,
+                    DeliverFn deliver);
+  void UnregisterNode(const MemberId& id);
+  bool IsRegistered(const MemberId& id) const { return nodes_.count(id) > 0; }
+  RegionId RegionOf(const MemberId& id) const;
+
+  /// Override latency for a specific (unordered) region pair.
+  void SetRegionLatency(const RegionId& a, const RegionId& b,
+                        LatencyModel latency);
+
+  // --- Fault injection ----------------------------------------------------------
+
+  /// Node down: all messages to/from it are dropped (process crash).
+  void SetNodeUp(const MemberId& id, bool up);
+  bool IsNodeUp(const MemberId& id) const { return down_.count(id) == 0; }
+  /// Bidirectional link cut between two members.
+  void SetLinkCut(const MemberId& a, const MemberId& b, bool cut);
+  /// Full region partition: cuts every link crossing the region boundary.
+  void SetRegionPartitioned(const RegionId& region, bool partitioned);
+  void SetLossRate(double rate) { options_.loss_rate = rate; }
+  /// Extra one-way delay applied to all messages to/from a member
+  /// (models a lagging / overloaded host).
+  void SetNodeExtraDelay(const MemberId& id, uint64_t extra_micros);
+  /// Extra delay applied only to data-carrying AppendEntries destined to
+  /// `id` (models a host whose replication apply/disk path is backlogged
+  /// while its control plane — votes, heartbeats, acks — stays fast).
+  void SetNodeReplicationLag(const MemberId& id, uint64_t extra_micros);
+
+  // --- Sending ---------------------------------------------------------------
+
+  /// Queues delivery of `message` from `from` to MessageDest(message)
+  /// after the modelled latency. Drops silently on faults.
+  void Send(const MemberId& from, Message message);
+
+  // --- Accounting -----------------------------------------------------------
+
+  struct LinkStats {
+    uint64_t messages = 0;
+    uint64_t bytes = 0;
+  };
+
+  /// Stats per (source region, dest region) pair.
+  const std::map<std::pair<RegionId, RegionId>, LinkStats>& link_stats()
+      const {
+    return link_stats_;
+  }
+  /// Stats per (physical sender, physical receiver) member pair — the
+  /// per-connection resource accounting of §4.2.2.
+  const std::map<std::pair<MemberId, MemberId>, LinkStats>&
+  member_link_stats() const {
+    return member_link_stats_;
+  }
+  uint64_t CrossRegionBytes() const;
+  uint64_t TotalBytes() const;
+  uint64_t dropped_messages() const { return dropped_; }
+  void ResetStats();
+
+ private:
+  struct Node {
+    RegionId region;
+    DeliverFn deliver;
+  };
+
+  uint64_t SampleLatency(const RegionId& from, const RegionId& to);
+  bool LinkCutBetween(const MemberId& a, const MemberId& b) const;
+
+  EventLoop* loop_;
+  NetworkOptions options_;
+  std::map<MemberId, Node> nodes_;
+  std::set<MemberId> down_;
+  std::set<std::pair<MemberId, MemberId>> cut_links_;  // normalised pairs
+  std::set<RegionId> partitioned_regions_;
+  std::map<MemberId, uint64_t> extra_delay_;
+  std::map<MemberId, uint64_t> replication_lag_;
+  std::map<std::pair<RegionId, RegionId>, LatencyModel> region_latency_;
+  std::map<std::pair<RegionId, RegionId>, LinkStats> link_stats_;
+  std::map<std::pair<MemberId, MemberId>, LinkStats> member_link_stats_;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace myraft::sim
+
+#endif  // MYRAFT_SIM_NETWORK_H_

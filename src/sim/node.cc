@@ -1,0 +1,95 @@
+#include "sim/node.h"
+
+#include "util/logging.h"
+
+namespace myraft::sim {
+
+SimNode::SimNode(EventLoop* loop, SimNetwork* network,
+                 server::ServiceDiscovery* discovery,
+                 const raft::QuorumEngine* quorum, Options options)
+    : loop_(loop),
+      network_(network),
+      discovery_(discovery),
+      quorum_(quorum),
+      options_(std::move(options)),
+      env_(NewMemEnv()) {}
+
+SimNode::SimNode(EventLoop* loop, SimNetwork* network,
+                 server::ServiceDiscovery* discovery,
+                 const raft::QuorumEngine* quorum, Options options,
+                 std::unique_ptr<Env> env)
+    : loop_(loop),
+      network_(network),
+      discovery_(discovery),
+      quorum_(quorum),
+      options_(std::move(options)),
+      env_(std::move(env)) {}
+
+SimNode::~SimNode() {
+  if (up_) network_->UnregisterNode(id());
+}
+
+Status SimNode::BuildProcess() {
+  // Router first (it is the server's outbox), bind consensus after.
+  router_ = std::make_unique<proxy::ProxyRouter>(
+      options_.server.id, options_.server.region, options_.proxy, loop_,
+      [this](Message m) { network_->Send(id(), std::move(m)); });
+  router_->set_enabled(options_.proxy_enabled);
+
+  auto server = server::MySqlServer::Create(env_.get(), options_.server,
+                                            quorum_, loop_->clock(),
+                                            loop_->rng(), router_.get(),
+                                            discovery_);
+  if (!server.ok()) return server.status();
+  server_ = std::move(*server);
+  router_->BindConsensus(server_->consensus());
+
+  network_->RegisterNode(id(), region(),
+                         [this](const MemberId& from, const Message& m) {
+                           Deliver(from, m);
+                         });
+  network_->SetNodeUp(id(), true);
+  up_ = true;
+  ++incarnation_;
+  ScheduleTick();
+  return Status::OK();
+}
+
+Status SimNode::Bootstrap(const MembershipConfig& config) {
+  MYRAFT_RETURN_NOT_OK(BuildProcess());
+  return server_->Bootstrap(config);
+}
+
+Status SimNode::Restart() {
+  if (up_) return Status::IllegalState("node is already up");
+  MYRAFT_RETURN_NOT_OK(BuildProcess());
+  return server_->Start();
+}
+
+void SimNode::Crash() {
+  if (!up_) return;
+  up_ = false;
+  network_->SetNodeUp(id(), false);
+  network_->UnregisterNode(id());
+  // Volatile state dies with the process; env_ (the disk) survives.
+  server_.reset();
+  router_.reset();
+}
+
+void SimNode::Deliver(const MemberId& physical_from, const Message& message) {
+  if (!up_) return;
+  router_->ObserveTraffic(physical_from);
+  if (router_->HandleInbound(message)) return;
+  server_->HandleMessage(message);
+}
+
+void SimNode::ScheduleTick() {
+  const uint64_t my_incarnation = incarnation_;
+  loop_->Schedule(options_.tick_interval_micros, [this, my_incarnation]() {
+    if (!up_ || incarnation_ != my_incarnation) return;
+    server_->Tick();
+    ScheduleTick();
+  });
+}
+
+}  // namespace myraft::sim

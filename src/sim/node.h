@@ -1,0 +1,75 @@
+// SimNode: hosts one replicaset member (MySqlServer + ProxyRouter) inside
+// the discrete-event simulator. The node's "disk" is a private MemEnv that
+// survives crashes; process state does not, so Crash()/Restart() exercise
+// the real recovery paths (§A.2).
+
+#ifndef MYRAFT_SIM_NODE_H_
+#define MYRAFT_SIM_NODE_H_
+
+#include <memory>
+
+#include "proxy/proxy_router.h"
+#include "server/mysql_server.h"
+#include "sim/event_loop.h"
+#include "sim/network.h"
+
+namespace myraft::sim {
+
+class SimNode {
+ public:
+  struct Options {
+    server::MySqlServerOptions server;
+    proxy::ProxyOptions proxy;
+    bool proxy_enabled = true;
+    uint64_t tick_interval_micros = 20'000;
+  };
+
+  SimNode(EventLoop* loop, SimNetwork* network,
+          server::ServiceDiscovery* discovery,
+          const raft::QuorumEngine* quorum, Options options);
+  /// Variant adopting an existing disk (enable-raft migrations, §5.2).
+  SimNode(EventLoop* loop, SimNetwork* network,
+          server::ServiceDiscovery* discovery,
+          const raft::QuorumEngine* quorum, Options options,
+          std::unique_ptr<Env> env);
+  ~SimNode();
+
+  SimNode(const SimNode&) = delete;
+  SimNode& operator=(const SimNode&) = delete;
+
+  /// First boot + ring bootstrap.
+  Status Bootstrap(const MembershipConfig& config);
+  /// Restart after Crash() (recovers from the surviving MemEnv).
+  Status Restart();
+
+  /// Process crash: drops volatile state, deregisters from the network.
+  void Crash();
+
+  bool up() const { return up_; }
+  const MemberId& id() const { return options_.server.id; }
+  const RegionId& region() const { return options_.server.region; }
+  server::MySqlServer* server() { return server_.get(); }
+  proxy::ProxyRouter* router() { return router_.get(); }
+  Env* env() { return env_.get(); }
+
+ private:
+  Status BuildProcess();  // constructs router + server over env_
+  void Deliver(const MemberId& physical_from, const Message& message);
+  void ScheduleTick();
+
+  EventLoop* loop_;
+  SimNetwork* network_;
+  server::ServiceDiscovery* discovery_;
+  const raft::QuorumEngine* quorum_;
+  Options options_;
+
+  std::unique_ptr<Env> env_;  // survives crashes ("disk")
+  std::unique_ptr<proxy::ProxyRouter> router_;
+  std::unique_ptr<server::MySqlServer> server_;
+  bool up_ = false;
+  uint64_t incarnation_ = 0;  // stale tick events check this
+};
+
+}  // namespace myraft::sim
+
+#endif  // MYRAFT_SIM_NODE_H_

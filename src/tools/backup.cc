@@ -1,0 +1,57 @@
+#include "tools/backup.h"
+
+namespace myraft::tools {
+
+namespace {
+
+Status CopyDirInto(Env* env, const std::string& dir,
+                   const std::string& prefix, BackupArchive* archive) {
+  if (!env->FileExists(dir)) return Status::OK();  // e.g. logtailers: no engine
+  auto children = env->GetChildren(dir);
+  if (!children.ok()) return children.status();
+  for (const std::string& name : *children) {
+    auto contents = env->ReadFileToString(dir + "/" + name);
+    if (!contents.ok()) {
+      // Directories (none expected) or races; surface real errors.
+      if (contents.status().IsNotFound()) continue;
+      return contents.status();
+    }
+    archive->total_bytes += contents->size();
+    archive->files[prefix + "/" + name] = std::move(*contents);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<BackupArchive> BackupDataDir(Env* env, const std::string& data_dir,
+                                    Clock* clock) {
+  BackupArchive archive;
+  archive.taken_at_micros = clock != nullptr ? clock->NowMicros() : 0;
+  MYRAFT_RETURN_NOT_OK(
+      CopyDirInto(env, data_dir + "/log", "log", &archive));
+  MYRAFT_RETURN_NOT_OK(
+      CopyDirInto(env, data_dir + "/engine", "engine", &archive));
+  if (archive.files.empty()) {
+    return Status::NotFound("nothing to back up under " + data_dir);
+  }
+  return archive;
+}
+
+Status RestoreDataDir(const BackupArchive& archive, Env* dst_env,
+                      const std::string& data_dir) {
+  if (dst_env->FileExists(data_dir + "/log") ||
+      dst_env->FileExists(data_dir + "/engine")) {
+    return Status::AlreadyPresent("refusing to restore over existing data");
+  }
+  MYRAFT_RETURN_NOT_OK(dst_env->CreateDirIfMissing(data_dir));
+  MYRAFT_RETURN_NOT_OK(dst_env->CreateDirIfMissing(data_dir + "/log"));
+  MYRAFT_RETURN_NOT_OK(dst_env->CreateDirIfMissing(data_dir + "/engine"));
+  for (const auto& [relative, contents] : archive.files) {
+    MYRAFT_RETURN_NOT_OK(dst_env->WriteStringToFile(
+        contents, data_dir + "/" + relative, /*sync=*/true));
+  }
+  return Status::OK();
+}
+
+}  // namespace myraft::tools

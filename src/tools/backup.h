@@ -1,0 +1,44 @@
+// Backup / restore of a member's data directory (binary logs + storage
+// engine). §3 motivates keeping binlogs as the Raft log partly because
+// "our backup and restore service" depends on them; §2.2's membership
+// changes rely on automation that "allocates and prepares a new member" —
+// i.e. restores a backup so the new member can join even after the ring
+// has purged old log files.
+//
+// Consensus metadata is deliberately NOT part of a backup: a restored
+// host is a new Raft identity and must not inherit votes or terms.
+
+#ifndef MYRAFT_TOOLS_BACKUP_H_
+#define MYRAFT_TOOLS_BACKUP_H_
+
+#include <map>
+#include <string>
+
+#include "binlog/gtid.h"
+#include "util/clock.h"
+#include "util/env.h"
+#include "wire/types.h"
+
+namespace myraft::tools {
+
+struct BackupArchive {
+  /// data-dir-relative path -> file contents.
+  std::map<std::string, std::string> files;
+  uint64_t taken_at_micros = 0;
+  uint64_t total_bytes = 0;
+};
+
+/// Snapshots `<data_dir>/log` and `<data_dir>/engine` from `env`.
+/// Consistent only if the server is quiesced or crashed (our harnesses
+/// back up stopped nodes; online backup would need engine snapshots).
+Result<BackupArchive> BackupDataDir(Env* env, const std::string& data_dir,
+                                    Clock* clock);
+
+/// Materialises `archive` under `data_dir` on `dst_env` (which must not
+/// already contain a data dir there).
+Status RestoreDataDir(const BackupArchive& archive, Env* dst_env,
+                      const std::string& data_dir);
+
+}  // namespace myraft::tools
+
+#endif  // MYRAFT_TOOLS_BACKUP_H_

@@ -1,0 +1,46 @@
+// Clock abstraction. Production components take a Clock* so the
+// discrete-event simulator can supply virtual time; nothing in the
+// library reads the wall clock directly.
+
+#ifndef MYRAFT_UTIL_CLOCK_H_
+#define MYRAFT_UTIL_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace myraft {
+
+/// Monotonic microsecond clock.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual uint64_t NowMicros() const = 0;
+  uint64_t NowMillis() const { return NowMicros() / 1000; }
+};
+
+/// Real monotonic clock for out-of-simulator use (tools, micro benches).
+class SystemClock : public Clock {
+ public:
+  uint64_t NowMicros() const override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+/// Manually advanced clock for unit tests (the simulator has its own
+/// SimClock that implements Clock as well).
+class ManualClock : public Clock {
+ public:
+  uint64_t NowMicros() const override { return now_micros_; }
+  void AdvanceMicros(uint64_t delta) { now_micros_ += delta; }
+  void SetMicros(uint64_t now) { now_micros_ = now; }
+
+ private:
+  uint64_t now_micros_ = 0;
+};
+
+}  // namespace myraft
+
+#endif  // MYRAFT_UTIL_CLOCK_H_

@@ -1,0 +1,79 @@
+// Binary encoding primitives: little-endian fixed ints, LEB128 varints,
+// and length-prefixed strings. Shared by the wire format, the binlog and
+// the storage WAL.
+
+#ifndef MYRAFT_UTIL_CODING_H_
+#define MYRAFT_UTIL_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "util/slice.h"
+
+namespace myraft {
+
+// --- Appenders -------------------------------------------------------------
+
+inline void PutFixed16(std::string* dst, uint16_t value) {
+  char buf[2];
+  buf[0] = static_cast<char>(value & 0xff);
+  buf[1] = static_cast<char>((value >> 8) & 0xff);
+  dst->append(buf, 2);
+}
+
+inline void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  dst->append(buf, 4);
+}
+
+inline void PutFixed64(std::string* dst, uint64_t value) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  dst->append(buf, 8);
+}
+
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+
+/// Appends varint-length-prefixed bytes.
+inline void PutLengthPrefixed(std::string* dst, const Slice& value) {
+  PutVarint64(dst, value.size());
+  dst->append(value.data(), value.size());
+}
+
+// --- Decoders ---------------------------------------------------------------
+
+inline uint16_t DecodeFixed16(const char* p) {
+  return static_cast<uint16_t>(static_cast<uint8_t>(p[0])) |
+         (static_cast<uint16_t>(static_cast<uint8_t>(p[1])) << 8);
+}
+
+inline uint32_t DecodeFixed32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  return v;
+}
+
+inline uint64_t DecodeFixed64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  return v;
+}
+
+/// Each Get* consumes bytes from the front of `input` on success and
+/// returns false (leaving `input` unspecified) on truncated/invalid data.
+bool GetFixed16(Slice* input, uint16_t* value);
+bool GetFixed32(Slice* input, uint32_t* value);
+bool GetFixed64(Slice* input, uint64_t* value);
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+bool GetLengthPrefixed(Slice* input, Slice* result);
+
+/// Number of bytes PutVarint64 would emit for `value`.
+int VarintLength(uint64_t value);
+
+}  // namespace myraft
+
+#endif  // MYRAFT_UTIL_CODING_H_

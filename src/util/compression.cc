@@ -1,0 +1,137 @@
+#include "util/compression.h"
+
+#include <cstring>
+#include <vector>
+
+#include "util/coding.h"
+
+namespace myraft {
+
+namespace {
+
+constexpr int kMinMatch = 4;
+constexpr size_t kMaxDistance = 64 * 1024;
+constexpr int kHashBits = 15;
+constexpr size_t kHashSize = 1u << kHashBits;
+
+inline uint32_t HashQuad(const char* p) {
+  uint32_t v;
+  memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+// Command tags in the compressed stream.
+constexpr uint8_t kLiteralTag = 0;
+constexpr uint8_t kMatchTag = 1;
+
+void EmitLiterals(const char* base, size_t start, size_t end,
+                  std::string* out) {
+  if (end <= start) return;
+  out->push_back(static_cast<char>(kLiteralTag));
+  PutVarint64(out, end - start);
+  out->append(base + start, end - start);
+}
+
+}  // namespace
+
+void LzCompress(const Slice& input, std::string* output) {
+  output->clear();
+  PutVarint64(output, input.size());
+  const char* base = input.data();
+  const size_t n = input.size();
+
+  if (n < static_cast<size_t>(kMinMatch)) {
+    EmitLiterals(base, 0, n, output);
+    return;
+  }
+
+  std::vector<uint32_t> table(kHashSize, UINT32_MAX);
+  size_t literal_start = 0;
+  size_t i = 0;
+  const size_t match_limit = n - kMinMatch;
+
+  while (i <= match_limit) {
+    const uint32_t h = HashQuad(base + i);
+    const uint32_t candidate = table[h];
+    table[h] = static_cast<uint32_t>(i);
+
+    if (candidate != UINT32_MAX && i - candidate <= kMaxDistance &&
+        memcmp(base + candidate, base + i, kMinMatch) == 0) {
+      // Extend the match as far as possible.
+      size_t len = kMinMatch;
+      while (i + len < n && base[candidate + len] == base[i + len]) ++len;
+
+      EmitLiterals(base, literal_start, i, output);
+      output->push_back(static_cast<char>(kMatchTag));
+      PutVarint64(output, len);
+      PutVarint64(output, i - candidate);
+
+      // Seed the hash table inside the match so future matches can land
+      // mid-way (sparsely, to bound cost).
+      const size_t match_end = i + len;
+      for (size_t j = i + 1; j + kMinMatch <= match_end && j <= match_limit;
+           j += 2) {
+        table[HashQuad(base + j)] = static_cast<uint32_t>(j);
+      }
+      i = match_end;
+      literal_start = i;
+    } else {
+      ++i;
+    }
+  }
+  EmitLiterals(base, literal_start, n, output);
+}
+
+Status LzDecompress(const Slice& input, std::string* output) {
+  output->clear();
+  Slice in = input;
+  uint64_t expected_size;
+  if (!GetVarint64(&in, &expected_size)) {
+    return Status::Corruption("lz: missing size header");
+  }
+  output->reserve(expected_size);
+
+  while (!in.empty()) {
+    const uint8_t tag = static_cast<uint8_t>(in[0]);
+    in.RemovePrefix(1);
+    if (tag == kLiteralTag) {
+      Slice run;
+      uint64_t len;
+      if (!GetVarint64(&in, &len) || in.size() < len) {
+        return Status::Corruption("lz: truncated literal run");
+      }
+      run = Slice(in.data(), len);
+      in.RemovePrefix(len);
+      output->append(run.data(), run.size());
+    } else if (tag == kMatchTag) {
+      uint64_t len, dist;
+      if (!GetVarint64(&in, &len) || !GetVarint64(&in, &dist)) {
+        return Status::Corruption("lz: truncated match");
+      }
+      if (dist == 0 || dist > output->size()) {
+        return Status::Corruption("lz: match distance out of window");
+      }
+      // Byte-by-byte copy handles overlapping matches (RLE case).
+      size_t from = output->size() - dist;
+      for (uint64_t k = 0; k < len; ++k) {
+        output->push_back((*output)[from + k]);
+      }
+    } else {
+      return Status::Corruption("lz: bad command tag");
+    }
+    if (output->size() > expected_size) {
+      return Status::Corruption("lz: output overruns declared size");
+    }
+  }
+  if (output->size() != expected_size) {
+    return Status::Corruption("lz: output size mismatch");
+  }
+  return Status::OK();
+}
+
+size_t LzMaxCompressedSize(size_t input_size) {
+  // Worst case: header + one literal command.
+  return input_size + 2 * 10 + 1;
+}
+
+}  // namespace myraft

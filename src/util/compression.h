@@ -1,0 +1,31 @@
+// Block compression for the Raft in-memory log-entry cache. §3.4: "Then
+// Raft compresses the transaction and stores it in its in-memory cache".
+// This is a from-scratch greedy LZ77 ("lzmr") — not format-compatible with
+// anything external, but fast, dependency-free and round-trip safe.
+
+#ifndef MYRAFT_UTIL_COMPRESSION_H_
+#define MYRAFT_UTIL_COMPRESSION_H_
+
+#include <string>
+
+#include "util/result.h"
+#include "util/slice.h"
+
+namespace myraft {
+
+/// Compresses `input` into `*output` (appended after clearing). Always
+/// succeeds; incompressible input degrades to one literal run plus a few
+/// header bytes.
+void LzCompress(const Slice& input, std::string* output);
+
+/// Decompresses a LzCompress block. Fails with Corruption on malformed
+/// input (truncated stream, out-of-window back references, size mismatch).
+Status LzDecompress(const Slice& input, std::string* output);
+
+/// Compressed size if `input` were compressed (without materialising it
+/// beyond a scratch buffer) — used by cache accounting tests.
+size_t LzMaxCompressedSize(size_t input_size);
+
+}  // namespace myraft
+
+#endif  // MYRAFT_UTIL_COMPRESSION_H_

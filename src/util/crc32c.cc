@@ -1,0 +1,39 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace myraft::crc32c {
+
+namespace {
+
+// Builds the byte-at-a-time lookup table for the Castagnoli polynomial
+// (reflected 0x82F63B78) at static-init time; the table is constexpr so it
+// is computed at compile time and has a trivial destructor.
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+constexpr std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int j = 0; j < 8; ++j) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = BuildTable();
+
+}  // namespace
+
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n) {
+  uint32_t crc = init_crc ^ 0xFFFFFFFFu;
+  const auto* p = reinterpret_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace myraft::crc32c

@@ -1,0 +1,29 @@
+#include "util/env.h"
+
+namespace myraft {
+
+Status Env::WriteStringToFile(const Slice& data, const std::string& path,
+                              bool sync) {
+  auto file = NewWritableFile(path);
+  if (!file.ok()) return file.status();
+  MYRAFT_RETURN_NOT_OK((*file)->Append(data));
+  if (sync) MYRAFT_RETURN_NOT_OK((*file)->Sync());
+  return (*file)->Close();
+}
+
+Result<std::string> Env::ReadFileToString(const std::string& path) {
+  auto file = NewSequentialFile(path);
+  if (!file.ok()) return file.status();
+  std::string out;
+  static constexpr size_t kBufSize = 64 * 1024;
+  std::vector<char> scratch(kBufSize);
+  while (true) {
+    Slice chunk;
+    MYRAFT_RETURN_NOT_OK((*file)->Read(kBufSize, &chunk, scratch.data()));
+    if (chunk.empty()) break;
+    out.append(chunk.data(), chunk.size());
+  }
+  return out;
+}
+
+}  // namespace myraft

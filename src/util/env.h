@@ -1,0 +1,94 @@
+// Env: filesystem abstraction (RocksDB/LevelDB idiom). The binlog, the
+// storage-engine WAL and Raft's durable metadata are written through Env,
+// so tests can run against real files (PosixEnv) while the cluster
+// simulator uses an in-memory filesystem (MemEnv) and can model fsync
+// latency itself.
+
+#ifndef MYRAFT_UTIL_ENV_H_
+#define MYRAFT_UTIL_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace myraft {
+
+/// Append-only file handle.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(const Slice& data) = 0;
+  virtual Status Flush() = 0;
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+  virtual uint64_t Size() const = 0;
+};
+
+/// Sequential read handle.
+class SequentialFile {
+ public:
+  virtual ~SequentialFile() = default;
+  /// Reads up to `n` bytes into `scratch`; `*result` points into scratch.
+  /// Returns OK with an empty result at EOF.
+  virtual Status Read(size_t n, Slice* result, char* scratch) = 0;
+  virtual Status Skip(uint64_t n) = 0;
+};
+
+/// Positional read handle.
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+  virtual Status Read(uint64_t offset, size_t n, Slice* result,
+                      char* scratch) const = 0;
+  virtual uint64_t Size() const = 0;
+};
+
+/// Filesystem operations. All paths are plain strings; directories are
+/// created non-recursively.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+  /// Opens for append, creating if missing.
+  virtual Result<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path) = 0;
+  virtual Result<std::unique_ptr<SequentialFile>> NewSequentialFile(
+      const std::string& path) = 0;
+  virtual Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Result<std::vector<std::string>> GetChildren(
+      const std::string& dir) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+  virtual Status CreateDirIfMissing(const std::string& dir) = 0;
+  virtual Result<uint64_t> GetFileSize(const std::string& path) = 0;
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+  /// Truncates `path` to exactly `size` bytes (used when trimming a
+  /// partially written tail during crash recovery, and when Raft truncates
+  /// uncommitted suffixes from the replicated log).
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+
+  // Convenience helpers implemented on top of the primitives.
+  Status WriteStringToFile(const Slice& data, const std::string& path,
+                           bool sync = false);
+  Result<std::string> ReadFileToString(const std::string& path);
+};
+
+/// Real filesystem. Singleton; trivially destructible pointer.
+Env* GetPosixEnv();
+
+/// Creates a fresh private in-memory filesystem.
+std::unique_ptr<Env> NewMemEnv();
+
+}  // namespace myraft
+
+#endif  // MYRAFT_UTIL_ENV_H_

@@ -1,0 +1,61 @@
+// Latency histogram with exponential-ish bucketing and percentile
+// estimation, used by the evaluation harnesses to reproduce the paper's
+// latency histograms (Figure 5) and percentile tables (Table 2).
+
+#ifndef MYRAFT_UTIL_HISTOGRAM_H_
+#define MYRAFT_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace myraft {
+
+/// Records non-negative values (typically microseconds) into
+/// log-linear buckets: each power-of-two range is split into
+/// `kSubBuckets` linear sub-buckets, giving <= ~3% relative error.
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(uint64_t value);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ ? min_ : 0; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+  double StdDev() const;
+
+  /// Linear-interpolated percentile estimate; p in [0, 100].
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  /// Multi-line summary: count/mean/percentiles plus an ASCII bar chart of
+  /// the populated buckets (used by the figure-reproduction benches).
+  std::string ToString() const;
+
+  /// One (lower_bound, count) pair per populated bucket, for plotting.
+  std::vector<std::pair<uint64_t, uint64_t>> NonEmptyBuckets() const;
+
+ private:
+  static constexpr int kSubBucketBits = 4;  // 16 sub-buckets per octave.
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kMaxOctave = 40;     // values up to ~2^40.
+  static constexpr int kNumBuckets = kMaxOctave * kSubBuckets;
+
+  static int BucketFor(uint64_t value);
+  static uint64_t BucketLowerBound(int bucket);
+
+  uint64_t count_ = 0;
+  uint64_t min_ = UINT64_MAX;
+  uint64_t max_ = 0;
+  double sum_ = 0;
+  double sum_squares_ = 0;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace myraft
+
+#endif  // MYRAFT_UTIL_HISTOGRAM_H_

@@ -1,0 +1,69 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace myraft {
+
+namespace {
+
+std::mutex g_log_mutex;
+LogSink g_sink;  // empty -> stderr
+LogLevel g_min_level = LogLevel::kWarning;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  g_sink = std::move(sink);
+}
+
+void SetMinLogLevel(LogLevel level) { g_min_level = level; }
+LogLevel GetMinLogLevel() { return g_min_level; }
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  // Basename only.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  const std::string msg = stream_.str();
+  {
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    if (g_sink) {
+      g_sink(level_, msg);
+    } else {
+      fprintf(stderr, "%s\n", msg.c_str());
+    }
+  }
+  if (level_ == LogLevel::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal_logging
+
+}  // namespace myraft

@@ -1,0 +1,68 @@
+// Minimal leveled logging. Defaults to stderr above a threshold; tests can
+// capture or silence it via SetLogSink / SetMinLogLevel.
+
+#ifndef MYRAFT_UTIL_LOGGING_H_
+#define MYRAFT_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace myraft {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Replaces the global sink (nullptr restores the stderr default).
+void SetLogSink(LogSink sink);
+
+/// Messages below this level are compiled in but dropped at runtime.
+void SetMinLogLevel(LogLevel level);
+LogLevel GetMinLogLevel();
+
+namespace internal_logging {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define MYRAFT_LOG(level)                                              \
+  if (::myraft::LogLevel::k##level < ::myraft::GetMinLogLevel()) {     \
+  } else                                                               \
+    ::myraft::internal_logging::LogMessage(::myraft::LogLevel::k##level, \
+                                           __FILE__, __LINE__)         \
+        .stream()
+
+/// Invariant check that survives NDEBUG: logs and aborts on violation.
+#define MYRAFT_CHECK(cond)                                      \
+  if (cond) {                                                   \
+  } else                                                        \
+    ::myraft::internal_logging::LogMessage(                     \
+        ::myraft::LogLevel::kFatal, __FILE__, __LINE__)         \
+            .stream()                                           \
+        << "Check failed: " #cond " "
+
+}  // namespace myraft
+
+#endif  // MYRAFT_UTIL_LOGGING_H_

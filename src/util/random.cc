@@ -1,0 +1,34 @@
+#include "util/random.h"
+
+#include <cmath>
+
+namespace myraft {
+
+double Random::Exponential(double mean) {
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+double Random::Normal(double mean, double stddev) {
+  double u1;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  const double u2 = NextDouble();
+  const double z = std::sqrt(-2.0 * std::log(u1)) *
+                   std::cos(2.0 * 3.14159265358979323846 * u2);
+  return mean + stddev * z;
+}
+
+double Random::BoundedPareto(double shape, double min_v, double max_v) {
+  const double u = NextDouble();
+  const double ha = std::pow(max_v, shape);
+  const double la = std::pow(min_v, shape);
+  const double x = -(u * ha - u * la - ha) / (ha * la);
+  return std::pow(x, -1.0 / shape);
+}
+
+}  // namespace myraft

@@ -1,0 +1,71 @@
+// Deterministic pseudo-random number generation. Everything in the
+// simulator draws from a seeded Random so runs replay exactly.
+
+#ifndef MYRAFT_UTIL_RANDOM_H_
+#define MYRAFT_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace myraft {
+
+/// xorshift128+ generator. Not cryptographic; fast and reproducible.
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    // SplitMix64 seeding to avoid weak low-entropy states.
+    state_[0] = SplitMix(&seed);
+    state_[1] = SplitMix(&seed);
+    if (state_[0] == 0 && state_[1] == 0) state_[0] = 0x9E3779B97F4A7C15ull;
+  }
+
+  uint64_t Next() {
+    uint64_t x = state_[0];
+    const uint64_t y = state_[1];
+    state_[0] = y;
+    x ^= x << 23;
+    state_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return state_[1] + y;
+  }
+
+  /// Uniform in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi]. Requires lo <= hi.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool OneIn(uint64_t n) { return n > 0 && Uniform(n) == 0; }
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Exponentially distributed with the given mean (for service/arrival
+  /// times in the simulator).
+  double Exponential(double mean);
+
+  /// Normally distributed (Box-Muller).
+  double Normal(double mean, double stddev);
+
+  /// Pareto-ish heavy tail clamped to [min_v, max_v]; used for production-
+  /// workload transaction sizes.
+  double BoundedPareto(double shape, double min_v, double max_v);
+
+ private:
+  static uint64_t SplitMix(uint64_t* s) {
+    uint64_t z = (*s += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t state_[2];
+};
+
+}  // namespace myraft
+
+#endif  // MYRAFT_UTIL_RANDOM_H_

@@ -1,0 +1,74 @@
+// Result<T>: a value or an error Status (Arrow's Result idiom).
+
+#ifndef MYRAFT_UTIL_RESULT_H_
+#define MYRAFT_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace myraft {
+
+/// Holds either a successfully produced T or the Status explaining why it
+/// could not be produced. Construction from T is implicit so functions can
+/// `return value;` directly.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Requires ok().
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+
+  /// Returns value() if ok, otherwise `fallback`.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present.
+};
+
+}  // namespace myraft
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error
+/// Status from the enclosing function.
+#define MYRAFT_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value();
+
+#define MYRAFT_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define MYRAFT_ASSIGN_OR_RETURN_NAME(a, b) MYRAFT_ASSIGN_OR_RETURN_CONCAT(a, b)
+
+#define MYRAFT_ASSIGN_OR_RETURN(lhs, expr) \
+  MYRAFT_ASSIGN_OR_RETURN_IMPL(            \
+      MYRAFT_ASSIGN_OR_RETURN_NAME(_result_, __LINE__), lhs, expr)
+
+#endif  // MYRAFT_UTIL_RESULT_H_

@@ -1,0 +1,59 @@
+#include "util/status.h"
+
+namespace myraft {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kNotSupported:
+      return "NotSupported";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kIoError:
+      return "IOError";
+    case StatusCode::kAlreadyPresent:
+      return "AlreadyPresent";
+    case StatusCode::kRuntimeError:
+      return "RuntimeError";
+    case StatusCode::kNetworkError:
+      return "NetworkError";
+    case StatusCode::kIllegalState:
+      return "IllegalState";
+    case StatusCode::kAborted:
+      return "Aborted";
+    case StatusCode::kServiceUnavailable:
+      return "ServiceUnavailable";
+    case StatusCode::kTimedOut:
+      return "TimedOut";
+    case StatusCode::kUninitialized:
+      return "Uninitialized";
+    case StatusCode::kConfigurationError:
+      return "ConfigurationError";
+    case StatusCode::kEndOfFile:
+      return "EndOfFile";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result(StatusCodeToString(code()));
+  result.append(": ");
+  result.append(message());
+  return result;
+}
+
+Status Status::WithPrefix(std::string_view prefix) const {
+  if (ok()) return Status();
+  std::string msg(prefix);
+  msg.append(": ");
+  msg.append(message());
+  return Status(code(), msg);
+}
+
+}  // namespace myraft

@@ -1,0 +1,171 @@
+// Status: error propagation without exceptions (Arrow/RocksDB idiom).
+//
+// Every fallible operation in this codebase returns a Status (or a
+// Result<T>, see result.h). Statuses are cheap to copy in the OK case
+// (a single pointer compare against null).
+
+#ifndef MYRAFT_UTIL_STATUS_H_
+#define MYRAFT_UTIL_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace myraft {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kNotFound = 1,
+  kCorruption = 2,
+  kNotSupported = 3,
+  kInvalidArgument = 4,
+  kIoError = 5,
+  kAlreadyPresent = 6,
+  kRuntimeError = 7,
+  kNetworkError = 8,
+  kIllegalState = 9,
+  kAborted = 10,
+  kServiceUnavailable = 11,
+  kTimedOut = 12,
+  kUninitialized = 13,
+  kConfigurationError = 14,
+  kEndOfFile = 15,
+};
+
+/// Returns a stable human-readable name for `code`, e.g. "Corruption".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error value. OK statuses carry no allocation.
+class Status {
+ public:
+  Status() = default;  // OK.
+
+  Status(const Status& other)
+      : rep_(other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    rep_ = other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr;
+    return *this;
+  }
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+
+  static Status NotFound(std::string_view msg) {
+    return Status(StatusCode::kNotFound, msg);
+  }
+  static Status Corruption(std::string_view msg) {
+    return Status(StatusCode::kCorruption, msg);
+  }
+  static Status NotSupported(std::string_view msg) {
+    return Status(StatusCode::kNotSupported, msg);
+  }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(StatusCode::kInvalidArgument, msg);
+  }
+  static Status IoError(std::string_view msg) {
+    return Status(StatusCode::kIoError, msg);
+  }
+  static Status AlreadyPresent(std::string_view msg) {
+    return Status(StatusCode::kAlreadyPresent, msg);
+  }
+  static Status RuntimeError(std::string_view msg) {
+    return Status(StatusCode::kRuntimeError, msg);
+  }
+  static Status NetworkError(std::string_view msg) {
+    return Status(StatusCode::kNetworkError, msg);
+  }
+  static Status IllegalState(std::string_view msg) {
+    return Status(StatusCode::kIllegalState, msg);
+  }
+  static Status Aborted(std::string_view msg) {
+    return Status(StatusCode::kAborted, msg);
+  }
+  static Status ServiceUnavailable(std::string_view msg) {
+    return Status(StatusCode::kServiceUnavailable, msg);
+  }
+  static Status TimedOut(std::string_view msg) {
+    return Status(StatusCode::kTimedOut, msg);
+  }
+  static Status Uninitialized(std::string_view msg) {
+    return Status(StatusCode::kUninitialized, msg);
+  }
+  static Status ConfigurationError(std::string_view msg) {
+    return Status(StatusCode::kConfigurationError, msg);
+  }
+  static Status EndOfFile(std::string_view msg) {
+    return Status(StatusCode::kEndOfFile, msg);
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsNotSupported() const { return code() == StatusCode::kNotSupported; }
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsAlreadyPresent() const {
+    return code() == StatusCode::kAlreadyPresent;
+  }
+  bool IsNetworkError() const { return code() == StatusCode::kNetworkError; }
+  bool IsIllegalState() const { return code() == StatusCode::kIllegalState; }
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
+  bool IsServiceUnavailable() const {
+    return code() == StatusCode::kServiceUnavailable;
+  }
+  bool IsTimedOut() const { return code() == StatusCode::kTimedOut; }
+  bool IsEndOfFile() const { return code() == StatusCode::kEndOfFile; }
+
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  std::string_view message() const {
+    return rep_ ? std::string_view(rep_->message) : std::string_view();
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Returns a copy of this status with `prefix + ": "` prepended to the
+  /// message. OK statuses are returned unchanged.
+  Status WithPrefix(std::string_view prefix) const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+
+  Status(StatusCode code, std::string_view msg)
+      : rep_(std::make_unique<Rep>(Rep{code, std::string(msg)})) {}
+
+  std::unique_ptr<Rep> rep_;  // null == OK
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace myraft
+
+/// Evaluates `expr`; if the resulting Status is not OK, returns it from the
+/// enclosing function.
+#define MYRAFT_RETURN_NOT_OK(expr)                 \
+  do {                                             \
+    ::myraft::Status _s = (expr);                  \
+    if (!_s.ok()) return _s;                       \
+  } while (0)
+
+/// Like MYRAFT_RETURN_NOT_OK but prepends a context prefix on failure.
+#define MYRAFT_RETURN_NOT_OK_PREPEND(expr, prefix) \
+  do {                                             \
+    ::myraft::Status _s = (expr);                  \
+    if (!_s.ok()) return _s.WithPrefix(prefix);    \
+  } while (0)
+
+#endif  // MYRAFT_UTIL_STATUS_H_

@@ -1,0 +1,85 @@
+#include "util/string_util.h"
+
+#include <cstdio>
+
+namespace myraft {
+
+std::string StringPrintf(const char* format, ...) {
+  va_list ap;
+  va_start(ap, format);
+  char fixed[512];
+  va_list ap_copy;
+  va_copy(ap_copy, ap);
+  const int needed = vsnprintf(fixed, sizeof(fixed), format, ap);
+  std::string out;
+  if (needed < static_cast<int>(sizeof(fixed))) {
+    out.assign(fixed, static_cast<size_t>(needed));
+  } else {
+    out.resize(static_cast<size_t>(needed));
+    vsnprintf(out.data(), out.size() + 1, format, ap_copy);
+  }
+  va_end(ap_copy);
+  va_end(ap);
+  return out;
+}
+
+std::vector<std::string> SplitString(std::string_view input, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = input.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(input.substr(start));
+      break;
+    }
+    out.emplace_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+bool HasPrefix(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool HasSuffix(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool ParseUint64(std::string_view s, uint64_t* value) {
+  if (s.empty()) return false;
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (v > (UINT64_MAX - digit) / 10) return false;
+    v = v * 10 + digit;
+  }
+  *value = v;
+  return true;
+}
+
+std::string HumanReadableBytes(uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(bytes);
+  int unit = 0;
+  while (v >= 1024.0 && unit < 4) {
+    v /= 1024.0;
+    ++unit;
+  }
+  if (unit == 0) return StringPrintf("%llu B", (unsigned long long)bytes);
+  return StringPrintf("%.1f %s", v, kUnits[unit]);
+}
+
+}  // namespace myraft

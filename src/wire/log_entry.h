@@ -1,0 +1,61 @@
+// Replicated log entries. The payload is opaque to Raft — for transaction
+// entries it is the binlog-encoded transaction produced by the server; the
+// log abstraction (plugin) maps entries onto binlog files.
+
+#ifndef MYRAFT_WIRE_LOG_ENTRY_H_
+#define MYRAFT_WIRE_LOG_ENTRY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/result.h"
+#include "util/slice.h"
+#include "wire/types.h"
+
+namespace myraft {
+
+/// What a replicated log entry carries.
+enum class EntryType : uint8_t {
+  /// Leadership-assertion entry appended by a new leader (§3.3 step 1).
+  kNoOp = 0,
+  /// A binlog-encoded client transaction.
+  kTransaction = 1,
+  /// A replicated binlog rotate event (§A.1).
+  kRotate = 2,
+  /// A membership change (AddMember / RemoveMember).
+  kConfigChange = 3,
+};
+
+std::string_view EntryTypeToString(EntryType type);
+
+/// One entry of the Raft replicated log.
+struct LogEntry {
+  OpId id;
+  EntryType type = EntryType::kNoOp;
+  std::string payload;
+  /// CRC32C of payload, stamped at commit time on the primary (§3.4) and
+  /// verified on receipt / on read-back from disk.
+  uint32_t checksum = 0;
+
+  bool operator==(const LogEntry&) const = default;
+
+  /// Builds an entry with the checksum computed from the payload.
+  static LogEntry Make(OpId id, EntryType type, std::string payload);
+
+  bool VerifyChecksum() const;
+
+  /// Wire/disk encoding (appended to *dst).
+  void EncodeTo(std::string* dst) const;
+  /// Consumes one entry from the front of `input`.
+  static Result<LogEntry> DecodeFrom(Slice* input);
+
+  size_t ByteSize() const { return payload.size() + 32; }
+};
+
+/// Payload codec for kConfigChange entries.
+void EncodeMembershipConfig(const MembershipConfig& config, std::string* dst);
+Result<MembershipConfig> DecodeMembershipConfig(Slice input);
+
+}  // namespace myraft
+
+#endif  // MYRAFT_WIRE_LOG_ENTRY_H_

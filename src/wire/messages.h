@@ -1,0 +1,155 @@
+// RPC messages of the MyRaft wire protocol: AppendEntries (with the
+// Proxying extension's PROXY_OP form, §4.2), RequestVote (with pre-vote
+// and Mock Election extensions, §4.3) and TransferLeadership. Every
+// message serialises to a tagged envelope so the transport layer can stay
+// payload-agnostic.
+
+#ifndef MYRAFT_WIRE_MESSAGES_H_
+#define MYRAFT_WIRE_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/result.h"
+#include "wire/log_entry.h"
+#include "wire/types.h"
+
+namespace myraft {
+
+enum class MessageType : uint8_t {
+  kAppendEntriesRequest = 0,
+  kAppendEntriesResponse = 1,
+  kVoteRequest = 2,
+  kVoteResponse = 3,
+  kStartElectionRequest = 4,
+};
+
+/// Log replication / heartbeat RPC. Also the vehicle for the commit
+/// marker (§3.4: "Raft will piggyback the commit marker ... to followers
+/// in the next AppendEntries RPC").
+struct AppendEntriesRequest {
+  MemberId leader;           // logical sender (always the leader)
+  MemberId dest;             // final destination member
+  std::vector<MemberId> route;  // remaining relay hops; empty = direct
+  uint64_t term = 0;
+  OpId prev;                 // entry immediately preceding entries[0]
+  OpId commit_marker;        // leader's consensus-commit watermark
+  std::vector<LogEntry> entries;
+  /// §4.2: PROXY_OP — entries carry OpId/type/checksum but no payload; the
+  /// final relay hop reconstitutes payloads from its own log.
+  bool proxy_payload_omitted = false;
+
+  bool operator==(const AppendEntriesRequest&) const = default;
+
+  bool IsHeartbeat() const { return entries.empty(); }
+
+  void EncodeTo(std::string* dst) const;
+  static Result<AppendEntriesRequest> DecodeFrom(Slice input);
+
+  /// Total payload bytes (the dominant bandwidth term for accounting).
+  uint64_t PayloadBytes() const;
+};
+
+struct AppendEntriesResponse {
+  MemberId from;             // the follower that acked
+  MemberId dest;             // the leader
+  std::vector<MemberId> route;  // relay hops back to the leader
+  uint64_t term = 0;
+  bool success = false;
+  /// On success: last log entry now present on the follower (its "vote"
+  /// watermark). On failure: hint for the leader to rewind.
+  OpId last_received;
+  uint64_t last_durable_index = 0;
+
+  bool operator==(const AppendEntriesResponse&) const = default;
+
+  void EncodeTo(std::string* dst) const;
+  static Result<AppendEntriesResponse> DecodeFrom(Slice input);
+};
+
+/// Election RPC; covers regular votes, pre-votes and mock elections.
+struct VoteRequest {
+  MemberId candidate;
+  MemberId dest;
+  /// Term the candidate is campaigning in. For pre/mock elections this is
+  /// current_term + 1 but the candidate has not actually incremented.
+  uint64_t term = 0;
+  OpId last_log;             // candidate's last log entry
+  RegionId candidate_region;
+  bool pre_vote = false;
+  /// §4.3 Mock Election: a simulated pre-check run before
+  /// TransferLeadership, carrying the current leader's cursor snapshot.
+  /// Voting rules additionally reject lagging same-region voters.
+  bool mock_election = false;
+  OpId leader_cursor_snapshot;
+
+  bool operator==(const VoteRequest&) const = default;
+
+  void EncodeTo(std::string* dst) const;
+  static Result<VoteRequest> DecodeFrom(Slice input);
+};
+
+struct VoteResponse {
+  MemberId from;
+  MemberId dest;
+  uint64_t term = 0;
+  bool granted = false;
+  bool pre_vote = false;
+  bool mock_election = false;
+  /// Diagnostic reason when not granted ("already-voted", "stale-log",
+  /// "lagging-same-region", ...).
+  std::string reason;
+  RegionId voter_region;
+  /// FlexiRaft (§4.1): each voter reports its last-known-leader view;
+  /// candidates aggregate these (from grants AND denials) to compute the
+  /// election quorum that intersects the most recent data quorum. Without
+  /// this, a candidate starved of the current leader's traffic could win
+  /// with a stale, too-small quorum and truncate committed entries.
+  uint64_t last_leader_term = 0;
+  RegionId last_leader_region;
+
+  bool operator==(const VoteResponse&) const = default;
+
+  void EncodeTo(std::string* dst) const;
+  static Result<VoteResponse> DecodeFrom(Slice input);
+};
+
+/// Leader → target. With `mock` unset: begin a real election immediately
+/// (the final "TimeoutNow" step of graceful TransferLeadership). With
+/// `mock` set: run a Mock Election round (§4.3) using the leader's cursor
+/// snapshot and report the outcome back to `from`.
+struct StartElectionRequest {
+  MemberId from;
+  MemberId dest;
+  uint64_t term = 0;  // current leader term; target campaigns at term+1
+  bool mock = false;
+  OpId leader_cursor_snapshot;
+
+  bool operator==(const StartElectionRequest&) const = default;
+
+  void EncodeTo(std::string* dst) const;
+  static Result<StartElectionRequest> DecodeFrom(Slice input);
+};
+
+/// Any wire message.
+using Message =
+    std::variant<AppendEntriesRequest, AppendEntriesResponse, VoteRequest,
+                 VoteResponse, StartElectionRequest>;
+
+/// Tagged envelope: 1 type byte + message body.
+void EncodeMessage(const Message& msg, std::string* dst);
+Result<Message> DecodeMessage(Slice input);
+
+/// Routing helpers used by the transport and the proxy layer.
+MemberId MessageDest(const Message& msg);
+MemberId MessageFrom(const Message& msg);
+/// Physical next hop: the first relay on the route if any, otherwise the
+/// final destination. Transports deliver to this member.
+MemberId MessageNextHop(const Message& msg);
+uint64_t MessageWireBytes(const Message& msg);
+
+}  // namespace myraft
+
+#endif  // MYRAFT_WIRE_MESSAGES_H_

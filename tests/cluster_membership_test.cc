@@ -1,0 +1,123 @@
+// End-to-end membership changes on the full server stack: automation
+// provisions a new process, AddMember brings it into the ring, it
+// catches up and participates; RemoveMember shrinks the ring (§2.2).
+
+#include <gtest/gtest.h>
+
+#include "flexiraft/flexiraft.h"
+#include "sim/cluster.h"
+
+namespace myraft::sim {
+namespace {
+
+constexpr uint64_t kSecond = 1'000'000;
+
+const raft::QuorumEngine* FlexiEngine() {
+  static auto* engine = new flexiraft::FlexiRaftQuorumEngine(
+      {flexiraft::QuorumMode::kSingleRegionDynamic});
+  return engine;
+}
+
+TEST(ClusterMembershipTest, NewDatabaseJoinsCatchesUpAndServes) {
+  ClusterOptions options;
+  options.seed = 61;
+  options.db_regions = 3;
+  options.logtailers_per_db = 2;
+  ClusterHarness cluster(options, FlexiEngine());
+  ASSERT_TRUE(cluster.Bootstrap().ok());
+  ASSERT_FALSE(cluster.WaitForPrimary(30 * kSecond).empty());
+
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(cluster.SyncWrite("k" + std::to_string(i), "v").status.ok());
+  }
+  cluster.loop()->RunFor(2 * kSecond);
+
+  // Automation provisions and adds a new non-voting replica first (the
+  // usual safe order), in a follower region.
+  MemberInfo learner{"dbnew", "region1", MemberKind::kMySql,
+                     RaftMemberType::kNonVoter};
+  ASSERT_TRUE(cluster.AddNewMember(learner).ok());
+  cluster.loop()->RunFor(5 * kSecond);
+
+  // The new member caught up from index 1 and applied everything.
+  SimNode* joined = cluster.node("dbnew");
+  EXPECT_EQ(joined->server()->Read("bench.kv", "k29"), "k29=v");
+  EXPECT_EQ(joined->server()->consensus()->role(), RaftRole::kLearner);
+  for (const MemberId& id : cluster.ids()) {
+    EXPECT_TRUE(cluster.node(id)->server()->consensus()->config().Contains(
+        "dbnew"))
+        << id;
+  }
+
+  // Writes keep committing with the bigger ring.
+  ASSERT_TRUE(cluster.SyncWrite("post-add", "v").status.ok());
+  cluster.loop()->RunFor(2 * kSecond);
+  EXPECT_EQ(joined->server()->Read("bench.kv", "post-add"), "post-add=v");
+  EXPECT_TRUE(cluster.CheckReplicaConsistency());
+}
+
+TEST(ClusterMembershipTest, AddedLogtailerJoinsTheVoterQuorum) {
+  ClusterOptions options;
+  options.seed = 62;
+  options.db_regions = 3;
+  options.logtailers_per_db = 2;
+  ClusterHarness cluster(options, FlexiEngine());
+  ASSERT_TRUE(cluster.Bootstrap().ok());
+  const MemberId primary = cluster.WaitForPrimary(30 * kSecond);
+  ASSERT_FALSE(primary.empty());
+  ASSERT_TRUE(cluster.SyncWrite("a", "1").status.ok());
+  cluster.loop()->RunFor(2 * kSecond);
+
+  // Add a third logtailer to the primary's region, then kill one of the
+  // original two: commits must keep flowing through the new quorum.
+  const RegionId home = cluster.node(primary)->region();
+  MemberInfo witness{"ltnew", home, MemberKind::kLogtailer,
+                     RaftMemberType::kVoter};
+  ASSERT_TRUE(cluster.AddNewMember(witness).ok());
+  cluster.loop()->RunFor(5 * kSecond);
+
+  MemberId old_logtailer;
+  for (const auto& member : cluster.config().members) {
+    if (member.kind == MemberKind::kLogtailer && member.region == home &&
+        member.id != "ltnew") {
+      old_logtailer = member.id;
+      break;
+    }
+  }
+  ASSERT_FALSE(old_logtailer.empty());
+  cluster.Crash(old_logtailer);
+  // One of the remaining in-region logtailers (incl. ltnew) acks.
+  auto write = cluster.SyncWrite("quorum", "holds", 3 * kSecond);
+  EXPECT_TRUE(write.status.ok()) << write.status;
+}
+
+TEST(ClusterMembershipTest, RemoveMemberShrinksTheRing) {
+  ClusterOptions options;
+  options.seed = 63;
+  options.db_regions = 3;
+  options.logtailers_per_db = 2;
+  options.learners = 1;
+  ClusterHarness cluster(options, FlexiEngine());
+  ASSERT_TRUE(cluster.Bootstrap().ok());
+  const MemberId primary = cluster.WaitForPrimary(30 * kSecond);
+  ASSERT_FALSE(primary.empty());
+  ASSERT_TRUE(cluster.SyncWrite("a", "1").status.ok());
+  cluster.loop()->RunFor(2 * kSecond);
+
+  ASSERT_TRUE(cluster.RemoveMemberViaLeader("learner0").ok());
+  cluster.loop()->RunFor(3 * kSecond);
+  for (const MemberId& id : cluster.ids()) {
+    if (id == "learner0") continue;
+    EXPECT_FALSE(cluster.node(id)->server()->consensus()->config().Contains(
+        "learner0"))
+        << id;
+  }
+  // Only one change at a time (§2.2): a second change right after a
+  // committed one is fine, but two concurrent ones are refused — tested
+  // at the consensus level; here we just verify the ring still serves.
+  ASSERT_TRUE(cluster.SyncWrite("post-remove", "v").status.ok());
+  EXPECT_TRUE(cluster.CheckReplicaConsistency());
+}
+
+}  // namespace
+}  // namespace myraft::sim

@@ -1,0 +1,180 @@
+// Unit tests for the Raft building blocks: MemLog, LogCache,
+// ConsensusMetadataStore and the majority quorum engine.
+
+#include <gtest/gtest.h>
+
+#include "raft/consensus_metadata.h"
+#include "raft/log_abstraction.h"
+#include "raft/log_cache.h"
+#include "raft/quorum.h"
+#include "util/random.h"
+
+namespace myraft::raft {
+namespace {
+
+LogEntry E(uint64_t term, uint64_t index, std::string payload = "p") {
+  return LogEntry::Make({term, index}, EntryType::kTransaction,
+                        std::move(payload));
+}
+
+TEST(MemLogTest, AppendReadTruncate) {
+  MemLog log;
+  EXPECT_EQ(log.LastOpId(), kZeroOpId);
+  ASSERT_TRUE(log.Append(E(1, 1)).ok());
+  ASSERT_TRUE(log.Append(E(1, 2)).ok());
+  ASSERT_TRUE(log.Append(E(2, 3)).ok());
+  EXPECT_FALSE(log.Append(E(2, 5)).ok());  // gap
+  EXPECT_EQ(log.LastOpId(), (OpId{2, 3}));
+  EXPECT_EQ(log.FirstIndex(), 1u);
+  EXPECT_EQ((*log.OpIdAt(2)).term, 1u);
+
+  auto batch = log.ReadBatch(2, 10, UINT64_MAX);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->size(), 2u);
+
+  ASSERT_TRUE(log.TruncateAfter(1).ok());
+  EXPECT_EQ(log.LastOpId(), (OpId{1, 1}));
+  EXPECT_FALSE(log.Read(2).ok());
+}
+
+TEST(LogCacheTest, PutGetRoundTrip) {
+  LogCache cache(1 << 20);
+  const LogEntry e = E(1, 1, std::string(1000, 'x'));
+  cache.Put(e);
+  auto got = cache.Get(1);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, e);
+  EXPECT_TRUE(cache.Get(2).status().IsNotFound());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(LogCacheTest, CompressionShrinksRepetitivePayloads) {
+  LogCache cache(1 << 20);
+  cache.Put(E(1, 1, std::string(100'000, 'z')));
+  EXPECT_LT(cache.size_bytes(), 10'000u);
+  EXPECT_LT(cache.stats().compressed_bytes, cache.stats().uncompressed_bytes);
+}
+
+TEST(LogCacheTest, EvictsFromHeadWhenOverCapacity) {
+  LogCache cache(4000);
+  Random rng(3);
+  // Random payloads resist compression, forcing evictions.
+  for (uint64_t i = 1; i <= 10; ++i) {
+    std::string payload(1000, '\0');
+    for (char& c : payload) c = static_cast<char>(rng.Next());
+    cache.Put(LogEntry::Make({1, i}, EntryType::kTransaction, payload));
+  }
+  EXPECT_LE(cache.size_bytes(), 4100u);
+  EXPECT_GT(cache.stats().evictions, 0u);
+  EXPECT_FALSE(cache.Contains(1));  // oldest evicted
+  EXPECT_TRUE(cache.Contains(10));  // newest kept
+}
+
+TEST(LogCacheTest, TruncateAfterDropsSuffix) {
+  LogCache cache(1 << 20);
+  for (uint64_t i = 1; i <= 5; ++i) cache.Put(E(1, i));
+  cache.TruncateAfter(3);
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_FALSE(cache.Contains(4));
+  cache.EvictBefore(3);
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+}
+
+TEST(ConsensusMetadataTest, SaveLoadRoundTrip) {
+  auto env = NewMemEnv();
+  ConsensusMetadataStore store(env.get(), "/cmeta");
+  ConsensusMetadata meta;
+  meta.current_term = 42;
+  meta.voted_for = "db1";
+  meta.last_known_leader = "db0";
+  meta.last_leader_region = "r0";
+  meta.config.config_index = 7;
+  meta.config.members.push_back(
+      MemberInfo{"db0", "r0", MemberKind::kMySql, RaftMemberType::kVoter});
+  meta.config.members.push_back(MemberInfo{"lt0", "r0", MemberKind::kLogtailer,
+                                           RaftMemberType::kVoter});
+  ASSERT_TRUE(store.Save(meta).ok());
+  auto loaded = store.Load();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, meta);
+}
+
+TEST(ConsensusMetadataTest, MissingFileLoadsDefaults) {
+  auto env = NewMemEnv();
+  ConsensusMetadataStore store(env.get(), "/cmeta");
+  auto loaded = store.Load();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->current_term, 0u);
+  EXPECT_TRUE(loaded->config.members.empty());
+}
+
+TEST(ConsensusMetadataTest, CorruptionDetected) {
+  auto env = NewMemEnv();
+  ConsensusMetadataStore store(env.get(), "/cmeta");
+  ConsensusMetadata meta;
+  meta.current_term = 1;
+  ASSERT_TRUE(store.Save(meta).ok());
+  auto contents = env->ReadFileToString("/cmeta");
+  ASSERT_TRUE(contents.ok());
+  std::string corrupted = *contents;
+  corrupted[0] ^= 0x01;
+  ASSERT_TRUE(env->WriteStringToFile(corrupted, "/cmeta").ok());
+  EXPECT_TRUE(store.Load().status().IsCorruption());
+}
+
+MembershipConfig SixVoters() {
+  MembershipConfig config;
+  for (int i = 0; i < 6; ++i) {
+    config.members.push_back(MemberInfo{"m" + std::to_string(i),
+                                        i < 3 ? "r0" : "r1",
+                                        MemberKind::kMySql,
+                                        RaftMemberType::kVoter});
+  }
+  // A learner never counts toward quorums.
+  config.members.push_back(MemberInfo{"learner", "r2", MemberKind::kMySql,
+                                      RaftMemberType::kNonVoter});
+  return config;
+}
+
+TEST(MajorityQuorumTest, RequiresStrictMajorityOfVoters) {
+  MajorityQuorumEngine quorum;
+  const MembershipConfig config = SixVoters();
+  QuorumContext context;
+  context.config = &config;
+  context.subject = "m0";
+
+  EXPECT_FALSE(quorum.IsCommitQuorumSatisfied(context, {"m0", "m1", "m2"}));
+  EXPECT_TRUE(
+      quorum.IsCommitQuorumSatisfied(context, {"m0", "m1", "m2", "m3"}));
+  // Learners do not count.
+  EXPECT_FALSE(quorum.IsCommitQuorumSatisfied(
+      context, {"m0", "m1", "m2", "learner"}));
+  // Unknown ids do not count.
+  EXPECT_FALSE(
+      quorum.IsCommitQuorumSatisfied(context, {"m0", "m1", "m2", "ghost"}));
+
+  EXPECT_TRUE(quorum.IsElectionQuorumSatisfied(
+      context, {"m0", "m1", "m2", "m3"}));
+  EXPECT_FALSE(quorum.IsElectionQuorumSatisfied(context, {"m0", "m1", "m2"}));
+}
+
+TEST(MajorityQuorumTest, DoomDetection) {
+  MajorityQuorumEngine quorum;
+  const MembershipConfig config = SixVoters();
+  QuorumContext context;
+  context.config = &config;
+  context.subject = "m0";
+
+  // 3 denials out of 6 voters: 3 remain, candidate has 1 -> max 4 >= 4,
+  // not doomed yet.
+  EXPECT_FALSE(
+      quorum.IsElectionDoomed(context, {"m0"}, {"m0", "m1", "m2"}));
+  // 4 denials: only 2 outstanding, max 3 < 4 -> doomed.
+  EXPECT_TRUE(
+      quorum.IsElectionDoomed(context, {"m0"}, {"m0", "m1", "m2", "m3"}));
+}
+
+}  // namespace
+}  // namespace myraft::raft

@@ -1,0 +1,552 @@
+// Message-level unit tests for RaftConsensus: a single instance driven by
+// hand-crafted RPCs through a capturing outbox, covering protocol edge
+// cases that are hard to hit deterministically in cluster tests.
+
+#include <gtest/gtest.h>
+
+#include "raft/consensus.h"
+#include "util/logging.h"
+
+namespace myraft::raft {
+namespace {
+
+class CapturingOutbox final : public RaftOutbox {
+ public:
+  void Send(Message message) override { sent.push_back(std::move(message)); }
+
+  template <typename T>
+  std::vector<T> OfType() const {
+    std::vector<T> out;
+    for (const auto& m : sent) {
+      if (const T* typed = std::get_if<T>(&m)) out.push_back(*typed);
+    }
+    return out;
+  }
+
+  template <typename T>
+  T Last() const {
+    auto all = OfType<T>();
+    MYRAFT_CHECK(!all.empty());
+    return all.back();
+  }
+
+  std::vector<Message> sent;
+};
+
+class RecordingListener final : public StateMachineListener {
+ public:
+  void OnLeadershipAcquired(uint64_t term, OpId noop) override {
+    ++acquired;
+  }
+  void OnLeadershipLost(uint64_t term) override { ++lost; }
+  void OnCommitAdvanced(OpId marker) override { last_commit = marker; }
+  void OnEntryAppended(const LogEntry& entry) override { ++appended; }
+  void OnSuffixTruncated(OpId new_last) override { ++truncated; }
+
+  int acquired = 0;
+  int lost = 0;
+  int appended = 0;
+  int truncated = 0;
+  OpId last_commit;
+};
+
+class ConsensusUnitTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv();
+    meta_store_ =
+        std::make_unique<ConsensusMetadataStore>(env_.get(), "/cmeta");
+    RaftOptions options;
+    options.self = "a";
+    options.region = "r0";
+    options.enable_pre_vote = false;  // direct elections in unit tests
+    consensus_ = std::make_unique<RaftConsensus>(
+        options, &log_, &quorum_, meta_store_.get(), &clock_, &rng_,
+        &outbox_, &listener_);
+    MembershipConfig config;
+    config.members = {
+        {"a", "r0", MemberKind::kMySql, RaftMemberType::kVoter},
+        {"b", "r0", MemberKind::kMySql, RaftMemberType::kVoter},
+        {"c", "r1", MemberKind::kMySql, RaftMemberType::kVoter},
+    };
+    ASSERT_TRUE(consensus_->Bootstrap(config).ok());
+  }
+
+  /// Drives `a` to leadership of term 1 by granting b's vote.
+  void BecomeLeader() {
+    ASSERT_TRUE(
+        consensus_->StartElection(ElectionMode::kRealElection).ok());
+    VoteResponse grant;
+    grant.from = "b";
+    grant.dest = "a";
+    grant.term = consensus_->term();
+    grant.granted = true;
+    consensus_->HandleMessage(Message(grant));
+    ASSERT_EQ(consensus_->role(), RaftRole::kLeader);
+    outbox_.sent.clear();
+  }
+
+  AppendEntriesRequest MakeAppend(uint64_t term, OpId prev,
+                                  std::vector<LogEntry> entries,
+                                  OpId commit = kZeroOpId,
+                                  const MemberId& leader = "b") {
+    AppendEntriesRequest request;
+    request.leader = leader;
+    request.dest = "a";
+    request.term = term;
+    request.prev = prev;
+    request.commit_marker = commit;
+    request.entries = std::move(entries);
+    return request;
+  }
+
+  LogEntry E(uint64_t term, uint64_t index, const std::string& payload) {
+    return LogEntry::Make({term, index}, EntryType::kNoOp, payload);
+  }
+
+  ManualClock clock_;
+  Random rng_{1};
+  std::unique_ptr<Env> env_;
+  std::unique_ptr<ConsensusMetadataStore> meta_store_;
+  MemLog log_;
+  MajorityQuorumEngine quorum_;
+  CapturingOutbox outbox_;
+  RecordingListener listener_;
+  std::unique_ptr<RaftConsensus> consensus_;
+};
+
+TEST_F(ConsensusUnitTest, StaleTermAppendRejected) {
+  consensus_->HandleMessage(
+      Message(MakeAppend(1, kZeroOpId, {E(1, 1, "x")})));
+  ASSERT_EQ(consensus_->term(), 1u);
+  // A lower-term append is rejected with our current term.
+  outbox_.sent.clear();
+  consensus_->HandleMessage(
+      Message(MakeAppend(0, kZeroOpId, {E(0, 1, "y")})));
+  auto response = outbox_.Last<AppendEntriesResponse>();
+  EXPECT_FALSE(response.success);
+  EXPECT_EQ(response.term, 1u);
+}
+
+TEST_F(ConsensusUnitTest, DuplicateAppendIsIdempotent) {
+  const auto request = MakeAppend(1, kZeroOpId, {E(1, 1, "x"), E(1, 2, "y")});
+  consensus_->HandleMessage(Message(request));
+  const int appended_before = listener_.appended;
+  consensus_->HandleMessage(Message(request));  // replayed RPC
+  EXPECT_EQ(listener_.appended, appended_before);
+  EXPECT_EQ(consensus_->last_logged(), (OpId{1, 2}));
+  auto response = outbox_.Last<AppendEntriesResponse>();
+  EXPECT_TRUE(response.success);
+  EXPECT_EQ(response.last_received, (OpId{1, 2}));
+}
+
+TEST_F(ConsensusUnitTest, MissingPrevAsksForRewind) {
+  consensus_->HandleMessage(
+      Message(MakeAppend(1, OpId{1, 5}, {E(1, 6, "future")})));
+  auto response = outbox_.Last<AppendEntriesResponse>();
+  EXPECT_FALSE(response.success);
+  EXPECT_EQ(response.last_received, kZeroOpId);  // hint: our last
+}
+
+TEST_F(ConsensusUnitTest, ConflictingSuffixTruncatedAndReplaced) {
+  consensus_->HandleMessage(Message(
+      MakeAppend(1, kZeroOpId, {E(1, 1, "a"), E(1, 2, "old"), E(1, 3, "old")})));
+  // New leader at term 2 overwrites indexes 2-3.
+  consensus_->HandleMessage(
+      Message(MakeAppend(2, OpId{1, 1}, {E(2, 2, "new")}, kZeroOpId, "c")));
+  EXPECT_EQ(listener_.truncated, 1);
+  EXPECT_EQ(consensus_->last_logged(), (OpId{2, 2}));
+  auto entry = log_.Read(2);
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->payload, "new");
+  EXPECT_FALSE(log_.Read(3).ok());
+}
+
+TEST_F(ConsensusUnitTest, CorruptEntryFromLeaderRejected) {
+  LogEntry bad = E(1, 1, "payload");
+  bad.payload[0] = 'X';  // breaks the checksum
+  consensus_->HandleMessage(Message(MakeAppend(1, kZeroOpId, {bad})));
+  auto response = outbox_.Last<AppendEntriesResponse>();
+  EXPECT_FALSE(response.success);
+  EXPECT_EQ(consensus_->last_logged(), kZeroOpId);
+}
+
+TEST_F(ConsensusUnitTest, CommitMarkerNeverExceedsLocalLog) {
+  consensus_->HandleMessage(Message(
+      MakeAppend(1, kZeroOpId, {E(1, 1, "x")}, /*commit=*/OpId{1, 10})));
+  EXPECT_EQ(consensus_->commit_marker(), (OpId{1, 1}));
+  EXPECT_EQ(listener_.last_commit, (OpId{1, 1}));
+}
+
+TEST_F(ConsensusUnitTest, CommitMarkerMonotonic) {
+  consensus_->HandleMessage(Message(
+      MakeAppend(1, kZeroOpId, {E(1, 1, "x"), E(1, 2, "y")}, OpId{1, 2})));
+  EXPECT_EQ(consensus_->commit_marker().index, 2u);
+  // A heartbeat with an older marker must not regress it.
+  consensus_->HandleMessage(
+      Message(MakeAppend(1, OpId{1, 2}, {}, OpId{1, 1})));
+  EXPECT_EQ(consensus_->commit_marker().index, 2u);
+}
+
+TEST_F(ConsensusUnitTest, VoteDeniedToStaleLogAndPersisted) {
+  consensus_->HandleMessage(
+      Message(MakeAppend(1, kZeroOpId, {E(1, 1, "x")})));
+  outbox_.sent.clear();
+
+  // Candidate with an empty log at a higher term: term adopted, vote
+  // denied on the log check.
+  VoteRequest request;
+  request.candidate = "c";
+  request.dest = "a";
+  request.term = 5;
+  request.last_log = kZeroOpId;
+  request.candidate_region = "r1";
+  consensus_->HandleMessage(Message(request));
+  auto response = outbox_.Last<VoteResponse>();
+  EXPECT_FALSE(response.granted);
+  EXPECT_EQ(response.reason, "stale-log");
+  EXPECT_EQ(consensus_->term(), 5u);
+
+  // An up-to-date candidate at the same term gets the vote...
+  request.candidate = "b";
+  request.last_log = {1, 1};
+  consensus_->HandleMessage(Message(request));
+  response = outbox_.Last<VoteResponse>();
+  EXPECT_TRUE(response.granted);
+
+  // ...and the vote binds within the term, including across restart.
+  request.candidate = "c";
+  consensus_->HandleMessage(Message(request));
+  response = outbox_.Last<VoteResponse>();
+  EXPECT_FALSE(response.granted);
+  EXPECT_EQ(response.reason, "already-voted");
+
+  RaftOptions options;
+  options.self = "a";
+  options.region = "r0";
+  RaftConsensus restarted(options, &log_, &quorum_, meta_store_.get(),
+                          &clock_, &rng_, &outbox_, &listener_);
+  ASSERT_TRUE(restarted.Start().ok());
+  EXPECT_EQ(restarted.term(), 5u);
+  outbox_.sent.clear();
+  restarted.HandleMessage(Message(request));  // c again at term 5
+  response = outbox_.Last<VoteResponse>();
+  EXPECT_FALSE(response.granted);
+  EXPECT_EQ(response.reason, "already-voted");
+}
+
+TEST_F(ConsensusUnitTest, PreVoteDoesNotDisturbState) {
+  consensus_->HandleMessage(
+      Message(MakeAppend(3, kZeroOpId, {E(3, 1, "x")})));
+  outbox_.sent.clear();
+
+  VoteRequest pre;
+  pre.candidate = "c";
+  pre.dest = "a";
+  pre.term = 4;
+  pre.last_log = {3, 1};
+  pre.pre_vote = true;
+  consensus_->HandleMessage(Message(pre));
+  auto response = outbox_.Last<VoteResponse>();
+  // Leader "b" is fresh: stickiness denies the pre-vote.
+  EXPECT_FALSE(response.granted);
+  EXPECT_EQ(response.reason, "leader-alive");
+  EXPECT_EQ(consensus_->term(), 3u);  // no term churn
+
+  // Once the leader has been silent past the election timeout, the
+  // pre-vote is granted — still without touching the term.
+  clock_.AdvanceMicros(10'000'000);
+  consensus_->HandleMessage(Message(pre));
+  response = outbox_.Last<VoteResponse>();
+  EXPECT_TRUE(response.granted);
+  EXPECT_EQ(consensus_->term(), 3u);
+}
+
+TEST_F(ConsensusUnitTest, LeaderCommitsViaMajorityAcks) {
+  BecomeLeader();
+  auto opid = consensus_->Replicate(EntryType::kNoOp, "payload");
+  ASSERT_TRUE(opid.ok());
+  EXPECT_FALSE(consensus_->IsCommitted(*opid));
+
+  AppendEntriesResponse ack;
+  ack.from = "b";
+  ack.dest = "a";
+  ack.term = consensus_->term();
+  ack.success = true;
+  ack.last_received = *opid;
+  ack.last_durable_index = opid->index;
+  consensus_->HandleMessage(Message(ack));
+  EXPECT_TRUE(consensus_->IsCommitted(*opid));  // a + b = 2 of 3
+  EXPECT_EQ(listener_.last_commit, *opid);
+}
+
+TEST_F(ConsensusUnitTest, LeaderStepsDownOnHigherTermResponse) {
+  BecomeLeader();
+  AppendEntriesResponse response;
+  response.from = "b";
+  response.dest = "a";
+  response.term = consensus_->term() + 3;
+  response.success = false;
+  consensus_->HandleMessage(Message(response));
+  EXPECT_EQ(consensus_->role(), RaftRole::kFollower);
+  EXPECT_EQ(listener_.lost, 1);
+  EXPECT_EQ(consensus_->term(), 4u);
+  // Replicate is now rejected.
+  EXPECT_FALSE(consensus_->Replicate(EntryType::kNoOp, "x").ok());
+}
+
+TEST_F(ConsensusUnitTest, LeaderRewindsNextIndexOnFailure) {
+  BecomeLeader();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(consensus_->Replicate(EntryType::kNoOp, "e").ok());
+  }
+  // b claims it is caught up to index 4 (leader advances next to 5)...
+  AppendEntriesResponse ack;
+  ack.from = "b";
+  ack.dest = "a";
+  ack.term = consensus_->term();
+  ack.success = true;
+  ack.last_received = {1, 4};
+  consensus_->HandleMessage(Message(ack));
+  // ...then fails a subsequent append, hinting its log really ends at 2.
+  AppendEntriesResponse nack = ack;
+  nack.success = false;
+  nack.last_received = {1, 2};
+  outbox_.sent.clear();
+  consensus_->HandleMessage(Message(nack));
+  auto resend = outbox_.Last<AppendEntriesRequest>();
+  EXPECT_EQ(resend.prev.index, 2u);  // rewound to the hint
+  ASSERT_FALSE(resend.entries.empty());
+  EXPECT_EQ(resend.entries.front().id.index, 3u);
+}
+
+TEST_F(ConsensusUnitTest, TransferLeadershipValidation) {
+  BecomeLeader();
+  EXPECT_TRUE(consensus_->TransferLeadership("a").IsInvalidArgument());
+  EXPECT_TRUE(consensus_->TransferLeadership("ghost").IsInvalidArgument());
+  ASSERT_TRUE(consensus_->TransferLeadership("b").ok());
+  EXPECT_TRUE(consensus_->TransferLeadership("c").IsIllegalState());
+  EXPECT_EQ(consensus_->transfer_target(), "b");
+}
+
+TEST_F(ConsensusUnitTest, QuiescedLeaderRejectsTransactionsOnly) {
+  BecomeLeader();
+  RaftOptions options;  // mock disabled path goes straight to quiesce
+  ASSERT_TRUE(consensus_->TransferLeadership("b").ok());
+  // Mock election runs first (enabled by default): not yet quiesced.
+  EXPECT_FALSE(consensus_->is_quiesced_for_transfer());
+  // Deliver the mock outcome directly.
+  VoteResponse outcome;
+  outcome.from = "b";
+  outcome.dest = "a";
+  outcome.term = consensus_->term();
+  outcome.granted = true;
+  outcome.mock_election = true;
+  outcome.reason = "mock-outcome";
+  consensus_->HandleMessage(Message(outcome));
+  EXPECT_TRUE(consensus_->is_quiesced_for_transfer());
+  EXPECT_TRUE(consensus_->Replicate(EntryType::kTransaction, "txn")
+                  .status()
+                  .IsServiceUnavailable());
+  // Control entries (no-op/config) still pass.
+  EXPECT_TRUE(consensus_->Replicate(EntryType::kNoOp, "").ok());
+}
+
+TEST_F(ConsensusUnitTest, ConfigChangeGatingAndCommit) {
+  BecomeLeader();
+  MemberInfo member{"d", "r1", MemberKind::kMySql, RaftMemberType::kVoter};
+  ASSERT_TRUE(consensus_->AddMember(member).ok());
+  EXPECT_TRUE(consensus_->has_pending_config_change());
+  EXPECT_TRUE(consensus_->AddMember(MemberInfo{"e", "r1", MemberKind::kMySql,
+                                               RaftMemberType::kVoter})
+                  .IsIllegalState());
+  EXPECT_TRUE(consensus_->config().Contains("d"));  // effective on append
+
+  // Commit the config entry: now 4 voters, majority = 3.
+  const OpId config_opid = consensus_->last_logged();
+  for (const MemberId& peer : {"b", "c"}) {
+    AppendEntriesResponse ack;
+    ack.from = peer;
+    ack.dest = "a";
+    ack.term = consensus_->term();
+    ack.success = true;
+    ack.last_received = config_opid;
+    consensus_->HandleMessage(Message(ack));
+  }
+  EXPECT_FALSE(consensus_->has_pending_config_change());
+  // The new peer is being replicated to.
+  EXPECT_TRUE(consensus_->peers().count("d") > 0);
+
+  // And can be removed again.
+  ASSERT_TRUE(consensus_->RemoveMember("d").ok());
+  EXPECT_FALSE(consensus_->config().Contains("d"));
+}
+
+TEST_F(ConsensusUnitTest, LearnerIgnoresElectionMachinery) {
+  // Reconfigure a's type to learner via a fresh instance.
+  auto env = NewMemEnv();
+  ConsensusMetadataStore store(env.get(), "/m");
+  RaftOptions options;
+  options.self = "a";
+  options.region = "r0";
+  CapturingOutbox outbox;
+  RecordingListener listener;
+  RaftConsensus learner(options, &log_, &quorum_, &store, &clock_, &rng_,
+                        &outbox, &listener);
+  MembershipConfig config;
+  config.members = {
+      {"a", "r0", MemberKind::kMySql, RaftMemberType::kNonVoter},
+      {"b", "r0", MemberKind::kMySql, RaftMemberType::kVoter},
+      {"c", "r1", MemberKind::kMySql, RaftMemberType::kVoter},
+  };
+  ASSERT_TRUE(learner.Bootstrap(config).ok());
+  EXPECT_EQ(learner.role(), RaftRole::kLearner);
+  EXPECT_TRUE(
+      learner.StartElection(ElectionMode::kRealElection).IsIllegalState());
+
+  VoteRequest request;
+  request.candidate = "b";
+  request.dest = "a";
+  request.term = 1;
+  learner.HandleMessage(Message(request));
+  auto response = outbox.Last<VoteResponse>();
+  EXPECT_FALSE(response.granted);
+  EXPECT_EQ(response.reason, "not-a-voter");
+
+  // Election timeouts never fire for learners.
+  clock_.AdvanceMicros(60'000'000);
+  learner.Tick();
+  EXPECT_EQ(learner.stats().elections_started, 0u);
+}
+
+TEST_F(ConsensusUnitTest, HeartbeatsFlowOnTick) {
+  BecomeLeader();
+  // Clear the outstanding-RPC flow control by acking the no-op.
+  for (const MemberId& peer : {"b", "c"}) {
+    AppendEntriesResponse ack;
+    ack.from = peer;
+    ack.dest = "a";
+    ack.term = consensus_->term();
+    ack.success = true;
+    ack.last_received = consensus_->last_logged();
+    consensus_->HandleMessage(Message(ack));
+  }
+  outbox_.sent.clear();
+  clock_.AdvanceMicros(600'000);  // > 500ms heartbeat interval
+  consensus_->Tick();
+  auto heartbeats = outbox_.OfType<AppendEntriesRequest>();
+  ASSERT_EQ(heartbeats.size(), 2u);  // b and c
+  for (const auto& hb : heartbeats) {
+    EXPECT_TRUE(hb.IsHeartbeat());
+    EXPECT_EQ(hb.term, consensus_->term());
+  }
+  EXPECT_GE(consensus_->stats().heartbeats_sent, 2u);
+}
+
+TEST_F(ConsensusUnitTest, MisaddressedMessagesIgnored) {
+  auto request = MakeAppend(1, kZeroOpId, {E(1, 1, "x")});
+  request.dest = "someone-else";
+  consensus_->HandleMessage(Message(request));
+  EXPECT_EQ(consensus_->last_logged(), kZeroOpId);
+  EXPECT_TRUE(outbox_.sent.empty());
+}
+
+TEST_F(ConsensusUnitTest, AutoStepDownDisabledByDefault) {
+  // Faithful to kuduraft: a fully partitioned leader stays leader (§4.1:
+  // "we currently choose consistency over availability").
+  BecomeLeader();
+  clock_.AdvanceMicros(60'000'000);
+  consensus_->Tick();
+  EXPECT_EQ(consensus_->role(), RaftRole::kLeader);
+  EXPECT_EQ(consensus_->stats().auto_step_downs, 0u);
+}
+
+TEST(ConsensusAutoStepDownTest, EnabledLeaderDemotesWhenQuorumSilent) {
+  ManualClock clock;
+  Random rng(2);
+  auto env = NewMemEnv();
+  ConsensusMetadataStore store(env.get(), "/m");
+  MemLog log;
+  MajorityQuorumEngine quorum;
+  CapturingOutbox outbox;
+  RecordingListener listener;
+  RaftOptions options;
+  options.self = "a";
+  options.region = "r0";
+  options.enable_pre_vote = false;
+  options.enable_auto_step_down = true;
+  options.auto_step_down_after_micros = 2'000'000;
+  RaftConsensus consensus(options, &log, &quorum, &store, &clock, &rng,
+                          &outbox, &listener);
+  MembershipConfig config;
+  config.members = {
+      {"a", "r0", MemberKind::kMySql, RaftMemberType::kVoter},
+      {"b", "r0", MemberKind::kMySql, RaftMemberType::kVoter},
+      {"c", "r1", MemberKind::kMySql, RaftMemberType::kVoter},
+  };
+  ASSERT_TRUE(consensus.Bootstrap(config).ok());
+  ASSERT_TRUE(consensus.StartElection(ElectionMode::kRealElection).ok());
+  VoteResponse grant;
+  grant.from = "b";
+  grant.dest = "a";
+  grant.term = consensus.term();
+  grant.granted = true;
+  consensus.HandleMessage(Message(grant));
+  ASSERT_EQ(consensus.role(), RaftRole::kLeader);
+
+  // A responsive quorum keeps leadership.
+  clock.AdvanceMicros(1'500'000);
+  AppendEntriesResponse ack;
+  ack.from = "b";
+  ack.dest = "a";
+  ack.term = consensus.term();
+  ack.success = true;
+  ack.last_received = consensus.last_logged();
+  consensus.HandleMessage(Message(ack));
+  consensus.Tick();
+  EXPECT_EQ(consensus.role(), RaftRole::kLeader);
+
+  // Total silence past the window: demote.
+  clock.AdvanceMicros(2'500'000);
+  consensus.Tick();
+  EXPECT_EQ(consensus.role(), RaftRole::kFollower);
+  EXPECT_EQ(consensus.stats().auto_step_downs, 1u);
+  EXPECT_EQ(listener.lost, 1);
+  EXPECT_EQ(consensus.term(), 1u);  // no gratuitous term bump
+}
+
+TEST_F(ConsensusUnitTest, VotesDeniedToRemovedCandidates) {
+  // "d" is not in the config (e.g. removed while partitioned); its
+  // campaigns must be rejected regardless of log length.
+  VoteRequest request;
+  request.candidate = "d";
+  request.dest = "a";
+  request.term = 9;
+  request.last_log = {8, 100};
+  request.candidate_region = "r1";
+  consensus_->HandleMessage(Message(request));
+  auto response = outbox_.Last<VoteResponse>();
+  EXPECT_FALSE(response.granted);
+  EXPECT_EQ(response.reason, "candidate-not-a-voter");
+}
+
+TEST_F(ConsensusUnitTest, BootstrapValidation) {
+  auto env = NewMemEnv();
+  ConsensusMetadataStore store(env.get(), "/m");
+  RaftOptions options;
+  options.self = "zz";
+  options.region = "r0";
+  CapturingOutbox outbox;
+  RecordingListener listener;
+  MemLog log;
+  RaftConsensus consensus(options, &log, &quorum_, &store, &clock_, &rng_,
+                          &outbox, &listener);
+  // Config without self is rejected; Start without bootstrap is too.
+  MembershipConfig config;
+  config.members = {{"a", "r0", MemberKind::kMySql, RaftMemberType::kVoter}};
+  EXPECT_TRUE(consensus.Bootstrap(config).IsInvalidArgument());
+  EXPECT_TRUE(consensus.Start().code() == StatusCode::kUninitialized);
+}
+
+}  // namespace
+}  // namespace myraft::raft

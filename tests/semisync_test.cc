@@ -1,0 +1,185 @@
+// Prior-setup baseline tests: semi-sync commit path (ack from in-region
+// logtailer), degrade-to-async on ack timeout, external failure detection
+// and failover (slow!), graceful promotion, fencing of deposed primaries
+// and log healing on rejoin.
+
+#include "semisync/cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace myraft::semisync {
+namespace {
+
+constexpr uint64_t kSecond = 1'000'000;
+
+SemiSyncClusterOptions DefaultOptions(uint64_t seed) {
+  SemiSyncClusterOptions options;
+  options.seed = seed;
+  options.db_regions = 3;
+  options.logtailers_per_db = 2;
+  return options;
+}
+
+TEST(SemiSyncClusterTest, CommitWaitsForInRegionAck) {
+  SemiSyncCluster cluster(DefaultOptions(5));
+  ASSERT_TRUE(cluster.Bootstrap().ok());
+  ASSERT_EQ(cluster.CurrentPrimary(), "db0");
+
+  auto result = cluster.SyncWrite("k1", "v1");
+  ASSERT_TRUE(result.status.ok()) << result.status;
+  // Latency: client RTT + processing + one in-region ack RTT; far less
+  // than a cross-region round trip.
+  EXPECT_LT(result.latency_micros, 5'000u);
+  EXPECT_EQ(cluster.server("db0")->Read("bench.kv", "k1"), "k1=v1");
+  EXPECT_EQ(cluster.server("db0")->stats().writes_committed, 1u);
+  EXPECT_EQ(cluster.server("db0")->stats().commits_degraded_to_async, 0u);
+}
+
+TEST(SemiSyncClusterTest, AsyncReplicasCatchUpAndApplyImmediately) {
+  SemiSyncCluster cluster(DefaultOptions(6));
+  ASSERT_TRUE(cluster.Bootstrap().ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(cluster.SyncWrite("k" + std::to_string(i), "v").status.ok());
+  }
+  cluster.loop()->RunFor(2 * kSecond);
+  for (const MemberId& id : cluster.database_ids()) {
+    EXPECT_EQ(cluster.server(id)->Read("bench.kv", "k9"), "k9=v") << id;
+  }
+}
+
+TEST(SemiSyncClusterTest, DegradesToAsyncWhenAckersDie) {
+  auto options = DefaultOptions(7);
+  options.server_defaults.ack_timeout_micros = 300'000;
+  SemiSyncCluster cluster(options);
+  ASSERT_TRUE(cluster.Bootstrap().ok());
+  ASSERT_TRUE(cluster.SyncWrite("before", "v").status.ok());
+
+  // Kill both in-region ackers: semi-sync degrades to async after the
+  // timeout (rpl_semi_sync_master_timeout behaviour) instead of blocking.
+  cluster.Crash("lt0a");
+  cluster.Crash("lt0b");
+  auto result = cluster.SyncWrite("after", "v", 3 * kSecond);
+  ASSERT_TRUE(result.status.ok()) << result.status;
+  EXPECT_GT(result.latency_micros, 300'000u);  // paid the ack timeout
+  EXPECT_GT(cluster.server("db0")->stats().commits_degraded_to_async, 0u);
+}
+
+TEST(SemiSyncClusterTest, FailoverIsSlowAndExternallyDriven) {
+  SemiSyncCluster cluster(DefaultOptions(8));
+  ASSERT_TRUE(cluster.Bootstrap().ok());
+  ASSERT_TRUE(cluster.SyncWrite("pre", "v").status.ok());
+
+  auto downtime = cluster.MeasureWriteDowntime(
+      [&]() { cluster.Crash("db0"); });
+  ASSERT_TRUE(downtime.recovered);
+  // Detection sweeps + probes + fencing put this in the tens of seconds
+  // (Table 2: 59 s average).
+  EXPECT_GT(downtime.downtime_micros, 20ull * kSecond);
+  EXPECT_LT(downtime.downtime_micros, 300ull * kSecond);
+
+  const MemberId new_primary = cluster.CurrentPrimary();
+  ASSERT_FALSE(new_primary.empty());
+  EXPECT_NE(new_primary, "db0");
+  cluster.loop()->RunFor(2 * kSecond);
+  EXPECT_EQ(cluster.server(new_primary)->Read("bench.kv", "pre"), "pre=v");
+  EXPECT_EQ(cluster.automation()->stats().failovers_completed, 1u);
+}
+
+TEST(SemiSyncClusterTest, GracefulPromotionTakesAboutASecond) {
+  SemiSyncCluster cluster(DefaultOptions(9));
+  ASSERT_TRUE(cluster.Bootstrap().ok());
+  ASSERT_TRUE(cluster.SyncWrite("warm", "v").status.ok());
+  cluster.loop()->RunFor(kSecond);
+
+  auto downtime = cluster.MeasureWriteDowntime([&]() {
+    ASSERT_TRUE(cluster.automation()->StartPromotion("db1").ok());
+  });
+  ASSERT_TRUE(downtime.recovered);
+  EXPECT_GT(downtime.downtime_micros, 200'000u);
+  EXPECT_LT(downtime.downtime_micros, 5ull * kSecond);
+  EXPECT_EQ(cluster.CurrentPrimary(), "db1");
+  EXPECT_TRUE(cluster.server("db0")->read_only());
+  EXPECT_EQ(cluster.automation()->stats().promotions_completed, 1u);
+}
+
+TEST(SemiSyncClusterTest, DeposedPrimaryIsFencedByGeneration) {
+  SemiSyncCluster cluster(DefaultOptions(10));
+  ASSERT_TRUE(cluster.Bootstrap().ok());
+  ASSERT_TRUE(cluster.SyncWrite("a", "1").status.ok());
+  cluster.loop()->RunFor(kSecond);
+  ASSERT_TRUE(cluster.automation()->StartPromotion("db1").ok());
+  cluster.loop()->RunFor(5 * kSecond);
+  ASSERT_EQ(cluster.CurrentPrimary(), "db1");
+
+  // Force the deposed db0 to believe it is still primary (simulating the
+  // split-brain the prior setup is vulnerable to) and write through it.
+  ASSERT_TRUE(cluster.server("db0")
+                  ->MakePrimary(/*generation=*/1, {"db1", "lt0a"}, {"lt0a"})
+                  .ok());
+  bool called = false;
+  binlog::RowOperation op;
+  op.kind = binlog::RowOperation::Kind::kInsert;
+  op.database = "bench";
+  op.table = "kv";
+  op.after_image = "rogue=1";
+  cluster.server("db0")->SubmitWrite({op}, [&](const SemiSyncWriteResult& r) {
+    called = true;
+  });
+  cluster.loop()->RunFor(5 * kSecond);
+  EXPECT_TRUE(called);  // degrades to async locally...
+  // ...but the replicaset rejected the stale-generation stream.
+  EXPECT_EQ(cluster.server("db1")->Read("bench.kv", "rogue"), std::nullopt);
+  for (const MemberId& id : cluster.database_ids()) {
+    if (id == "db0") continue;
+    EXPECT_EQ(cluster.server(id)->Read("bench.kv", "rogue"), std::nullopt)
+        << id;
+  }
+}
+
+TEST(SemiSyncClusterTest, DivergedTailIsHealedOnRejoin) {
+  auto options = DefaultOptions(11);
+  options.server_defaults.ack_timeout_micros = 200'000;
+  SemiSyncCluster cluster(options);
+  ASSERT_TRUE(cluster.Bootstrap().ok());
+  ASSERT_TRUE(cluster.SyncWrite("shared", "v").status.ok());
+  cluster.loop()->RunFor(kSecond);
+
+  // Isolate db0 so its next commit degrades to async and exists nowhere
+  // else (the classic semi-sync data-loss window).
+  for (const MemberId& id : cluster.ids()) {
+    if (id != "db0") cluster.network()->SetLinkCut("db0", id, true);
+  }
+  auto lost = cluster.SyncWrite("lost", "v", 3 * kSecond);
+  EXPECT_TRUE(lost.status.ok());  // degraded commit "succeeded"!
+  cluster.Crash("db0");
+  for (const MemberId& id : cluster.ids()) {
+    if (id != "db0") cluster.network()->SetLinkCut("db0", id, false);
+  }
+
+  // Failover promotes someone else; the lost write is gone fleet-wide.
+  auto downtime = cluster.MeasureWriteDowntime([]() {});
+  ASSERT_TRUE(downtime.recovered);
+  const MemberId new_primary = cluster.CurrentPrimary();
+  ASSERT_FALSE(new_primary.empty());
+  EXPECT_EQ(cluster.server(new_primary)->Read("bench.kv", "lost"),
+            std::nullopt);
+
+  // db0 rejoins; automation re-points it, its diverged binlog tail is
+  // healed away, and the engine divergence (an acknowledged-but-lost
+  // transaction: semi-sync's known flaw that MyRaft eliminates) is
+  // flagged for rebuild.
+  ASSERT_TRUE(cluster.Restart("db0").ok());
+  ASSERT_TRUE(cluster.SyncWrite("newer", "v").status.ok());
+  cluster.loop()->RunFor(30 * kSecond);
+  EXPECT_GT(cluster.server("db0")->stats().healed_transactions, 0u);
+  EXPECT_TRUE(cluster.server("db0")->engine_diverged());
+  // The binlog no longer has the lost gtid, but the engine still carries
+  // the phantom row until the host is rebuilt — exactly the edge case
+  // described in the paper's motivation.
+  EXPECT_FALSE(cluster.server("db0")->binlog_manager()->gtids_in_log().Count() ==
+               0);
+  EXPECT_EQ(cluster.server("db0")->Read("bench.kv", "newer"), "newer=v");
+}
+
+}  // namespace
+}  // namespace myraft::semisync

@@ -1,0 +1,294 @@
+// MiniEngine: 2-phase transactions, row locks, WAL recovery (§A.2 cases),
+// GTID/OpId tracking, checkpointing and state checksums.
+
+#include "storage/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace myraft::storage {
+namespace {
+
+binlog::Gtid G(uint64_t seq) { return binlog::Gtid{Uuid::FromIndex(1), seq}; }
+
+class MiniEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv();
+    options_.dir = "/engine";
+    options_.clock = &clock_;
+    Reopen();
+  }
+
+  void Reopen() {
+    engine_.reset();
+    auto e = MiniEngine::Open(env_.get(), options_);
+    ASSERT_TRUE(e.ok()) << e.status();
+    engine_ = std::move(*e);
+  }
+
+  /// Runs a complete single-row transaction through prepare + commit.
+  void CommitRow(const std::string& key, const std::string& value,
+                 uint64_t xid, OpId opid) {
+    const TxnId txn = engine_->Begin();
+    ASSERT_TRUE(engine_->Put(txn, "t", key, value).ok());
+    ASSERT_TRUE(engine_->Prepare(txn, xid).ok());
+    ASSERT_TRUE(engine_->CommitPrepared(xid, opid, G(xid)).ok());
+  }
+
+  ManualClock clock_;
+  std::unique_ptr<Env> env_;
+  EngineOptions options_;
+  std::unique_ptr<MiniEngine> engine_;
+};
+
+TEST_F(MiniEngineTest, CommitMakesWritesVisible) {
+  const TxnId txn = engine_->Begin();
+  ASSERT_TRUE(engine_->Put(txn, "t", "k", "v1").ok());
+  EXPECT_EQ(engine_->Get("t", "k"), std::nullopt);  // invisible before commit
+  ASSERT_TRUE(engine_->Prepare(txn, 1).ok());
+  EXPECT_EQ(engine_->Get("t", "k"), std::nullopt);  // still invisible
+  ASSERT_TRUE(engine_->CommitPrepared(1, {1, 1}, G(1)).ok());
+  EXPECT_EQ(engine_->Get("t", "k"), "v1");
+  EXPECT_EQ(engine_->LastAppliedOpId(), (OpId{1, 1}));
+  EXPECT_TRUE(engine_->ExecutedGtids().Contains(G(1)));
+}
+
+TEST_F(MiniEngineTest, DeleteRemovesRow) {
+  CommitRow("k", "v", 1, {1, 1});
+  const TxnId txn = engine_->Begin();
+  ASSERT_TRUE(engine_->Delete(txn, "t", "k").ok());
+  ASSERT_TRUE(engine_->Prepare(txn, 2).ok());
+  ASSERT_TRUE(engine_->CommitPrepared(2, {1, 2}, G(2)).ok());
+  EXPECT_EQ(engine_->Get("t", "k"), std::nullopt);
+  EXPECT_EQ(engine_->RowCount(), 0u);
+}
+
+TEST_F(MiniEngineTest, RowLockBlocksConflictingWriters) {
+  const TxnId a = engine_->Begin();
+  const TxnId b = engine_->Begin();
+  ASSERT_TRUE(engine_->Put(a, "t", "k", "va").ok());
+  EXPECT_TRUE(engine_->Put(b, "t", "k", "vb").IsAborted());
+  // Different row is fine.
+  EXPECT_TRUE(engine_->Put(b, "t", "other", "vb").ok());
+  // Lock persists through prepare...
+  ASSERT_TRUE(engine_->Prepare(a, 1).ok());
+  EXPECT_TRUE(engine_->Put(b, "t", "k", "vb").IsAborted());
+  // ...and releases at engine commit (pipeline stage 3, §3.4).
+  ASSERT_TRUE(engine_->CommitPrepared(1, {1, 1}, G(1)).ok());
+  EXPECT_TRUE(engine_->Put(b, "t", "k", "vb").ok());
+}
+
+TEST_F(MiniEngineTest, RollbackReleasesLocksAndDiscards) {
+  const TxnId a = engine_->Begin();
+  ASSERT_TRUE(engine_->Put(a, "t", "k", "va").ok());
+  ASSERT_TRUE(engine_->Rollback(a).ok());
+  EXPECT_EQ(engine_->Get("t", "k"), std::nullopt);
+  const TxnId b = engine_->Begin();
+  EXPECT_TRUE(engine_->Put(b, "t", "k", "vb").ok());
+}
+
+TEST_F(MiniEngineTest, RollbackPreparedIsOnline) {
+  const TxnId a = engine_->Begin();
+  ASSERT_TRUE(engine_->Put(a, "t", "k", "va").ok());
+  ASSERT_TRUE(engine_->Prepare(a, 9).ok());
+  EXPECT_EQ(engine_->PreparedXids(), std::vector<uint64_t>{9});
+  ASSERT_TRUE(engine_->RollbackPrepared(9).ok());
+  EXPECT_TRUE(engine_->PreparedXids().empty());
+  EXPECT_EQ(engine_->Get("t", "k"), std::nullopt);
+  // Lock released.
+  const TxnId b = engine_->Begin();
+  EXPECT_TRUE(engine_->Put(b, "t", "k", "vb").ok());
+}
+
+TEST_F(MiniEngineTest, LifecycleErrorsAreRejected) {
+  EXPECT_TRUE(engine_->Put(999, "t", "k", "v").IsNotFound());
+  EXPECT_TRUE(engine_->Rollback(999).IsNotFound());
+  EXPECT_TRUE(engine_->CommitPrepared(999, {1, 1}, G(1)).IsNotFound());
+  EXPECT_TRUE(engine_->RollbackPrepared(999).IsNotFound());
+
+  const TxnId a = engine_->Begin();
+  ASSERT_TRUE(engine_->Put(a, "t", "k", "v").ok());
+  ASSERT_TRUE(engine_->Prepare(a, 1).ok());
+  EXPECT_FALSE(engine_->Put(a, "t", "k2", "v").ok());   // post-prepare write
+  EXPECT_FALSE(engine_->Prepare(a, 2).ok());            // double prepare
+  EXPECT_FALSE(engine_->Rollback(a).ok());              // wrong rollback kind
+
+  const TxnId b = engine_->Begin();
+  ASSERT_TRUE(engine_->Put(b, "t", "k2", "v").ok());
+  EXPECT_TRUE(engine_->Prepare(b, 1).IsAlreadyPresent());  // xid reuse
+}
+
+TEST_F(MiniEngineTest, OverwriteWithinTransactionKeepsLastValue) {
+  const TxnId a = engine_->Begin();
+  ASSERT_TRUE(engine_->Put(a, "t", "k", "v1").ok());
+  ASSERT_TRUE(engine_->Put(a, "t", "k", "v2").ok());
+  auto writes = engine_->PendingWrites(a);
+  ASSERT_TRUE(writes.ok());
+  ASSERT_EQ(writes->size(), 1u);
+  EXPECT_EQ((*writes)[0].value, "v2");
+  ASSERT_TRUE(engine_->Prepare(a, 1).ok());
+  ASSERT_TRUE(engine_->CommitPrepared(1, {1, 1}, G(1)).ok());
+  EXPECT_EQ(engine_->Get("t", "k"), "v2");
+}
+
+TEST_F(MiniEngineTest, CommittedStateSurvivesReopen) {
+  CommitRow("k1", "v1", 1, {1, 1});
+  CommitRow("k2", "v2", 2, {1, 2});
+  ASSERT_TRUE(engine_->Sync().ok());
+  const uint64_t checksum = engine_->StateChecksum();
+
+  Reopen();
+  EXPECT_EQ(engine_->Get("t", "k1"), "v1");
+  EXPECT_EQ(engine_->Get("t", "k2"), "v2");
+  EXPECT_EQ(engine_->LastAppliedOpId(), (OpId{1, 2}));
+  EXPECT_TRUE(engine_->ExecutedGtids().Contains(G(2)));
+  EXPECT_EQ(engine_->StateChecksum(), checksum);
+}
+
+TEST_F(MiniEngineTest, PreparedTransactionsRollBackAtRecovery) {
+  // §A.2: a transaction prepared in the engine but not committed before
+  // the crash is rolled back on restart.
+  CommitRow("committed", "v", 1, {1, 1});
+  const TxnId txn = engine_->Begin();
+  ASSERT_TRUE(engine_->Put(txn, "t", "pending", "lost").ok());
+  ASSERT_TRUE(engine_->Prepare(txn, 2).ok());
+  ASSERT_TRUE(engine_->Sync().ok());
+
+  Reopen();  // "crash"
+  EXPECT_EQ(engine_->RolledBackAtRecovery(), std::vector<uint64_t>{2});
+  EXPECT_TRUE(engine_->PreparedXids().empty());
+  EXPECT_EQ(engine_->Get("t", "pending"), std::nullopt);
+  EXPECT_EQ(engine_->Get("t", "committed"), "v");
+  // The applier may now re-apply xid 2 from the replicated log.
+  const TxnId retry = engine_->Begin();
+  ASSERT_TRUE(engine_->Put(retry, "t", "pending", "reapplied").ok());
+  ASSERT_TRUE(engine_->Prepare(retry, 2).ok());
+  ASSERT_TRUE(engine_->CommitPrepared(2, {2, 2}, G(2)).ok());
+  EXPECT_EQ(engine_->Get("t", "pending"), "reapplied");
+}
+
+TEST_F(MiniEngineTest, TornWalTailIsTrimmed) {
+  CommitRow("k", "v", 1, {1, 1});
+  ASSERT_TRUE(engine_->Sync().ok());
+  engine_.reset();
+  auto size = env_->GetFileSize("/engine/engine.wal");
+  ASSERT_TRUE(size.ok());
+  ASSERT_TRUE(env_->TruncateFile("/engine/engine.wal", *size - 3).ok());
+
+  Reopen();
+  // The commit record was torn, so only the prepare replays, which then
+  // rolls back: the row is gone but the engine is healthy.
+  EXPECT_EQ(engine_->Get("t", "k"), std::nullopt);
+  EXPECT_EQ(engine_->RolledBackAtRecovery().size(), 1u);
+  CommitRow("k", "v2", 5, {2, 2});
+  EXPECT_EQ(engine_->Get("t", "k"), "v2");
+}
+
+TEST_F(MiniEngineTest, CheckpointTruncatesWalAndPreservesState) {
+  for (uint64_t i = 1; i <= 50; ++i) {
+    CommitRow("k" + std::to_string(i), "v" + std::to_string(i), i, {1, i});
+  }
+  const uint64_t checksum = engine_->StateChecksum();
+  const auto wal_before = env_->GetFileSize("/engine/engine.wal");
+  ASSERT_TRUE(wal_before.ok());
+  ASSERT_GT(*wal_before, 0u);
+
+  ASSERT_TRUE(engine_->Checkpoint().ok());
+  EXPECT_EQ(*env_->GetFileSize("/engine/engine.wal"), 0u);
+
+  // Post-checkpoint commits land in the fresh WAL.
+  CommitRow("extra", "v", 99, {2, 51});
+
+  Reopen();
+  EXPECT_EQ(engine_->Get("t", "k25"), "v25");
+  EXPECT_EQ(engine_->Get("t", "extra"), "v");
+  EXPECT_EQ(engine_->LastAppliedOpId(), (OpId{2, 51}));
+  EXPECT_NE(engine_->StateChecksum(), checksum);  // extra row changes it
+  EXPECT_EQ(engine_->RowCount(), 51u);
+}
+
+TEST_F(MiniEngineTest, CheckpointRefusedWithPreparedTxns) {
+  const TxnId txn = engine_->Begin();
+  ASSERT_TRUE(engine_->Put(txn, "t", "k", "v").ok());
+  ASSERT_TRUE(engine_->Prepare(txn, 1).ok());
+  EXPECT_FALSE(engine_->Checkpoint().ok());
+  ASSERT_TRUE(engine_->CommitPrepared(1, {1, 1}, G(1)).ok());
+  EXPECT_TRUE(engine_->Checkpoint().ok());
+}
+
+TEST_F(MiniEngineTest, StateChecksumMatchesAcrossReplicas) {
+  // Two engines applying the same transactions in the same order converge
+  // to the same checksum (the §5.1 consistency check).
+  EngineOptions other_options = options_;
+  other_options.dir = "/engine2";
+  auto other = MiniEngine::Open(env_.get(), other_options);
+  ASSERT_TRUE(other.ok());
+
+  Random rng(77);
+  for (uint64_t i = 1; i <= 100; ++i) {
+    const std::string key = "k" + std::to_string(rng.Uniform(30));
+    const std::string value = "v" + std::to_string(rng.Next());
+    for (MiniEngine* e : {engine_.get(), other->get()}) {
+      const TxnId txn = e->Begin();
+      ASSERT_TRUE(e->Put(txn, "t", key, value).ok());
+      ASSERT_TRUE(e->Prepare(txn, i).ok());
+      ASSERT_TRUE(e->CommitPrepared(i, {1, i}, G(i)).ok());
+    }
+  }
+  EXPECT_EQ(engine_->StateChecksum(), (*other)->StateChecksum());
+  EXPECT_EQ(engine_->ExecutedGtids(), (*other)->ExecutedGtids());
+}
+
+class EngineRecoveryFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EngineRecoveryFuzzTest, RandomCrashPointsNeverCorrupt) {
+  // Build a WAL with a random workload, then reopen from every truncated
+  // prefix; recovery must always succeed and never resurrect uncommitted
+  // writes.
+  Random rng(GetParam());
+  auto env = NewMemEnv();
+  ManualClock clock;
+  EngineOptions options;
+  options.dir = "/e";
+  options.clock = &clock;
+  {
+    auto engine = MiniEngine::Open(env.get(), options);
+    ASSERT_TRUE(engine.ok());
+    uint64_t xid = 1;
+    for (int i = 0; i < 30; ++i) {
+      const TxnId txn = (*engine)->Begin();
+      const std::string key = "k" + std::to_string(rng.Uniform(10));
+      if (!(*engine)->Put(txn, "t", key, "v" + std::to_string(i)).ok()) {
+        ASSERT_TRUE((*engine)->Rollback(txn).ok());
+        continue;
+      }
+      ASSERT_TRUE((*engine)->Prepare(txn, xid).ok());
+      if (rng.OneIn(4)) {
+        ASSERT_TRUE((*engine)->RollbackPrepared(xid).ok());
+      } else if (!rng.OneIn(5)) {
+        ASSERT_TRUE((*engine)->CommitPrepared(xid, {1, xid}, G(xid)).ok());
+      }
+      // else: leave prepared (simulates crash mid-pipeline)
+      ++xid;
+    }
+  }
+
+  auto full = env->ReadFileToString("/e/engine.wal");
+  ASSERT_TRUE(full.ok());
+  for (size_t cut = 0; cut <= full->size(); cut += 17) {
+    ASSERT_TRUE(env->WriteStringToFile(
+                        Slice(full->data(), cut), "/e/engine.wal")
+                    .ok());
+    auto engine = MiniEngine::Open(env.get(), options);
+    ASSERT_TRUE(engine.ok()) << "cut=" << cut << ": " << engine.status();
+    EXPECT_TRUE((*engine)->PreparedXids().empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineRecoveryFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace myraft::storage

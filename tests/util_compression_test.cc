@@ -1,0 +1,128 @@
+#include "util/compression.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace myraft {
+namespace {
+
+std::string RoundTrip(const std::string& input) {
+  std::string compressed;
+  LzCompress(input, &compressed);
+  std::string out;
+  Status s = LzDecompress(compressed, &out);
+  EXPECT_TRUE(s.ok()) << s;
+  return out;
+}
+
+TEST(CompressionTest, Empty) { EXPECT_EQ(RoundTrip(""), ""); }
+
+TEST(CompressionTest, Tiny) {
+  EXPECT_EQ(RoundTrip("a"), "a");
+  EXPECT_EQ(RoundTrip("abc"), "abc");
+}
+
+TEST(CompressionTest, HighlyRepetitiveShrinks) {
+  const std::string input(100000, 'z');
+  std::string compressed;
+  LzCompress(input, &compressed);
+  EXPECT_LT(compressed.size(), input.size() / 50);
+  std::string out;
+  ASSERT_TRUE(LzDecompress(compressed, &out).ok());
+  EXPECT_EQ(out, input);
+}
+
+TEST(CompressionTest, OverlappingMatchesRleStyle) {
+  // "ababab..." forces overlapping back-references.
+  std::string input;
+  for (int i = 0; i < 5000; ++i) input += "ab";
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+TEST(CompressionTest, BinlogLikePayloadCompresses) {
+  // Row-based replication payloads repeat column metadata heavily.
+  std::string input;
+  Random rng(11);
+  for (int row = 0; row < 200; ++row) {
+    input += "TABLE_MAP:db1.users|cols=id,name,email,ts|";
+    input += "ROW:" + std::to_string(rng.Uniform(100000)) + "|";
+  }
+  std::string compressed;
+  LzCompress(input, &compressed);
+  EXPECT_LT(compressed.size(), input.size() / 2);
+  std::string out;
+  ASSERT_TRUE(LzDecompress(compressed, &out).ok());
+  EXPECT_EQ(out, input);
+}
+
+TEST(CompressionTest, IncompressibleStillRoundTrips) {
+  Random rng(13);
+  std::string input;
+  for (int i = 0; i < 10000; ++i) input.push_back(static_cast<char>(rng.Next()));
+  EXPECT_EQ(RoundTrip(input), input);
+  std::string compressed;
+  LzCompress(input, &compressed);
+  EXPECT_LE(compressed.size(), LzMaxCompressedSize(input.size()));
+}
+
+TEST(CompressionTest, DecompressRejectsTruncation) {
+  std::string input(1000, 'x');
+  input += "variation to force structure";
+  std::string compressed;
+  LzCompress(input, &compressed);
+  for (size_t len : {size_t{0}, compressed.size() / 2, compressed.size() - 1}) {
+    std::string out;
+    Status s = LzDecompress(Slice(compressed.data(), len), &out);
+    EXPECT_FALSE(s.ok()) << "len=" << len;
+  }
+}
+
+TEST(CompressionTest, DecompressRejectsBadTag) {
+  std::string compressed;
+  LzCompress("hello world hello world", &compressed);
+  // Corrupt the first command tag after the size varint.
+  compressed[1] = 0x7F;
+  std::string out;
+  EXPECT_TRUE(LzDecompress(compressed, &out).IsCorruption());
+}
+
+TEST(CompressionTest, DecompressRejectsBogusDistance) {
+  // Hand-craft: size=4, match len=4 dist=9 with empty window.
+  std::string bad;
+  bad.push_back(4);    // varint size = 4
+  bad.push_back(1);    // match tag
+  bad.push_back(4);    // len
+  bad.push_back(9);    // dist > window
+  std::string out;
+  EXPECT_TRUE(LzDecompress(bad, &out).IsCorruption());
+}
+
+class CompressionFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CompressionFuzzTest, RandomStructuredRoundTrip) {
+  Random rng(GetParam());
+  // Mix of random bytes and repeated phrases, like real txn payloads.
+  std::string input;
+  const char* phrases[] = {"INSERT", "UPDATE users SET ", "gtid:", "xid=",
+                           "aaaaaaaaaaaaaaaa"};
+  const size_t target = 1000 + rng.Uniform(50000);
+  while (input.size() < target) {
+    if (rng.OneIn(3)) {
+      input += phrases[rng.Uniform(5)];
+    } else {
+      const size_t n = 1 + rng.Uniform(20);
+      for (size_t i = 0; i < n; ++i) input.push_back(static_cast<char>(rng.Next()));
+    }
+  }
+  std::string compressed, out;
+  LzCompress(input, &compressed);
+  ASSERT_TRUE(LzDecompress(compressed, &out).ok());
+  EXPECT_EQ(out, input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompressionFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace myraft

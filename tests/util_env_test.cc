@@ -1,0 +1,148 @@
+// Env contract tests run against both PosixEnv (tmp dir) and MemEnv.
+
+#include "util/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace myraft {
+namespace {
+
+enum class EnvKind { kPosix, kMem };
+
+class EnvTest : public ::testing::TestWithParam<EnvKind> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == EnvKind::kPosix) {
+      env_ = GetPosixEnv();
+      char tmpl[] = "/tmp/myraft_env_test_XXXXXX";
+      ASSERT_NE(mkdtemp(tmpl), nullptr);
+      dir_ = tmpl;
+    } else {
+      owned_env_ = NewMemEnv();
+      env_ = owned_env_.get();
+      dir_ = "/mem";
+      ASSERT_TRUE(env_->CreateDirIfMissing(dir_).ok());
+    }
+  }
+
+  std::string Path(const std::string& name) { return dir_ + "/" + name; }
+
+  Env* env_ = nullptr;
+  std::unique_ptr<Env> owned_env_;
+  std::string dir_;
+};
+
+TEST_P(EnvTest, WriteThenReadBack) {
+  ASSERT_TRUE(
+      env_->WriteStringToFile("hello env", Path("f1"), /*sync=*/true).ok());
+  auto contents = env_->ReadFileToString(Path("f1"));
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "hello env");
+}
+
+TEST_P(EnvTest, AppendableFilePreservesExisting) {
+  ASSERT_TRUE(env_->WriteStringToFile("abc", Path("f2")).ok());
+  auto file = env_->NewAppendableFile(Path("f2"));
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("def").ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  EXPECT_EQ(*env_->ReadFileToString(Path("f2")), "abcdef");
+  EXPECT_EQ(*env_->GetFileSize(Path("f2")), 6u);
+}
+
+TEST_P(EnvTest, WritableFileTruncates) {
+  ASSERT_TRUE(env_->WriteStringToFile("long old contents", Path("f3")).ok());
+  ASSERT_TRUE(env_->WriteStringToFile("new", Path("f3")).ok());
+  EXPECT_EQ(*env_->ReadFileToString(Path("f3")), "new");
+}
+
+TEST_P(EnvTest, SequentialReadInChunks) {
+  std::string data(10000, 'q');
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<char>(i % 251);
+  ASSERT_TRUE(env_->WriteStringToFile(data, Path("f4")).ok());
+
+  auto file = env_->NewSequentialFile(Path("f4"));
+  ASSERT_TRUE(file.ok());
+  std::string got;
+  char scratch[333];
+  while (true) {
+    Slice chunk;
+    ASSERT_TRUE((*file)->Read(sizeof(scratch), &chunk, scratch).ok());
+    if (chunk.empty()) break;
+    got.append(chunk.data(), chunk.size());
+  }
+  EXPECT_EQ(got, data);
+}
+
+TEST_P(EnvTest, SequentialSkip) {
+  ASSERT_TRUE(env_->WriteStringToFile("0123456789", Path("f5")).ok());
+  auto file = env_->NewSequentialFile(Path("f5"));
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Skip(4).ok());
+  Slice chunk;
+  char scratch[16];
+  ASSERT_TRUE((*file)->Read(16, &chunk, scratch).ok());
+  EXPECT_EQ(chunk.ToString(), "456789");
+}
+
+TEST_P(EnvTest, RandomAccessRead) {
+  ASSERT_TRUE(env_->WriteStringToFile("abcdefghij", Path("f6")).ok());
+  auto file = env_->NewRandomAccessFile(Path("f6"));
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ((*file)->Size(), 10u);
+  char scratch[16];
+  Slice out;
+  ASSERT_TRUE((*file)->Read(3, 4, &out, scratch).ok());
+  EXPECT_EQ(out.ToString(), "defg");
+  // Reads past EOF return short/empty, not error.
+  ASSERT_TRUE((*file)->Read(8, 10, &out, scratch).ok());
+  EXPECT_EQ(out.ToString(), "ij");
+  ASSERT_TRUE((*file)->Read(100, 10, &out, scratch).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_P(EnvTest, MissingFileIsNotFound) {
+  EXPECT_FALSE(env_->FileExists(Path("nope")));
+  EXPECT_TRUE(env_->NewSequentialFile(Path("nope")).status().IsNotFound());
+  EXPECT_TRUE(env_->NewRandomAccessFile(Path("nope")).status().IsNotFound());
+  EXPECT_TRUE(env_->GetFileSize(Path("nope")).status().IsNotFound());
+}
+
+TEST_P(EnvTest, GetChildrenListsFiles) {
+  ASSERT_TRUE(env_->WriteStringToFile("x", Path("child_a")).ok());
+  ASSERT_TRUE(env_->WriteStringToFile("y", Path("child_b")).ok());
+  auto children = env_->GetChildren(dir_);
+  ASSERT_TRUE(children.ok());
+  int found = 0;
+  for (const auto& c : *children) {
+    if (c == "child_a" || c == "child_b") ++found;
+  }
+  EXPECT_EQ(found, 2);
+}
+
+TEST_P(EnvTest, RemoveFile) {
+  ASSERT_TRUE(env_->WriteStringToFile("x", Path("doomed")).ok());
+  EXPECT_TRUE(env_->FileExists(Path("doomed")));
+  ASSERT_TRUE(env_->RemoveFile(Path("doomed")).ok());
+  EXPECT_FALSE(env_->FileExists(Path("doomed")));
+  EXPECT_FALSE(env_->RemoveFile(Path("doomed")).ok());
+}
+
+TEST_P(EnvTest, RenameFile) {
+  ASSERT_TRUE(env_->WriteStringToFile("payload", Path("from")).ok());
+  ASSERT_TRUE(env_->RenameFile(Path("from"), Path("to")).ok());
+  EXPECT_FALSE(env_->FileExists(Path("from")));
+  EXPECT_EQ(*env_->ReadFileToString(Path("to")), "payload");
+}
+
+INSTANTIATE_TEST_SUITE_P(Envs, EnvTest,
+                         ::testing::Values(EnvKind::kPosix, EnvKind::kMem),
+                         [](const auto& info) {
+                           return info.param == EnvKind::kPosix ? "Posix"
+                                                                : "Mem";
+                         });
+
+}  // namespace
+}  // namespace myraft
