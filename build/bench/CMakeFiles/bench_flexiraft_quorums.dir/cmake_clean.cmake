@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flexiraft_quorums.dir/bench_flexiraft_quorums.cc.o"
+  "CMakeFiles/bench_flexiraft_quorums.dir/bench_flexiraft_quorums.cc.o.d"
+  "bench_flexiraft_quorums"
+  "bench_flexiraft_quorums.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flexiraft_quorums.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

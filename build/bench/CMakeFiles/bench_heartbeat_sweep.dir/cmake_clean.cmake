@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_heartbeat_sweep.dir/bench_heartbeat_sweep.cc.o"
+  "CMakeFiles/bench_heartbeat_sweep.dir/bench_heartbeat_sweep.cc.o.d"
+  "bench_heartbeat_sweep"
+  "bench_heartbeat_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_heartbeat_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mock_elections.dir/bench_mock_elections.cc.o"
+  "CMakeFiles/bench_mock_elections.dir/bench_mock_elections.cc.o.d"
+  "bench_mock_elections"
+  "bench_mock_elections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mock_elections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

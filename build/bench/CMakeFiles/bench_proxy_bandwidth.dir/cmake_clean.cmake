@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_proxy_bandwidth.dir/bench_proxy_bandwidth.cc.o"
+  "CMakeFiles/bench_proxy_bandwidth.dir/bench_proxy_bandwidth.cc.o.d"
+  "bench_proxy_bandwidth"
+  "bench_proxy_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_proxy_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

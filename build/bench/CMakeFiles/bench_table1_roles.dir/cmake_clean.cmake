@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_roles.dir/bench_table1_roles.cc.o"
+  "CMakeFiles/bench_table1_roles.dir/bench_table1_roles.cc.o.d"
+  "bench_table1_roles"
+  "bench_table1_roles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_roles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enable_raft_migration.dir/enable_raft_migration.cc.o"
+  "CMakeFiles/enable_raft_migration.dir/enable_raft_migration.cc.o.d"
+  "enable_raft_migration"
+  "enable_raft_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enable_raft_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for enable_raft_migration.
+# This may be replaced when dependencies are built.

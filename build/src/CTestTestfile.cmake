@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("wire")
+subdirs("binlog")
+subdirs("storage")
+subdirs("raft")
+subdirs("flexiraft")
+subdirs("proxy")
+subdirs("server")
+subdirs("plugin")
+subdirs("semisync")
+subdirs("sim")
+subdirs("workload")
+subdirs("tools")

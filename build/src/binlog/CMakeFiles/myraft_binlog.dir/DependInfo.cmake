@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/binlog/binlog_event.cc" "src/binlog/CMakeFiles/myraft_binlog.dir/binlog_event.cc.o" "gcc" "src/binlog/CMakeFiles/myraft_binlog.dir/binlog_event.cc.o.d"
+  "/root/repo/src/binlog/binlog_file.cc" "src/binlog/CMakeFiles/myraft_binlog.dir/binlog_file.cc.o" "gcc" "src/binlog/CMakeFiles/myraft_binlog.dir/binlog_file.cc.o.d"
+  "/root/repo/src/binlog/binlog_manager.cc" "src/binlog/CMakeFiles/myraft_binlog.dir/binlog_manager.cc.o" "gcc" "src/binlog/CMakeFiles/myraft_binlog.dir/binlog_manager.cc.o.d"
+  "/root/repo/src/binlog/gtid.cc" "src/binlog/CMakeFiles/myraft_binlog.dir/gtid.cc.o" "gcc" "src/binlog/CMakeFiles/myraft_binlog.dir/gtid.cc.o.d"
+  "/root/repo/src/binlog/transaction.cc" "src/binlog/CMakeFiles/myraft_binlog.dir/transaction.cc.o" "gcc" "src/binlog/CMakeFiles/myraft_binlog.dir/transaction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wire/CMakeFiles/myraft_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/myraft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myraft_binlog.dir/binlog_event.cc.o"
+  "CMakeFiles/myraft_binlog.dir/binlog_event.cc.o.d"
+  "CMakeFiles/myraft_binlog.dir/binlog_file.cc.o"
+  "CMakeFiles/myraft_binlog.dir/binlog_file.cc.o.d"
+  "CMakeFiles/myraft_binlog.dir/binlog_manager.cc.o"
+  "CMakeFiles/myraft_binlog.dir/binlog_manager.cc.o.d"
+  "CMakeFiles/myraft_binlog.dir/gtid.cc.o"
+  "CMakeFiles/myraft_binlog.dir/gtid.cc.o.d"
+  "CMakeFiles/myraft_binlog.dir/transaction.cc.o"
+  "CMakeFiles/myraft_binlog.dir/transaction.cc.o.d"
+  "libmyraft_binlog.a"
+  "libmyraft_binlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myraft_binlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

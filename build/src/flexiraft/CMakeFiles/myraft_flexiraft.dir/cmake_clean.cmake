@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myraft_flexiraft.dir/flexiraft.cc.o"
+  "CMakeFiles/myraft_flexiraft.dir/flexiraft.cc.o.d"
+  "libmyraft_flexiraft.a"
+  "libmyraft_flexiraft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myraft_flexiraft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

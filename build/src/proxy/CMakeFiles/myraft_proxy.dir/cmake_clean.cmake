@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myraft_proxy.dir/proxy_router.cc.o"
+  "CMakeFiles/myraft_proxy.dir/proxy_router.cc.o.d"
+  "libmyraft_proxy.a"
+  "libmyraft_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myraft_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

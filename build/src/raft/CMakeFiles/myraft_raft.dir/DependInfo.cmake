@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/raft/consensus.cc" "src/raft/CMakeFiles/myraft_raft.dir/consensus.cc.o" "gcc" "src/raft/CMakeFiles/myraft_raft.dir/consensus.cc.o.d"
+  "/root/repo/src/raft/consensus_metadata.cc" "src/raft/CMakeFiles/myraft_raft.dir/consensus_metadata.cc.o" "gcc" "src/raft/CMakeFiles/myraft_raft.dir/consensus_metadata.cc.o.d"
+  "/root/repo/src/raft/log_abstraction.cc" "src/raft/CMakeFiles/myraft_raft.dir/log_abstraction.cc.o" "gcc" "src/raft/CMakeFiles/myraft_raft.dir/log_abstraction.cc.o.d"
+  "/root/repo/src/raft/log_cache.cc" "src/raft/CMakeFiles/myraft_raft.dir/log_cache.cc.o" "gcc" "src/raft/CMakeFiles/myraft_raft.dir/log_cache.cc.o.d"
+  "/root/repo/src/raft/quorum.cc" "src/raft/CMakeFiles/myraft_raft.dir/quorum.cc.o" "gcc" "src/raft/CMakeFiles/myraft_raft.dir/quorum.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wire/CMakeFiles/myraft_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/myraft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myraft_raft.dir/consensus.cc.o"
+  "CMakeFiles/myraft_raft.dir/consensus.cc.o.d"
+  "CMakeFiles/myraft_raft.dir/consensus_metadata.cc.o"
+  "CMakeFiles/myraft_raft.dir/consensus_metadata.cc.o.d"
+  "CMakeFiles/myraft_raft.dir/log_abstraction.cc.o"
+  "CMakeFiles/myraft_raft.dir/log_abstraction.cc.o.d"
+  "CMakeFiles/myraft_raft.dir/log_cache.cc.o"
+  "CMakeFiles/myraft_raft.dir/log_cache.cc.o.d"
+  "CMakeFiles/myraft_raft.dir/quorum.cc.o"
+  "CMakeFiles/myraft_raft.dir/quorum.cc.o.d"
+  "libmyraft_raft.a"
+  "libmyraft_raft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myraft_raft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myraft_semisync.dir/automation.cc.o"
+  "CMakeFiles/myraft_semisync.dir/automation.cc.o.d"
+  "CMakeFiles/myraft_semisync.dir/cluster.cc.o"
+  "CMakeFiles/myraft_semisync.dir/cluster.cc.o.d"
+  "CMakeFiles/myraft_semisync.dir/semisync_server.cc.o"
+  "CMakeFiles/myraft_semisync.dir/semisync_server.cc.o.d"
+  "libmyraft_semisync.a"
+  "libmyraft_semisync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myraft_semisync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

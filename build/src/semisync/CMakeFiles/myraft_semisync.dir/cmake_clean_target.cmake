@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmyraft_semisync.a"
+)

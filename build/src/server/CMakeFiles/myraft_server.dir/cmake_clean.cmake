@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myraft_server.dir/mysql_server.cc.o"
+  "CMakeFiles/myraft_server.dir/mysql_server.cc.o.d"
+  "libmyraft_server.a"
+  "libmyraft_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myraft_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

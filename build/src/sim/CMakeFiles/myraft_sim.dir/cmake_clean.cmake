@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myraft_sim.dir/event_loop.cc.o"
+  "CMakeFiles/myraft_sim.dir/event_loop.cc.o.d"
+  "CMakeFiles/myraft_sim.dir/network.cc.o"
+  "CMakeFiles/myraft_sim.dir/network.cc.o.d"
+  "libmyraft_sim.a"
+  "libmyraft_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myraft_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster.cc" "src/sim/CMakeFiles/myraft_simhost.dir/cluster.cc.o" "gcc" "src/sim/CMakeFiles/myraft_simhost.dir/cluster.cc.o.d"
+  "/root/repo/src/sim/node.cc" "src/sim/CMakeFiles/myraft_simhost.dir/node.cc.o" "gcc" "src/sim/CMakeFiles/myraft_simhost.dir/node.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/myraft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/myraft_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/myraft_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/myraft_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/binlog/CMakeFiles/myraft_binlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/raft/CMakeFiles/myraft_raft.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/myraft_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/myraft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

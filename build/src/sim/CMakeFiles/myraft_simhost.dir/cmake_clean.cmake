@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myraft_simhost.dir/cluster.cc.o"
+  "CMakeFiles/myraft_simhost.dir/cluster.cc.o.d"
+  "CMakeFiles/myraft_simhost.dir/node.cc.o"
+  "CMakeFiles/myraft_simhost.dir/node.cc.o.d"
+  "libmyraft_simhost.a"
+  "libmyraft_simhost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myraft_simhost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myraft_storage.dir/engine.cc.o"
+  "CMakeFiles/myraft_storage.dir/engine.cc.o.d"
+  "libmyraft_storage.a"
+  "libmyraft_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myraft_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myraft_tools.dir/backup.cc.o"
+  "CMakeFiles/myraft_tools.dir/backup.cc.o.d"
+  "CMakeFiles/myraft_tools.dir/enable_raft.cc.o"
+  "CMakeFiles/myraft_tools.dir/enable_raft.cc.o.d"
+  "CMakeFiles/myraft_tools.dir/myshadow.cc.o"
+  "CMakeFiles/myraft_tools.dir/myshadow.cc.o.d"
+  "CMakeFiles/myraft_tools.dir/quorum_fixer.cc.o"
+  "CMakeFiles/myraft_tools.dir/quorum_fixer.cc.o.d"
+  "libmyraft_tools.a"
+  "libmyraft_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myraft_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

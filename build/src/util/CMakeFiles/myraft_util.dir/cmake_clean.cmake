@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myraft_util.dir/coding.cc.o"
+  "CMakeFiles/myraft_util.dir/coding.cc.o.d"
+  "CMakeFiles/myraft_util.dir/compression.cc.o"
+  "CMakeFiles/myraft_util.dir/compression.cc.o.d"
+  "CMakeFiles/myraft_util.dir/crc32c.cc.o"
+  "CMakeFiles/myraft_util.dir/crc32c.cc.o.d"
+  "CMakeFiles/myraft_util.dir/env.cc.o"
+  "CMakeFiles/myraft_util.dir/env.cc.o.d"
+  "CMakeFiles/myraft_util.dir/env_mem.cc.o"
+  "CMakeFiles/myraft_util.dir/env_mem.cc.o.d"
+  "CMakeFiles/myraft_util.dir/env_posix.cc.o"
+  "CMakeFiles/myraft_util.dir/env_posix.cc.o.d"
+  "CMakeFiles/myraft_util.dir/histogram.cc.o"
+  "CMakeFiles/myraft_util.dir/histogram.cc.o.d"
+  "CMakeFiles/myraft_util.dir/logging.cc.o"
+  "CMakeFiles/myraft_util.dir/logging.cc.o.d"
+  "CMakeFiles/myraft_util.dir/random.cc.o"
+  "CMakeFiles/myraft_util.dir/random.cc.o.d"
+  "CMakeFiles/myraft_util.dir/status.cc.o"
+  "CMakeFiles/myraft_util.dir/status.cc.o.d"
+  "CMakeFiles/myraft_util.dir/string_util.cc.o"
+  "CMakeFiles/myraft_util.dir/string_util.cc.o.d"
+  "CMakeFiles/myraft_util.dir/uuid.cc.o"
+  "CMakeFiles/myraft_util.dir/uuid.cc.o.d"
+  "libmyraft_util.a"
+  "libmyraft_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myraft_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

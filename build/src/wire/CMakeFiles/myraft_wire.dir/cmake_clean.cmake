@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myraft_wire.dir/log_entry.cc.o"
+  "CMakeFiles/myraft_wire.dir/log_entry.cc.o.d"
+  "CMakeFiles/myraft_wire.dir/messages.cc.o"
+  "CMakeFiles/myraft_wire.dir/messages.cc.o.d"
+  "CMakeFiles/myraft_wire.dir/types.cc.o"
+  "CMakeFiles/myraft_wire.dir/types.cc.o.d"
+  "libmyraft_wire.a"
+  "libmyraft_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myraft_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

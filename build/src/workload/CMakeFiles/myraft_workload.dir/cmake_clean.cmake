@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myraft_workload.dir/workload.cc.o"
+  "CMakeFiles/myraft_workload.dir/workload.cc.o.d"
+  "libmyraft_workload.a"
+  "libmyraft_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myraft_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

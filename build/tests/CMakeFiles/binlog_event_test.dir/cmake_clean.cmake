@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binlog_event_test.dir/binlog_event_test.cc.o"
+  "CMakeFiles/binlog_event_test.dir/binlog_event_test.cc.o.d"
+  "binlog_event_test"
+  "binlog_event_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binlog_event_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binlog_file_test.dir/binlog_file_test.cc.o"
+  "CMakeFiles/binlog_file_test.dir/binlog_file_test.cc.o.d"
+  "binlog_file_test"
+  "binlog_file_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binlog_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binlog_gtid_test.dir/binlog_gtid_test.cc.o"
+  "CMakeFiles/binlog_gtid_test.dir/binlog_gtid_test.cc.o.d"
+  "binlog_gtid_test"
+  "binlog_gtid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binlog_gtid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binlog_manager_test.dir/binlog_manager_test.cc.o"
+  "CMakeFiles/binlog_manager_test.dir/binlog_manager_test.cc.o.d"
+  "binlog_manager_test"
+  "binlog_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binlog_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binlog_model_test.dir/binlog_model_test.cc.o"
+  "CMakeFiles/binlog_model_test.dir/binlog_model_test.cc.o.d"
+  "binlog_model_test"
+  "binlog_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binlog_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

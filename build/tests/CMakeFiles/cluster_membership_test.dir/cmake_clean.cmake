@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_membership_test.dir/cluster_membership_test.cc.o"
+  "CMakeFiles/cluster_membership_test.dir/cluster_membership_test.cc.o.d"
+  "cluster_membership_test"
+  "cluster_membership_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_membership_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

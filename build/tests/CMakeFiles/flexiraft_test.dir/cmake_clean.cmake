@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexiraft_test.dir/flexiraft_test.cc.o"
+  "CMakeFiles/flexiraft_test.dir/flexiraft_test.cc.o.d"
+  "flexiraft_test"
+  "flexiraft_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexiraft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

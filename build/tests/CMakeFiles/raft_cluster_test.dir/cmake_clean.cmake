@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raft_cluster_test.dir/raft_cluster_test.cc.o"
+  "CMakeFiles/raft_cluster_test.dir/raft_cluster_test.cc.o.d"
+  "raft_cluster_test"
+  "raft_cluster_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raft_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raft_component_test.dir/raft_component_test.cc.o"
+  "CMakeFiles/raft_component_test.dir/raft_component_test.cc.o.d"
+  "raft_component_test"
+  "raft_component_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raft_component_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raft_consensus_unit_test.dir/raft_consensus_unit_test.cc.o"
+  "CMakeFiles/raft_consensus_unit_test.dir/raft_consensus_unit_test.cc.o.d"
+  "raft_consensus_unit_test"
+  "raft_consensus_unit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raft_consensus_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/semisync_test.cc" "tests/CMakeFiles/semisync_test.dir/semisync_test.cc.o" "gcc" "tests/CMakeFiles/semisync_test.dir/semisync_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/semisync/CMakeFiles/myraft_semisync.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/myraft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/myraft_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/myraft_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/binlog/CMakeFiles/myraft_binlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/raft/CMakeFiles/myraft_raft.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/myraft_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/myraft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

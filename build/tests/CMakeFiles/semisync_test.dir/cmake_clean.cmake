@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semisync_test.dir/semisync_test.cc.o"
+  "CMakeFiles/semisync_test.dir/semisync_test.cc.o.d"
+  "semisync_test"
+  "semisync_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semisync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semisync_unit_test.dir/semisync_unit_test.cc.o"
+  "CMakeFiles/semisync_unit_test.dir/semisync_unit_test.cc.o.d"
+  "semisync_unit_test"
+  "semisync_unit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semisync_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

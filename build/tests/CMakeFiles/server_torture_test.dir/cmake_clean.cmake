@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_torture_test.dir/server_torture_test.cc.o"
+  "CMakeFiles/server_torture_test.dir/server_torture_test.cc.o.d"
+  "server_torture_test"
+  "server_torture_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_torture_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_engine_test.dir/storage_engine_test.cc.o"
+  "CMakeFiles/storage_engine_test.dir/storage_engine_test.cc.o.d"
+  "storage_engine_test"
+  "storage_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_compression_test.dir/util_compression_test.cc.o"
+  "CMakeFiles/util_compression_test.dir/util_compression_test.cc.o.d"
+  "util_compression_test"
+  "util_compression_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_compression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
