@@ -39,5 +39,16 @@ int main(int argc, char** argv) {
          (unsigned long long)myraft.recorder.failed(),
          (unsigned long long)prior.recorder.committed(),
          (unsigned long long)prior.recorder.failed());
+
+  const std::string summary = StringPrintf(
+      "{\"myraft\":{\"committed\":%llu,\"failed\":%llu,\"latency_us\":%s},"
+      "\"prior\":{\"committed\":%llu,\"failed\":%llu,\"latency_us\":%s}}",
+      (unsigned long long)myraft.recorder.committed(),
+      (unsigned long long)myraft.recorder.failed(),
+      HistogramJson(myraft.recorder.latency()).c_str(),
+      (unsigned long long)prior.recorder.committed(),
+      (unsigned long long)prior.recorder.failed(),
+      HistogramJson(prior.recorder.latency()).c_str());
+  WriteBenchJson("fig5a_prod_latency", summary, myraft.internals_json);
   return 0;
 }

@@ -43,5 +43,12 @@ int main(int argc, char** argv) {
          myraft_rate, prior_rate, PercentDiff(myraft_rate, prior_rate));
   printf("Shape check: curves overlap (open-loop workload, both systems "
          "keep up).\n");
+
+  const std::string summary = StringPrintf(
+      "{\"myraft\":{\"committed\":%llu,\"rate_per_sec\":%.1f},"
+      "\"prior\":{\"committed\":%llu,\"rate_per_sec\":%.1f}}",
+      (unsigned long long)myraft.recorder.committed(), myraft_rate,
+      (unsigned long long)prior.recorder.committed(), prior_rate);
+  WriteBenchJson("fig5b_prod_throughput", summary, myraft.internals_json);
   return 0;
 }

@@ -62,6 +62,37 @@ inline double PercentDiff(double a, double b) {
   return b == 0 ? 0.0 : (a - b) / b * 100.0;
 }
 
+/// Latency histogram as a small JSON object (microsecond units).
+inline std::string HistogramJson(const Histogram& h) {
+  return StringPrintf(
+      "{\"count\":%llu,\"min\":%llu,\"max\":%llu,\"mean\":%.1f,"
+      "\"p50\":%.1f,\"p95\":%.1f,\"p99\":%.1f}",
+      (unsigned long long)h.count(), (unsigned long long)h.min(),
+      (unsigned long long)h.max(), h.Mean(), h.Percentile(50),
+      h.Percentile(95), h.Percentile(99));
+}
+
+/// Writes BENCH_<name>.json next to the binary:
+///   {"bench":"<name>","summary":<summary>,"internals":<internals>}
+/// `summary_json` and `internals_json` must already be valid JSON values;
+/// pass "null" (or "") for internals when the run has no cluster metrics.
+inline bool WriteBenchJson(const std::string& name,
+                           const std::string& summary_json,
+                           const std::string& internals_json) {
+  const std::string path = "BENCH_" + name + ".json";
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    fprintf(stderr, "failed to open %s for writing\n", path.c_str());
+    return false;
+  }
+  fprintf(f, "{\"bench\":\"%s\",\"summary\":%s,\"internals\":%s}\n",
+          name.c_str(), summary_json.c_str(),
+          internals_json.empty() ? "null" : internals_json.c_str());
+  fclose(f);
+  printf("\nwrote %s\n", path.c_str());
+  return true;
+}
+
 }  // namespace myraft::bench
 
 #endif  // MYRAFT_BENCH_BENCH_UTIL_H_

@@ -44,6 +44,10 @@ struct Fig5Setup {
 
 struct Fig5ArmResult {
   workload::WorkloadRecorder recorder;
+  /// Per-node metric registry snapshot (ClusterHarness::MetricsSnapshotJson),
+  /// captured before the cluster is torn down. Empty for the semi-sync arm,
+  /// which predates the instrumented stack.
+  std::string internals_json;
 };
 
 inline const raft::QuorumEngine* Fig5FlexiEngine() {
@@ -108,6 +112,7 @@ inline Fig5ArmResult RunMyRaftArm(const Fig5Setup& setup) {
   driver.RunToCompletion();
   Fig5ArmResult result;
   result.recorder = driver.recorder();
+  result.internals_json = cluster.MetricsSnapshotJson();
   return result;
 }
 

@@ -12,6 +12,20 @@ constexpr char kIndexFileName[] = "log.index";
 constexpr uint64_t kFirstFileNumber = 1;
 }  // namespace
 
+BinlogManager::BinlogManager(Env* env, BinlogManagerOptions options)
+    : env_(env), options_(std::move(options)) {
+  metrics::MetricRegistry* registry = options_.metrics;
+  if (registry == nullptr) {
+    owned_metrics_ = std::make_unique<metrics::MetricRegistry>();
+    registry = owned_metrics_.get();
+  }
+  entries_appended_ = registry->GetCounter("binlog.entries_appended");
+  bytes_written_ = registry->GetCounter("binlog.bytes_written");
+  rotations_ = registry->GetCounter("binlog.rotations");
+  purges_ = registry->GetCounter("binlog.purges");
+  purged_files_ = registry->GetCounter("binlog.purged_files");
+}
+
 Result<std::unique_ptr<BinlogManager>> BinlogManager::Open(
     Env* env, BinlogManagerOptions options) {
   if (options.clock == nullptr) {
@@ -260,7 +274,10 @@ Status BinlogManager::AppendRotateAndStartNewFile(OpId opid) {
                 options_.server_id, opid, body.Encode());
   auto offset = writer_->AppendEvent(event);
   if (!offset.ok()) return offset.status();
+  rotations_->Increment();
+  bytes_written_->Increment(event.EncodedSize());
   if (opid.index != 0) {
+    entries_appended_->Increment();
     EntryPos pos;
     pos.term = opid.term;
     pos.type = EntryType::kRotate;
@@ -306,6 +323,8 @@ Status BinlogManager::AppendEntry(const LogEntry& entry) {
 
       auto offset = writer_->AppendRaw(entry.payload);
       if (!offset.ok()) return offset.status();
+      entries_appended_->Increment();
+      bytes_written_->Increment(entry.payload.size());
       EntryPos pos;
       pos.term = entry.id.term;
       pos.type = EntryType::kTransaction;
@@ -327,6 +346,8 @@ Status BinlogManager::AppendEntry(const LogEntry& entry) {
                     options_.server_id, entry.id, body.Encode());
       auto offset = writer_->AppendEvent(event);
       if (!offset.ok()) return offset.status();
+      entries_appended_->Increment();
+      bytes_written_->Increment(event.EncodedSize());
       EntryPos pos;
       pos.term = entry.id.term;
       pos.type = entry.type;
@@ -568,9 +589,11 @@ Status BinlogManager::PurgeLogsTo(const std::string& file) {
   if (files_.count(keep_number) == 0) {
     return Status::NotFound("no such log file: " + file);
   }
+  purges_->Increment();
   for (auto it = files_.begin(); it != files_.end() && it->first < keep_number;) {
     MYRAFT_RETURN_NOT_OK(env_->RemoveFile(PathFor(it->second.name)));
     it = files_.erase(it);
+    purged_files_->Increment();
   }
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->second.file_number < keep_number) {

@@ -23,6 +23,7 @@
 #include "binlog/transaction.h"
 #include "util/clock.h"
 #include "util/env.h"
+#include "util/metrics.h"
 #include "wire/log_entry.h"
 
 namespace myraft::binlog {
@@ -37,6 +38,9 @@ struct BinlogManagerOptions {
   std::string server_version = "myraft-1.0";
   uint32_t server_id = 0;
   Clock* clock = nullptr;  // required
+  /// Destination for "binlog.*" metrics. Null means a private
+  /// per-instance registry (unit-test isolation).
+  metrics::MetricRegistry* metrics = nullptr;
 };
 
 struct LogFilePosition {
@@ -138,8 +142,7 @@ class BinlogManager {
     GtidSet previous_gtids;
   };
 
-  BinlogManager(Env* env, BinlogManagerOptions options)
-      : env_(env), options_(std::move(options)) {}
+  BinlogManager(Env* env, BinlogManagerOptions options);
 
   std::string PathFor(const std::string& name) const;
   std::string MakeFileName(uint64_t number) const;
@@ -162,6 +165,13 @@ class BinlogManager {
   uint64_t current_file_number_ = 0;
   OpId last_opid_;
   GtidSet gtids_in_log_;
+
+  std::unique_ptr<metrics::MetricRegistry> owned_metrics_;
+  metrics::Counter* entries_appended_;
+  metrics::Counter* bytes_written_;
+  metrics::Counter* rotations_;
+  metrics::Counter* purges_;
+  metrics::Counter* purged_files_;
 };
 
 }  // namespace myraft::binlog

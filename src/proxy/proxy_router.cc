@@ -68,7 +68,7 @@ void ProxyRouter::RouteRequest(AppendEntriesRequest request) {
   // pointless; and only the leader originates requests.
   if (dest_region.empty() || dest_region == region_ ||
       request.entries.empty()) {
-    ++stats_.direct_requests;
+    direct_requests_->Increment();
     lower_send_(std::move(request));
     return;
   }
@@ -76,14 +76,14 @@ void ProxyRouter::RouteRequest(AppendEntriesRequest request) {
   if (relay.empty() || relay == request.dest) {
     // The relay IS the destination (it gets full payload), or no healthy
     // relay exists — route around (§4.2.3).
-    if (relay.empty()) ++stats_.route_arounds;
-    ++stats_.direct_requests;
+    if (relay.empty()) route_arounds_->Increment();
+    direct_requests_->Increment();
     lower_send_(std::move(request));
     return;
   }
 
   // PROXY_OP: strip payloads; the relay reconstitutes from its own log.
-  ++stats_.proxied_requests;
+  proxied_requests_->Increment();
   request.route.push_back(relay);
   request.proxy_payload_omitted = true;
   for (LogEntry& entry : request.entries) {
@@ -121,8 +121,10 @@ bool ProxyRouter::HandleInbound(const Message& message) {
     hop.route.erase(hop.route.begin());
     if (!hop.route.empty()) {
       // Intermediate hop: forward along the remaining path.
-      ++stats_.relayed_requests;
-      lower_send_(std::move(hop));
+      relayed_requests_->Increment();
+      Message out(std::move(hop));
+      bytes_relayed_->Increment(MessageWireBytes(out));
+      lower_send_(std::move(out));
       return true;
     }
     if (hop.dest == self_) {
@@ -131,8 +133,10 @@ bool ProxyRouter::HandleInbound(const Message& message) {
       return false;
     }
     if (!hop.proxy_payload_omitted) {
-      ++stats_.relayed_requests;
-      lower_send_(std::move(hop));
+      relayed_requests_->Increment();
+      Message out(std::move(hop));
+      bytes_relayed_->Increment(MessageWireBytes(out));
+      lower_send_(std::move(out));
       return true;
     }
     ReconstituteAndForward(std::move(hop),
@@ -145,8 +149,10 @@ bool ProxyRouter::HandleInbound(const Message& message) {
     if (response->route.front() != self_) return true;
     AppendEntriesResponse hop = *response;
     hop.route.erase(hop.route.begin());
-    ++stats_.relayed_responses;
-    lower_send_(std::move(hop));
+    relayed_responses_->Increment();
+    Message out(std::move(hop));
+    bytes_relayed_->Increment(MessageWireBytes(out));
+    lower_send_(std::move(out));
     return true;
   }
 
@@ -182,7 +188,7 @@ void ProxyRouter::ReconstituteAndForward(AppendEntriesRequest request,
   }
 
   if (all_present) {
-    ++stats_.reconstitutions;
+    reconstitutions_->Increment();
     full.proxy_payload_omitted = false;
     lower_send_(std::move(full));
     return;
@@ -191,7 +197,7 @@ void ProxyRouter::ReconstituteAndForward(AppendEntriesRequest request,
   if (loop_->now() >= deadline_micros) {
     // §4.2.1: degrade to a simple heartbeat so the downstream follower
     // still learns the term and commit marker; the leader will retry.
-    ++stats_.degraded_to_heartbeat;
+    degraded_to_heartbeat_->Increment();
     AppendEntriesRequest heartbeat = std::move(request);
     heartbeat.entries.clear();
     heartbeat.proxy_payload_omitted = false;
@@ -207,6 +213,19 @@ void ProxyRouter::ReconstituteAndForward(AppendEntriesRequest request,
                     if (!*alive) return;
                     ReconstituteAndForward(request, deadline_micros);
                   });
+}
+
+ProxyRouter::Stats ProxyRouter::stats() const {
+  Stats s;
+  s.direct_requests = direct_requests_->value();
+  s.proxied_requests = proxied_requests_->value();
+  s.relayed_requests = relayed_requests_->value();
+  s.reconstitutions = reconstitutions_->value();
+  s.degraded_to_heartbeat = degraded_to_heartbeat_->value();
+  s.relayed_responses = relayed_responses_->value();
+  s.route_arounds = route_arounds_->value();
+  s.bytes_relayed = bytes_relayed_->value();
+  return s;
 }
 
 }  // namespace myraft::proxy

@@ -20,6 +20,7 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "raft/consensus.h"
@@ -36,10 +37,14 @@ struct ProxyOptions {
   /// A relay with no traffic for this long is considered unhealthy and
   /// routed around.
   uint64_t relay_unhealthy_after_micros = 3'000'000;
+  /// Destination for "proxy.*" metrics. Null means a private per-instance
+  /// registry (unit-test isolation).
+  metrics::MetricRegistry* metrics = nullptr;
 };
 
 class ProxyRouter final : public raft::RaftOutbox {
  public:
+  /// Point-in-time snapshot of the registry-backed "proxy.*" counters.
   struct Stats {
     uint64_t direct_requests = 0;
     uint64_t proxied_requests = 0;       // leader-side PROXY_OPs created
@@ -48,6 +53,7 @@ class ProxyRouter final : public raft::RaftOutbox {
     uint64_t degraded_to_heartbeat = 0;  // missing entry after wait
     uint64_t relayed_responses = 0;
     uint64_t route_arounds = 0;          // unhealthy relay bypassed
+    uint64_t bytes_relayed = 0;          // wire bytes forwarded as a hop
   };
 
   using SendFn = std::function<void(Message)>;
@@ -59,7 +65,22 @@ class ProxyRouter final : public raft::RaftOutbox {
         options_(options),
         loop_(loop),
         lower_send_(std::move(lower_send)),
-        created_micros_(loop->now()) {}
+        created_micros_(loop->now()) {
+    metrics::MetricRegistry* registry = options_.metrics;
+    if (registry == nullptr) {
+      owned_metrics_ = std::make_unique<metrics::MetricRegistry>();
+      registry = owned_metrics_.get();
+    }
+    direct_requests_ = registry->GetCounter("proxy.direct_requests");
+    proxied_requests_ = registry->GetCounter("proxy.proxied_requests");
+    relayed_requests_ = registry->GetCounter("proxy.relayed_requests");
+    reconstitutions_ = registry->GetCounter("proxy.reconstitutions");
+    degraded_to_heartbeat_ =
+        registry->GetCounter("proxy.degraded_to_heartbeat");
+    relayed_responses_ = registry->GetCounter("proxy.relayed_responses");
+    route_arounds_ = registry->GetCounter("proxy.route_arounds");
+    bytes_relayed_ = registry->GetCounter("proxy.bytes_relayed");
+  }
 
   ~ProxyRouter() {
     // Scheduled reconstitution polls may outlive the router (process
@@ -87,7 +108,7 @@ class ProxyRouter final : public raft::RaftOutbox {
 
   void set_enabled(bool enabled) { options_.enabled = enabled; }
   bool enabled() const { return options_.enabled; }
-  const Stats& stats() const { return stats_; }
+  Stats stats() const;
 
  private:
   /// Relay member for `region` (prefers MySQL voters), or "" when no
@@ -114,7 +135,16 @@ class ProxyRouter final : public raft::RaftOutbox {
   std::map<MemberId, uint64_t> last_traffic_micros_;
   uint64_t created_micros_;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
-  Stats stats_;
+
+  std::unique_ptr<metrics::MetricRegistry> owned_metrics_;
+  metrics::Counter* direct_requests_;
+  metrics::Counter* proxied_requests_;
+  metrics::Counter* relayed_requests_;
+  metrics::Counter* reconstitutions_;
+  metrics::Counter* degraded_to_heartbeat_;
+  metrics::Counter* relayed_responses_;
+  metrics::Counter* route_arounds_;
+  metrics::Counter* bytes_relayed_;
 };
 
 }  // namespace myraft::proxy

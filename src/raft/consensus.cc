@@ -26,7 +26,42 @@ RaftConsensus::RaftConsensus(RaftOptions options, LogAbstraction* log,
       rng_(rng),
       outbox_(outbox),
       listener_(listener),
-      cache_(options_.log_cache_capacity_bytes) {}
+      owned_metrics_(options_.metrics == nullptr
+                         ? std::make_unique<metrics::MetricRegistry>()
+                         : nullptr),
+      metrics_(options_.metrics != nullptr ? options_.metrics
+                                           : owned_metrics_.get()),
+      cache_(options_.log_cache_capacity_bytes, metrics_) {
+  m_.elections_started = metrics_->GetCounter("raft.elections_started");
+  m_.elections_won = metrics_->GetCounter("raft.elections_won");
+  m_.pre_votes_started = metrics_->GetCounter("raft.pre_votes_started");
+  m_.mock_elections_started =
+      metrics_->GetCounter("raft.mock_elections_started");
+  m_.heartbeats_sent = metrics_->GetCounter("raft.heartbeats_sent");
+  m_.entries_replicated = metrics_->GetCounter("raft.entries_replicated");
+  m_.append_rejections = metrics_->GetCounter("raft.append_rejections");
+  m_.cache_fallback_reads =
+      metrics_->GetCounter("raft.cache_fallback_reads");
+  m_.step_downs = metrics_->GetCounter("raft.step_downs");
+  m_.auto_step_downs = metrics_->GetCounter("raft.auto_step_downs");
+  m_.commit_advance_latency_us =
+      metrics_->GetHistogram("raft.commit_advance_latency_us");
+}
+
+RaftConsensus::Stats RaftConsensus::stats() const {
+  Stats s;
+  s.elections_started = m_.elections_started->value();
+  s.elections_won = m_.elections_won->value();
+  s.pre_votes_started = m_.pre_votes_started->value();
+  s.mock_elections_started = m_.mock_elections_started->value();
+  s.heartbeats_sent = m_.heartbeats_sent->value();
+  s.entries_replicated = m_.entries_replicated->value();
+  s.append_rejections = m_.append_rejections->value();
+  s.cache_fallback_reads = m_.cache_fallback_reads->value();
+  s.step_downs = m_.step_downs->value();
+  s.auto_step_downs = m_.auto_step_downs->value();
+  return s;
+}
 
 Status RaftConsensus::Bootstrap(const MembershipConfig& config) {
   if (started_) return Status::IllegalState("already started");
@@ -59,6 +94,8 @@ Status RaftConsensus::Start() {
   }
   role_ = self->is_learner() ? RaftRole::kLearner : RaftRole::kFollower;
   commit_marker_ = kZeroOpId;
+  // Everything recovered from the on-disk log is durable by definition.
+  last_synced_index_ = log_->LastOpId().index;
   ResetElectionTimer();
   started_ = true;
   return Status::OK();
@@ -153,7 +190,7 @@ void RaftConsensus::Tick() {
       }
       if (!quorum_->IsCommitQuorumSatisfied(
               MakeQuorumContext(options_.self), responsive)) {
-        ++stats_.auto_step_downs;
+        m_.auto_step_downs->Increment();
         MYRAFT_LOG(Warning)
             << options_.self
             << ": auto step down — commit quorum unreachable for "
@@ -211,6 +248,8 @@ Result<OpId> RaftConsensus::Replicate(EntryType type, std::string payload) {
   const LogEntry entry = LogEntry::Make(opid, type, std::move(payload));
   MYRAFT_RETURN_NOT_OK(AppendToLocalLog(entry));
   MYRAFT_RETURN_NOT_OK(log_->Sync());
+  last_synced_index_ = log_->LastOpId().index;
+  replicate_time_micros_[opid.index] = clock_->NowMicros();
 
   if (type == EntryType::kConfigChange) {
     auto config = DecodeMembershipConfig(entry.payload);
@@ -266,7 +305,7 @@ Result<std::vector<LogEntry>> RaftConsensus::FetchEntriesFor(
     }
     // Cache miss: the follower lags behind the in-memory cache; read the
     // historical log files through the log abstraction (§3.1).
-    ++stats_.cache_fallback_reads;
+    m_.cache_fallback_reads->Increment();
     auto batch = log_->ReadBatch(
         index, options_.max_entries_per_rpc - entries.size(),
         options_.max_bytes_per_rpc - bytes);
@@ -304,9 +343,9 @@ void RaftConsensus::SendAppendEntriesTo(const MemberId& peer_id,
   request.entries = std::move(*entries);
   if (request.entries.empty()) {
     if (!allow_empty) return;
-    ++stats_.heartbeats_sent;
+    m_.heartbeats_sent->Increment();
   } else {
-    stats_.entries_replicated += request.entries.size();
+    m_.entries_replicated->Increment(request.entries.size());
   }
 
   peer.awaiting_response = true;
@@ -344,6 +383,13 @@ void RaftConsensus::AdvanceCommitMarker() {
 void RaftConsensus::SetCommitMarker(OpId new_marker) {
   if (new_marker.index <= commit_marker_.index) return;
   commit_marker_ = new_marker;
+  // Leader-side commit latency: Replicate() -> marker advance.
+  const uint64_t now = clock_->NowMicros();
+  for (auto it = replicate_time_micros_.begin();
+       it != replicate_time_micros_.end() && it->first <= new_marker.index;) {
+    m_.commit_advance_latency_us->Record(now - it->second);
+    it = replicate_time_micros_.erase(it);
+  }
   if (pending_config_index_ != 0 &&
       pending_config_index_ <= new_marker.index) {
     pending_config_index_ = 0;  // membership change committed
@@ -360,10 +406,12 @@ void RaftConsensus::HandleAppendEntries(const AppendEntriesRequest& request) {
   response.term = meta_.current_term;
   response.success = false;
   response.last_received = log_->LastOpId();
-  response.last_durable_index = response.last_received.index;
+  // Only the fsynced tail counts towards the leader's commit quorum; a
+  // received-but-unsynced suffix would be lost in a crash.
+  response.last_durable_index = last_synced_index_;
 
   if (request.term < meta_.current_term) {
-    ++stats_.append_rejections;
+    m_.append_rejections->Increment();
     outbox_->Send(std::move(response));
     return;
   }
@@ -382,7 +430,7 @@ void RaftConsensus::HandleAppendEntries(const AppendEntriesRequest& request) {
   if (request.prev.index > 0) {
     const uint64_t last = log_->LastOpId().index;
     if (request.prev.index > last) {
-      ++stats_.append_rejections;
+      m_.append_rejections->Increment();
       outbox_->Send(std::move(response));  // hint: our last opid
       return;
     }
@@ -391,7 +439,7 @@ void RaftConsensus::HandleAppendEntries(const AppendEntriesRequest& request) {
       // Conflict below our tail: ask the leader to rewind.
       response.last_received =
           OpId{0, request.prev.index > 0 ? request.prev.index - 1 : 0};
-      ++stats_.append_rejections;
+      m_.append_rejections->Increment();
       outbox_->Send(std::move(response));
       return;
     }
@@ -399,6 +447,7 @@ void RaftConsensus::HandleAppendEntries(const AppendEntriesRequest& request) {
 
   // Append new entries, truncating any conflicting suffix first.
   bool appended = false;
+  bool append_failed = false;
   for (const LogEntry& entry : request.entries) {
     auto local = log_->OpIdAt(entry.id.index);
     if (local.ok()) {
@@ -412,6 +461,7 @@ void RaftConsensus::HandleAppendEntries(const AppendEntriesRequest& request) {
         return;
       }
       cache_.TruncateAfter(entry.id.index - 1);
+      last_synced_index_ = std::min(last_synced_index_, entry.id.index - 1);
       if (pending_config_index_ >= entry.id.index) {
         // The uncommitted membership change was truncated away: fall back
         // to the previous config.
@@ -433,6 +483,7 @@ void RaftConsensus::HandleAppendEntries(const AppendEntriesRequest& request) {
     Status s = AppendToLocalLog(entry);
     if (!s.ok()) {
       MYRAFT_LOG(Error) << options_.self << ": append failed: " << s;
+      append_failed = true;
       break;
     }
     appended = true;
@@ -446,18 +497,36 @@ void RaftConsensus::HandleAppendEntries(const AppendEntriesRequest& request) {
       }
     }
   }
-  if (appended) {
+  // Sync whenever the durable tail trails the log — this also covers
+  // heartbeats/retries arriving after a batch whose sync never completed,
+  // so a received-but-unsynced suffix eventually becomes durable.
+  if (appended || last_synced_index_ < log_->LastOpId().index) {
     Status s = log_->Sync();
     if (!s.ok()) {
       MYRAFT_LOG(Error) << options_.self << ": log sync failed: " << s;
+      response.last_received = log_->LastOpId();
+      response.last_durable_index = last_synced_index_;
       outbox_->Send(std::move(response));
       return;
     }
+    last_synced_index_ = log_->LastOpId().index;
+  }
+
+  if (append_failed) {
+    // A mid-batch append failure must NOT ack the whole batch: report our
+    // real (possibly partially-extended) tail as a failure so the leader
+    // rewinds next_index there and retries the remainder.
+    m_.append_rejections->Increment();
+    response.success = false;
+    response.last_received = log_->LastOpId();
+    response.last_durable_index = last_synced_index_;
+    outbox_->Send(std::move(response));
+    return;
   }
 
   response.success = true;
   response.last_received = log_->LastOpId();
-  response.last_durable_index = response.last_received.index;
+  response.last_durable_index = last_synced_index_;
 
   // Advance our commit marker to what the leader has committed (§3.4:
   // piggybacked commit marker).
@@ -484,8 +553,15 @@ void RaftConsensus::HandleAppendEntriesResponse(
   peer.last_response_micros = clock_->NowMicros();
 
   if (response.success) {
-    peer.match_index = std::max(peer.match_index, response.last_received.index);
-    peer.next_index = peer.match_index + 1;
+    // Commit quorums only count fsynced entries: match on the durable
+    // index, not the received one. next_index still advances past
+    // everything received so replication is not re-sent while the
+    // follower's sync catches up (the next heartbeat refreshes it).
+    const uint64_t acked =
+        std::min(response.last_received.index, response.last_durable_index);
+    peer.match_index = std::max(peer.match_index, acked);
+    peer.next_index =
+        std::max(peer.next_index, response.last_received.index + 1);
     AdvanceCommitMarker();
 
     // Graceful transfer: once the quiesced target is fully caught up,
@@ -545,7 +621,7 @@ Status RaftConsensus::BeginElection(ElectionMode mode,
 
   switch (mode) {
     case ElectionMode::kRealElection: {
-      ++stats_.elections_started;
+      m_.elections_started->Increment();
       meta_.current_term += 1;
       meta_.voted_for = options_.self;
       meta_.last_vote_term = meta_.current_term;
@@ -558,12 +634,12 @@ Status RaftConsensus::BeginElection(ElectionMode mode,
       break;
     }
     case ElectionMode::kPreVote: {
-      ++stats_.pre_votes_started;
+      m_.pre_votes_started->Increment();
       election.election_term = meta_.current_term + 1;
       break;
     }
     case ElectionMode::kMockElection: {
-      ++stats_.mock_elections_started;
+      m_.mock_elections_started->Increment();
       election.election_term = meta_.current_term + 1;
       break;
     }
@@ -846,7 +922,7 @@ void RaftConsensus::ReportMockOutcome(const MemberId& report_to,
 }
 
 void RaftConsensus::BecomeLeader() {
-  ++stats_.elections_won;
+  m_.elections_won->Increment();
   role_ = RaftRole::kLeader;
   leader_ = options_.self;
   meta_.last_known_leader = options_.self;
@@ -902,10 +978,11 @@ void RaftConsensus::StepDown(uint64_t new_term, const MemberId& new_leader,
   election_.reset();
   transfer_.reset();
   peers_.clear();
+  replicate_time_micros_.clear();
   ResetElectionTimer();
 
   if (was_leader) {
-    ++stats_.step_downs;
+    m_.step_downs->Increment();
     MYRAFT_LOG(Info) << options_.self << ": stepping down from term "
                      << old_term;
     listener_->OnLeadershipLost(old_term);

@@ -30,6 +30,7 @@
 #include "raft/log_cache.h"
 #include "raft/quorum.h"
 #include "util/clock.h"
+#include "util/metrics.h"
 #include "util/random.h"
 #include "wire/messages.h"
 
@@ -73,6 +74,10 @@ struct RaftOptions {
   /// itself so clients fail fast to the next leader.
   bool enable_auto_step_down = false;
   uint64_t auto_step_down_after_micros = 3'000'000;
+
+  /// Destination for "raft.*" / "log_cache.*" metrics. Null means a
+  /// private per-instance registry (unit-test isolation).
+  metrics::MetricRegistry* metrics = nullptr;
 };
 
 enum class ElectionMode { kPreVote, kRealElection, kMockElection };
@@ -125,6 +130,7 @@ class RaftConsensus {
     uint64_t last_response_micros = 0;
   };
 
+  /// Point-in-time snapshot of the registry-backed "raft.*" counters.
   struct Stats {
     uint64_t elections_started = 0;
     uint64_t elections_won = 0;
@@ -218,9 +224,13 @@ class RaftConsensus {
            transfer_->phase == TransferState::Phase::kQuiesced;
   }
   const std::map<MemberId, PeerStatus>& peers() const { return peers_; }
-  const Stats& stats() const { return stats_; }
+  Stats stats() const;
+  metrics::MetricRegistry* metrics() const { return metrics_; }
   const LogCache& log_cache() const { return cache_; }
   LogAbstraction* log() const { return log_; }
+  /// Highest log index known to be fsynced locally; only this much is
+  /// reported as `last_durable_index` in AppendEntries responses.
+  uint64_t last_synced_index() const { return last_synced_index_; }
 
   /// One-line human-readable state for tools.
   std::string ToString() const;
@@ -297,6 +307,23 @@ class RaftConsensus {
   const MemberInfo* SelfInfo() const;
   bool IsVoterSelf() const;
 
+  /// Resolved handles to the registry-backed metrics (stable pointers,
+  /// bumped lock-free on the hot path).
+  struct Metrics {
+    metrics::Counter* elections_started;
+    metrics::Counter* elections_won;
+    metrics::Counter* pre_votes_started;
+    metrics::Counter* mock_elections_started;
+    metrics::Counter* heartbeats_sent;
+    metrics::Counter* entries_replicated;
+    metrics::Counter* append_rejections;
+    metrics::Counter* cache_fallback_reads;
+    metrics::Counter* step_downs;
+    metrics::Counter* auto_step_downs;
+    /// Replicate() -> commit-marker advance, leader side.
+    metrics::HistogramMetric* commit_advance_latency_us;
+  };
+
   RaftOptions options_;
   LogAbstraction* log_;
   const QuorumEngine* quorum_;
@@ -305,6 +332,10 @@ class RaftConsensus {
   Random* rng_;
   RaftOutbox* outbox_;
   StateMachineListener* listener_;
+
+  std::unique_ptr<metrics::MetricRegistry> owned_metrics_;
+  metrics::MetricRegistry* metrics_;
+  Metrics m_;
 
   ConsensusMetadata meta_;
   RaftRole role_ = RaftRole::kFollower;
@@ -322,7 +353,13 @@ class RaftConsensus {
   uint64_t pending_config_index_ = 0;     // uncommitted config entry index
   MembershipConfig previous_config_;      // rollback target on truncation
 
-  Stats stats_;
+  /// Durable (fsynced) tail of the local log; trails log_->LastOpId()
+  /// between Append and Sync.
+  uint64_t last_synced_index_ = 0;
+  /// Leader-side Replicate() timestamps awaiting commit, for the
+  /// commit-advance latency histogram. Cleared on step down.
+  std::map<uint64_t, uint64_t> replicate_time_micros_;
+
   bool started_ = false;
 };
 

@@ -1,41 +1,70 @@
 #include "raft/log_cache.h"
 
+#include <algorithm>
+
 #include "util/compression.h"
 
 namespace myraft::raft {
+
+LogCache::LogCache(uint64_t capacity_bytes,
+                   metrics::MetricRegistry* registry)
+    : capacity_(capacity_bytes) {
+  if (registry == nullptr) {
+    owned_registry_ = std::make_unique<metrics::MetricRegistry>();
+    registry = owned_registry_.get();
+  }
+  hits_ = registry->GetCounter("log_cache.hits");
+  misses_ = registry->GetCounter("log_cache.misses");
+  evictions_ = registry->GetCounter("log_cache.evictions");
+  compressed_bytes_ = registry->GetGauge("log_cache.compressed_bytes");
+  uncompressed_bytes_ = registry->GetGauge("log_cache.uncompressed_bytes");
+  // A long-lived registry can outlive the cache instance (sim node
+  // restart); the resident-byte gauges describe *this* cache, which
+  // starts empty.
+  compressed_bytes_->Set(0);
+  uncompressed_bytes_->Set(0);
+}
+
+void LogCache::Retire(const Cached& cached) {
+  size_bytes_ -= cached.compressed_payload.size();
+  compressed_bytes_->Add(-(int64_t)cached.compressed_payload.size());
+  uncompressed_bytes_->Add(-(int64_t)cached.uncompressed_size);
+}
 
 void LogCache::Put(const LogEntry& entry) {
   Cached cached;
   cached.id = entry.id;
   cached.type = entry.type;
   cached.checksum = entry.checksum;
+  cached.uncompressed_size = entry.payload.size();
   LzCompress(entry.payload, &cached.compressed_payload);
 
-  stats_.uncompressed_bytes += entry.payload.size();
-  stats_.compressed_bytes += cached.compressed_payload.size();
-
+  // Retire a replaced entry before accounting the new one, so overwrites
+  // (leader re-proposals, truncate-then-refill) don't inflate the byte
+  // gauges.
   auto it = entries_.find(entry.id.index);
-  if (it != entries_.end()) {
-    size_bytes_ -= it->second.compressed_payload.size();
-  }
+  if (it != entries_.end()) Retire(it->second);
+
   size_bytes_ += cached.compressed_payload.size();
+  compressed_bytes_->Add((int64_t)cached.compressed_payload.size());
+  uncompressed_bytes_->Add((int64_t)cached.uncompressed_size);
   entries_[entry.id.index] = std::move(cached);
 
   while (size_bytes_ > capacity_ && entries_.size() > 1) {
     auto head = entries_.begin();
-    size_bytes_ -= head->second.compressed_payload.size();
+    Retire(head->second);
     entries_.erase(head);
-    ++stats_.evictions;
+    evictions_->Increment();
   }
 }
 
 Result<LogEntry> LogCache::Get(uint64_t index) const {
   auto it = entries_.find(index);
   if (it == entries_.end()) {
-    ++stats_.misses;
+    misses_->Increment();
     return Status::NotFound("log cache miss");
   }
-  ++stats_.hits;
+  hits_->Increment();
   LogEntry entry;
   entry.id = it->second.id;
   entry.type = it->second.type;
@@ -50,7 +79,7 @@ Result<LogEntry> LogCache::Get(uint64_t index) const {
 
 void LogCache::TruncateAfter(uint64_t index) {
   for (auto it = entries_.upper_bound(index); it != entries_.end();) {
-    size_bytes_ -= it->second.compressed_payload.size();
+    Retire(it->second);
     it = entries_.erase(it);
   }
 }
@@ -58,15 +87,29 @@ void LogCache::TruncateAfter(uint64_t index) {
 void LogCache::EvictBefore(uint64_t index) {
   for (auto it = entries_.begin();
        it != entries_.end() && it->first < index;) {
-    size_bytes_ -= it->second.compressed_payload.size();
+    Retire(it->second);
     it = entries_.erase(it);
-    ++stats_.evictions;
+    evictions_->Increment();
   }
 }
 
 void LogCache::Clear() {
   entries_.clear();
   size_bytes_ = 0;
+  compressed_bytes_->Set(0);
+  uncompressed_bytes_->Set(0);
+}
+
+LogCache::Stats LogCache::stats() const {
+  Stats s;
+  s.hits = hits_->value();
+  s.misses = misses_->value();
+  s.evictions = evictions_->value();
+  s.compressed_bytes =
+      (uint64_t)std::max<int64_t>(0, compressed_bytes_->value());
+  s.uncompressed_bytes =
+      (uint64_t)std::max<int64_t>(0, uncompressed_bytes_->value());
+  return s;
 }
 
 }  // namespace myraft::raft

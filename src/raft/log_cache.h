@@ -8,7 +8,9 @@
 #define MYRAFT_RAFT_LOG_CACHE_H_
 
 #include <map>
+#include <memory>
 
+#include "util/metrics.h"
 #include "util/result.h"
 #include "wire/log_entry.h"
 
@@ -16,6 +18,9 @@ namespace myraft::raft {
 
 class LogCache {
  public:
+  /// Point-in-time view of the cache's registry-backed metrics.
+  /// hits/misses/evictions are cumulative; the byte fields are the bytes
+  /// currently resident (before/after compression).
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
@@ -24,7 +29,10 @@ class LogCache {
     uint64_t uncompressed_bytes = 0;
   };
 
-  explicit LogCache(uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
+  /// Metrics land in `registry` under "log_cache.*"; a null registry gets
+  /// a private per-instance one (unit-test isolation).
+  explicit LogCache(uint64_t capacity_bytes,
+                    metrics::MetricRegistry* registry = nullptr);
 
   /// Inserts (compressed); evicts from the head if over capacity.
   void Put(const LogEntry& entry);
@@ -43,20 +51,29 @@ class LogCache {
 
   uint64_t size_bytes() const { return size_bytes_; }
   size_t entry_count() const { return entries_.size(); }
-  const Stats& stats() const { return stats_; }
+  Stats stats() const;
 
  private:
   struct Cached {
     OpId id;
     EntryType type = EntryType::kNoOp;
     uint32_t checksum = 0;
+    uint64_t uncompressed_size = 0;
     std::string compressed_payload;
   };
+
+  void Retire(const Cached& cached);
 
   uint64_t capacity_;
   uint64_t size_bytes_ = 0;
   std::map<uint64_t, Cached> entries_;
-  mutable Stats stats_;
+
+  std::unique_ptr<metrics::MetricRegistry> owned_registry_;
+  metrics::Counter* hits_;
+  metrics::Counter* misses_;
+  metrics::Counter* evictions_;
+  metrics::Gauge* compressed_bytes_;
+  metrics::Gauge* uncompressed_bytes_;
 };
 
 }  // namespace myraft::raft

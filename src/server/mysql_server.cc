@@ -27,6 +27,35 @@ Status MySqlServer::Init(const raft::QuorumEngine* quorum, Random* rng,
   rng_ = rng;
   MYRAFT_RETURN_NOT_OK(env_->CreateDirIfMissing(options_.data_dir));
 
+  metrics_ = options_.metrics;
+  if (metrics_ == nullptr) {
+    owned_metrics_ = std::make_unique<metrics::MetricRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  m_.writes_accepted = metrics_->GetCounter("server.writes_accepted");
+  m_.writes_rejected_read_only =
+      metrics_->GetCounter("server.writes_rejected_read_only");
+  m_.writes_rejected_conflict =
+      metrics_->GetCounter("server.writes_rejected_conflict");
+  m_.writes_committed = metrics_->GetCounter("server.writes_committed");
+  m_.writes_aborted_on_demotion =
+      metrics_->GetCounter("server.writes_aborted_on_demotion");
+  m_.applier_transactions_applied =
+      metrics_->GetCounter("server.applier_transactions_applied");
+  m_.promotions_completed =
+      metrics_->GetCounter("server.promotions_completed");
+  m_.demotions = metrics_->GetCounter("server.demotions");
+  m_.engine_checkpoints = metrics_->GetCounter("server.engine_checkpoints");
+  m_.commit_stage_flush_us =
+      metrics_->GetHistogram("server.commit_stage_flush_us");
+  m_.commit_stage_consensus_wait_us =
+      metrics_->GetHistogram("server.commit_stage_consensus_wait_us");
+  m_.commit_stage_engine_commit_us =
+      metrics_->GetHistogram("server.commit_stage_engine_commit_us");
+  m_.promotion_latency_us =
+      metrics_->GetHistogram("server.promotion_latency_us");
+  m_.applier_lag_entries = metrics_->GetGauge("server.applier_lag_entries");
+
   binlog::BinlogManagerOptions binlog_options;
   binlog_options.dir = options_.data_dir + "/log";
   // Every member boots as a replica; logs start in relay-log persona and
@@ -35,6 +64,7 @@ Status MySqlServer::Init(const raft::QuorumEngine* quorum, Random* rng,
   binlog_options.server_version = options_.server_version;
   binlog_options.server_id = options_.numeric_server_id;
   binlog_options.clock = clock_;
+  binlog_options.metrics = metrics_;
   auto manager = binlog::BinlogManager::Open(env_, binlog_options);
   if (!manager.ok()) return manager.status().WithPrefix("opening binlog");
   binlog_ = std::move(*manager);
@@ -56,6 +86,7 @@ Status MySqlServer::Init(const raft::QuorumEngine* quorum, Random* rng,
   plugin_options.raft.self = options_.id;
   plugin_options.raft.region = options_.region;
   plugin_options.raft.kind = options_.kind;
+  plugin_options.raft.metrics = metrics_;
   plugin_options.meta_path = options_.data_dir + "/cmeta";
   plugin_ = std::make_unique<plugin::RaftPlugin>(
       env_, std::move(plugin_options), binlog_.get(), quorum, clock_, rng,
@@ -80,7 +111,7 @@ void MySqlServer::Tick() {
       engine_->PreparedXids().empty()) {
     Status s = engine_->Checkpoint();
     if (s.ok()) {
-      ++stats_.engine_checkpoints;
+      m_.engine_checkpoints->Increment();
     } else {
       MYRAFT_LOG(Warning) << options_.id << ": checkpoint failed: " << s;
     }
@@ -102,6 +133,7 @@ void MySqlServer::SetDbRole(DbRole role) {
 
 void MySqlServer::SubmitWrite(std::vector<binlog::RowOperation> ops,
                               WriteCallback done) {
+  const uint64_t submitted_micros = clock_->NowMicros();
   auto fail = [&done](Status status) {
     done(WriteResult{std::move(status), {}, {}});
   };
@@ -110,7 +142,7 @@ void MySqlServer::SubmitWrite(std::vector<binlog::RowOperation> ops,
     return;
   }
   if (!writes_enabled_) {
-    ++stats_.writes_rejected_read_only;
+    m_.writes_rejected_read_only->Increment();
     fail(Status::ServiceUnavailable("server is read-only (not primary)"));
     return;
   }
@@ -131,7 +163,7 @@ void MySqlServer::SubmitWrite(std::vector<binlog::RowOperation> ops,
       s = engine_->Put(txn, op.database + "." + op.table, key, image);
     }
     if (!s.ok()) {
-      ++stats_.writes_rejected_conflict;
+      m_.writes_rejected_conflict->Increment();
       Status rollback = engine_->Rollback(txn);
       if (!rollback.ok()) {
         MYRAFT_LOG(Error) << options_.id << ": rollback failed: " << rollback;
@@ -168,8 +200,12 @@ void MySqlServer::SubmitWrite(std::vector<binlog::RowOperation> ops,
     return;
   }
   MYRAFT_CHECK(*replicated == opid) << "OpId plan mismatch";
-  ++stats_.writes_accepted;
-  pending_[opid.index] = PendingCommit{xid, opid, gtid, std::move(done)};
+  m_.writes_accepted->Increment();
+  // Stage 1 done: the payload is in the (Raft-replicated) binlog.
+  const uint64_t flushed_micros = clock_->NowMicros();
+  m_.commit_stage_flush_us->Record(flushed_micros - submitted_micros);
+  pending_[opid.index] =
+      PendingCommit{xid, opid, gtid, flushed_micros, std::move(done)};
 }
 
 std::optional<std::string> MySqlServer::Read(const std::string& table,
@@ -185,14 +221,19 @@ void MySqlServer::OnConsensusCommitAdvanced(OpId marker) {
   while (!pending_.empty() && pending_.begin()->first <= marker.index) {
     PendingCommit pending = std::move(pending_.begin()->second);
     pending_.erase(pending_.begin());
+    const uint64_t commit_start = clock_->NowMicros();
+    m_.commit_stage_consensus_wait_us->Record(commit_start -
+                                              pending.flushed_micros);
     Status s = engine_->CommitPrepared(pending.xid, pending.opid,
                                        pending.gtid);
+    m_.commit_stage_engine_commit_us->Record(clock_->NowMicros() -
+                                             commit_start);
     if (!s.ok()) {
       MYRAFT_LOG(Error) << options_.id << ": engine commit failed: " << s;
       pending.done(WriteResult{std::move(s), pending.gtid, pending.opid});
       continue;
     }
-    ++stats_.writes_committed;
+    m_.writes_committed->Increment();
     pending.done(WriteResult{Status::OK(), pending.gtid, pending.opid});
   }
 
@@ -233,11 +274,15 @@ void MySqlServer::RunApplier() {
                           << entry->id.ToString() << ": " << s;
         break;
       }
-      ++stats_.applier_transactions_applied;
+      m_.applier_transactions_applied->Increment();
     }
     // No-ops, config changes and rotate events advance the cursor only.
     ++next_apply_index_;
   }
+  m_.applier_lag_entries->Set(
+      marker.index >= next_apply_index_
+          ? (int64_t)(marker.index - next_apply_index_ + 1)
+          : 0);
 }
 
 Status MySqlServer::ApplyOneTransaction(const LogEntry& entry) {
@@ -278,7 +323,7 @@ void MySqlServer::OnPromotionStarted(uint64_t term, OpId noop_opid) {
     MaybeWitnessHandoff();
     return;
   }
-  promotion_ = PromotionState{term, noop_opid};
+  promotion_ = PromotionState{term, noop_opid, clock_->NowMicros()};
   // Step 1 (no-op append) already happened inside Raft; steps 2-5 resume
   // from MaybeCompletePromotion as the applier catches up.
   RunApplier();
@@ -326,7 +371,9 @@ void MySqlServer::MaybeCompletePromotion() {
     discovery_->PublishPrimary(options_.replicaset, options_.id,
                                promotion_->term);
   }
-  ++stats_.promotions_completed;
+  m_.promotions_completed->Increment();
+  m_.promotion_latency_us->Record(clock_->NowMicros() -
+                                  promotion_->started_micros);
   promotion_.reset();
   MYRAFT_LOG(Info) << options_.id << ": promotion complete (term "
                    << consensus->term() << ")";
@@ -377,7 +424,7 @@ void MySqlServer::OnDemotion(uint64_t term) {
     if (!s.ok()) {
       MYRAFT_LOG(Error) << options_.id << ": demotion rollback: " << s;
     }
-    ++stats_.writes_aborted_on_demotion;
+    m_.writes_aborted_on_demotion->Increment();
     pending.done(WriteResult{
         Status::Aborted("demoted: outcome unknown, retry against new primary"),
         pending.gtid, pending.opid});
@@ -399,7 +446,7 @@ void MySqlServer::OnDemotion(uint64_t term) {
   if (discovery_ != nullptr) {
     discovery_->WithdrawPrimary(options_.replicaset, options_.id, term);
   }
-  ++stats_.demotions;
+  m_.demotions->Increment();
 }
 
 void MySqlServer::OnGtidsTruncated(const binlog::GtidSet& removed) {
@@ -495,6 +542,20 @@ Status MySqlServer::PurgeLogsTo(const std::string& file) {
     return Status::IllegalState("cannot purge entries not yet applied");
   }
   return binlog_->PurgeLogsTo(file);
+}
+
+MySqlServer::Stats MySqlServer::stats() const {
+  Stats s;
+  s.writes_accepted = m_.writes_accepted->value();
+  s.writes_rejected_read_only = m_.writes_rejected_read_only->value();
+  s.writes_rejected_conflict = m_.writes_rejected_conflict->value();
+  s.writes_committed = m_.writes_committed->value();
+  s.writes_aborted_on_demotion = m_.writes_aborted_on_demotion->value();
+  s.applier_transactions_applied = m_.applier_transactions_applied->value();
+  s.promotions_completed = m_.promotions_completed->value();
+  s.demotions = m_.demotions->value();
+  s.engine_checkpoints = m_.engine_checkpoints->value();
+  return s;
 }
 
 }  // namespace myraft::server

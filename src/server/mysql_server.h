@@ -34,6 +34,7 @@
 #include "plugin/raft_plugin.h"
 #include "server/service_discovery.h"
 #include "storage/engine.h"
+#include "util/metrics.h"
 
 namespace myraft::server {
 
@@ -55,6 +56,10 @@ struct MySqlServerOptions {
   /// Checkpoint the storage engine once its WAL exceeds this size
   /// (bounds crash-recovery replay). 0 disables.
   uint64_t engine_checkpoint_wal_bytes = 32ull << 20;
+  /// Destination for this member's metrics ("server.*" plus the nested
+  /// raft/log_cache/binlog families). Null means a private per-instance
+  /// registry (unit-test isolation).
+  metrics::MetricRegistry* metrics = nullptr;
 };
 
 struct WriteResult {
@@ -85,6 +90,7 @@ struct BinaryLogInfo {
 
 class MySqlServer final : public plugin::ServerHooks {
  public:
+  /// Point-in-time snapshot of the registry-backed "server.*" counters.
   struct Stats {
     uint64_t writes_accepted = 0;
     uint64_t writes_rejected_read_only = 0;
@@ -168,7 +174,8 @@ class MySqlServer final : public plugin::ServerHooks {
   storage::MiniEngine* engine() { return engine_.get(); }
   binlog::BinlogManager* binlog_manager() { return binlog_.get(); }
   const MySqlServerOptions& options() const { return options_; }
-  const Stats& stats() const { return stats_; }
+  Stats stats() const;
+  metrics::MetricRegistry* metrics() const { return metrics_; }
   /// Checksum of committed database state (§5.1 consistency checks).
   uint64_t StateChecksum() const {
     return engine_ != nullptr ? engine_->StateChecksum() : 0;
@@ -193,15 +200,39 @@ class MySqlServer final : public plugin::ServerHooks {
     uint64_t xid = 0;
     OpId opid;
     binlog::Gtid gtid;
+    /// When stage 1 (flush via Raft) finished, for the stage-2
+    /// consensus-wait latency histogram.
+    uint64_t flushed_micros = 0;
     WriteCallback done;
   };
 
   struct PromotionState {
     uint64_t term = 0;
     OpId noop;
+    uint64_t started_micros = 0;
     /// Set once prerequisites hold; completion fires when the clock
     /// passes it (modelling the orchestration steps' latency).
     uint64_t ready_at_micros = 0;
+  };
+
+  /// Resolved registry-backed metric handles.
+  struct Metrics {
+    metrics::Counter* writes_accepted;
+    metrics::Counter* writes_rejected_read_only;
+    metrics::Counter* writes_rejected_conflict;
+    metrics::Counter* writes_committed;
+    metrics::Counter* writes_aborted_on_demotion;
+    metrics::Counter* applier_transactions_applied;
+    metrics::Counter* promotions_completed;
+    metrics::Counter* demotions;
+    metrics::Counter* engine_checkpoints;
+    /// Three-stage group-commit pipeline (§3.4) stage latencies.
+    metrics::HistogramMetric* commit_stage_flush_us;
+    metrics::HistogramMetric* commit_stage_consensus_wait_us;
+    metrics::HistogramMetric* commit_stage_engine_commit_us;
+    metrics::HistogramMetric* promotion_latency_us;
+    /// Entries between the consensus commit marker and the applier cursor.
+    metrics::Gauge* applier_lag_entries;
   };
 
   MySqlServer(Env* env, MySqlServerOptions options, Clock* clock)
@@ -237,7 +268,10 @@ class MySqlServer final : public plugin::ServerHooks {
   std::optional<PromotionState> promotion_;
   bool witness_handoff_pending_ = false;
   std::function<void(DbRole)> role_change_cb_;
-  Stats stats_;
+
+  std::unique_ptr<metrics::MetricRegistry> owned_metrics_;
+  metrics::MetricRegistry* metrics_ = nullptr;
+  Metrics m_;
 };
 
 }  // namespace myraft::server

@@ -275,4 +275,34 @@ bool ClusterHarness::CheckReplicaConsistency() {
   return consistent;
 }
 
+std::string ClusterHarness::MetricsSnapshotJson() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [id, node] : nodes_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += id;
+    out += "\":";
+    out += node->metrics()->ToJson();
+  }
+  out += '}';
+  return out;
+}
+
+std::string ClusterHarness::MetricsSnapshotText() const {
+  std::string out;
+  for (const auto& [id, node] : nodes_) {
+    for (const std::string& line :
+         SplitString(node->metrics()->ToText(), '\n')) {
+      if (line.empty()) continue;
+      out += id;
+      out += '.';
+      out += line;
+      out += '\n';
+    }
+  }
+  return out;
+}
+
 }  // namespace myraft::sim

@@ -123,6 +123,16 @@ class ClusterHarness {
   /// report the same state checksum. Returns false on divergence.
   bool CheckReplicaConsistency();
 
+  // --- Metrics ---------------------------------------------------------------------
+
+  /// JSON object keyed by member id, each value the node's full metric
+  /// registry snapshot. Bench drivers embed this as the "internals"
+  /// section of their BENCH_*.json output.
+  std::string MetricsSnapshotJson() const;
+  /// Human-readable per-node dump (one "member.metric kind value" line
+  /// per metric).
+  std::string MetricsSnapshotText() const;
+
  private:
   ClusterOptions options_;
   const raft::QuorumEngine* quorum_;

@@ -30,6 +30,9 @@ SimNode::~SimNode() {
 }
 
 Status SimNode::BuildProcess() {
+  // All per-node subsystems share the node's registry.
+  options_.server.metrics = &metrics_;
+  options_.proxy.metrics = &metrics_;
   // Router first (it is the server's outbox), bind consensus after.
   router_ = std::make_unique<proxy::ProxyRouter>(
       options_.server.id, options_.server.region, options_.proxy, loop_,

@@ -51,6 +51,10 @@ class SimNode {
   server::MySqlServer* server() { return server_.get(); }
   proxy::ProxyRouter* router() { return router_.get(); }
   Env* env() { return env_.get(); }
+  /// Node-lifetime metric registry: like the disk, it survives
+  /// crash/restart cycles, so counters accumulate across incarnations.
+  metrics::MetricRegistry* metrics() { return &metrics_; }
+  const metrics::MetricRegistry* metrics() const { return &metrics_; }
 
  private:
   Status BuildProcess();  // constructs router + server over env_
@@ -64,6 +68,7 @@ class SimNode {
   Options options_;
 
   std::unique_ptr<Env> env_;  // survives crashes ("disk")
+  metrics::MetricRegistry metrics_;  // survives crashes too
   std::unique_ptr<proxy::ProxyRouter> router_;
   std::unique_ptr<server::MySqlServer> server_;
   bool up_ = false;

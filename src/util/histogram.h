@@ -39,15 +39,18 @@ class Histogram {
   /// One (lower_bound, count) pair per populated bucket, for plotting.
   std::vector<std::pair<uint64_t, uint64_t>> NonEmptyBuckets() const;
 
- private:
   static constexpr int kSubBucketBits = 4;  // 16 sub-buckets per octave.
   static constexpr int kSubBuckets = 1 << kSubBucketBits;
   static constexpr int kMaxOctave = 40;     // values up to ~2^40.
   static constexpr int kNumBuckets = kMaxOctave * kSubBuckets;
 
+  /// Bucket index covering `value` (public so tests can pin down the
+  /// octave-boundary behaviour the percentile math depends on).
   static int BucketFor(uint64_t value);
+  /// Smallest value that maps into `bucket`.
   static uint64_t BucketLowerBound(int bucket);
 
+ private:
   uint64_t count_ = 0;
   uint64_t min_ = UINT64_MAX;
   uint64_t max_ = 0;

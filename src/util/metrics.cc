@@ -1,0 +1,147 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace myraft::metrics {
+
+namespace {
+
+// Trims trailing zeros from a printf'd double so JSON output stays tidy
+// ("12.5" instead of "12.500000").
+std::string FormatDouble(double v) {
+  std::string s = StringPrintf("%.3f", v);
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s.empty() ? "0" : s;
+}
+
+std::string HistogramJson(const Histogram& h) {
+  return StringPrintf(
+      "{\"count\":%llu,\"min\":%llu,\"max\":%llu,\"mean\":%s,"
+      "\"p50\":%s,\"p90\":%s,\"p99\":%s}",
+      (unsigned long long)h.count(), (unsigned long long)h.min(),
+      (unsigned long long)h.max(), FormatDouble(h.Mean()).c_str(),
+      FormatDouble(h.Percentile(50)).c_str(),
+      FormatDouble(h.Percentile(90)).c_str(),
+      FormatDouble(h.Percentile(99)).c_str());
+}
+
+}  // namespace
+
+Counter* MetricRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MYRAFT_CHECK(gauges_.count(name) == 0 && histograms_.count(name) == 0);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MYRAFT_CHECK(counters_.count(name) == 0 && histograms_.count(name) == 0);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+HistogramMetric* MetricRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MYRAFT_CHECK(counters_.count(name) == 0 && gauges_.count(name) == 0);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<HistogramMetric>();
+  return slot.get();
+}
+
+const Counter* MetricRegistry::FindCounter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricRegistry::FindGauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const HistogramMetric* MetricRegistry::FindHistogram(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+size_t MetricRegistry::MetricCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+std::vector<std::string> MetricRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, _] : counters_) names.push_back(name);
+  for (const auto& [name, _] : gauges_) names.push_back(name);
+  for (const auto& [name, _] : histograms_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::string MetricRegistry::ToText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Interleave the three kinds in global name order.
+  std::map<std::string, std::string> lines;
+  for (const auto& [name, c] : counters_) {
+    lines[name] = StringPrintf("%s counter %llu", name.c_str(),
+                               (unsigned long long)c->value());
+  }
+  for (const auto& [name, g] : gauges_) {
+    lines[name] = StringPrintf("%s gauge %lld", name.c_str(),
+                               (long long)g->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    Histogram snap = h->snapshot();
+    lines[name] = StringPrintf(
+        "%s histogram count=%llu mean=%s p99=%s max=%llu", name.c_str(),
+        (unsigned long long)snap.count(), FormatDouble(snap.Mean()).c_str(),
+        FormatDouble(snap.Percentile(99)).c_str(),
+        (unsigned long long)snap.max());
+  }
+  std::string out;
+  for (const auto& [_, line] : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string MetricRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, std::string> fields;
+  for (const auto& [name, c] : counters_) {
+    fields[name] = StringPrintf("%llu", (unsigned long long)c->value());
+  }
+  for (const auto& [name, g] : gauges_) {
+    fields[name] = StringPrintf("%lld", (long long)g->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    fields[name] = HistogramJson(h->snapshot());
+  }
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : fields) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;  // Metric names are identifier-like; no escaping needed.
+    out += "\":";
+    out += value;
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace myraft::metrics

@@ -1,0 +1,104 @@
+// Process-wide metrics registry (kuduraft-style): named counters, gauges
+// and latency histograms that subsystems look up once and bump on the hot
+// path with relaxed atomics. A registry snapshot serialises to text or
+// JSON; the sim harness dumps one per node and the bench drivers embed it
+// as the "internals" section of their BENCH_*.json output.
+//
+// Components take a `MetricRegistry*` through their options struct and
+// fall back to a private per-instance registry when it is null, so unit
+// tests that count events on a single component stay isolated.
+
+#ifndef MYRAFT_UTIL_METRICS_H_
+#define MYRAFT_UTIL_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/histogram.h"
+
+namespace myraft::metrics {
+
+/// Monotonic event counter. Increment is a relaxed atomic add — safe to
+/// call from any thread without ordering guarantees beyond the count.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous signed level (queue depth, resident bytes, lag).
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Latency distribution. Wraps util/histogram behind a mutex; Record is
+/// heavier than a Counter bump but still cheap (one lock, one bucket add).
+class HistogramMetric {
+ public:
+  void Record(uint64_t value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    histogram_.Add(value);
+  }
+  /// Copy of the current distribution.
+  Histogram snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return histogram_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Histogram histogram_;
+};
+
+/// Find-or-create registry of named metrics. Returned pointers are stable
+/// for the registry's lifetime, so components resolve them once at
+/// construction and bump them lock-free afterwards. Re-resolving an
+/// existing name returns the same metric (a restarted component on a
+/// long-lived registry keeps accumulating into the same counters).
+class MetricRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  HistogramMetric* GetHistogram(const std::string& name);
+
+  /// Read-only lookups; nullptr when the name was never registered.
+  const Counter* FindCounter(const std::string& name) const;
+  const Gauge* FindGauge(const std::string& name) const;
+  const HistogramMetric* FindHistogram(const std::string& name) const;
+
+  size_t MetricCount() const;
+  /// All registered names, sorted.
+  std::vector<std::string> Names() const;
+
+  /// One "name kind value" line per metric, sorted by name.
+  std::string ToText() const;
+  /// JSON object keyed by metric name; counters/gauges are numbers,
+  /// histograms are {"count","min","max","mean","p50","p90","p99"}.
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+}  // namespace myraft::metrics
+
+#endif  // MYRAFT_UTIL_METRICS_H_

@@ -71,6 +71,65 @@ TEST(LogCacheTest, EvictsFromHeadWhenOverCapacity) {
   EXPECT_TRUE(cache.Contains(10));  // newest kept
 }
 
+TEST(LogCacheTest, OverwriteRetiresReplacedBytes) {
+  // Regression: Put over an existing index used to account the new
+  // payload without retiring the old one, so overwrites (leader
+  // re-proposals, truncate-then-refill) inflated the byte counters
+  // without bound.
+  LogCache cache(1 << 20);
+  cache.Put(E(1, 1, std::string(10'000, 'a')));
+  const auto once = cache.stats();
+  for (int i = 0; i < 5; ++i) {
+    cache.Put(E(2, 1, std::string(10'000, 'a')));
+  }
+  const auto after = cache.stats();
+  EXPECT_EQ(after.compressed_bytes, once.compressed_bytes);
+  EXPECT_EQ(after.uncompressed_bytes, once.uncompressed_bytes);
+  EXPECT_EQ(cache.size_bytes(), once.compressed_bytes);
+  // The surviving entry is the replacement.
+  auto got = cache.Get(1);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->id.term, 2u);
+}
+
+TEST(LogCacheTest, ClearResetsByteCounters) {
+  // Regression: Clear() dropped the entries but left the byte counters
+  // at their pre-clear values.
+  LogCache cache(1 << 20);
+  for (uint64_t i = 1; i <= 4; ++i) {
+    cache.Put(E(1, i, std::string(5'000, 'q')));
+  }
+  ASSERT_GT(cache.stats().compressed_bytes, 0u);
+  ASSERT_GT(cache.stats().uncompressed_bytes, 0u);
+  cache.Clear();
+  EXPECT_EQ(cache.size_bytes(), 0u);
+  EXPECT_EQ(cache.stats().compressed_bytes, 0u);
+  EXPECT_EQ(cache.stats().uncompressed_bytes, 0u);
+  // The cumulative counters survive Clear(); only resident gauges reset.
+  cache.Get(1);  // miss
+  EXPECT_GE(cache.stats().misses, 1u);
+}
+
+TEST(LogCacheTest, SharedRegistryAccumulatesAcrossInstances) {
+  // A sim node's registry outlives crash/restart cycles: cumulative
+  // counters keep accumulating, resident gauges restart from zero.
+  metrics::MetricRegistry registry;
+  {
+    LogCache cache(1 << 20, &registry);
+    cache.Put(E(1, 1, std::string(2'000, 'x')));
+    cache.Get(1);
+    cache.Get(99);
+  }
+  EXPECT_EQ(registry.FindCounter("log_cache.hits")->value(), 1u);
+  EXPECT_EQ(registry.FindCounter("log_cache.misses")->value(), 1u);
+  EXPECT_GT(registry.FindGauge("log_cache.compressed_bytes")->value(), 0);
+  LogCache reborn(1 << 20, &registry);
+  EXPECT_EQ(registry.FindGauge("log_cache.compressed_bytes")->value(), 0);
+  EXPECT_EQ(registry.FindGauge("log_cache.uncompressed_bytes")->value(), 0);
+  reborn.Get(1);  // miss: new instance starts empty
+  EXPECT_EQ(registry.FindCounter("log_cache.misses")->value(), 2u);
+}
+
 TEST(LogCacheTest, TruncateAfterDropsSuffix) {
   LogCache cache(1 << 20);
   for (uint64_t i = 1; i <= 5; ++i) cache.Put(E(1, i));

@@ -33,6 +33,52 @@ class CapturingOutbox final : public RaftOutbox {
   std::vector<Message> sent;
 };
 
+/// LogAbstraction wrapper injecting Append/Sync faults into a real log,
+/// for the mid-batch-failure and durability-reporting regression tests.
+class FaultyLog final : public LogAbstraction {
+ public:
+  explicit FaultyLog(LogAbstraction* base) : base_(base) {}
+
+  /// -1 = healthy; N >= 0 = the next N appends succeed, then all appends
+  /// fail until the test resets this.
+  int fail_append_countdown = -1;
+  bool fail_sync = false;
+
+  Status Append(const LogEntry& entry) override {
+    if (fail_append_countdown == 0) {
+      return Status::IoError("injected append fault");
+    }
+    if (fail_append_countdown > 0) --fail_append_countdown;
+    return base_->Append(entry);
+  }
+  Status Sync() override {
+    if (fail_sync) return Status::IoError("injected sync fault");
+    return base_->Sync();
+  }
+  Result<LogEntry> Read(uint64_t index) const override {
+    return base_->Read(index);
+  }
+  Result<std::vector<LogEntry>> ReadBatch(uint64_t first_index,
+                                          size_t max_entries,
+                                          uint64_t max_bytes) const override {
+    return base_->ReadBatch(first_index, max_entries, max_bytes);
+  }
+  Result<OpId> OpIdAt(uint64_t index) const override {
+    return base_->OpIdAt(index);
+  }
+  OpId LastOpId() const override { return base_->LastOpId(); }
+  uint64_t FirstIndex() const override { return base_->FirstIndex(); }
+  bool HasEntry(uint64_t index) const override {
+    return base_->HasEntry(index);
+  }
+  Status TruncateAfter(uint64_t index) override {
+    return base_->TruncateAfter(index);
+  }
+
+ private:
+  LogAbstraction* base_;
+};
+
 class RecordingListener final : public StateMachineListener {
  public:
   void OnLeadershipAcquired(uint64_t term, OpId noop) override {
@@ -61,7 +107,7 @@ class ConsensusUnitTest : public ::testing::Test {
     options.region = "r0";
     options.enable_pre_vote = false;  // direct elections in unit tests
     consensus_ = std::make_unique<RaftConsensus>(
-        options, &log_, &quorum_, meta_store_.get(), &clock_, &rng_,
+        options, &faulty_log_, &quorum_, meta_store_.get(), &clock_, &rng_,
         &outbox_, &listener_);
     MembershipConfig config;
     config.members = {
@@ -109,6 +155,7 @@ class ConsensusUnitTest : public ::testing::Test {
   std::unique_ptr<Env> env_;
   std::unique_ptr<ConsensusMetadataStore> meta_store_;
   MemLog log_;
+  FaultyLog faulty_log_{&log_};
   MajorityQuorumEngine quorum_;
   CapturingOutbox outbox_;
   RecordingListener listener_;
@@ -160,6 +207,85 @@ TEST_F(ConsensusUnitTest, ConflictingSuffixTruncatedAndReplaced) {
   ASSERT_TRUE(entry.ok());
   EXPECT_EQ(entry->payload, "new");
   EXPECT_FALSE(log_.Read(3).ok());
+}
+
+TEST_F(ConsensusUnitTest, MidBatchAppendFailureReportsRealTail) {
+  // Regression: a mid-batch AppendToLocalLog failure used to fall through
+  // to the success response, acking entries the follower never wrote; the
+  // leader then advanced next_index past them and the ring lost data.
+  faulty_log_.fail_append_countdown = 1;  // entry 1 lands, entry 2 fails
+  consensus_->HandleMessage(Message(MakeAppend(
+      1, kZeroOpId, {E(1, 1, "a"), E(1, 2, "b"), E(1, 3, "c")})));
+  auto response = outbox_.Last<AppendEntriesResponse>();
+  EXPECT_FALSE(response.success);
+  EXPECT_EQ(response.last_received, (OpId{1, 1}));  // real appended tail
+  EXPECT_EQ(response.last_durable_index, 1u);  // the partial prefix synced
+  EXPECT_FALSE(log_.HasEntry(2));
+  EXPECT_FALSE(log_.HasEntry(3));
+
+  // The leader rewinds to the hinted tail and retries; once the log
+  // heals, the remainder lands and the tail catches up.
+  faulty_log_.fail_append_countdown = -1;
+  consensus_->HandleMessage(
+      Message(MakeAppend(1, OpId{1, 1}, {E(1, 2, "b"), E(1, 3, "c")})));
+  response = outbox_.Last<AppendEntriesResponse>();
+  EXPECT_TRUE(response.success);
+  EXPECT_EQ(response.last_received, (OpId{1, 3}));
+  EXPECT_EQ(response.last_durable_index, 3u);
+}
+
+TEST_F(ConsensusUnitTest, UnsyncedEntriesNeverReportedDurable) {
+  // Regression: responses used to report last_durable_index =
+  // last_received.index even when Sync() had not succeeded, so the leader
+  // could count a received-but-unfsynced suffix towards the commit quorum
+  // — entries a crash in that window would erase.
+  faulty_log_.fail_sync = true;
+  consensus_->HandleMessage(
+      Message(MakeAppend(1, kZeroOpId, {E(1, 1, "a"), E(1, 2, "b")})));
+  auto response = outbox_.Last<AppendEntriesResponse>();
+  EXPECT_FALSE(response.success);  // sync failure is not an ack
+  EXPECT_EQ(response.last_received, (OpId{1, 2}));  // entries are in the log
+  EXPECT_EQ(response.last_durable_index, 0u);       // but none are durable
+
+  // Rejections advertise only the synced tail too.
+  outbox_.sent.clear();
+  consensus_->HandleMessage(
+      Message(MakeAppend(0, kZeroOpId, {E(0, 1, "stale")})));
+  response = outbox_.Last<AppendEntriesResponse>();
+  EXPECT_FALSE(response.success);
+  EXPECT_EQ(response.last_durable_index, 0u);
+
+  // Once fsync heals, even an empty heartbeat flushes the unsynced tail
+  // and durability catches up to the log.
+  faulty_log_.fail_sync = false;
+  outbox_.sent.clear();
+  consensus_->HandleMessage(Message(MakeAppend(1, OpId{1, 2}, {})));
+  response = outbox_.Last<AppendEntriesResponse>();
+  EXPECT_TRUE(response.success);
+  EXPECT_EQ(response.last_received, (OpId{1, 2}));
+  EXPECT_EQ(response.last_durable_index, 2u);
+}
+
+TEST_F(ConsensusUnitTest, LeaderIgnoresUndurableAcksForCommit) {
+  // The leader's match_index must track what followers have fsynced, not
+  // what they have merely received.
+  BecomeLeader();
+  auto opid = consensus_->Replicate(EntryType::kNoOp, "payload");
+  ASSERT_TRUE(opid.ok());
+
+  AppendEntriesResponse ack;
+  ack.from = "b";
+  ack.dest = "a";
+  ack.term = consensus_->term();
+  ack.success = true;
+  ack.last_received = *opid;
+  ack.last_durable_index = 0;  // received, not yet fsynced
+  consensus_->HandleMessage(Message(ack));
+  EXPECT_FALSE(consensus_->IsCommitted(*opid));
+
+  ack.last_durable_index = opid->index;
+  consensus_->HandleMessage(Message(ack));
+  EXPECT_TRUE(consensus_->IsCommitted(*opid));
 }
 
 TEST_F(ConsensusUnitTest, CorruptEntryFromLeaderRejected) {
@@ -371,6 +497,7 @@ TEST_F(ConsensusUnitTest, ConfigChangeGatingAndCommit) {
     ack.term = consensus_->term();
     ack.success = true;
     ack.last_received = config_opid;
+    ack.last_durable_index = config_opid.index;
     consensus_->HandleMessage(Message(ack));
   }
   EXPECT_FALSE(consensus_->has_pending_config_change());

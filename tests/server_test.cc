@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "flexiraft/flexiraft.h"
 #include "sim/cluster.h"
 
@@ -47,6 +49,50 @@ class ServerClusterTest : public ::testing::Test {
   std::unique_ptr<ClusterHarness> harness_;
   MemberId primary_;
 };
+
+TEST_F(ServerClusterTest, MetricsSnapshotCoversAllSubsystems) {
+  StartCluster();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        harness_->SyncWrite("k" + std::to_string(i), "v").status.ok());
+  }
+  harness_->loop()->RunFor(2 * kSecond);
+
+  // The primary's registry exposes the instrumented surface: at least 20
+  // distinct metrics spanning the raft, log_cache, server, binlog and
+  // proxy subsystems.
+  auto* registry = harness_->node(primary_)->metrics();
+  const std::vector<std::string> names = registry->Names();
+  EXPECT_GE(names.size(), 20u);
+  std::set<std::string> prefixes;
+  for (const std::string& name : names) {
+    prefixes.insert(name.substr(0, name.find('.')));
+  }
+  EXPECT_GE(prefixes.size(), 4u);
+  for (const char* subsystem :
+       {"raft", "log_cache", "server", "binlog", "proxy"}) {
+    EXPECT_TRUE(prefixes.count(subsystem) > 0) << subsystem;
+  }
+
+  // Hot-path counters moved and the per-stage latency histograms saw
+  // every commit.
+  EXPECT_GT(registry->FindCounter("server.writes_committed")->value(), 0u);
+  EXPECT_GT(registry->FindCounter("raft.entries_replicated")->value(), 0u);
+  EXPECT_GT(registry->FindCounter("binlog.entries_appended")->value(), 0u);
+  const auto* consensus_wait =
+      registry->FindHistogram("server.commit_stage_consensus_wait_us");
+  ASSERT_NE(consensus_wait, nullptr);
+  EXPECT_GE(consensus_wait->snapshot().count(), 20u);
+
+  // Cluster-wide snapshots name every member in both formats.
+  const std::string json = harness_->MetricsSnapshotJson();
+  for (const MemberId& id : harness_->ids()) {
+    EXPECT_NE(json.find("\"" + id + "\":{"), std::string::npos) << id;
+  }
+  const std::string text = harness_->MetricsSnapshotText();
+  EXPECT_NE(text.find(primary_ + ".server.writes_committed counter"),
+            std::string::npos);
+}
 
 TEST_F(ServerClusterTest, WriteCommitReadRoundTrip) {
   StartCluster();

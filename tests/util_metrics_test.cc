@@ -1,0 +1,100 @@
+// Unit tests for the metrics registry: find-or-create semantics, pointer
+// stability, snapshot accessors, and the text/JSON exposition formats the
+// sim harness and bench drivers consume.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/metrics.h"
+
+namespace myraft::metrics {
+namespace {
+
+TEST(MetricRegistryTest, FindOrCreateReturnsStablePointers) {
+  MetricRegistry registry;
+  Counter* c = registry.GetCounter("raft.heartbeats_sent");
+  c->Increment(3);
+  // Re-resolving the same name (e.g. a component restarting on a
+  // long-lived registry) returns the same metric, history intact.
+  EXPECT_EQ(registry.GetCounter("raft.heartbeats_sent"), c);
+  EXPECT_EQ(c->value(), 3u);
+
+  Gauge* g = registry.GetGauge("log_cache.compressed_bytes");
+  g->Set(100);
+  g->Add(-40);
+  EXPECT_EQ(registry.GetGauge("log_cache.compressed_bytes"), g);
+  EXPECT_EQ(g->value(), 60);
+
+  HistogramMetric* h = registry.GetHistogram("server.commit_latency_us");
+  h->Record(250);
+  h->Record(750);
+  EXPECT_EQ(registry.GetHistogram("server.commit_latency_us"), h);
+  EXPECT_EQ(h->snapshot().count(), 2u);
+  EXPECT_EQ(h->snapshot().max(), 750u);
+}
+
+TEST(MetricRegistryTest, FindReturnsNullForUnregisteredNames) {
+  MetricRegistry registry;
+  registry.GetCounter("a.counter");
+  EXPECT_NE(registry.FindCounter("a.counter"), nullptr);
+  EXPECT_EQ(registry.FindCounter("a.other"), nullptr);
+  EXPECT_EQ(registry.FindGauge("a.counter"), nullptr);  // wrong kind
+  EXPECT_EQ(registry.FindHistogram("a.counter"), nullptr);
+}
+
+TEST(MetricRegistryTest, CountAndSortedNames) {
+  MetricRegistry registry;
+  registry.GetGauge("b.gauge");
+  registry.GetCounter("c.counter");
+  registry.GetHistogram("a.histogram");
+  EXPECT_EQ(registry.MetricCount(), 3u);
+  const std::vector<std::string> names = registry.Names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "a.histogram");
+  EXPECT_EQ(names[1], "b.gauge");
+  EXPECT_EQ(names[2], "c.counter");
+}
+
+TEST(MetricRegistryTest, ToTextOneLinePerMetric) {
+  MetricRegistry registry;
+  registry.GetCounter("raft.elections_won")->Increment(2);
+  registry.GetGauge("server.applier_lag_entries")->Set(-5);
+  registry.GetHistogram("raft.commit_latency_us")->Record(100);
+  const std::string text = registry.ToText();
+  EXPECT_NE(text.find("raft.elections_won counter 2"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("server.applier_lag_entries gauge -5"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("raft.commit_latency_us"), std::string::npos) << text;
+}
+
+TEST(MetricRegistryTest, ToJsonShapes) {
+  MetricRegistry registry;
+  registry.GetCounter("binlog.rotations")->Increment(7);
+  registry.GetGauge("log_cache.uncompressed_bytes")->Set(4096);
+  HistogramMetric* h = registry.GetHistogram("proxy.relay_latency_us");
+  h->Record(10);
+  h->Record(30);
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"binlog.rotations\":7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"log_cache.uncompressed_bytes\":4096"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"proxy.relay_latency_us\":{\"count\":2"),
+            std::string::npos)
+      << json;
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(MetricRegistryTest, EmptyRegistrySerialises) {
+  MetricRegistry registry;
+  EXPECT_EQ(registry.MetricCount(), 0u);
+  EXPECT_EQ(registry.ToJson(), "{}");
+  EXPECT_EQ(registry.ToText(), "");
+}
+
+}  // namespace
+}  // namespace myraft::metrics
