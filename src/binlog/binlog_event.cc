@@ -131,6 +131,8 @@ std::string GtidBody::Encode() const {
   out.append(reinterpret_cast<const char*>(gtid.server_uuid.bytes().data()),
              16);
   PutVarint64(&out, gtid.txn_no);
+  PutVarint64(&out, last_committed);
+  PutVarint64(&out, sequence_number);
   return out;
 }
 
@@ -140,8 +142,16 @@ Result<GtidBody> GtidBody::Decode(Slice body) {
   out.gtid.server_uuid =
       Uuid::FromBytes(reinterpret_cast<const uint8_t*>(body.data()));
   body.RemovePrefix(16);
-  if (!GetVarint64(&body, &out.gtid.txn_no) || !body.empty()) {
+  if (!GetVarint64(&body, &out.gtid.txn_no)) {
     return Status::Corruption("gtid body: bad seqno");
+  }
+  // Commit interval stamps are a trailing extension: pre-existing events
+  // end here and decode as 0/0 (forces serial apply — always safe).
+  if (!body.empty()) {
+    if (!GetVarint64(&body, &out.last_committed) ||
+        !GetVarint64(&body, &out.sequence_number) || !body.empty()) {
+      return Status::Corruption("gtid body: bad commit interval");
+    }
   }
   return out;
 }

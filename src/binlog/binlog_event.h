@@ -78,8 +78,15 @@ struct PreviousGtidsBody {
 
 struct GtidBody {
   Gtid gtid;
-  /// Commit group sequence info kept minimal: last committed / seqno for
-  /// parallel appliers is out of scope.
+  /// MySQL-style logical-clock commit interval for parallel appliers:
+  /// every transaction with sequence_number <= this one's last_committed
+  /// had engine-committed when this transaction entered the group-commit
+  /// flush stage, so the two are independent and may apply concurrently.
+  /// Both zero on events written before dependency stamping existed
+  /// (decoder treats absent trailing varints as 0/0 — the serial-safe
+  /// interpretation).
+  uint64_t last_committed = 0;
+  uint64_t sequence_number = 0;
 
   std::string Encode() const;
   static Result<GtidBody> Decode(Slice body);

@@ -29,17 +29,18 @@ RowOperation::Kind KindForRowsEvent(EventType type) {
 
 }  // namespace
 
-std::string TransactionPayloadBuilder::Finalize(const Gtid& gtid, OpId opid,
-                                                uint64_t xid,
-                                                uint64_t timestamp_micros,
-                                                uint32_t server_id) const {
+std::string TransactionPayloadBuilder::Finalize(
+    const Gtid& gtid, OpId opid, uint64_t xid, uint64_t timestamp_micros,
+    uint32_t server_id, uint64_t last_committed,
+    uint64_t sequence_number) const {
   std::string out;
   auto emit = [&](EventType type, std::string body) {
     MakeEvent(type, timestamp_micros, server_id, opid, std::move(body))
         .EncodeTo(&out);
   };
 
-  emit(EventType::kGtid, GtidBody{gtid}.Encode());
+  emit(EventType::kGtid,
+       GtidBody{gtid, last_committed, sequence_number}.Encode());
   emit(EventType::kBegin, "BEGIN");
 
   // One TableMap + one Rows event per operation. Real MySQL batches rows
@@ -76,6 +77,8 @@ Result<ParsedTransaction> ParseTransactionPayload(Slice payload) {
   GtidBody gtid_body;
   MYRAFT_ASSIGN_OR_RETURN(gtid_body, GtidBody::Decode(gtid_event->body));
   txn.gtid = gtid_body.gtid;
+  txn.last_committed = gtid_body.last_committed;
+  txn.sequence_number = gtid_body.sequence_number;
   txn.opid = gtid_event->opid;
 
   auto begin_event = BinlogEvent::DecodeFrom(&in);

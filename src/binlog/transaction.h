@@ -45,8 +45,12 @@ class TransactionPayloadBuilder {
   /// Serialises the event group. `opid` is stamped into every event
   /// header; `gtid` identifies the transaction; `xid` is the storage
   /// engine transaction id used to pair prepare/commit during recovery.
+  /// `last_committed`/`sequence_number` carry the group-commit dependency
+  /// interval for parallel appliers (0/0 means "unknown, apply serially").
   std::string Finalize(const Gtid& gtid, OpId opid, uint64_t xid,
-                       uint64_t timestamp_micros, uint32_t server_id) const;
+                       uint64_t timestamp_micros, uint32_t server_id,
+                       uint64_t last_committed = 0,
+                       uint64_t sequence_number = 0) const;
 
  private:
   std::vector<RowOperation> ops_;
@@ -57,6 +61,10 @@ struct ParsedTransaction {
   Gtid gtid;
   OpId opid;
   uint64_t xid = 0;
+  /// Group-commit dependency interval from the Gtid event (0/0 when the
+  /// writer predates dependency stamping).
+  uint64_t last_committed = 0;
+  uint64_t sequence_number = 0;
   std::vector<RowOperation> ops;
 };
 

@@ -86,6 +86,9 @@ void ProxyRouter::RouteRequest(AppendEntriesRequest request) {
   proxied_requests_->Increment();
   request.route.push_back(relay);
   request.proxy_payload_omitted = true;
+  // Stripped payloads make the compression flag meaningless; the relay
+  // reconstitutes uncompressed bytes from its local log.
+  request.entries_compressed = false;
   for (LogEntry& entry : request.entries) {
     entry.payload.clear();  // checksum retained for verification
   }

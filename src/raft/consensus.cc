@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/compression.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -44,6 +45,14 @@ RaftConsensus::RaftConsensus(RaftOptions options, LogAbstraction* log,
       metrics_->GetCounter("raft.cache_fallback_reads");
   m_.step_downs = metrics_->GetCounter("raft.step_downs");
   m_.auto_step_downs = metrics_->GetCounter("raft.auto_step_downs");
+  m_.pipeline_stalls = metrics_->GetCounter("raft.pipeline_stalls");
+  m_.stale_responses_ignored =
+      metrics_->GetCounter("raft.stale_responses_ignored");
+  m_.window_rewinds = metrics_->GetCounter("raft.window_rewinds");
+  m_.wire_batches_compressed =
+      metrics_->GetCounter("raft.wire_batches_compressed");
+  m_.inflight_window_batches =
+      metrics_->GetHistogram("raft.inflight_window_batches");
   m_.commit_advance_latency_us =
       metrics_->GetHistogram("raft.commit_advance_latency_us");
 }
@@ -60,6 +69,10 @@ RaftConsensus::Stats RaftConsensus::stats() const {
   s.cache_fallback_reads = m_.cache_fallback_reads->value();
   s.step_downs = m_.step_downs->value();
   s.auto_step_downs = m_.auto_step_downs->value();
+  s.pipeline_stalls = m_.pipeline_stalls->value();
+  s.stale_responses_ignored = m_.stale_responses_ignored->value();
+  s.window_rewinds = m_.window_rewinds->value();
+  s.wire_batches_compressed = m_.wire_batches_compressed->value();
   return s;
 }
 
@@ -200,12 +213,17 @@ void RaftConsensus::Tick() {
       }
     }
     for (auto& [peer_id, peer] : peers_) {
-      if (peer.awaiting_response &&
-          now - peer.last_rpc_sent_micros > options_.rpc_timeout_micros) {
-        peer.awaiting_response = false;  // resend below
+      if (!peer.inflight.empty() &&
+          now - peer.inflight.front().sent_micros >
+              options_.rpc_timeout_micros) {
+        // Oldest in-flight batch timed out: the whole window after it is
+        // suspect (batches are cumulative), so rewind and restream.
+        peer.next_index = peer.inflight.front().first_index;
+        CancelInflight(&peer);
+        m_.window_rewinds->Increment();
       }
-      if (!peer.awaiting_response &&
-          (peer.next_index <= log_->LastOpId().index ||
+      if (peer.next_index <= log_->LastOpId().index ||
+          (peer.inflight.empty() &&
            now - peer.last_rpc_sent_micros >=
                options_.heartbeat_interval_micros)) {
         SendAppendEntriesTo(peer_id, /*allow_empty=*/true);
@@ -304,19 +322,59 @@ Result<std::vector<LogEntry>> RaftConsensus::FetchEntriesFor(
       continue;
     }
     // Cache miss: the follower lags behind the in-memory cache; read the
-    // historical log files through the log abstraction (§3.1).
+    // historical log files through the log abstraction (§3.1). A miss here
+    // predicts misses for the next few batches too (catch-up reads are
+    // sequential), so over-read and stash the surplus in the cache's
+    // readahead buffer.
     m_.cache_fallback_reads->Increment();
-    auto batch = log_->ReadBatch(
-        index, options_.max_entries_per_rpc - entries.size(),
-        options_.max_bytes_per_rpc - bytes);
+    const uint64_t want_entries =
+        options_.max_entries_per_rpc - entries.size();
+    const uint64_t want_bytes = options_.max_bytes_per_rpc - bytes;
+    const uint64_t readahead =
+        options_.catchup_readahead_batches > 0
+            ? options_.catchup_readahead_batches
+            : 1;
+    auto batch =
+        log_->ReadBatch(index, want_entries * readahead, want_bytes * readahead);
     if (!batch.ok()) return batch.status();
     for (auto& e : *batch) {
-      bytes += e.payload.size();
-      entries.push_back(std::move(e));
-      ++index;
+      if (entries.size() < options_.max_entries_per_rpc &&
+          bytes < options_.max_bytes_per_rpc && e.id.index == index) {
+        bytes += e.payload.size();
+        entries.push_back(std::move(e));
+        ++index;
+      } else {
+        cache_.PutReadahead(e);  // surplus: serve the next batch from memory
+      }
     }
+    break;  // ReadBatch returned everything it could within budget
   }
   return entries;
+}
+
+void RaftConsensus::CancelInflight(PeerStatus* peer) {
+  peer->inflight.clear();
+  peer->inflight_bytes = 0;
+  peer->awaiting_response = false;
+}
+
+void RaftConsensus::MaybeCompressPayloads(AppendEntriesRequest* request) {
+  if (options_.wire_compression_min_bytes == 0) return;
+  uint64_t raw = 0;
+  for (const auto& e : request->entries) raw += e.payload.size();
+  if (raw < options_.wire_compression_min_bytes) return;
+  std::vector<std::string> compressed(request->entries.size());
+  uint64_t packed = 0;
+  for (size_t i = 0; i < request->entries.size(); ++i) {
+    LzCompress(request->entries[i].payload, &compressed[i]);
+    packed += compressed[i].size();
+  }
+  if (packed >= raw) return;  // incompressible payloads: send as-is
+  for (size_t i = 0; i < request->entries.size(); ++i) {
+    request->entries[i].payload = std::move(compressed[i]);
+  }
+  request->entries_compressed = true;
+  m_.wire_batches_compressed->Increment();
 }
 
 void RaftConsensus::SendAppendEntriesTo(const MemberId& peer_id,
@@ -324,14 +382,59 @@ void RaftConsensus::SendAppendEntriesTo(const MemberId& peer_id,
   auto it = peers_.find(peer_id);
   if (it == peers_.end()) return;
   PeerStatus& peer = it->second;
-  if (peer.awaiting_response) return;
+  const uint64_t now = clock_->NowMicros();
+  const uint64_t last = log_->LastOpId().index;
 
-  AppendEntriesRequest request;
-  request.leader = options_.self;
-  request.dest = peer_id;
-  request.term = meta_.current_term;
-  request.commit_marker = commit_marker_;
+  // Stream as many batches as the in-flight window and byte budget allow.
+  // next_index advances optimistically past each batch as it is sent; acks
+  // (or rewinds) reconcile it later. This is also the duplicate-suppression
+  // fix: a broadcast tick while a batch is outstanding now continues from
+  // the optimistic cursor instead of re-sending the same suffix.
+  bool sent_entries = false;
+  while (peer.next_index <= last) {
+    if (peer.inflight.size() >= options_.max_inflight_batches ||
+        peer.inflight_bytes >= options_.max_inflight_bytes_per_peer) {
+      m_.pipeline_stalls->Increment();
+      break;
+    }
+    uint64_t prev_term = 0;
+    auto entries = FetchEntriesFor(peer.next_index, &prev_term);
+    if (!entries.ok()) {
+      MYRAFT_LOG(Warning) << options_.self << ": cannot serve entries to "
+                          << peer_id << ": " << entries.status();
+      return;
+    }
+    if (entries->empty()) break;  // nothing fetchable despite next<=last
 
+    AppendEntriesRequest request;
+    request.leader = options_.self;
+    request.dest = peer_id;
+    request.term = meta_.current_term;
+    request.commit_marker = commit_marker_;
+    request.prev = OpId{prev_term, peer.next_index - 1};
+    request.entries = std::move(*entries);
+
+    InflightBatch batch;
+    batch.first_index = peer.next_index;
+    batch.last_index = request.entries.back().id.index;
+    batch.sent_micros = now;
+    for (const auto& e : request.entries) batch.bytes += e.payload.size();
+    m_.entries_replicated->Increment(request.entries.size());
+    MaybeCompressPayloads(&request);
+
+    peer.next_index = batch.last_index + 1;
+    peer.inflight_bytes += batch.bytes;
+    peer.inflight.push_back(batch);
+    peer.awaiting_response = true;
+    peer.last_rpc_sent_micros = now;
+    m_.inflight_window_batches->Record(peer.inflight.size());
+    outbox_->Send(std::move(request));
+    sent_entries = true;
+  }
+  if (sent_entries || !allow_empty || !peer.inflight.empty()) return;
+
+  // Caught up and idle: plain heartbeat, not tracked in the window (a lost
+  // heartbeat is simply replaced at the next interval).
   uint64_t prev_term = 0;
   auto entries = FetchEntriesFor(peer.next_index, &prev_term);
   if (!entries.ok()) {
@@ -339,17 +442,20 @@ void RaftConsensus::SendAppendEntriesTo(const MemberId& peer_id,
                         << peer_id << ": " << entries.status();
     return;
   }
+  AppendEntriesRequest request;
+  request.leader = options_.self;
+  request.dest = peer_id;
+  request.term = meta_.current_term;
+  request.commit_marker = commit_marker_;
   request.prev = OpId{prev_term, peer.next_index - 1};
   request.entries = std::move(*entries);
-  if (request.entries.empty()) {
-    if (!allow_empty) return;
-    m_.heartbeats_sent->Increment();
-  } else {
-    m_.entries_replicated->Increment(request.entries.size());
+  if (!request.entries.empty()) {
+    // A concurrent append raced past us; treat it as a normal batch next
+    // tick rather than an untracked send.
+    return;
   }
-
-  peer.awaiting_response = true;
-  peer.last_rpc_sent_micros = clock_->NowMicros();
+  m_.heartbeats_sent->Increment();
+  peer.last_rpc_sent_micros = now;
   outbox_->Send(std::move(request));
 }
 
@@ -400,6 +506,34 @@ void RaftConsensus::SetCommitMarker(OpId new_marker) {
 // --- Replication: receiver side -------------------------------------------------
 
 void RaftConsensus::HandleAppendEntries(const AppendEntriesRequest& request) {
+  if (request.entries_compressed) {
+    // Inflate on the receiver's copy; checksums cover the uncompressed
+    // payload, so VerifyChecksum below runs against the restored bytes.
+    AppendEntriesRequest inflated = request;
+    inflated.entries_compressed = false;
+    for (auto& entry : inflated.entries) {
+      std::string raw;
+      Status decomp = LzDecompress(entry.payload, &raw);
+      if (!decomp.ok()) {
+        MYRAFT_LOG(Error) << options_.self
+                          << ": undecompressable batch from "
+                          << request.leader << ": " << decomp;
+        AppendEntriesResponse response;
+        response.from = options_.self;
+        response.dest = request.leader;
+        response.term = meta_.current_term;
+        response.success = false;
+        response.last_received = log_->LastOpId();
+        response.last_durable_index = last_synced_index_;
+        outbox_->Send(std::move(response));
+        return;
+      }
+      entry.payload = std::move(raw);
+    }
+    HandleAppendEntries(inflated);
+    return;
+  }
+
   AppendEntriesResponse response;
   response.from = options_.self;
   response.dest = request.leader;
@@ -549,10 +683,21 @@ void RaftConsensus::HandleAppendEntriesResponse(
   auto it = peers_.find(response.from);
   if (it == peers_.end()) return;
   PeerStatus& peer = it->second;
-  peer.awaiting_response = false;
   peer.last_response_micros = clock_->NowMicros();
 
   if (response.success) {
+    // Retire every in-flight batch the follower's tail now covers. Acks
+    // may arrive out of order under jittery links; since each success
+    // reports the cumulative tail, a late-arriving earlier ack is simply
+    // a no-op here (max/min semantics below are monotone).
+    while (!peer.inflight.empty() &&
+           peer.inflight.front().last_index <=
+               response.last_received.index) {
+      peer.inflight_bytes -= peer.inflight.front().bytes;
+      peer.inflight.pop_front();
+    }
+    peer.awaiting_response = !peer.inflight.empty();
+
     // Commit quorums only count fsynced entries: match on the durable
     // index, not the received one. next_index still advances past
     // everything received so replication is not re-sent while the
@@ -582,10 +727,26 @@ void RaftConsensus::HandleAppendEntriesResponse(
       SendAppendEntriesTo(response.from, /*allow_empty=*/false);
     }
   } else {
-    // Rewind and retry.
     const uint64_t hint = response.last_received.index;
-    peer.next_index = std::max<uint64_t>(
-        1, std::min(peer.next_index - 1, hint + 1));
+    // Stale rejection guard: within one leader term a follower's durable
+    // prefix only grows, so a legitimate rewind hint is never below what
+    // it already acked. Anything lower is a reordered rejection for a
+    // batch that has since succeeded — acting on it would re-stream an
+    // already-acked suffix.
+    if (hint < peer.match_index) {
+      m_.stale_responses_ignored->Increment();
+      return;
+    }
+    // Rewind and retry. The rejected batch invalidates the whole in-flight
+    // suffix after it (each batch's prev points into its predecessor), so
+    // cancel the window and restream from the rewound cursor.
+    const uint64_t base =
+        peer.inflight.empty() ? peer.next_index
+                              : peer.inflight.front().first_index;
+    CancelInflight(&peer);
+    m_.window_rewinds->Increment();
+    peer.next_index =
+        std::max<uint64_t>(1, std::min(base - 1, hint + 1));
     SendAppendEntriesTo(response.from, /*allow_empty=*/true);
   }
 }

@@ -19,6 +19,7 @@
 #ifndef MYRAFT_RAFT_CONSENSUS_H_
 #define MYRAFT_RAFT_CONSENSUS_H_
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
@@ -54,6 +55,24 @@ struct RaftOptions {
 
   size_t max_entries_per_rpc = 64;
   uint64_t max_bytes_per_rpc = 1 << 20;
+
+  /// Replication pipelining: number of AppendEntries batches the leader
+  /// keeps in flight per peer before the first ack (1 = lock-step). The
+  /// paper's throughput numbers (§5, Fig. 5) assume the dissemination
+  /// path is not ack-bound on WAN RTTs.
+  size_t max_inflight_batches = 4;
+  /// Byte budget across one peer's in-flight window (payload bytes).
+  uint64_t max_inflight_bytes_per_peer = 4ull << 20;
+  /// Compress entry payloads on the wire when a batch carries at least
+  /// this many payload bytes (0 disables). Lossless; the entry checksum
+  /// always covers the uncompressed payload, so corruption is still
+  /// caught after inflation on the receiver.
+  uint64_t wire_compression_min_bytes = 1024;
+
+  /// Catch-up read-ahead: on a cache-miss fallback read, prefetch up to
+  /// this many extra RPC-sized batches from the historical log into the
+  /// cache's read-ahead buffer (0 disables).
+  size_t catchup_readahead_batches = 4;
 
   bool enable_pre_vote = true;
   /// §4.3: run a mock election before TransferLeadership.
@@ -122,12 +141,28 @@ class StateMachineListener {
 
 class RaftConsensus {
  public:
+  /// One unacked AppendEntries batch in a peer's pipeline window.
+  struct InflightBatch {
+    uint64_t first_index = 0;
+    uint64_t last_index = 0;  // inclusive
+    uint64_t bytes = 0;       // payload bytes (pre-compression)
+    uint64_t sent_micros = 0;
+  };
+
   struct PeerStatus {
+    /// First index not yet handed to the transport; advances optimistically
+    /// past every in-flight batch so broadcast ticks never re-send an
+    /// outstanding suffix.
     uint64_t next_index = 1;
     uint64_t match_index = 0;
+    /// True while at least one data batch is unacked (window non-empty).
     bool awaiting_response = false;
     uint64_t last_rpc_sent_micros = 0;
     uint64_t last_response_micros = 0;
+    /// Oldest-first pipeline of unacked batches; each chains off the
+    /// previous one's tail, so a rejection invalidates the whole suffix.
+    std::deque<InflightBatch> inflight;
+    uint64_t inflight_bytes = 0;
   };
 
   /// Point-in-time snapshot of the registry-backed "raft.*" counters.
@@ -142,6 +177,10 @@ class RaftConsensus {
     uint64_t cache_fallback_reads = 0;
     uint64_t step_downs = 0;
     uint64_t auto_step_downs = 0;
+    uint64_t pipeline_stalls = 0;
+    uint64_t stale_responses_ignored = 0;
+    uint64_t window_rewinds = 0;
+    uint64_t wire_batches_compressed = 0;
   };
 
   RaftConsensus(RaftOptions options, LogAbstraction* log,
@@ -278,6 +317,12 @@ class RaftConsensus {
   // Replication plumbing.
   void SendAppendEntriesTo(const MemberId& peer_id, bool allow_empty);
   void BroadcastAppendEntries();
+  /// Drops the peer's in-flight window and rewinds next_index to the
+  /// first unacked entry (RPC loss / rejection recovery).
+  static void CancelInflight(PeerStatus* peer);
+  /// Compresses the request's entry payloads when the batch is large
+  /// enough to be worth it (and it actually shrinks).
+  void MaybeCompressPayloads(AppendEntriesRequest* request);
   void AdvanceCommitMarker();
   void SetCommitMarker(OpId new_marker);
   Status AppendToLocalLog(const LogEntry& entry);
@@ -320,6 +365,15 @@ class RaftConsensus {
     metrics::Counter* cache_fallback_reads;
     metrics::Counter* step_downs;
     metrics::Counter* auto_step_downs;
+    /// Pipelining: sends skipped because a peer's window was full.
+    metrics::Counter* pipeline_stalls;
+    /// Responses discarded as stale (reordered acks from before a rewind).
+    metrics::Counter* stale_responses_ignored;
+    /// Rejections/timeouts that cancelled an in-flight suffix.
+    metrics::Counter* window_rewinds;
+    metrics::Counter* wire_batches_compressed;
+    /// Window occupancy (batches in flight) sampled at each batch send.
+    metrics::HistogramMetric* inflight_window_batches;
     /// Replicate() -> commit-marker advance, leader side.
     metrics::HistogramMetric* commit_advance_latency_us;
   };

@@ -16,6 +16,8 @@ LogCache::LogCache(uint64_t capacity_bytes,
   hits_ = registry->GetCounter("log_cache.hits");
   misses_ = registry->GetCounter("log_cache.misses");
   evictions_ = registry->GetCounter("log_cache.evictions");
+  readahead_hits_ = registry->GetCounter("log_cache.readahead_hits");
+  readahead_misses_ = registry->GetCounter("log_cache.readahead_misses");
   compressed_bytes_ = registry->GetGauge("log_cache.compressed_bytes");
   uncompressed_bytes_ = registry->GetGauge("log_cache.uncompressed_bytes");
   // A long-lived registry can outlive the cache instance (sim node
@@ -58,29 +60,71 @@ void LogCache::Put(const LogEntry& entry) {
   }
 }
 
-Result<LogEntry> LogCache::Get(uint64_t index) const {
-  auto it = entries_.find(index);
-  if (it == entries_.end()) {
-    misses_->Increment();
-    return Status::NotFound("log cache miss");
-  }
-  hits_->Increment();
+Result<LogEntry> LogCache::Inflate(const Cached& cached) {
   LogEntry entry;
-  entry.id = it->second.id;
-  entry.type = it->second.type;
-  entry.checksum = it->second.checksum;
+  entry.id = cached.id;
+  entry.type = cached.type;
+  entry.checksum = cached.checksum;
   MYRAFT_RETURN_NOT_OK(
-      LzDecompress(it->second.compressed_payload, &entry.payload));
+      LzDecompress(cached.compressed_payload, &entry.payload));
   if (!entry.VerifyChecksum()) {
     return Status::Corruption("log cache entry failed checksum");
   }
   return entry;
 }
 
+void LogCache::PutReadahead(const LogEntry& entry) {
+  if (entries_.count(entry.id.index) > 0 ||
+      readahead_.count(entry.id.index) > 0) {
+    return;
+  }
+  Cached cached;
+  cached.id = entry.id;
+  cached.type = entry.type;
+  cached.checksum = entry.checksum;
+  cached.uncompressed_size = entry.payload.size();
+  LzCompress(entry.payload, &cached.compressed_payload);
+  // Bounded to a quarter of the main capacity; read-ahead is filled and
+  // consumed in ascending order, so once the budget is full the earliest
+  // prefix is the useful part — just drop the surplus.
+  if (readahead_bytes_ + cached.compressed_payload.size() > capacity_ / 4) {
+    return;
+  }
+  readahead_bytes_ += cached.compressed_payload.size();
+  readahead_[entry.id.index] = std::move(cached);
+}
+
+Result<LogEntry> LogCache::Get(uint64_t index) const {
+  auto it = entries_.find(index);
+  if (it != entries_.end()) {
+    hits_->Increment();
+    return Inflate(it->second);
+  }
+  auto ra = readahead_.find(index);
+  if (ra != readahead_.end()) {
+    readahead_hits_->Increment();
+    auto entry = Inflate(ra->second);
+    // Sequential catch-up consumption: everything below this index has
+    // already been served, reclaim its budget.
+    for (auto trim = readahead_.begin(); trim != ra;) {
+      readahead_bytes_ -= trim->second.compressed_payload.size();
+      trim = readahead_.erase(trim);
+    }
+    return entry;
+  }
+  misses_->Increment();
+  if (!readahead_.empty()) readahead_misses_->Increment();
+  return Status::NotFound("log cache miss");
+}
+
 void LogCache::TruncateAfter(uint64_t index) {
   for (auto it = entries_.upper_bound(index); it != entries_.end();) {
     Retire(it->second);
     it = entries_.erase(it);
+  }
+  for (auto it = readahead_.upper_bound(index); it != readahead_.end();) {
+    readahead_bytes_ -= it->second.compressed_payload.size();
+    it = readahead_.erase(it);
   }
 }
 
@@ -96,6 +140,8 @@ void LogCache::EvictBefore(uint64_t index) {
 void LogCache::Clear() {
   entries_.clear();
   size_bytes_ = 0;
+  readahead_.clear();
+  readahead_bytes_ = 0;
   compressed_bytes_->Set(0);
   uncompressed_bytes_->Set(0);
 }
@@ -105,6 +151,8 @@ LogCache::Stats LogCache::stats() const {
   s.hits = hits_->value();
   s.misses = misses_->value();
   s.evictions = evictions_->value();
+  s.readahead_hits = readahead_hits_->value();
+  s.readahead_misses = readahead_misses_->value();
   s.compressed_bytes =
       (uint64_t)std::max<int64_t>(0, compressed_bytes_->value());
   s.uncompressed_bytes =

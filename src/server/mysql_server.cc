@@ -42,6 +42,10 @@ Status MySqlServer::Init(const raft::QuorumEngine* quorum, Random* rng,
       metrics_->GetCounter("server.writes_aborted_on_demotion");
   m_.applier_transactions_applied =
       metrics_->GetCounter("server.applier_transactions_applied");
+  m_.applier_dependency_stalls =
+      metrics_->GetCounter("server.applier_dependency_stalls");
+  m_.applier_conflict_stalls =
+      metrics_->GetCounter("server.applier_conflict_stalls");
   m_.promotions_completed =
       metrics_->GetCounter("server.promotions_completed");
   m_.demotions = metrics_->GetCounter("server.demotions");
@@ -55,6 +59,10 @@ Status MySqlServer::Init(const raft::QuorumEngine* quorum, Random* rng,
   m_.promotion_latency_us =
       metrics_->GetHistogram("server.promotion_latency_us");
   m_.applier_lag_entries = metrics_->GetGauge("server.applier_lag_entries");
+  m_.applier_lag_hist = metrics_->GetHistogram("server.applier_lag_hist");
+  m_.applier_concurrency =
+      metrics_->GetHistogram("server.applier_concurrency");
+  applier_free_at_.assign(std::max<uint32_t>(1, options_.applier_workers), 0);
 
   binlog::BinlogManagerOptions binlog_options;
   binlog_options.dir = options_.data_dir + "/log";
@@ -79,6 +87,7 @@ Status MySqlServer::Init(const raft::QuorumEngine* quorum, Random* rng,
     // §3.3 demotion step 5 / §A.2: the applier cursor starts right after
     // the last transaction committed in the engine.
     next_apply_index_ = engine_->LastAppliedOpId().index + 1;
+    next_dispatch_index_ = next_apply_index_;
   }
 
   plugin::RaftPluginOptions plugin_options;
@@ -102,6 +111,8 @@ Status MySqlServer::Start() { return plugin_->Start(); }
 
 void MySqlServer::Tick() {
   plugin_->consensus()->Tick();
+  // Retire apply-window tasks whose modelled worker time has elapsed.
+  if (!apply_window_.empty()) RunApplier();
   if (witness_handoff_pending_) MaybeWitnessHandoff();
   if (promotion_.has_value()) MaybeCompletePromotion();
   // Periodic engine checkpointing bounds WAL replay at restart. Skipped
@@ -187,8 +198,14 @@ void MySqlServer::SubmitWrite(std::vector<binlog::RowOperation> ops,
     return;
   }
   const binlog::Gtid gtid{options_.server_uuid, next_txn_no_++};
-  std::string payload = builder.Finalize(gtid, opid, xid, clock_->NowMicros(),
-                                         options_.numeric_server_id);
+  // Dependency interval (§3.5): every transaction with index <=
+  // group_commit_last_committed_ had engine-committed when this one
+  // entered the flush stage; anything between that and this opid was
+  // prepared concurrently under disjoint row locks (conflicts are
+  // rejected above), so appliers may run them in parallel.
+  std::string payload = builder.Finalize(
+      gtid, opid, xid, clock_->NowMicros(), options_.numeric_server_id,
+      group_commit_last_committed_, opid.index);
   auto replicated =
       plugin_->consensus()->Replicate(EntryType::kTransaction,
                                       std::move(payload));
@@ -234,6 +251,8 @@ void MySqlServer::OnConsensusCommitAdvanced(OpId marker) {
       continue;
     }
     m_.writes_committed->Increment();
+    group_commit_last_committed_ =
+        std::max(group_commit_last_committed_, pending.opid.index);
     pending.done(WriteResult{Status::OK(), pending.gtid, pending.opid});
   }
 
@@ -248,6 +267,18 @@ void MySqlServer::OnLogEntryAppended(const LogEntry& entry) {
   RunApplier();
 }
 
+uint64_t MySqlServer::NextApplierDeadlineMicros() const {
+  if (apply_window_.empty()) return 0;
+  const auto& front = *apply_window_.begin();
+  if (front.first != next_apply_index_) return 0;
+  // A deadline in the past means the last pump stalled on something other
+  // than a busy slot (e.g. a commit failure); leave retries to the
+  // periodic tick instead of hot-looping the host.
+  return front.second.ready_at_micros > clock_->NowMicros()
+             ? front.second.ready_at_micros
+             : 0;
+}
+
 void MySqlServer::RunApplier() {
   if (engine_ == nullptr) return;
   if (writes_enabled_) return;  // primaries commit through the pipeline
@@ -255,62 +286,170 @@ void MySqlServer::RunApplier() {
   // A freshly provisioned member may have an engine ahead of a purged log
   // prefix.
   const uint64_t first = binlog_->FirstIndex();
-  if (first > 0 && next_apply_index_ < first &&
+  if (first > 0 && next_apply_index_ < first && apply_window_.empty() &&
       engine_->LastAppliedOpId().index + 1 >= first) {
     next_apply_index_ = std::max(next_apply_index_, first);
+    next_dispatch_index_ = std::max(next_dispatch_index_, next_apply_index_);
   }
-  while (next_apply_index_ <= marker.index) {
-    if (!binlog_->HasEntry(next_apply_index_)) break;  // not yet received
-    auto entry = binlog_->ReadEntry(next_apply_index_);
-    if (!entry.ok()) {
-      MYRAFT_LOG(Error) << options_.id
-                        << ": applier read failed: " << entry.status();
-      break;
+  const uint64_t now = clock_->NowMicros();
+  // The window cap keeps a dispatch backlog ready for the worker slots
+  // without letting prepared-but-unretired state grow unboundedly.
+  const size_t window_cap = applier_free_at_.size() * 2 + 2;
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+
+    // Retire pass: engine commits strictly in index order (the low-water
+    // mark), so LastAppliedOpId/GTID advancement match the serial applier
+    // and recovery restarts from a prefix-consistent cursor.
+    while (!apply_window_.empty() &&
+           apply_window_.begin()->first == next_apply_index_) {
+      ApplyTask& task = apply_window_.begin()->second;
+      if (task.ready_at_micros > now) break;  // worker still busy
+      if (task.is_txn && !task.skip) {
+        Status s = engine_->CommitPrepared(task.xid, task.opid, task.gtid);
+        if (!s.ok()) {
+          MYRAFT_LOG(Error) << options_.id << ": applier commit failed at "
+                            << task.opid.ToString() << ": " << s;
+          break;
+        }
+        m_.applier_transactions_applied->Increment();
+      }
+      for (const std::string& key : task.writeset) {
+        applier_inflight_writes_.erase(key);
+      }
+      apply_window_.erase(apply_window_.begin());
+      ++next_apply_index_;
+      progress = true;
     }
-    if (entry->type == EntryType::kTransaction) {
-      Status s = ApplyOneTransaction(*entry);
-      if (!s.ok()) {
-        MYRAFT_LOG(Error) << options_.id << ": apply failed at "
-                          << entry->id.ToString() << ": " << s;
+
+    // Dispatch pass: admit committed entries in index order while their
+    // dependency interval proves independence from everything still in
+    // the window. Engine Begin/Put/Prepare happen here (the parallel
+    // part); only the ordered commit above is deferred.
+    while (next_dispatch_index_ <= marker.index &&
+           apply_window_.size() < window_cap) {
+      if (!binlog_->HasEntry(next_dispatch_index_)) break;  // not received
+      auto entry = binlog_->ReadEntry(next_dispatch_index_);
+      if (!entry.ok()) {
+        MYRAFT_LOG(Error) << options_.id
+                          << ": applier read failed: " << entry.status();
         break;
       }
-      m_.applier_transactions_applied->Increment();
+      ApplyTask task;
+      task.opid = entry->id;
+      if (entry->type != EntryType::kTransaction) {
+        // No-ops, config changes and rotate events advance the cursor only.
+        apply_window_.emplace(next_dispatch_index_, std::move(task));
+        ++next_dispatch_index_;
+        progress = true;
+        continue;
+      }
+      auto txn = binlog::ParseTransactionPayload(entry->payload);
+      if (!txn.ok()) {
+        MYRAFT_LOG(Error) << options_.id << ": apply parse failed at "
+                          << entry->id.ToString() << ": " << txn.status();
+        break;
+      }
+      // Dependency gate: schedulable once everything up to last_committed
+      // has engine-committed. Unstamped transactions (pre-dependency
+      // writers) depend on their immediate predecessor — serial order.
+      const uint64_t dep = txn->sequence_number == 0
+                               ? entry->id.index - 1
+                               : txn->last_committed;
+      if (next_apply_index_ <= dep) {
+        m_.applier_dependency_stalls->Increment();
+        break;
+      }
+      // Row-level writeset check against in-window tasks: a safety net in
+      // case the stamped interval is ever too optimistic.
+      bool conflict = false;
+      for (const binlog::RowOperation& op : txn->ops) {
+        const std::string key =
+            op.kind == binlog::RowOperation::Kind::kDelete
+                ? op.before_image
+                : op.after_image.substr(0, op.after_image.find('='));
+        const std::string qualified =
+            op.database + "." + op.table + "/" + key;
+        if (applier_inflight_writes_.count(qualified) > 0) conflict = true;
+        task.writeset.push_back(qualified);
+      }
+      if (conflict) {
+        m_.applier_conflict_stalls->Increment();
+        break;
+      }
+      task.is_txn = true;
+      task.xid = txn->xid;
+      task.gtid = txn->gtid;
+      // Idempotence: skip transactions the engine already has (e.g.
+      // replayed after the crash-recovery rollback of §A.2 case 3).
+      if (engine_->ExecutedGtids().Contains(txn->gtid)) {
+        task.skip = true;
+        task.writeset.clear();
+      } else {
+        const storage::TxnId engine_txn = engine_->Begin();
+        Status s;
+        for (const binlog::RowOperation& op : txn->ops) {
+          const std::string table = op.database + "." + op.table;
+          if (op.kind == binlog::RowOperation::Kind::kDelete) {
+            s = engine_->Delete(engine_txn, table, op.before_image);
+          } else {
+            const std::string& image = op.after_image;
+            const std::string key = image.substr(0, image.find('='));
+            s = engine_->Put(engine_txn, table, key, image);
+          }
+          if (!s.ok()) break;
+        }
+        if (s.ok()) s = engine_->Prepare(engine_txn, txn->xid);
+        if (!s.ok()) {
+          MYRAFT_LOG(Error) << options_.id << ": apply failed at "
+                            << entry->id.ToString() << ": " << s;
+          Status rollback = engine_->Rollback(engine_txn);
+          (void)rollback;
+          break;  // cursor not advanced: retried on the next pump
+        }
+        // Charge the modelled apply cost to the least-busy virtual slot.
+        auto slot = std::min_element(applier_free_at_.begin(),
+                                     applier_free_at_.end());
+        const uint64_t start = std::max(now, *slot);
+        *slot = start + options_.applier_txn_cost_micros;
+        task.ready_at_micros = *slot;
+        m_.applier_concurrency->Record((int64_t)std::count_if(
+            applier_free_at_.begin(), applier_free_at_.end(),
+            [now](uint64_t t) { return t > now; }));
+        for (const std::string& key : task.writeset) {
+          applier_inflight_writes_.insert(key);
+        }
+      }
+      apply_window_.emplace(next_dispatch_index_, std::move(task));
+      ++next_dispatch_index_;
+      progress = true;
     }
-    // No-ops, config changes and rotate events advance the cursor only.
-    ++next_apply_index_;
   }
-  m_.applier_lag_entries->Set(
-      marker.index >= next_apply_index_
-          ? (int64_t)(marker.index - next_apply_index_ + 1)
-          : 0);
+
+  const uint64_t lag = marker.index >= next_apply_index_
+                           ? marker.index - next_apply_index_ + 1
+                           : 0;
+  m_.applier_lag_entries->Set((int64_t)lag);
+  m_.applier_lag_hist->Record((int64_t)lag);
 }
 
-Status MySqlServer::ApplyOneTransaction(const LogEntry& entry) {
-  auto txn = binlog::ParseTransactionPayload(entry.payload);
-  if (!txn.ok()) return txn.status();
-  // Idempotence: skip transactions the engine already has (e.g. replayed
-  // after the crash-recovery rollback of §A.2 case 3 re-runs them).
-  if (engine_->ExecutedGtids().Contains(txn->gtid)) return Status::OK();
-
-  const storage::TxnId engine_txn = engine_->Begin();
-  for (const binlog::RowOperation& op : txn->ops) {
-    Status s;
-    const std::string table = op.database + "." + op.table;
-    if (op.kind == binlog::RowOperation::Kind::kDelete) {
-      s = engine_->Delete(engine_txn, table, op.before_image);
-    } else {
-      const std::string& image = op.after_image;
-      const std::string key = image.substr(0, image.find('='));
-      s = engine_->Put(engine_txn, table, key, image);
-    }
-    if (!s.ok()) {
-      Status rollback = engine_->Rollback(engine_txn);
-      (void)rollback;
-      return s;
+void MySqlServer::ResetApplier() {
+  for (auto& [index, task] : apply_window_) {
+    if (task.is_txn && !task.skip) {
+      Status s = engine_->RollbackPrepared(task.xid);
+      if (!s.ok()) {
+        MYRAFT_LOG(Error) << options_.id
+                          << ": applier reset rollback: " << s;
+      }
     }
   }
-  MYRAFT_RETURN_NOT_OK(engine_->Prepare(engine_txn, txn->xid));
-  return engine_->CommitPrepared(txn->xid, entry.id, txn->gtid);
+  apply_window_.clear();
+  applier_inflight_writes_.clear();
+  std::fill(applier_free_at_.begin(), applier_free_at_.end(), 0);
+  next_apply_index_ = engine_->LastAppliedOpId().index + 1;
+  next_dispatch_index_ = next_apply_index_;
 }
 
 // --- Promotion (§3.3) --------------------------------------------------------------
@@ -340,11 +479,18 @@ void MySqlServer::MaybeCompletePromotion() {
   }
   // Step 2: the applier must have committed everything up to (and
   // including the position of) the no-op, and the no-op must be
-  // consensus-committed.
+  // consensus-committed. The low-water mark only advances past entries
+  // the engine has committed, so this also waits out the parallel
+  // window; requiring the window empty keeps no prepared applier state
+  // alive when writes are enabled.
   if (!consensus->IsCommitted(promotion_->noop)) return;
-  if (next_apply_index_ <= promotion_->noop.index) {
+  if (next_apply_index_ <= promotion_->noop.index ||
+      !apply_window_.empty()) {
     RunApplier();
-    if (next_apply_index_ <= promotion_->noop.index) return;
+    if (next_apply_index_ <= promotion_->noop.index ||
+        !apply_window_.empty()) {
+      return;
+    }
   }
   // Steps 3-5 take real orchestration time in production; model it with
   // a +-50% spread (host load, discovery round trips).
@@ -365,6 +511,10 @@ void MySqlServer::MaybeCompletePromotion() {
   // Step 4: allow client writes.
   writes_enabled_ = true;
   next_txn_no_ = binlog_->gtids_in_log().NextTxnNo(options_.server_uuid);
+  // Everything up to the no-op is engine-committed here; dependency
+  // stamps on the new term's writes start from that floor.
+  group_commit_last_committed_ =
+      std::max(group_commit_last_committed_, promotion_->noop.index);
   SetDbRole(DbRole::kPrimary);
   // Step 5: publish to service discovery.
   if (discovery_ != nullptr) {
@@ -440,8 +590,9 @@ void MySqlServer::OnDemotion(uint64_t term) {
   }
   // Step 4 (truncation + GTID cleanup) happens inside Raft/log-adapter
   // when the new leader's log conflicts; see OnGtidsTruncated.
-  // Step 5: the applier resumes from the engine's recovered cursor.
-  next_apply_index_ = engine_->LastAppliedOpId().index + 1;
+  // Step 5: the applier resumes from the engine's recovered cursor
+  // (rolling back any window tasks prepared but not yet retired).
+  ResetApplier();
   SetDbRole(DbRole::kReplica);
   if (discovery_ != nullptr) {
     discovery_->WithdrawPrimary(options_.replicaset, options_.id, term);
@@ -452,9 +603,14 @@ void MySqlServer::OnDemotion(uint64_t term) {
 void MySqlServer::OnGtidsTruncated(const binlog::GtidSet& removed) {
   MYRAFT_LOG(Info) << options_.id << ": truncated GTIDs "
                    << removed.ToString();
-  // The applier cursor may now point past the truncated tail; clamp it.
+  // The apply window may hold prepared tasks from the truncated tail;
+  // their entries no longer exist, so roll the window back to the
+  // engine's committed prefix (committed entries are never truncated).
   const uint64_t last = binlog_->LastIndex();
-  if (next_apply_index_ > last + 1) next_apply_index_ = last + 1;
+  if (engine_ != nullptr &&
+      (next_dispatch_index_ > last + 1 || next_apply_index_ > last + 1)) {
+    ResetApplier();
+  }
 }
 
 void MySqlServer::OnTransferFailed(const MemberId& target,
@@ -552,6 +708,8 @@ MySqlServer::Stats MySqlServer::stats() const {
   s.writes_committed = m_.writes_committed->value();
   s.writes_aborted_on_demotion = m_.writes_aborted_on_demotion->value();
   s.applier_transactions_applied = m_.applier_transactions_applied->value();
+  s.applier_dependency_stalls = m_.applier_dependency_stalls->value();
+  s.applier_conflict_stalls = m_.applier_conflict_stalls->value();
   s.promotions_completed = m_.promotions_completed->value();
   s.demotions = m_.demotions->value();
   s.engine_checkpoints = m_.engine_checkpoints->value();

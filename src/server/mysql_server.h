@@ -28,6 +28,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,15 @@ struct MySqlServerOptions {
   /// Checkpoint the storage engine once its WAL exceeds this size
   /// (bounds crash-recovery replay). 0 disables.
   uint64_t engine_checkpoint_wal_bytes = 32ull << 20;
+  /// Parallel applier worker slots (§3.5). Transactions whose commit
+  /// intervals prove independence dispatch to free slots; engine commits
+  /// still happen in log order (commit-order-preserving). 1 = serial.
+  uint32_t applier_workers = 4;
+  /// Modelled per-transaction apply cost charged to a worker slot. The
+  /// sim is single-threaded; parallelism shows up as overlapping busy
+  /// windows on the virtual slots. 0 keeps the applier synchronous
+  /// (existing tests, and real wall-clock work stays off the hot path).
+  uint64_t applier_txn_cost_micros = 0;
   /// Destination for this member's metrics ("server.*" plus the nested
   /// raft/log_cache/binlog families). Null means a private per-instance
   /// registry (unit-test isolation).
@@ -98,6 +108,8 @@ class MySqlServer final : public plugin::ServerHooks {
     uint64_t writes_committed = 0;
     uint64_t writes_aborted_on_demotion = 0;
     uint64_t applier_transactions_applied = 0;
+    uint64_t applier_dependency_stalls = 0;
+    uint64_t applier_conflict_stalls = 0;
     uint64_t promotions_completed = 0;
     uint64_t demotions = 0;
     uint64_t engine_checkpoints = 0;
@@ -122,6 +134,17 @@ class MySqlServer final : public plugin::ServerHooks {
     plugin_->consensus()->HandleMessage(message);
   }
   void Tick();
+
+  /// When the applier's low-water task is still charged to a busy virtual
+  /// worker slot, the absolute time that slot frees up (0 when nothing is
+  /// pending or it is already retirable). Hosts schedule a PumpApplier()
+  /// at this deadline so modelled apply costs shorter than the periodic
+  /// tick interval still translate into applier throughput.
+  uint64_t NextApplierDeadlineMicros() const;
+  /// Retire/dispatch pump outside the periodic tick (see above).
+  void PumpApplier() {
+    if (!apply_window_.empty()) RunApplier();
+  }
 
   // --- Client surface ----------------------------------------------------------
 
@@ -215,6 +238,22 @@ class MySqlServer final : public plugin::ServerHooks {
     uint64_t ready_at_micros = 0;
   };
 
+  /// One committed entry admitted to the parallel-apply window. Engine
+  /// work (Begin/Put/Prepare) happens at dispatch; CommitPrepared happens
+  /// strictly in index order as the low-water mark reaches the task, so
+  /// `engine_->LastAppliedOpId()` stays a correct recovery cursor.
+  struct ApplyTask {
+    OpId opid;
+    bool is_txn = false;
+    bool skip = false;  // GTID already executed (idempotent replay)
+    uint64_t xid = 0;
+    binlog::Gtid gtid;
+    /// Virtual worker slot finishes the modelled apply work at this time.
+    uint64_t ready_at_micros = 0;
+    /// Qualified row keys locked by this task ("db.table/key").
+    std::vector<std::string> writeset;
+  };
+
   /// Resolved registry-backed metric handles.
   struct Metrics {
     metrics::Counter* writes_accepted;
@@ -223,6 +262,8 @@ class MySqlServer final : public plugin::ServerHooks {
     metrics::Counter* writes_committed;
     metrics::Counter* writes_aborted_on_demotion;
     metrics::Counter* applier_transactions_applied;
+    metrics::Counter* applier_dependency_stalls;
+    metrics::Counter* applier_conflict_stalls;
     metrics::Counter* promotions_completed;
     metrics::Counter* demotions;
     metrics::Counter* engine_checkpoints;
@@ -233,6 +274,10 @@ class MySqlServer final : public plugin::ServerHooks {
     metrics::HistogramMetric* promotion_latency_us;
     /// Entries between the consensus commit marker and the applier cursor.
     metrics::Gauge* applier_lag_entries;
+    /// Same lag, recorded as a distribution each applier pump.
+    metrics::HistogramMetric* applier_lag_hist;
+    /// Busy worker slots at each dispatch.
+    metrics::HistogramMetric* applier_concurrency;
   };
 
   MySqlServer(Env* env, MySqlServerOptions options, Clock* clock)
@@ -243,9 +288,12 @@ class MySqlServer final : public plugin::ServerHooks {
   Status Init(const raft::QuorumEngine* quorum, Random* rng,
               raft::RaftOutbox* outbox, ServiceDiscovery* discovery);
 
-  /// Applies committed entries from the log to the engine (§3.5).
+  /// Applies committed entries from the log to the engine (§3.5):
+  /// dependency-tracked parallel dispatch, commit-order-preserving retire.
   void RunApplier();
-  Status ApplyOneTransaction(const LogEntry& entry);
+  /// Rolls back window tasks and resets both cursors to the engine's
+  /// recovered position (demotion, truncation through the window).
+  void ResetApplier();
   void MaybeCompletePromotion();
   /// A logtailer that won an election hands leadership to the most
   /// caught-up MySQL voter (§2.2).
@@ -263,7 +311,19 @@ class MySqlServer final : public plugin::ServerHooks {
   bool writes_enabled_ = false;
   DbRole db_role_ = DbRole::kReplica;
   uint64_t next_txn_no_ = 1;
+  /// Low-water mark: everything below is engine-committed in log order.
   uint64_t next_apply_index_ = 1;
+  /// Next entry to admit to the apply window (>= next_apply_index_).
+  uint64_t next_dispatch_index_ = 1;
+  /// Dispatched-but-not-retired tasks, keyed by raft index.
+  std::map<uint64_t, ApplyTask> apply_window_;
+  /// Row keys locked by in-window tasks (writeset conflict safety net).
+  std::set<std::string> applier_inflight_writes_;
+  /// Busy-until timestamps of the virtual applier worker slots.
+  std::vector<uint64_t> applier_free_at_;
+  /// Highest engine-committed index when the last write was stamped —
+  /// the MySQL-style `last_committed` for dependency intervals.
+  uint64_t group_commit_last_committed_ = 0;
   std::map<uint64_t, PendingCommit> pending_;  // by raft index
   std::optional<PromotionState> promotion_;
   bool witness_handoff_pending_ = false;

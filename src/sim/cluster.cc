@@ -31,6 +31,9 @@ Status ClusterHarness::Bootstrap() {
     node_options.server.raft = options_.raft;
     node_options.server.engine_checkpoint_wal_bytes =
         options_.engine_checkpoint_wal_bytes;
+    node_options.server.applier_workers = options_.applier_workers;
+    node_options.server.applier_txn_cost_micros =
+        options_.applier_txn_cost_micros;
     node_options.proxy = options_.proxy;
     node_options.proxy_enabled = options_.proxy_enabled;
     ++numeric_id;
@@ -211,6 +214,9 @@ Status ClusterHarness::AddNewMember(const MemberInfo& member,
   node_options.server.server_uuid =
       Uuid::FromIndex(500 + nodes_.size());
   node_options.server.raft = options_.raft;
+  node_options.server.applier_workers = options_.applier_workers;
+  node_options.server.applier_txn_cost_micros =
+      options_.applier_txn_cost_micros;
   node_options.proxy = options_.proxy;
   node_options.proxy_enabled = options_.proxy_enabled;
   auto node = std::make_unique<SimNode>(&loop_, &network_, &discovery_,

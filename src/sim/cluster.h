@@ -35,6 +35,9 @@ struct ClusterOptions {
   bool proxy_enabled = true;
   /// Forwarded to every member's MySqlServerOptions.
   uint64_t engine_checkpoint_wal_bytes = 32ull << 20;
+  /// Parallel applier knobs, forwarded to every member.
+  uint32_t applier_workers = 4;
+  uint64_t applier_txn_cost_micros = 0;
 
   // Modelled client-path constants (see EXPERIMENTS.md, "calibration"):
   /// One-way client <-> primary latency.

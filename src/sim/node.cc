@@ -54,6 +54,7 @@ Status SimNode::BuildProcess() {
   network_->SetNodeUp(id(), true);
   up_ = true;
   ++incarnation_;
+  pump_scheduled_for_ = 0;
   ScheduleTick();
   return Status::OK();
 }
@@ -84,6 +85,7 @@ void SimNode::Deliver(const MemberId& physical_from, const Message& message) {
   router_->ObserveTraffic(physical_from);
   if (router_->HandleInbound(message)) return;
   server_->HandleMessage(message);
+  MaybeSchedulePump();
 }
 
 void SimNode::ScheduleTick() {
@@ -91,7 +93,33 @@ void SimNode::ScheduleTick() {
   loop_->Schedule(options_.tick_interval_micros, [this, my_incarnation]() {
     if (!up_ || incarnation_ != my_incarnation) return;
     server_->Tick();
+    MaybeSchedulePump();
     ScheduleTick();
+  });
+}
+
+void SimNode::MaybeSchedulePump() {
+  // The parallel applier charges a modelled cost to virtual worker slots;
+  // when the low-water task's slot frees up before the next periodic
+  // tick, pump at that instant so applier throughput tracks the modelled
+  // cost rather than the tick cadence.
+  const uint64_t deadline = server_->NextApplierDeadlineMicros();
+  if (deadline == 0) return;
+  const uint64_t now = loop_->now();
+  if (deadline <= now || deadline >= now + options_.tick_interval_micros) {
+    return;  // overdue or far out: the periodic tick handles it
+  }
+  if (pump_scheduled_for_ != 0 && pump_scheduled_for_ <= deadline &&
+      pump_scheduled_for_ > now) {
+    return;  // an equal-or-earlier pump is already pending
+  }
+  pump_scheduled_for_ = deadline;
+  const uint64_t my_incarnation = incarnation_;
+  loop_->Schedule(deadline - now, [this, my_incarnation]() {
+    if (!up_ || incarnation_ != my_incarnation) return;
+    pump_scheduled_for_ = 0;
+    server_->PumpApplier();
+    MaybeSchedulePump();
   });
 }
 

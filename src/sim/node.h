@@ -60,6 +60,9 @@ class SimNode {
   Status BuildProcess();  // constructs router + server over env_
   void Deliver(const MemberId& physical_from, const Message& message);
   void ScheduleTick();
+  /// Schedules an applier pump at the server's next worker-slot deadline
+  /// when that lands before the next periodic tick.
+  void MaybeSchedulePump();
 
   EventLoop* loop_;
   SimNetwork* network_;
@@ -73,6 +76,7 @@ class SimNode {
   std::unique_ptr<server::MySqlServer> server_;
   bool up_ = false;
   uint64_t incarnation_ = 0;  // stale tick events check this
+  uint64_t pump_scheduled_for_ = 0;  // pending applier-pump deadline (0 = none)
 };
 
 }  // namespace myraft::sim

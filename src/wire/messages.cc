@@ -58,7 +58,10 @@ void AppendEntriesRequest::EncodeTo(std::string* dst) const {
   PutVarint64(dst, term);
   PutOpId(dst, prev);
   PutOpId(dst, commit_marker);
-  dst->push_back(proxy_payload_omitted ? 1 : 0);
+  uint8_t flags = 0;
+  if (proxy_payload_omitted) flags |= 0x1;
+  if (entries_compressed) flags |= 0x2;
+  dst->push_back(static_cast<char>(flags));
   PutVarint64(dst, entries.size());
   for (const auto& e : entries) e.EncodeTo(dst);
 }
@@ -71,7 +74,8 @@ Result<AppendEntriesRequest> AppendEntriesRequest::DecodeFrom(Slice in) {
     return Truncated("append-entries header");
   }
   if (in.empty()) return Truncated("append-entries flags");
-  req.proxy_payload_omitted = in[0] != 0;
+  req.proxy_payload_omitted = (in[0] & 0x1) != 0;
+  req.entries_compressed = (in[0] & 0x2) != 0;
   in.RemovePrefix(1);
   uint64_t n;
   if (!GetVarint64(&in, &n)) return Truncated("append-entries count");

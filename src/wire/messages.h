@@ -40,6 +40,9 @@ struct AppendEntriesRequest {
   /// §4.2: PROXY_OP — entries carry OpId/type/checksum but no payload; the
   /// final relay hop reconstitutes payloads from its own log.
   bool proxy_payload_omitted = false;
+  /// Entry payloads are LzCompress'd on the wire; checksums always cover
+  /// the uncompressed bytes, so receivers inflate before verifying.
+  bool entries_compressed = false;
 
   bool operator==(const AppendEntriesRequest&) const = default;
 

@@ -288,8 +288,11 @@ TEST_F(ServerClusterTest, CrashAfterReplicationReappliesTransaction) {
   }
   // Entries are in the primary's binlog and on the wire; the engine has
   // them prepared only. Let the network deliver to followers, then crash
-  // the primary before it can process acks.
-  harness_->loop()->RunFor(500);  // < in-region RTT: acks not back yet
+  // the primary before it can process acks. With pipelined replication
+  // both batches ship immediately, so the window must close before the
+  // earliest possible ack: one-way delivery is 150-250us in-region, so
+  // everything is delivered by 250us and no ack lands before 300us.
+  harness_->loop()->RunFor(270);  // > max delivery, < min RTT
   harness_->Crash(primary_);
 
   const uint64_t deadline = harness_->loop()->now() + 60 * kSecond;
