@@ -40,10 +40,13 @@ struct ReplicationResult {
   uint64_t elapsed_micros = 0;
   double per_sec = 0;
   std::string internals_json;
+  /// TraceAnalyzer per-stage latency breakdown of this arm's journals.
+  std::string stages_json;
 };
 
 ReplicationResult RunReplicationArm(size_t inflight_batches, int writes,
-                                    uint64_t seed) {
+                                    uint64_t seed,
+                                    const std::string& trace_out = "") {
   sim::ClusterOptions options;
   options.seed = seed;
   options.db_regions = 3;
@@ -93,6 +96,11 @@ ReplicationResult RunReplicationArm(size_t inflight_batches, int writes,
   result.per_sec = static_cast<double>(writes) /
                    (static_cast<double>(result.elapsed_micros) / 1e6);
   result.internals_json = cluster.MetricsSnapshotJson();
+  result.stages_json =
+      trace::TraceAnalyzer(cluster.TraceJournals()).StageBreakdownJson();
+  if (!trace_out.empty()) {
+    WriteTextFile(trace_out, cluster.TraceChromeJson());
+  }
   return result;
 }
 
@@ -186,7 +194,8 @@ int main(int argc, char** argv) {
   printf("\n--- Arm A: replication throughput, 5 ms one-way links, "
          "%d writes ---\n", writes);
   ReplicationResult lockstep = RunReplicationArm(1, writes, args.seed);
-  ReplicationResult pipelined = RunReplicationArm(4, writes, args.seed);
+  ReplicationResult pipelined =
+      RunReplicationArm(4, writes, args.seed, args.trace_out);
   const double speedup =
       lockstep.per_sec > 0 ? pipelined.per_sec / lockstep.per_sec : 0;
   printf("lock-step (window=1): %6.0f entries/s  (%.2f s)\n",
@@ -218,12 +227,14 @@ int main(int argc, char** argv) {
       "{\"replication\":{\"lockstep_per_sec\":%.1f,"
       "\"pipelined_per_sec\":%.1f,\"speedup\":%.2f},"
       "\"apply_lag\":{\"serial\":{\"mean\":%.1f,\"max\":%llu,\"final\":%llu},"
-      "\"parallel\":{\"mean\":%.1f,\"max\":%llu,\"final\":%llu}}}",
+      "\"parallel\":{\"mean\":%.1f,\"max\":%llu,\"final\":%llu}},"
+      "\"traced_stages\":%s}",
       lockstep.per_sec, pipelined.per_sec, speedup, serial.mean_lag,
       (unsigned long long)serial.max_lag,
       (unsigned long long)serial.final_lag, parallel.mean_lag,
       (unsigned long long)parallel.max_lag,
-      (unsigned long long)parallel.final_lag);
+      (unsigned long long)parallel.final_lag,
+      pipelined.stages_json.empty() ? "null" : pipelined.stages_json.c_str());
   WriteBenchJson("apply_lag", summary, pipelined.internals_json);
   return 0;
 }

@@ -18,6 +18,9 @@ struct BenchArgs {
   int trials = 0;     // 0 = binary default
   bool quick = false; // reduced workload for smoke runs
   uint64_t seed = 1;
+  /// --trace-out=<path>: where to write the Chrome trace-event JSON of
+  /// the bench's instrumented run (open in ui.perfetto.dev). Empty = off.
+  std::string trace_out;
 };
 
 inline BenchArgs ParseArgs(int argc, char** argv) {
@@ -32,9 +35,25 @@ inline BenchArgs ParseArgs(int argc, char** argv) {
     } else if (strncmp(argv[i], "--seed=", 7) == 0 &&
                ParseUint64(argv[i] + 7, &value)) {
       args.seed = value;
+    } else if (strncmp(argv[i], "--trace-out=", 12) == 0) {
+      args.trace_out = argv[i] + 12;
     }
   }
   return args;
+}
+
+/// Writes `content` verbatim (trace exports and other side artifacts).
+inline bool WriteTextFile(const std::string& path,
+                          const std::string& content) {
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    fprintf(stderr, "failed to open %s for writing\n", path.c_str());
+    return false;
+  }
+  fwrite(content.data(), 1, content.size(), f);
+  fclose(f);
+  printf("wrote %s\n", path.c_str());
+  return true;
 }
 
 inline void PrintHeader(const std::string& title, const std::string& paper) {

@@ -133,6 +133,11 @@ std::string GtidBody::Encode() const {
   PutVarint64(&out, gtid.txn_no);
   PutVarint64(&out, last_committed);
   PutVarint64(&out, sequence_number);
+  // Untraced transactions keep the pre-tracing encoding byte-for-byte.
+  if (trace_id != 0 || trace_span_id != 0) {
+    PutVarint64(&out, trace_id);
+    PutVarint64(&out, trace_span_id);
+  }
   return out;
 }
 
@@ -149,8 +154,15 @@ Result<GtidBody> GtidBody::Decode(Slice body) {
   // end here and decode as 0/0 (forces serial apply — always safe).
   if (!body.empty()) {
     if (!GetVarint64(&body, &out.last_committed) ||
-        !GetVarint64(&body, &out.sequence_number) || !body.empty()) {
+        !GetVarint64(&body, &out.sequence_number)) {
       return Status::Corruption("gtid body: bad commit interval");
+    }
+  }
+  // Trace context is a second trailing tier; absent = untraced.
+  if (!body.empty()) {
+    if (!GetVarint64(&body, &out.trace_id) ||
+        !GetVarint64(&body, &out.trace_span_id) || !body.empty()) {
+      return Status::Corruption("gtid body: bad trace context");
     }
   }
   return out;

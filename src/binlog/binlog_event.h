@@ -87,6 +87,13 @@ struct GtidBody {
   /// interpretation).
   uint64_t last_committed = 0;
   uint64_t sequence_number = 0;
+  /// Causal trace context (util/trace): the client trace this transaction
+  /// belongs to and the leader's commit span, so follower appliers parent
+  /// their apply spans under the originating commit. A further trailing
+  /// extension; 0/0 (untraced) is omitted from the encoding and absent
+  /// trailing varints decode as 0/0.
+  uint64_t trace_id = 0;
+  uint64_t trace_span_id = 0;
 
   std::string Encode() const;
   static Result<GtidBody> Decode(Slice body);

@@ -274,6 +274,13 @@ Status BinlogManager::AppendRotateAndStartNewFile(OpId opid) {
                 options_.server_id, opid, body.Encode());
   auto offset = writer_->AppendEvent(event);
   if (!offset.ok()) return offset.status();
+  if (options_.tracer != nullptr) {
+    options_.tracer->Instant(
+        "binlog", "rotate", 0,
+        StringPrintf("next=%s opid=%llu.%llu", body.next_file.c_str(),
+                     (unsigned long long)opid.term,
+                     (unsigned long long)opid.index));
+  }
   rotations_->Increment();
   bytes_written_->Increment(event.EncodedSize());
   if (opid.index != 0) {

@@ -24,6 +24,7 @@
 #include "util/clock.h"
 #include "util/env.h"
 #include "util/metrics.h"
+#include "util/trace.h"
 #include "wire/log_entry.h"
 
 namespace myraft::binlog {
@@ -41,6 +42,8 @@ struct BinlogManagerOptions {
   /// Destination for "binlog.*" metrics. Null means a private
   /// per-instance registry (unit-test isolation).
   metrics::MetricRegistry* metrics = nullptr;
+  /// Optional trace journal; rotations emit "binlog.rotate" instants.
+  trace::Tracer* tracer = nullptr;
 };
 
 struct LogFilePosition {

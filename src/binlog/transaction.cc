@@ -31,8 +31,8 @@ RowOperation::Kind KindForRowsEvent(EventType type) {
 
 std::string TransactionPayloadBuilder::Finalize(
     const Gtid& gtid, OpId opid, uint64_t xid, uint64_t timestamp_micros,
-    uint32_t server_id, uint64_t last_committed,
-    uint64_t sequence_number) const {
+    uint32_t server_id, uint64_t last_committed, uint64_t sequence_number,
+    uint64_t trace_id, uint64_t trace_span_id) const {
   std::string out;
   auto emit = [&](EventType type, std::string body) {
     MakeEvent(type, timestamp_micros, server_id, opid, std::move(body))
@@ -40,7 +40,9 @@ std::string TransactionPayloadBuilder::Finalize(
   };
 
   emit(EventType::kGtid,
-       GtidBody{gtid, last_committed, sequence_number}.Encode());
+       GtidBody{gtid, last_committed, sequence_number, trace_id,
+                trace_span_id}
+           .Encode());
   emit(EventType::kBegin, "BEGIN");
 
   // One TableMap + one Rows event per operation. Real MySQL batches rows
@@ -79,6 +81,8 @@ Result<ParsedTransaction> ParseTransactionPayload(Slice payload) {
   txn.gtid = gtid_body.gtid;
   txn.last_committed = gtid_body.last_committed;
   txn.sequence_number = gtid_body.sequence_number;
+  txn.trace_id = gtid_body.trace_id;
+  txn.trace_span_id = gtid_body.trace_span_id;
   txn.opid = gtid_event->opid;
 
   auto begin_event = BinlogEvent::DecodeFrom(&in);

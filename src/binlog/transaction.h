@@ -47,10 +47,14 @@ class TransactionPayloadBuilder {
   /// engine transaction id used to pair prepare/commit during recovery.
   /// `last_committed`/`sequence_number` carry the group-commit dependency
   /// interval for parallel appliers (0/0 means "unknown, apply serially").
+  /// `trace_id`/`trace_span_id` stamp the causal trace context into the
+  /// Gtid event so follower apply spans stitch to the leader commit (0/0
+  /// means untraced).
   std::string Finalize(const Gtid& gtid, OpId opid, uint64_t xid,
                        uint64_t timestamp_micros, uint32_t server_id,
                        uint64_t last_committed = 0,
-                       uint64_t sequence_number = 0) const;
+                       uint64_t sequence_number = 0, uint64_t trace_id = 0,
+                       uint64_t trace_span_id = 0) const;
 
  private:
   std::vector<RowOperation> ops_;
@@ -65,6 +69,9 @@ struct ParsedTransaction {
   /// writer predates dependency stamping).
   uint64_t last_committed = 0;
   uint64_t sequence_number = 0;
+  /// Causal trace context from the Gtid event (0/0 = untraced).
+  uint64_t trace_id = 0;
+  uint64_t trace_span_id = 0;
   std::vector<RowOperation> ops;
 };
 

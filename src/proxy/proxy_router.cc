@@ -1,6 +1,7 @@
 #include "proxy/proxy_router.h"
 
 #include "util/logging.h"
+#include "util/string_util.h"
 
 namespace myraft::proxy {
 
@@ -84,6 +85,12 @@ void ProxyRouter::RouteRequest(AppendEntriesRequest request) {
 
   // PROXY_OP: strip payloads; the relay reconstitutes from its own log.
   proxied_requests_->Increment();
+  if (options_.tracer != nullptr) {
+    options_.tracer->Instant(
+        "proxy", "proxied", request.trace_id,
+        StringPrintf("dest=%s relay=%s n=%zu", request.dest.c_str(),
+                     relay.c_str(), request.entries.size()));
+  }
   request.route.push_back(relay);
   request.proxy_payload_omitted = true;
   // Stripped payloads make the compression flag meaningless; the relay
@@ -125,6 +132,12 @@ bool ProxyRouter::HandleInbound(const Message& message) {
     if (!hop.route.empty()) {
       // Intermediate hop: forward along the remaining path.
       relayed_requests_->Increment();
+      if (options_.tracer != nullptr) {
+        options_.tracer->Instant(
+            "proxy", "relayed", hop.trace_id,
+            StringPrintf("dest=%s hops_left=%zu", hop.dest.c_str(),
+                         hop.route.size()));
+      }
       Message out(std::move(hop));
       bytes_relayed_->Increment(MessageWireBytes(out));
       lower_send_(std::move(out));
@@ -192,6 +205,12 @@ void ProxyRouter::ReconstituteAndForward(AppendEntriesRequest request,
 
   if (all_present) {
     reconstitutions_->Increment();
+    if (options_.tracer != nullptr) {
+      options_.tracer->Instant(
+          "proxy", "reconstituted", full.trace_id,
+          StringPrintf("dest=%s n=%zu", full.dest.c_str(),
+                       full.entries.size()));
+    }
     full.proxy_payload_omitted = false;
     lower_send_(std::move(full));
     return;
@@ -201,6 +220,12 @@ void ProxyRouter::ReconstituteAndForward(AppendEntriesRequest request,
     // §4.2.1: degrade to a simple heartbeat so the downstream follower
     // still learns the term and commit marker; the leader will retry.
     degraded_to_heartbeat_->Increment();
+    if (options_.tracer != nullptr) {
+      options_.tracer->Instant(
+          "proxy", "degraded_to_heartbeat", request.trace_id,
+          StringPrintf("dest=%s n=%zu", request.dest.c_str(),
+                       request.entries.size()));
+    }
     AppendEntriesRequest heartbeat = std::move(request);
     heartbeat.entries.clear();
     heartbeat.proxy_payload_omitted = false;

@@ -40,6 +40,10 @@ struct ProxyOptions {
   /// Destination for "proxy.*" metrics. Null means a private per-instance
   /// registry (unit-test isolation).
   metrics::MetricRegistry* metrics = nullptr;
+  /// Optional trace journal; forwarding decisions (proxied / relayed /
+  /// reconstituted / degraded) emit "proxy.*" instants stitched to the
+  /// trace carried by the AppendEntries batch.
+  trace::Tracer* tracer = nullptr;
 };
 
 class ProxyRouter final : public raft::RaftOutbox {

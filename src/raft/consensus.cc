@@ -12,6 +12,17 @@ namespace {
 /// Marker used in VoteResponse.reason when a transfer target reports its
 /// aggregated mock-election outcome back to the initiating leader.
 constexpr char kMockOutcomeReason[] = "mock-outcome";
+
+/// Ends a span on scope exit (covers every early-return path of a
+/// handler). No-op while id stays 0.
+struct SpanGuard {
+  trace::Tracer* tracer = nullptr;
+  uint64_t id = 0;
+  std::string end_args;
+  ~SpanGuard() {
+    if (tracer != nullptr && id != 0) tracer->EndSpan(id, std::move(end_args));
+  }
+};
 }  // namespace
 
 RaftConsensus::RaftConsensus(RaftOptions options, LogAbstraction* log,
@@ -255,7 +266,8 @@ void RaftConsensus::Tick() {
 
 // --- Replication: leader side --------------------------------------------------
 
-Result<OpId> RaftConsensus::Replicate(EntryType type, std::string payload) {
+Result<OpId> RaftConsensus::Replicate(EntryType type, std::string payload,
+                                      trace::TraceContext trace_ctx) {
   if (role_ != RaftRole::kLeader) {
     return Status::IllegalState("not the leader");
   }
@@ -268,6 +280,9 @@ Result<OpId> RaftConsensus::Replicate(EntryType type, std::string payload) {
   MYRAFT_RETURN_NOT_OK(log_->Sync());
   last_synced_index_ = log_->LastOpId().index;
   replicate_time_micros_[opid.index] = clock_->NowMicros();
+  if (options_.tracer != nullptr && trace_ctx.valid()) {
+    replicate_trace_ctx_[opid.index] = trace_ctx;
+  }
 
   if (type == EntryType::kConfigChange) {
     auto config = DecodeMembershipConfig(entry.payload);
@@ -277,6 +292,7 @@ Result<OpId> RaftConsensus::Replicate(EntryType type, std::string payload) {
     MYRAFT_RETURN_NOT_OK(ApplyConfig(*config, /*from_log=*/true));
   }
 
+  last_commit_completer_.clear();  // a self-append commit has no straggler
   AdvanceCommitMarker();  // single-voter rings commit immediately
   BroadcastAppendEntries();
   return opid;
@@ -353,6 +369,13 @@ Result<std::vector<LogEntry>> RaftConsensus::FetchEntriesFor(
 }
 
 void RaftConsensus::CancelInflight(PeerStatus* peer) {
+  if (options_.tracer != nullptr) {
+    for (const InflightBatch& batch : peer->inflight) {
+      if (batch.trace_span_id != 0) {
+        options_.tracer->EndSpan(batch.trace_span_id, "cancelled");
+      }
+    }
+  }
   peer->inflight.clear();
   peer->inflight_bytes = 0;
   peer->awaiting_response = false;
@@ -421,6 +444,26 @@ void RaftConsensus::SendAppendEntriesTo(const MemberId& peer_id,
     for (const auto& e : request.entries) batch.bytes += e.payload.size();
     m_.entries_replicated->Increment(request.entries.size());
     MaybeCompressPayloads(&request);
+
+    if (options_.tracer != nullptr) {
+      // The batch span belongs to the first traced entry's transaction
+      // (0 = an untraced batch, still visible in the pipeline window).
+      trace::TraceContext ctx;
+      auto ctx_it = replicate_trace_ctx_.lower_bound(batch.first_index);
+      if (ctx_it != replicate_trace_ctx_.end() &&
+          ctx_it->first <= batch.last_index) {
+        ctx = ctx_it->second;
+      }
+      batch.trace_span_id = options_.tracer->BeginSpan(
+          "raft", "replicate.batch", ctx.trace_id, ctx.span_id,
+          StringPrintf("peer=%s first=%llu last=%llu window=%zu",
+                       peer_id.c_str(),
+                       (unsigned long long)batch.first_index,
+                       (unsigned long long)batch.last_index,
+                       peer.inflight.size() + 1));
+      request.trace_id = ctx.trace_id;
+      request.trace_span_id = batch.trace_span_id;
+    }
 
     peer.next_index = batch.last_index + 1;
     peer.inflight_bytes += batch.bytes;
@@ -496,6 +539,22 @@ void RaftConsensus::SetCommitMarker(OpId new_marker) {
     m_.commit_advance_latency_us->Record(now - it->second);
     it = replicate_time_micros_.erase(it);
   }
+  if (options_.tracer != nullptr) {
+    // Quorum ack for each traced entry the marker now covers; the
+    // completer is the peer whose ack moved the marker (the quorum
+    // straggler the slow-transaction log reports).
+    for (auto it = replicate_trace_ctx_.begin();
+         it != replicate_trace_ctx_.end() && it->first <= new_marker.index;) {
+      options_.tracer->Instant(
+          "raft", "quorum_ack", it->second.trace_id,
+          StringPrintf("index=%llu completed_by=%s",
+                       (unsigned long long)it->first,
+                       last_commit_completer_.empty()
+                           ? "self"
+                           : last_commit_completer_.c_str()));
+      it = replicate_trace_ctx_.erase(it);
+    }
+  }
   if (pending_config_index_ != 0 &&
       pending_config_index_ <= new_marker.index) {
     pending_config_index_ = 0;  // membership change committed
@@ -525,6 +584,8 @@ void RaftConsensus::HandleAppendEntries(const AppendEntriesRequest& request) {
         response.success = false;
         response.last_received = log_->LastOpId();
         response.last_durable_index = last_synced_index_;
+        response.trace_id = request.trace_id;
+        response.trace_span_id = request.trace_span_id;
         outbox_->Send(std::move(response));
         return;
       }
@@ -543,6 +604,21 @@ void RaftConsensus::HandleAppendEntries(const AppendEntriesRequest& request) {
   // Only the fsynced tail counts towards the leader's commit quorum; a
   // received-but-unsynced suffix would be lost in a crash.
   response.last_durable_index = last_synced_index_;
+  // Echo the trace context so the ack stitches back to the batch span.
+  response.trace_id = request.trace_id;
+  response.trace_span_id = request.trace_span_id;
+
+  // Follower-side receive->synced span, parented under the leader's batch
+  // span via the wire context. Covers every return path below.
+  SpanGuard append_span{options_.tracer};
+  if (options_.tracer != nullptr && !request.entries.empty()) {
+    append_span.id = options_.tracer->BeginSpan(
+        "raft", "follower.append", request.trace_id, request.trace_span_id,
+        StringPrintf("leader=%s n=%zu first=%llu", request.leader.c_str(),
+                     request.entries.size(),
+                     (unsigned long long)request.entries.front().id.index));
+    append_span.end_args = "rejected";
+  }
 
   if (request.term < meta_.current_term) {
     m_.append_rejections->Increment();
@@ -661,6 +737,12 @@ void RaftConsensus::HandleAppendEntries(const AppendEntriesRequest& request) {
   response.success = true;
   response.last_received = log_->LastOpId();
   response.last_durable_index = last_synced_index_;
+  if (append_span.id != 0) {
+    append_span.end_args =
+        StringPrintf("ok last=%llu durable=%llu",
+                     (unsigned long long)response.last_received.index,
+                     (unsigned long long)response.last_durable_index);
+  }
 
   // Advance our commit marker to what the leader has committed (§3.4:
   // piggybacked commit marker).
@@ -693,7 +775,14 @@ void RaftConsensus::HandleAppendEntriesResponse(
     while (!peer.inflight.empty() &&
            peer.inflight.front().last_index <=
                response.last_received.index) {
-      peer.inflight_bytes -= peer.inflight.front().bytes;
+      const InflightBatch& front = peer.inflight.front();
+      if (options_.tracer != nullptr && front.trace_span_id != 0) {
+        options_.tracer->EndSpan(
+            front.trace_span_id,
+            StringPrintf("acked_by=%s durable=%llu", response.from.c_str(),
+                         (unsigned long long)response.last_durable_index));
+      }
+      peer.inflight_bytes -= front.bytes;
       peer.inflight.pop_front();
     }
     peer.awaiting_response = !peer.inflight.empty();
@@ -707,6 +796,7 @@ void RaftConsensus::HandleAppendEntriesResponse(
     peer.match_index = std::max(peer.match_index, acked);
     peer.next_index =
         std::max(peer.next_index, response.last_received.index + 1);
+    last_commit_completer_ = response.from;  // straggler if the marker moves
     AdvanceCommitMarker();
 
     // Graceful transfer: once the quiesced target is fully caught up,
@@ -792,16 +882,38 @@ Status RaftConsensus::BeginElection(ElectionMode mode,
       role_ = RaftRole::kCandidate;
       leader_.clear();
       election.election_term = meta_.current_term;
+      if (options_.tracer != nullptr) {
+        options_.tracer->Instant(
+            "raft", "election_started", 0,
+            StringPrintf("term=%llu",
+                         (unsigned long long)election.election_term));
+        election.trace_span_id = options_.tracer->BeginSpan(
+            "raft", "election", 0, 0,
+            StringPrintf("term=%llu",
+                         (unsigned long long)election.election_term));
+      }
       break;
     }
     case ElectionMode::kPreVote: {
       m_.pre_votes_started->Increment();
       election.election_term = meta_.current_term + 1;
+      if (options_.tracer != nullptr) {
+        options_.tracer->Instant(
+            "raft", "pre_vote_started", 0,
+            StringPrintf("term=%llu",
+                         (unsigned long long)election.election_term));
+      }
       break;
     }
     case ElectionMode::kMockElection: {
       m_.mock_elections_started->Increment();
       election.election_term = meta_.current_term + 1;
+      if (options_.tracer != nullptr) {
+        options_.tracer->Instant(
+            "raft", "mock_election_started", 0,
+            StringPrintf("term=%llu",
+                         (unsigned long long)election.election_term));
+      }
       break;
     }
   }
@@ -1031,6 +1143,9 @@ void RaftConsensus::WinElection() {
   MYRAFT_CHECK(election_.has_value());
   const ElectionMode mode = election_->mode;
   const MemberId report_to = election_->report_to;
+  if (options_.tracer != nullptr && election_->trace_span_id != 0) {
+    options_.tracer->EndSpan(election_->trace_span_id, "won");
+  }
   election_.reset();
 
   switch (mode) {
@@ -1057,6 +1172,9 @@ void RaftConsensus::AbortElection(const Status& reason) {
   MYRAFT_LOG(Info) << options_.self << ": election aborted: " << reason;
   const ElectionMode mode = election_->mode;
   const MemberId report_to = election_->report_to;
+  if (options_.tracer != nullptr && election_->trace_span_id != 0) {
+    options_.tracer->EndSpan(election_->trace_span_id, "aborted");
+  }
   election_.reset();
   if (mode == ElectionMode::kMockElection && !report_to.empty()) {
     ReportMockOutcome(report_to, false);
@@ -1084,6 +1202,11 @@ void RaftConsensus::ReportMockOutcome(const MemberId& report_to,
 
 void RaftConsensus::BecomeLeader() {
   m_.elections_won->Increment();
+  if (options_.tracer != nullptr) {
+    options_.tracer->Instant(
+        "raft", "election_won", 0,
+        StringPrintf("term=%llu", (unsigned long long)meta_.current_term));
+  }
   role_ = RaftRole::kLeader;
   leader_ = options_.self;
   meta_.last_known_leader = options_.self;
@@ -1136,14 +1259,28 @@ void RaftConsensus::StepDown(uint64_t new_term, const MemberId& new_leader,
   const MemberInfo* self = SelfInfo();
   role_ = (self != nullptr && self->is_learner()) ? RaftRole::kLearner
                                                   : RaftRole::kFollower;
+  if (options_.tracer != nullptr && election_.has_value() &&
+      election_->trace_span_id != 0) {
+    options_.tracer->EndSpan(election_->trace_span_id, "stepped_down");
+  }
   election_.reset();
   transfer_.reset();
+  // Close any open batch spans before dropping the leader-side windows.
+  for (auto& [peer_id, peer] : peers_) CancelInflight(&peer);
   peers_.clear();
   replicate_time_micros_.clear();
+  replicate_trace_ctx_.clear();
   ResetElectionTimer();
 
   if (was_leader) {
     m_.step_downs->Increment();
+    if (options_.tracer != nullptr) {
+      options_.tracer->Instant(
+          "raft", "step_down", 0,
+          StringPrintf("old_term=%llu new_term=%llu",
+                       (unsigned long long)old_term,
+                       (unsigned long long)meta_.current_term));
+    }
     MYRAFT_LOG(Info) << options_.self << ": stepping down from term "
                      << old_term;
     listener_->OnLeadershipLost(old_term);

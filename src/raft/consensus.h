@@ -33,6 +33,7 @@
 #include "util/clock.h"
 #include "util/metrics.h"
 #include "util/random.h"
+#include "util/trace.h"
 #include "wire/messages.h"
 
 namespace myraft::raft {
@@ -97,6 +98,9 @@ struct RaftOptions {
   /// Destination for "raft.*" / "log_cache.*" metrics. Null means a
   /// private per-instance registry (unit-test isolation).
   metrics::MetricRegistry* metrics = nullptr;
+  /// Optional causal trace journal (util/trace): per-peer batch spans,
+  /// follower append spans, election/step-down/quorum-ack instants.
+  trace::Tracer* tracer = nullptr;
 };
 
 enum class ElectionMode { kPreVote, kRealElection, kMockElection };
@@ -147,6 +151,9 @@ class RaftConsensus {
     uint64_t last_index = 0;  // inclusive
     uint64_t bytes = 0;       // payload bytes (pre-compression)
     uint64_t sent_micros = 0;
+    /// Open "raft.replicate.batch" span; closed when the batch is acked
+    /// or its window suffix is cancelled. 0 when tracing is off.
+    uint64_t trace_span_id = 0;
   };
 
   struct PeerStatus {
@@ -214,7 +221,11 @@ class RaftConsensus {
 
   /// Appends an operation to the replicated log, ships it, and returns its
   /// OpId. Commit is observed via OnCommitAdvanced / IsCommitted.
-  Result<OpId> Replicate(EntryType type, std::string payload);
+  /// `trace_ctx` (optional) ties the entry to a client trace: outgoing
+  /// batches carrying it propagate the context on the wire and the quorum
+  /// ack emits an instant into the journal.
+  Result<OpId> Replicate(EntryType type, std::string payload,
+                         trace::TraceContext trace_ctx = {});
   bool IsCommitted(OpId opid) const {
     return !opid.IsZero() && opid.index <= commit_marker_.index;
   }
@@ -270,6 +281,12 @@ class RaftConsensus {
   /// Highest log index known to be fsynced locally; only this much is
   /// reported as `last_durable_index` in AppendEntries responses.
   uint64_t last_synced_index() const { return last_synced_index_; }
+  /// The peer whose ack most recently advanced the commit marker — the
+  /// quorum "straggler" the slow-transaction log reports ("" when the
+  /// marker last moved on the leader's own append, e.g. single voter).
+  const MemberId& last_commit_completer() const {
+    return last_commit_completer_;
+  }
 
   /// One-line human-readable state for tools.
   std::string ToString() const;
@@ -290,6 +307,8 @@ class RaftConsensus {
     /// election quorum must cover this leader's region.
     uint64_t known_leader_term = 0;
     RegionId known_leader_region;
+    /// Open "raft.election" span for real elections (0 = untraced).
+    uint64_t trace_span_id = 0;
   };
 
   struct TransferState {
@@ -318,8 +337,9 @@ class RaftConsensus {
   void SendAppendEntriesTo(const MemberId& peer_id, bool allow_empty);
   void BroadcastAppendEntries();
   /// Drops the peer's in-flight window and rewinds next_index to the
-  /// first unacked entry (RPC loss / rejection recovery).
-  static void CancelInflight(PeerStatus* peer);
+  /// first unacked entry (RPC loss / rejection recovery). Closes any open
+  /// batch spans as cancelled.
+  void CancelInflight(PeerStatus* peer);
   /// Compresses the request's entry payloads when the batch is large
   /// enough to be worth it (and it actually shrinks).
   void MaybeCompressPayloads(AppendEntriesRequest* request);
@@ -413,6 +433,10 @@ class RaftConsensus {
   /// Leader-side Replicate() timestamps awaiting commit, for the
   /// commit-advance latency histogram. Cleared on step down.
   std::map<uint64_t, uint64_t> replicate_time_micros_;
+  /// Leader-side trace contexts of uncommitted traced entries, by index;
+  /// consumed when the commit marker covers them. Cleared on step down.
+  std::map<uint64_t, trace::TraceContext> replicate_trace_ctx_;
+  MemberId last_commit_completer_;
 
   bool started_ = false;
 };

@@ -73,6 +73,7 @@ Status MySqlServer::Init(const raft::QuorumEngine* quorum, Random* rng,
   binlog_options.server_id = options_.numeric_server_id;
   binlog_options.clock = clock_;
   binlog_options.metrics = metrics_;
+  binlog_options.tracer = options_.tracer;
   auto manager = binlog::BinlogManager::Open(env_, binlog_options);
   if (!manager.ok()) return manager.status().WithPrefix("opening binlog");
   binlog_ = std::move(*manager);
@@ -96,6 +97,7 @@ Status MySqlServer::Init(const raft::QuorumEngine* quorum, Random* rng,
   plugin_options.raft.region = options_.region;
   plugin_options.raft.kind = options_.kind;
   plugin_options.raft.metrics = metrics_;
+  plugin_options.raft.tracer = options_.tracer;
   plugin_options.meta_path = options_.data_dir + "/cmeta";
   plugin_ = std::make_unique<plugin::RaftPlugin>(
       env_, std::move(plugin_options), binlog_.get(), quorum, clock_, rng,
@@ -143,7 +145,8 @@ void MySqlServer::SetDbRole(DbRole role) {
 // --- Client writes: pipeline stage 1 (§3.4) -----------------------------------
 
 void MySqlServer::SubmitWrite(std::vector<binlog::RowOperation> ops,
-                              WriteCallback done) {
+                              WriteCallback done,
+                              trace::TraceContext trace_ctx) {
   const uint64_t submitted_micros = clock_->NowMicros();
   auto fail = [&done](Status status) {
     done(WriteResult{std::move(status), {}, {}});
@@ -157,6 +160,25 @@ void MySqlServer::SubmitWrite(std::vector<binlog::RowOperation> ops,
     fail(Status::ServiceUnavailable("server is read-only (not primary)"));
     return;
   }
+
+  // Commit-pipeline spans: the whole commit plus the stage-1 flush child,
+  // parented under the caller's client span when one was supplied.
+  trace::Tracer* tracer = options_.tracer;
+  uint64_t trace = 0;
+  uint64_t total_span = 0;
+  uint64_t flush_span = 0;
+  if (tracer != nullptr) {
+    trace = trace_ctx.valid() ? trace_ctx.trace_id : tracer->NextTraceId();
+    total_span = tracer->BeginSpan("server", "commit.total", trace,
+                                   trace_ctx.span_id);
+    flush_span =
+        tracer->BeginSpan("server", "commit.flush", trace, total_span);
+  }
+  auto end_spans_failed = [&](const char* why) {
+    if (tracer == nullptr) return;
+    tracer->EndSpan(flush_span, why);
+    tracer->EndSpan(total_span, why);
+  };
 
   // Execute: prepare the transaction in the engine under row locks.
   const storage::TxnId txn = engine_->Begin();
@@ -179,6 +201,7 @@ void MySqlServer::SubmitWrite(std::vector<binlog::RowOperation> ops,
       if (!rollback.ok()) {
         MYRAFT_LOG(Error) << options_.id << ": rollback failed: " << rollback;
       }
+      end_spans_failed("conflict");
       fail(std::move(s));
       return;
     }
@@ -194,6 +217,7 @@ void MySqlServer::SubmitWrite(std::vector<binlog::RowOperation> ops,
   if (!prepared.ok()) {
     Status rollback = engine_->Rollback(txn);
     (void)rollback;
+    end_spans_failed("prepare_failed");
     fail(std::move(prepared));
     return;
   }
@@ -205,14 +229,15 @@ void MySqlServer::SubmitWrite(std::vector<binlog::RowOperation> ops,
   // rejected above), so appliers may run them in parallel.
   std::string payload = builder.Finalize(
       gtid, opid, xid, clock_->NowMicros(), options_.numeric_server_id,
-      group_commit_last_committed_, opid.index);
-  auto replicated =
-      plugin_->consensus()->Replicate(EntryType::kTransaction,
-                                      std::move(payload));
+      group_commit_last_committed_, opid.index, trace, total_span);
+  auto replicated = plugin_->consensus()->Replicate(
+      EntryType::kTransaction, std::move(payload),
+      trace::TraceContext{trace, total_span});
   if (!replicated.ok()) {
     Status rollback = engine_->RollbackPrepared(xid);
     (void)rollback;
     --next_txn_no_;
+    end_spans_failed("replicate_failed");
     fail(replicated.status());
     return;
   }
@@ -221,8 +246,18 @@ void MySqlServer::SubmitWrite(std::vector<binlog::RowOperation> ops,
   // Stage 1 done: the payload is in the (Raft-replicated) binlog.
   const uint64_t flushed_micros = clock_->NowMicros();
   m_.commit_stage_flush_us->Record(flushed_micros - submitted_micros);
+  uint64_t wait_span = 0;
+  if (tracer != nullptr) {
+    tracer->EndSpan(flush_span,
+                    StringPrintf("gtid=%s opid=%s", gtid.ToString().c_str(),
+                                 opid.ToString().c_str()));
+    wait_span = tracer->BeginSpan("server", "commit.consensus_wait", trace,
+                                  total_span);
+  }
   pending_[opid.index] =
-      PendingCommit{xid, opid, gtid, flushed_micros, std::move(done)};
+      PendingCommit{xid,   opid,       gtid,      submitted_micros,
+                    flushed_micros, trace, total_span, wait_span,
+                    std::move(done)};
 }
 
 std::optional<std::string> MySqlServer::Read(const std::string& table,
@@ -234,6 +269,7 @@ std::optional<std::string> MySqlServer::Read(const std::string& table,
 // --- Consensus-commit stage + applier (§3.4/§3.5) --------------------------------
 
 void MySqlServer::OnConsensusCommitAdvanced(OpId marker) {
+  trace::Tracer* tracer = options_.tracer;
   // Stage 3: engine-commit every pending write covered by the marker.
   while (!pending_.empty() && pending_.begin()->first <= marker.index) {
     PendingCommit pending = std::move(pending_.begin()->second);
@@ -241,18 +277,51 @@ void MySqlServer::OnConsensusCommitAdvanced(OpId marker) {
     const uint64_t commit_start = clock_->NowMicros();
     m_.commit_stage_consensus_wait_us->Record(commit_start -
                                               pending.flushed_micros);
+    uint64_t engine_span = 0;
+    if (tracer != nullptr) {
+      tracer->EndSpan(pending.wait_span);
+      engine_span = tracer->BeginSpan("server", "commit.engine_commit",
+                                      pending.trace_id, pending.total_span);
+    }
     Status s = engine_->CommitPrepared(pending.xid, pending.opid,
                                        pending.gtid);
-    m_.commit_stage_engine_commit_us->Record(clock_->NowMicros() -
-                                             commit_start);
+    const uint64_t commit_end = clock_->NowMicros();
+    m_.commit_stage_engine_commit_us->Record(commit_end - commit_start);
     if (!s.ok()) {
       MYRAFT_LOG(Error) << options_.id << ": engine commit failed: " << s;
+      if (tracer != nullptr) {
+        tracer->EndSpan(engine_span, "engine_commit_failed");
+        tracer->EndSpan(pending.total_span, "engine_commit_failed");
+      }
       pending.done(WriteResult{std::move(s), pending.gtid, pending.opid});
       continue;
     }
     m_.writes_committed->Increment();
     group_commit_last_committed_ =
         std::max(group_commit_last_committed_, pending.opid.index);
+    if (tracer != nullptr) {
+      tracer->EndSpan(engine_span);
+      tracer->EndSpan(pending.total_span,
+                      StringPrintf("gtid=%s opid=%s",
+                                   pending.gtid.ToString().c_str(),
+                                   pending.opid.ToString().c_str()));
+    }
+    const uint64_t total_micros = commit_end - pending.submitted_micros;
+    if (options_.slow_txn_threshold_micros > 0 &&
+        total_micros > options_.slow_txn_threshold_micros) {
+      // Slow-transaction log: one structured line with the per-stage
+      // breakdown and the peer whose ack finally completed the quorum.
+      const MemberId& straggler =
+          plugin_->consensus()->last_commit_completer();
+      MYRAFT_LOG(Warning)
+          << options_.id << ": slow-txn gtid=" << pending.gtid.ToString()
+          << " opid=" << pending.opid.ToString()
+          << " total_us=" << total_micros << " flush_us="
+          << (pending.flushed_micros - pending.submitted_micros)
+          << " wait_us=" << (commit_start - pending.flushed_micros)
+          << " commit_us=" << (commit_end - commit_start)
+          << " straggler=" << (straggler.empty() ? "self" : straggler.c_str());
+    }
     pending.done(WriteResult{Status::OK(), pending.gtid, pending.opid});
   }
 
@@ -315,6 +384,9 @@ void MySqlServer::RunApplier() {
           break;
         }
         m_.applier_transactions_applied->Increment();
+      }
+      if (options_.tracer != nullptr && task.trace_span != 0) {
+        options_.tracer->EndSpan(task.trace_span);
       }
       for (const std::string& key : task.writeset) {
         applier_inflight_writes_.erase(key);
@@ -415,6 +487,14 @@ void MySqlServer::RunApplier() {
         const uint64_t start = std::max(now, *slot);
         *slot = start + options_.applier_txn_cost_micros;
         task.ready_at_micros = *slot;
+        if (options_.tracer != nullptr && txn->trace_id != 0) {
+          // Stitch to the originating commit via the GTID-body context.
+          task.trace_span = options_.tracer->BeginSpan(
+              "applier", "apply", txn->trace_id, txn->trace_span_id,
+              StringPrintf("opid=%s slot=%ld",
+                           entry->id.ToString().c_str(),
+                           (long)(slot - applier_free_at_.begin())));
+        }
         m_.applier_concurrency->Record((int64_t)std::count_if(
             applier_free_at_.begin(), applier_free_at_.end(),
             [now](uint64_t t) { return t > now; }));
@@ -444,6 +524,9 @@ void MySqlServer::ResetApplier() {
                           << ": applier reset rollback: " << s;
       }
     }
+    if (options_.tracer != nullptr && task.trace_span != 0) {
+      options_.tracer->EndSpan(task.trace_span, "cancelled");
+    }
   }
   apply_window_.clear();
   applier_inflight_writes_.clear();
@@ -463,6 +546,13 @@ void MySqlServer::OnPromotionStarted(uint64_t term, OpId noop_opid) {
     return;
   }
   promotion_ = PromotionState{term, noop_opid, clock_->NowMicros()};
+  if (options_.tracer != nullptr) {
+    const std::string args =
+        StringPrintf("term=%llu", (unsigned long long)term);
+    options_.tracer->Instant("server", "promotion_started", 0, args);
+    promotion_->trace_span =
+        options_.tracer->BeginSpan("server", "promotion", 0, 0, args);
+  }
   // Step 1 (no-op append) already happened inside Raft; steps 2-5 resume
   // from MaybeCompletePromotion as the applier catches up.
   RunApplier();
@@ -474,6 +564,9 @@ void MySqlServer::MaybeCompletePromotion() {
   raft::RaftConsensus* consensus = plugin_->consensus();
   if (consensus->role() != RaftRole::kLeader ||
       consensus->term() != promotion_->term) {
+    if (options_.tracer != nullptr && promotion_->trace_span != 0) {
+      options_.tracer->EndSpan(promotion_->trace_span, "lost_leadership");
+    }
     promotion_.reset();  // lost leadership before completing
     return;
   }
@@ -524,6 +617,12 @@ void MySqlServer::MaybeCompletePromotion() {
   m_.promotions_completed->Increment();
   m_.promotion_latency_us->Record(clock_->NowMicros() -
                                   promotion_->started_micros);
+  if (options_.tracer != nullptr) {
+    options_.tracer->EndSpan(promotion_->trace_span);
+    options_.tracer->Instant(
+        "server", "promotion_completed", 0,
+        StringPrintf("term=%llu", (unsigned long long)consensus->term()));
+  }
   promotion_.reset();
   MYRAFT_LOG(Info) << options_.id << ": promotion complete (term "
                    << consensus->term() << ")";
@@ -561,9 +660,18 @@ void MySqlServer::MaybeWitnessHandoff() {
 // --- Demotion (§3.3) ----------------------------------------------------------------
 
 void MySqlServer::OnDemotion(uint64_t term) {
+  trace::Tracer* tracer = options_.tracer;
+  if (tracer != nullptr && promotion_.has_value() &&
+      promotion_->trace_span != 0) {
+    tracer->EndSpan(promotion_->trace_span, "demoted");
+  }
   promotion_.reset();
   witness_handoff_pending_ = false;
   if (options_.kind == MemberKind::kLogtailer) return;
+  if (tracer != nullptr) {
+    tracer->Instant("server", "demotion", 0,
+                    StringPrintf("term=%llu", (unsigned long long)term));
+  }
 
   // Step 1: abort in-flight transactions awaiting consensus; they are in
   // prepared state so the rollback is online. The client outcome is
@@ -575,6 +683,10 @@ void MySqlServer::OnDemotion(uint64_t term) {
       MYRAFT_LOG(Error) << options_.id << ": demotion rollback: " << s;
     }
     m_.writes_aborted_on_demotion->Increment();
+    if (tracer != nullptr) {
+      tracer->EndSpan(pending.wait_span, "aborted");
+      tracer->EndSpan(pending.total_span, "aborted_on_demotion");
+    }
     pending.done(WriteResult{
         Status::Aborted("demoted: outcome unknown, retry against new primary"),
         pending.gtid, pending.opid});

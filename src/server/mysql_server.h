@@ -70,6 +70,13 @@ struct MySqlServerOptions {
   /// raft/log_cache/binlog families). Null means a private per-instance
   /// registry (unit-test isolation).
   metrics::MetricRegistry* metrics = nullptr;
+  /// Optional causal trace journal, shared with the nested raft/binlog
+  /// subsystems (commit-stage spans, apply spans, promotion timeline).
+  trace::Tracer* tracer = nullptr;
+  /// Slow-transaction log: when a commit's total latency (submit ->
+  /// engine commit) exceeds this, emit a structured one-line summary with
+  /// per-stage micros and the quorum-ack straggler. 0 disables.
+  uint64_t slow_txn_threshold_micros = 0;
 };
 
 struct WriteResult {
@@ -150,7 +157,11 @@ class MySqlServer final : public plugin::ServerHooks {
 
   /// Submits a write transaction. `done` fires after engine commit
   /// (success) or on abort. Asynchronous: commit requires consensus.
-  void SubmitWrite(std::vector<binlog::RowOperation> ops, WriteCallback done);
+  /// `trace_ctx` (optional) parents the commit-pipeline spans under the
+  /// caller's client span; untraced submissions mint their own trace when
+  /// a tracer is configured.
+  void SubmitWrite(std::vector<binlog::RowOperation> ops, WriteCallback done,
+                   trace::TraceContext trace_ctx = {});
   /// Committed read (any MySQL member; logtailers have no data).
   std::optional<std::string> Read(const std::string& table,
                                   const std::string& key) const;
@@ -223,9 +234,16 @@ class MySqlServer final : public plugin::ServerHooks {
     uint64_t xid = 0;
     OpId opid;
     binlog::Gtid gtid;
+    /// When the client submitted (stage-1 entry), for the slow-txn log.
+    uint64_t submitted_micros = 0;
     /// When stage 1 (flush via Raft) finished, for the stage-2
     /// consensus-wait latency histogram.
     uint64_t flushed_micros = 0;
+    /// Trace context: the transaction's trace, the whole-commit span and
+    /// the open stage-2 consensus-wait span (0 when untraced).
+    uint64_t trace_id = 0;
+    uint64_t total_span = 0;
+    uint64_t wait_span = 0;
     WriteCallback done;
   };
 
@@ -236,6 +254,8 @@ class MySqlServer final : public plugin::ServerHooks {
     /// Set once prerequisites hold; completion fires when the clock
     /// passes it (modelling the orchestration steps' latency).
     uint64_t ready_at_micros = 0;
+    /// Open "server.promotion" span (0 when untraced).
+    uint64_t trace_span = 0;
   };
 
   /// One committed entry admitted to the parallel-apply window. Engine
@@ -250,6 +270,9 @@ class MySqlServer final : public plugin::ServerHooks {
     binlog::Gtid gtid;
     /// Virtual worker slot finishes the modelled apply work at this time.
     uint64_t ready_at_micros = 0;
+    /// Open "applier.apply" span, parented under the originating commit
+    /// via the GTID-body trace context (0 when untraced).
+    uint64_t trace_span = 0;
     /// Qualified row keys locked by this task ("db.table/key").
     std::vector<std::string> writeset;
   };

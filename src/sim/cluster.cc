@@ -5,12 +5,29 @@
 
 namespace myraft::sim {
 
+namespace {
+
+trace::TracerOptions ClientTracerOptions(const ClusterOptions& options,
+                                         EventLoop* loop) {
+  trace::TracerOptions out;
+  out.node = "client";
+  // Keep client-minted ids disjoint from every node's (numeric server ids
+  // are small and dense).
+  out.id_salt = 0xFFFF;
+  out.capacity = options.trace_capacity;
+  out.clock = loop->clock();
+  return out;
+}
+
+}  // namespace
+
 ClusterHarness::ClusterHarness(ClusterOptions options,
                                const raft::QuorumEngine* quorum)
     : options_(std::move(options)),
       quorum_(quorum),
       loop_(options_.seed),
-      network_(&loop_, options_.network) {}
+      network_(&loop_, options_.network),
+      client_tracer_(ClientTracerOptions(options_, &loop_)) {}
 
 Status ClusterHarness::Bootstrap() {
   // Build the membership config: one database voter + logtailers per
@@ -34,8 +51,11 @@ Status ClusterHarness::Bootstrap() {
     node_options.server.applier_workers = options_.applier_workers;
     node_options.server.applier_txn_cost_micros =
         options_.applier_txn_cost_micros;
+    node_options.server.slow_txn_threshold_micros =
+        options_.slow_txn_threshold_micros;
     node_options.proxy = options_.proxy;
     node_options.proxy_enabled = options_.proxy_enabled;
+    node_options.trace_capacity = options_.trace_capacity;
     ++numeric_id;
     nodes_[id] = std::make_unique<SimNode>(&loop_, &network_, &discovery_,
                                            quorum_, std::move(node_options));
@@ -116,12 +136,20 @@ void ClusterHarness::ClientWrite(const std::string& key,
     dest = *primary;
   }
 
+  // Root span of the transaction's cross-node trace; every server-side
+  // commit/replication/apply span stitches under it via the propagated
+  // TraceContext.
+  const uint64_t trace = client_tracer_.NextTraceId();
+  const uint64_t span = client_tracer_.BeginSpan(
+      "client", "write", trace, 0, "key=" + key + " dest=" + dest);
+
   // Shared completion guard: the first of {server response, client
   // timeout} wins.
   auto responded = std::make_shared<bool>(false);
-  auto finish = [this, done, issued_at, responded](Status status) {
+  auto finish = [this, done, issued_at, responded, span](Status status) {
     if (*responded) return;
     *responded = true;
+    client_tracer_.EndSpan(span, status.ok() ? "ok" : status.ToString());
     done(ClientWriteResult{std::move(status), loop_.now() - issued_at});
   };
   loop_.Schedule(options_.client_timeout_micros, [finish]() {
@@ -129,7 +157,7 @@ void ClusterHarness::ClientWrite(const std::string& key,
   });
 
   loop_.Schedule(options_.client_one_way_micros, [this, dest, key, value,
-                                                  finish]() {
+                                                  finish, trace, span]() {
     auto it = nodes_.find(dest);
     if (it == nodes_.end() || !it->second->up()) {
       // Connection refused travels back to the client.
@@ -144,7 +172,8 @@ void ClusterHarness::ClientWrite(const std::string& key,
       processing +=
           loop_.rng()->Uniform(options_.server_processing_jitter_micros);
     }
-    loop_.Schedule(processing, [this, node, key, value, finish]() {
+    loop_.Schedule(processing, [this, node, key, value, finish, trace,
+                                span]() {
       if (!node->up()) {
         loop_.Schedule(options_.client_one_way_micros, [finish]() {
           finish(Status::NetworkError("primary died mid-request"));
@@ -159,12 +188,14 @@ void ClusterHarness::ClientWrite(const std::string& key,
       op.after_image = key + "=" + value;
       std::vector<binlog::RowOperation> ops{std::move(op)};
       node->server()->SubmitWrite(
-          std::move(ops), [this, finish](const server::WriteResult& result) {
+          std::move(ops),
+          [this, finish](const server::WriteResult& result) {
             loop_.Schedule(options_.client_one_way_micros,
                            [finish, status = result.status]() {
                              finish(status);
                            });
-          });
+          },
+          trace::TraceContext{trace, span});
     });
   });
 }
@@ -217,8 +248,11 @@ Status ClusterHarness::AddNewMember(const MemberInfo& member,
   node_options.server.applier_workers = options_.applier_workers;
   node_options.server.applier_txn_cost_micros =
       options_.applier_txn_cost_micros;
+  node_options.server.slow_txn_threshold_micros =
+      options_.slow_txn_threshold_micros;
   node_options.proxy = options_.proxy;
   node_options.proxy_enabled = options_.proxy_enabled;
+  node_options.trace_capacity = options_.trace_capacity;
   auto node = std::make_unique<SimNode>(&loop_, &network_, &discovery_,
                                         quorum_, std::move(node_options));
   if (prepare_disk != nullptr) {
@@ -279,6 +313,24 @@ bool ClusterHarness::CheckReplicaConsistency() {
     }
   }
   return consistent;
+}
+
+std::vector<trace::JournalView> ClusterHarness::TraceJournals() const {
+  std::vector<trace::JournalView> out;
+  out.push_back(
+      trace::JournalView{client_tracer_.node(), client_tracer_.Snapshot()});
+  for (const auto& [id, node] : nodes_) {
+    out.push_back(trace::JournalView{id, node->tracer()->Snapshot()});
+  }
+  return out;
+}
+
+std::string ClusterHarness::TraceJsonl() const {
+  return trace::ExportJsonl(TraceJournals());
+}
+
+std::string ClusterHarness::TraceChromeJson() const {
+  return trace::ExportChromeJson(TraceJournals());
 }
 
 std::string ClusterHarness::MetricsSnapshotJson() const {

@@ -38,6 +38,10 @@ struct ClusterOptions {
   /// Parallel applier knobs, forwarded to every member.
   uint32_t applier_workers = 4;
   uint64_t applier_txn_cost_micros = 0;
+  /// Per-node (and client) trace journal ring size.
+  size_t trace_capacity = 65'536;
+  /// Forwarded to every member: slow-transaction log threshold (0 = off).
+  uint64_t slow_txn_threshold_micros = 0;
 
   // Modelled client-path constants (see EXPERIMENTS.md, "calibration"):
   /// One-way client <-> primary latency.
@@ -97,7 +101,12 @@ class ClusterHarness {
 
   // --- Fault injection -------------------------------------------------------------
 
-  void Crash(const MemberId& id) { nodes_.at(id)->Crash(); }
+  void Crash(const MemberId& id) {
+    // The fault instant anchors the failover timeline (TraceAnalyzer's
+    // t=0); it lives in the client journal since the node itself dies.
+    client_tracer_.Instant("fault", "crash", 0, "node=" + id);
+    nodes_.at(id)->Crash();
+  }
   Status Restart(const MemberId& id) { return nodes_.at(id)->Restart(); }
 
   /// §2.2 membership change, end to end: provisions a brand-new process
@@ -136,11 +145,23 @@ class ClusterHarness {
   /// per metric).
   std::string MetricsSnapshotText() const;
 
+  // --- Tracing ---------------------------------------------------------------------
+
+  /// Journal of the modelled client (root "client.write" spans and fault
+  /// instants).
+  trace::Tracer* client_tracer() { return &client_tracer_; }
+  /// Drains every journal (client first, then members in id order) for
+  /// the exporters and TraceAnalyzer.
+  std::vector<trace::JournalView> TraceJournals() const;
+  std::string TraceJsonl() const;
+  std::string TraceChromeJson() const;
+
  private:
   ClusterOptions options_;
   const raft::QuorumEngine* quorum_;
   EventLoop loop_;
   SimNetwork network_;
+  trace::Tracer client_tracer_;
   server::InMemoryServiceDiscovery discovery_;
   MembershipConfig config_;
   std::map<MemberId, std::unique_ptr<SimNode>> nodes_;

@@ -4,6 +4,22 @@
 
 namespace myraft::sim {
 
+namespace {
+
+trace::TracerOptions NodeTracerOptions(const SimNode::Options& options,
+                                       EventLoop* loop,
+                                       metrics::MetricRegistry* metrics) {
+  trace::TracerOptions out;
+  out.node = options.server.id;
+  out.id_salt = options.server.numeric_server_id;
+  out.capacity = options.trace_capacity;
+  out.clock = loop->clock();
+  out.metrics = metrics;
+  return out;
+}
+
+}  // namespace
+
 SimNode::SimNode(EventLoop* loop, SimNetwork* network,
                  server::ServiceDiscovery* discovery,
                  const raft::QuorumEngine* quorum, Options options)
@@ -12,7 +28,8 @@ SimNode::SimNode(EventLoop* loop, SimNetwork* network,
       discovery_(discovery),
       quorum_(quorum),
       options_(std::move(options)),
-      env_(NewMemEnv()) {}
+      env_(NewMemEnv()),
+      tracer_(NodeTracerOptions(options_, loop, &metrics_)) {}
 
 SimNode::SimNode(EventLoop* loop, SimNetwork* network,
                  server::ServiceDiscovery* discovery,
@@ -23,16 +40,20 @@ SimNode::SimNode(EventLoop* loop, SimNetwork* network,
       discovery_(discovery),
       quorum_(quorum),
       options_(std::move(options)),
-      env_(std::move(env)) {}
+      env_(std::move(env)),
+      tracer_(NodeTracerOptions(options_, loop, &metrics_)) {}
 
 SimNode::~SimNode() {
   if (up_) network_->UnregisterNode(id());
 }
 
 Status SimNode::BuildProcess() {
-  // All per-node subsystems share the node's registry.
+  ScopedLogContext log_context(id(), loop_->clock());
+  // All per-node subsystems share the node's registry and trace journal.
   options_.server.metrics = &metrics_;
   options_.proxy.metrics = &metrics_;
+  options_.server.tracer = &tracer_;
+  options_.proxy.tracer = &tracer_;
   // Router first (it is the server's outbox), bind consensus after.
   router_ = std::make_unique<proxy::ProxyRouter>(
       options_.server.id, options_.server.region, options_.proxy, loop_,
@@ -82,6 +103,7 @@ void SimNode::Crash() {
 
 void SimNode::Deliver(const MemberId& physical_from, const Message& message) {
   if (!up_) return;
+  ScopedLogContext log_context(id(), loop_->clock());
   router_->ObserveTraffic(physical_from);
   if (router_->HandleInbound(message)) return;
   server_->HandleMessage(message);
@@ -92,6 +114,7 @@ void SimNode::ScheduleTick() {
   const uint64_t my_incarnation = incarnation_;
   loop_->Schedule(options_.tick_interval_micros, [this, my_incarnation]() {
     if (!up_ || incarnation_ != my_incarnation) return;
+    ScopedLogContext log_context(id(), loop_->clock());
     server_->Tick();
     MaybeSchedulePump();
     ScheduleTick();
@@ -117,6 +140,7 @@ void SimNode::MaybeSchedulePump() {
   const uint64_t my_incarnation = incarnation_;
   loop_->Schedule(deadline - now, [this, my_incarnation]() {
     if (!up_ || incarnation_ != my_incarnation) return;
+    ScopedLogContext log_context(id(), loop_->clock());
     pump_scheduled_for_ = 0;
     server_->PumpApplier();
     MaybeSchedulePump();

@@ -12,6 +12,7 @@
 #include "server/mysql_server.h"
 #include "sim/event_loop.h"
 #include "sim/network.h"
+#include "util/trace.h"
 
 namespace myraft::sim {
 
@@ -22,6 +23,8 @@ class SimNode {
     proxy::ProxyOptions proxy;
     bool proxy_enabled = true;
     uint64_t tick_interval_micros = 20'000;
+    /// Per-node trace journal ring size (overflow drops oldest records).
+    size_t trace_capacity = 65'536;
   };
 
   SimNode(EventLoop* loop, SimNetwork* network,
@@ -55,6 +58,9 @@ class SimNode {
   /// crash/restart cycles, so counters accumulate across incarnations.
   metrics::MetricRegistry* metrics() { return &metrics_; }
   const metrics::MetricRegistry* metrics() const { return &metrics_; }
+  /// Node-lifetime trace journal (survives crash/restart like metrics_).
+  trace::Tracer* tracer() { return &tracer_; }
+  const trace::Tracer* tracer() const { return &tracer_; }
 
  private:
   Status BuildProcess();  // constructs router + server over env_
@@ -72,6 +78,7 @@ class SimNode {
 
   std::unique_ptr<Env> env_;  // survives crashes ("disk")
   metrics::MetricRegistry metrics_;  // survives crashes too
+  trace::Tracer tracer_;             // so does the trace journal
   std::unique_ptr<proxy::ProxyRouter> router_;
   std::unique_ptr<server::MySqlServer> server_;
   bool up_ = false;

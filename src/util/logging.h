@@ -1,15 +1,24 @@
 // Minimal leveled logging. Defaults to stderr above a threshold; tests can
 // capture or silence it via SetLogSink / SetMinLogLevel.
+//
+// When a node context is active (ScopedLogContext — the sim installs one
+// around every node entry point), lines are stamped with the node id and
+// the *sim clock*, not the wall clock, so log output from different nodes
+// interleaves deterministically and merges with the trace timeline.
+// SetStructuredLogSink receives the same stamp as data (LogRecord).
 
 #ifndef MYRAFT_UTIL_LOGGING_H_
 #define MYRAFT_UTIL_LOGGING_H_
 
+#include <cstdint>
 #include <cstdlib>
 #include <functional>
 #include <sstream>
 #include <string>
 
 namespace myraft {
+
+class Clock;
 
 enum class LogLevel : int {
   kDebug = 0,
@@ -28,6 +37,35 @@ void SetLogSink(LogSink sink);
 void SetMinLogLevel(LogLevel level);
 LogLevel GetMinLogLevel();
 
+/// A log line plus the deterministic stamp taken from the active node
+/// context. Outside any context, node is empty and timestamp_micros 0.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  uint64_t timestamp_micros = 0;  // sim clock of the emitting node
+  std::string node;               // emitting node id ("" = no context)
+  std::string message;            // formatted line incl. the prefix
+};
+
+using StructuredLogSink = std::function<void(const LogRecord&)>;
+
+/// Structured mirror of every emitted line; runs in addition to the text
+/// sink. Pass nullptr to remove.
+void SetStructuredLogSink(StructuredLogSink sink);
+
+/// RAII node context: while alive (on this thread), log lines are stamped
+/// with `node` and `clock->NowMicros()`. Contexts nest; the innermost
+/// wins. The sim harness wraps message delivery and timer callbacks in
+/// one per node. The backing stack is thread-local, so destruction must
+/// happen on the constructing thread (LIFO, as RAII guarantees).
+class ScopedLogContext {
+ public:
+  ScopedLogContext(std::string node, const Clock* clock);
+  ~ScopedLogContext();
+
+  ScopedLogContext(const ScopedLogContext&) = delete;
+  ScopedLogContext& operator=(const ScopedLogContext&) = delete;
+};
+
 namespace internal_logging {
 
 class LogMessage {
@@ -42,6 +80,8 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  uint64_t timestamp_micros_ = 0;  // from the active ScopedLogContext
+  std::string node_;
   std::ostringstream stream_;
 };
 

@@ -1,0 +1,178 @@
+// Deterministic causal tracing (§3.2, Table 2 methodology). Each sim node
+// owns a Tracer: a bounded ring-buffer journal of spans (begin/end pairs
+// with parent/child causality) and instant events, timestamped from the
+// injected Clock so traces are reproducible under the discrete-event
+// simulator. Span/trace ids are salted counters — never random — so two
+// runs with the same seed emit byte-identical journals.
+//
+// A compact TraceContext {trace_id, parent span_id} travels inside
+// AppendEntriesRequest/Response and the GTID event body, which lets one
+// transaction's spans stitch across nodes: client submit -> leader
+// group-commit stages -> per-peer AppendEntries batches -> follower
+// append/ack -> follower apply.
+//
+// Journals are drained through the harness and exported as Chrome
+// trace-event JSON (open in Perfetto: one "process" per sim node, one
+// "thread" per subsystem category) or flat JSONL for programmatic
+// assertions. TraceAnalyzer computes per-stage latency breakdowns and the
+// Table-2-style failover phase decomposition from the merged journal.
+
+#ifndef MYRAFT_UTIL_TRACE_H_
+#define MYRAFT_UTIL_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/histogram.h"
+#include "util/metrics.h"
+
+namespace myraft::trace {
+
+/// Compact causality context propagated on the wire (two varints) and in
+/// the GTID event body. trace_id == 0 means "not traced".
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  bool valid() const { return trace_id != 0; }
+};
+
+enum class RecordKind : uint8_t {
+  kSpanBegin = 0,
+  kSpanEnd = 1,
+  kInstant = 2,
+};
+
+struct TraceRecord {
+  RecordKind kind = RecordKind::kInstant;
+  uint64_t seq = 0;        // per-journal monotonic; stable-sort tie break
+  uint64_t ts_micros = 0;  // sim-clock timestamp
+  uint64_t trace_id = 0;   // 0 = not tied to a client transaction
+  uint64_t span_id = 0;    // spans only
+  uint64_t parent_span_id = 0;  // kSpanBegin only
+  std::string category;    // subsystem ("server", "raft", "applier", ...)
+  std::string name;        // stage/event name within the category
+  std::string args;        // preformatted "k=v k=v" annotations
+};
+
+struct TracerOptions {
+  std::string node;            // journal owner, becomes the Perfetto process
+  uint64_t id_salt = 0;        // high bits of every id minted by this tracer
+  size_t capacity = 65'536;    // ring size; overflow drops oldest records
+  const Clock* clock = nullptr;          // required
+  metrics::MetricRegistry* metrics = nullptr;  // optional; owns one if null
+};
+
+/// Per-node trace journal. Not thread-safe (the sim is single-threaded);
+/// lives outside the server process object so it survives role changes
+/// and crash/restart cycles, like the metrics registry.
+class Tracer {
+ public:
+  explicit Tracer(TracerOptions options);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Mints a new trace id (deterministic: salted counter).
+  uint64_t NextTraceId() { return NextId(); }
+
+  /// Opens a span and returns its id. parent_span_id == 0 makes a root.
+  uint64_t BeginSpan(std::string category, std::string name,
+                     uint64_t trace_id, uint64_t parent_span_id,
+                     std::string args = std::string());
+  /// Closes a previously begun span. Unmatched ids are tolerated (the
+  /// begin may have been dropped by ring overflow or died with a crash).
+  void EndSpan(uint64_t span_id, std::string args = std::string());
+  /// Records a point-in-time event.
+  void Instant(std::string category, std::string name, uint64_t trace_id = 0,
+               std::string args = std::string());
+
+  const std::string& node() const { return options_.node; }
+  size_t size() const { return records_.size(); }
+  uint64_t dropped() const { return dropped_; }
+  std::vector<TraceRecord> Snapshot() const {
+    return std::vector<TraceRecord>(records_.begin(), records_.end());
+  }
+  void Clear() { records_.clear(); }
+
+ private:
+  uint64_t NextId() { return (options_.id_salt << 40) | ++next_id_; }
+  void Push(TraceRecord record);
+
+  TracerOptions options_;
+  std::unique_ptr<metrics::MetricRegistry> owned_metrics_;
+  metrics::Counter* dropped_counter_;  // "trace.dropped"
+  std::deque<TraceRecord> records_;
+  uint64_t next_id_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+/// One node's drained journal, as handed to the exporters.
+struct JournalView {
+  std::string node;
+  std::vector<TraceRecord> records;
+};
+
+/// Merges journals into one deterministic timeline ordered by
+/// (ts, node, seq).
+std::vector<std::pair<std::string, TraceRecord>> MergeJournals(
+    const std::vector<JournalView>& journals);
+
+/// Flat JSONL: one compact JSON object per record, merged order.
+/// Deterministic bytes for same-seed runs.
+std::string ExportJsonl(const std::vector<JournalView>& journals);
+
+/// Chrome trace-event JSON ({"traceEvents": [...]}): "X" complete events
+/// for matched spans, "i" instants, "M" metadata naming one process per
+/// node and one thread per category. Loadable in Perfetto / chrome://tracing.
+std::string ExportChromeJson(const std::vector<JournalView>& journals);
+
+/// Offline analysis over drained journals: per-stage latency breakdowns
+/// and the Table-2 failover phase decomposition.
+class TraceAnalyzer {
+ public:
+  explicit TraceAnalyzer(std::vector<JournalView> journals);
+
+  /// Duration histograms of matched spans keyed by "category.name".
+  const std::map<std::string, Histogram>& StageHistograms() const {
+    return stages_;
+  }
+  /// {"stage": {"count":..,"mean_us":..,"p50_us":..,"p95_us":..,
+  ///            "p99_us":..,"max_us":..}, ...}
+  std::string StageBreakdownJson() const;
+
+  /// Failover timeline phases (all durations in micros):
+  ///   detect:      fault.crash -> first (pre_)election_started anywhere
+  ///   election:    first campaign -> election_won on the node that
+  ///                eventually completes promotion
+  ///   promotion:   election_won -> promotion_completed (applier catch-up
+  ///                + binlog rotation + write enable)
+  ///   first_write: promotion_completed -> first commit.total span end on
+  ///                the new primary
+  ///   total:       fault.crash -> that first accepted commit
+  struct FailoverPhases {
+    bool complete = false;
+    std::string winner;
+    uint64_t crash_ts_micros = 0;
+    uint64_t detect_micros = 0;
+    uint64_t election_micros = 0;
+    uint64_t promotion_micros = 0;
+    uint64_t first_write_micros = 0;
+    uint64_t total_micros = 0;
+  };
+  FailoverPhases FailoverBreakdown() const;
+  static std::string FailoverJson(const FailoverPhases& phases);
+
+ private:
+  std::vector<std::pair<std::string, TraceRecord>> merged_;
+  std::map<std::string, Histogram> stages_;
+};
+
+}  // namespace myraft::trace
+
+#endif  // MYRAFT_UTIL_TRACE_H_

@@ -64,6 +64,12 @@ void AppendEntriesRequest::EncodeTo(std::string* dst) const {
   dst->push_back(static_cast<char>(flags));
   PutVarint64(dst, entries.size());
   for (const auto& e : entries) e.EncodeTo(dst);
+  // Optional trailing trace context: omitted entirely when untraced so
+  // the encoding stays byte-identical to the pre-tracing format.
+  if (trace_id != 0 || trace_span_id != 0) {
+    PutVarint64(dst, trace_id);
+    PutVarint64(dst, trace_span_id);
+  }
 }
 
 Result<AppendEntriesRequest> AppendEntriesRequest::DecodeFrom(Slice in) {
@@ -83,6 +89,12 @@ Result<AppendEntriesRequest> AppendEntriesRequest::DecodeFrom(Slice in) {
     auto entry = LogEntry::DecodeFrom(&in);
     if (!entry.ok()) return entry.status();
     req.entries.push_back(std::move(*entry));
+  }
+  if (!in.empty()) {  // optional trailing trace context (absent = untraced)
+    if (!GetVarint64(&in, &req.trace_id) ||
+        !GetVarint64(&in, &req.trace_span_id)) {
+      return Truncated("append-entries trace context");
+    }
   }
   if (!in.empty()) return Status::Corruption("wire: trailing bytes");
   return req;
@@ -104,6 +116,10 @@ void AppendEntriesResponse::EncodeTo(std::string* dst) const {
   dst->push_back(success ? 1 : 0);
   PutOpId(dst, last_received);
   PutVarint64(dst, last_durable_index);
+  if (trace_id != 0 || trace_span_id != 0) {  // optional, as in the request
+    PutVarint64(dst, trace_id);
+    PutVarint64(dst, trace_span_id);
+  }
 }
 
 Result<AppendEntriesResponse> AppendEntriesResponse::DecodeFrom(Slice in) {
@@ -118,6 +134,12 @@ Result<AppendEntriesResponse> AppendEntriesResponse::DecodeFrom(Slice in) {
   if (!GetOpId(&in, &resp.last_received) ||
       !GetVarint64(&in, &resp.last_durable_index)) {
     return Truncated("append-response body");
+  }
+  if (!in.empty()) {  // optional trailing trace context (absent = untraced)
+    if (!GetVarint64(&in, &resp.trace_id) ||
+        !GetVarint64(&in, &resp.trace_span_id)) {
+      return Truncated("append-response trace context");
+    }
   }
   if (!in.empty()) return Status::Corruption("wire: trailing bytes");
   return resp;

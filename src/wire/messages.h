@@ -43,6 +43,12 @@ struct AppendEntriesRequest {
   /// Entry payloads are LzCompress'd on the wire; checksums always cover
   /// the uncompressed bytes, so receivers inflate before verifying.
   bool entries_compressed = false;
+  /// Causal trace context (util/trace): id of the client trace this batch
+  /// belongs to and the leader-side batch span to parent follower spans
+  /// under. Encoded as optional trailing varints — absent on the wire when
+  /// zero, so pre-tracing encoders decode unchanged.
+  uint64_t trace_id = 0;
+  uint64_t trace_span_id = 0;
 
   bool operator==(const AppendEntriesRequest&) const = default;
 
@@ -65,6 +71,10 @@ struct AppendEntriesResponse {
   /// watermark). On failure: hint for the leader to rewind.
   OpId last_received;
   uint64_t last_durable_index = 0;
+  /// Echo of the request's trace context (optional trailing varints; see
+  /// AppendEntriesRequest) so acks stitch back to the batch span.
+  uint64_t trace_id = 0;
+  uint64_t trace_span_id = 0;
 
   bool operator==(const AppendEntriesResponse&) const = default;
 
