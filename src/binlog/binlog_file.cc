@@ -22,6 +22,12 @@ Result<std::unique_ptr<BinlogFileWriter>> BinlogFileWriter::Create(
             PreviousGtidsBody{options.previous_gtids}.Encode())
       .EncodeTo(&header);
   MYRAFT_RETURN_NOT_OK(writer->file_->Append(header));
+  // The header must be durable before anything references this file: a
+  // power-loss crash between creation and the first entry sync would
+  // otherwise tear the file to zero bytes, and recovery of a file with no
+  // magic fails ("bad magic") even though the log content itself was
+  // perfectly recoverable.
+  MYRAFT_RETURN_NOT_OK(writer->file_->Sync());
   return writer;
 }
 

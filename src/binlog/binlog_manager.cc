@@ -82,6 +82,18 @@ Status BinlogManager::Recover() {
 
   for (auto it = files_.begin(); it != files_.end(); ++it) {
     const bool is_last = std::next(it) == files_.end();
+    if (is_last) {
+      // Tolerate a torn header on the tail file (disks written before
+      // headers were synced at creation, or any crash that zeroed the
+      // newest file): every entry in it was unsynced and already lost, so
+      // rebuilding an empty file with the accumulated GTID history is the
+      // correct recovery, not a hard Corruption failure.
+      auto probe = BinlogFileReader::Open(env_, PathFor(it->second.name));
+      if (!probe.ok()) {
+        MYRAFT_RETURN_NOT_OK_PREPEND(RebuildTornTailFile(it->first),
+                                     "rebuilding " + it->second.name);
+      }
+    }
     MYRAFT_RETURN_NOT_OK_PREPEND(ScanFile(it->first, it->second, is_last),
                                  "recovering " + it->second.name);
     if (it == files_.begin()) {
@@ -216,6 +228,26 @@ Status BinlogManager::ScanFile(uint64_t number, const FileInfo& info,
     return env_->TruncateFile(PathFor(info.name), group_start);
   }
   (void)last_good_offset;
+  return Status::OK();
+}
+
+Status BinlogManager::RebuildTornTailFile(uint64_t number) {
+  FileInfo& info = files_[number];
+  MYRAFT_LOG(Warning) << "torn header on tail log file " << info.name
+                      << ": rebuilding with "
+                      << gtids_in_log_.Count() << " preceding gtid(s)";
+  // gtids_in_log_ holds everything recovered from earlier files at this
+  // point — exactly the PreviousGtids set the file was created with.
+  BinlogFileWriter::Options file_options;
+  file_options.server_version = options_.server_version;
+  file_options.server_id = options_.server_id;
+  file_options.created_micros = options_.clock->NowMicros();
+  file_options.previous_gtids = gtids_in_log_;
+  auto writer =
+      BinlogFileWriter::Create(env_, PathFor(info.name), file_options);
+  if (!writer.ok()) return writer.status();
+  MYRAFT_RETURN_NOT_OK((*writer)->Close());
+  info.previous_gtids = gtids_in_log_;
   return Status::OK();
 }
 
@@ -575,6 +607,15 @@ std::vector<std::string> BinlogManager::ListLogFiles() const {
 LogFilePosition BinlogManager::CurrentPosition() const {
   return LogFilePosition{files_.at(current_file_number_).name,
                          writer_->size()};
+}
+
+LogFilePosition BinlogManager::DurablePosition() const {
+  const std::string& name = files_.at(current_file_number_).name;
+  CrashFaultInjectionEnv* fault_env = GetCrashFaultInjectionEnv(env_);
+  if (fault_env != nullptr) {
+    return LogFilePosition{name, fault_env->SyncedSize(PathFor(name))};
+  }
+  return LogFilePosition{name, writer_->size()};
 }
 
 Result<uint64_t> BinlogManager::FileSize(const std::string& file) const {

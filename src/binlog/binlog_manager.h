@@ -110,6 +110,11 @@ class BinlogManager {
       const std::string& file) const;
   /// SHOW MASTER STATUS: current write file + offset.
   LogFilePosition CurrentPosition() const;
+  /// Durable horizon of the current write file: the byte offset covered
+  /// by the last fsync. Exact under a crash-fault-injection Env (the sim
+  /// MemEnv); on envs that do not track a horizon it equals the current
+  /// size. Everything past this offset is lost by a power-loss crash.
+  LogFilePosition DurablePosition() const;
   Result<uint64_t> FileSize(const std::string& file) const;
   uint64_t TotalSizeBytes() const;
 
@@ -153,6 +158,9 @@ class BinlogManager {
 
   Status Recover();
   Status ScanFile(uint64_t number, const FileInfo& info, bool is_last);
+  /// Recreates the tail file (torn/unreadable header) with a fresh header
+  /// carrying the GTID history accumulated from earlier files.
+  Status RebuildTornTailFile(uint64_t number);
   Status CreateFirstFile();
   /// Closes the current writer and opens file `next_number`.
   Status StartNewFile(uint64_t next_number);

@@ -1,0 +1,249 @@
+#include "chaos/invariants.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "binlog/binlog_manager.h"
+#include "binlog/transaction.h"
+#include "server/mysql_server.h"
+#include "storage/engine.h"
+#include "util/env.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace myraft::chaos {
+namespace {
+
+/// Serially replays the committed transactions in [FirstIndex, upto] into
+/// a fresh engine on a scratch in-memory Env and returns its state
+/// checksum — the serializability oracle for the parallel applier.
+Result<uint64_t> SerialReplayChecksum(binlog::BinlogManager* log,
+                                      uint64_t upto, Clock* clock) {
+  std::unique_ptr<Env> env(NewMemEnv());
+  storage::EngineOptions engine_options;
+  engine_options.dir = "/replay";
+  engine_options.clock = clock;
+  auto engine = storage::MiniEngine::Open(env.get(), engine_options);
+  MYRAFT_RETURN_NOT_OK(engine.status());
+  for (uint64_t index = log->FirstIndex(); index <= upto; ++index) {
+    auto entry = log->ReadEntry(index);
+    MYRAFT_RETURN_NOT_OK(entry.status());
+    if (entry->type != EntryType::kTransaction) continue;
+    auto txn = binlog::ParseTransactionPayload(entry->payload);
+    MYRAFT_RETURN_NOT_OK(txn.status());
+    const storage::TxnId engine_txn = (*engine)->Begin();
+    for (const binlog::RowOperation& op : txn->ops) {
+      const std::string table = op.database + "." + op.table;
+      Status s;
+      if (op.kind == binlog::RowOperation::Kind::kDelete) {
+        s = (*engine)->Delete(engine_txn, table, op.before_image);
+      } else {
+        // Same key derivation as the applier: the row key is the
+        // after-image up to the first '='.
+        const std::string& image = op.after_image;
+        s = (*engine)->Put(engine_txn, table,
+                           image.substr(0, image.find('=')), image);
+      }
+      MYRAFT_RETURN_NOT_OK(s);
+    }
+    MYRAFT_RETURN_NOT_OK((*engine)->Prepare(engine_txn, txn->xid));
+    MYRAFT_RETURN_NOT_OK(
+        (*engine)->CommitPrepared(txn->xid, entry->id, txn->gtid));
+  }
+  return (*engine)->StateChecksum();
+}
+
+}  // namespace
+
+/// Collapses repeated violations of one invariant within a single audit:
+/// the first detail is kept verbatim, later ones only bump a counter.
+class InvariantChecker::WindowCollector {
+ public:
+  WindowCollector(InvariantChecker* checker, std::string invariant)
+      : checker_(checker), invariant_(std::move(invariant)) {}
+
+  ~WindowCollector() {
+    if (count_ == 0) return;
+    std::string detail = first_detail_;
+    if (count_ > 1) {
+      detail += StringPrintf(" (+%d more)", count_ - 1);
+    }
+    checker_->AddViolation(invariant_, detail);
+  }
+
+  void Add(std::string detail) {
+    if (count_ == 0) first_detail_ = std::move(detail);
+    ++count_;
+  }
+
+  bool any() const { return count_ > 0; }
+
+ private:
+  InvariantChecker* checker_;
+  std::string invariant_;
+  std::string first_detail_;
+  int count_ = 0;
+};
+
+void InvariantChecker::ObserveRoles(sim::ClusterHarness& cluster) {
+  for (const MemberId& id : cluster.ids()) {
+    sim::SimNode* node = cluster.node(id);
+    if (!node->up()) continue;
+    const raft::RaftConsensus* consensus = node->server()->consensus();
+    if (consensus->role() != RaftRole::kLeader) continue;
+    const uint64_t term = consensus->term();
+    auto [it, inserted] = leader_by_term_.emplace(term, id);
+    if (!inserted && it->second != id && reported_terms_.insert(term).second) {
+      AddViolation("ElectionSafety",
+                   StringPrintf("term %llu has two leaders: %s and %s",
+                                (unsigned long long)term, it->second.c_str(),
+                                id.c_str()));
+    }
+  }
+}
+
+void InvariantChecker::CheckQuiescent(sim::ClusterHarness& cluster,
+                                      const std::vector<AckedWrite>& acked) {
+  ObserveRoles(cluster);
+  const MemberId primary = cluster.CurrentPrimary();
+  if (primary.empty()) {
+    AddViolation("Convergence", "no primary at quiescent window");
+    return;
+  }
+  server::MySqlServer* pserver = cluster.node(primary)->server();
+  const server::InvariantSnapshot psnap = pserver->CaptureInvariantSnapshot();
+  binlog::BinlogManager* plog = pserver->binlog_manager();
+
+  // --- Leader Completeness + committed-prefix Durability ------------------
+  {
+    WindowCollector completeness(this, "LeaderCompleteness");
+    WindowCollector durability(this, "Durability");
+    for (const AckedWrite& w : acked) {
+      if (w.opid.index > psnap.last_logged.index) {
+        completeness.Add(StringPrintf(
+            "acked %s@%s beyond leader %s log end %s", w.key.c_str(),
+            w.opid.ToString().c_str(), primary.c_str(),
+            psnap.last_logged.ToString().c_str()));
+      } else {
+        auto opid = plog->OpIdAt(w.opid.index);
+        if (!opid.ok() || opid->term != w.opid.term) {
+          completeness.Add(StringPrintf(
+              "acked %s@%s overwritten on leader %s (log has %s)",
+              w.key.c_str(), w.opid.ToString().c_str(), primary.c_str(),
+              opid.ok() ? opid->ToString().c_str() : "nothing"));
+        }
+      }
+      const auto value = pserver->Read("bench.kv", w.key);
+      const std::string expected = w.key + "=" + w.value;
+      if (!value.has_value() || *value != expected) {
+        durability.Add(StringPrintf(
+            "acked write %s=%s lost (gtid %s, opid %s): primary %s has %s",
+            w.key.c_str(), w.value.c_str(), w.gtid.ToString().c_str(),
+            w.opid.ToString().c_str(), primary.c_str(),
+            value.has_value() ? value->c_str() : "no row"));
+      } else if (pserver->engine() != nullptr &&
+                 !pserver->engine()->ExecutedGtids().Contains(w.gtid)) {
+        durability.Add(StringPrintf(
+            "acked gtid %s missing from primary %s executed set",
+            w.gtid.ToString().c_str(), primary.c_str()));
+      }
+    }
+  }
+
+  // --- Log Matching (every live log vs the leader's) ----------------------
+  {
+    WindowCollector matching(this, "LogMatching");
+    for (const MemberId& id : cluster.ids()) {
+      if (id == primary) continue;
+      sim::SimNode* node = cluster.node(id);
+      if (!node->up()) continue;
+      server::MySqlServer* server = node->server();
+      const server::InvariantSnapshot snap =
+          server->CaptureInvariantSnapshot();
+      binlog::BinlogManager* nlog = server->binlog_manager();
+      const uint64_t lo =
+          std::max(psnap.first_log_index, snap.first_log_index);
+      const uint64_t hi =
+          std::min(psnap.last_logged.index, snap.last_logged.index);
+      for (uint64_t index = lo; index <= hi && index > 0; ++index) {
+        auto p_entry = plog->ReadEntry(index);
+        auto n_entry = nlog->ReadEntry(index);
+        if (!p_entry.ok() || !n_entry.ok()) {
+          matching.Add(StringPrintf(
+              "index %llu unreadable (%s: %s, %s: %s)",
+              (unsigned long long)index, primary.c_str(),
+              p_entry.status().ToString().c_str(), id.c_str(),
+              n_entry.status().ToString().c_str()));
+          break;
+        }
+        if (!(*p_entry == *n_entry)) {
+          matching.Add(StringPrintf(
+              "index %llu differs between %s (%s) and %s (%s)",
+              (unsigned long long)index, primary.c_str(),
+              p_entry->id.ToString().c_str(), id.c_str(),
+              n_entry->id.ToString().c_str()));
+          break;  // one divergence per node is enough signal
+        }
+      }
+    }
+  }
+
+  // --- GTID-set monotonicity per engine ------------------------------------
+  {
+    WindowCollector monotonic(this, "GtidMonotonicity");
+    for (const MemberId& id : cluster.ids()) {
+      const MemberInfo* info = cluster.config().Find(id);
+      sim::SimNode* node = cluster.node(id);
+      if (info == nullptr || !info->has_engine() || !node->up()) continue;
+      const binlog::GtidSet executed =
+          node->server()->engine()->ExecutedGtids();
+      auto previous = previous_executed_.find(id);
+      if (previous != previous_executed_.end() &&
+          !executed.ContainsAll(previous->second)) {
+        monotonic.Add(StringPrintf(
+            "%s executed set regressed: had %s, now %s", id.c_str(),
+            previous->second.ToString().c_str(),
+            executed.ToString().c_str()));
+      }
+      previous_executed_[id] = executed;
+    }
+  }
+
+  // --- Parallel-applier serial equivalence ---------------------------------
+  // Skipped if the leader's log prefix was purged (never in chaos runs).
+  if (plog->FirstIndex() <= 1) {
+    WindowCollector equivalence(this, "ApplierEquivalence");
+    auto serial = SerialReplayChecksum(plog, psnap.commit_marker.index,
+                                       cluster.loop()->clock());
+    if (!serial.ok()) {
+      equivalence.Add("serial replay failed: " + serial.status().ToString());
+    } else {
+      for (const MemberId& id : cluster.ids()) {
+        const MemberInfo* info = cluster.config().Find(id);
+        sim::SimNode* node = cluster.node(id);
+        if (info == nullptr || !info->has_engine() || !node->up()) continue;
+        const server::InvariantSnapshot snap =
+            node->server()->CaptureInvariantSnapshot();
+        // Only engines caught up to the primary are comparable (judged on
+        // executed GTIDs; trailing no-ops keep applied indexes below the
+        // commit marker).
+        if (snap.executed_gtids != psnap.executed_gtids) continue;
+        if (snap.state_checksum != *serial) {
+          equivalence.Add(StringPrintf(
+              "%s checksum %llx != serial replay %llx at index %llu",
+              id.c_str(), (unsigned long long)snap.state_checksum,
+              (unsigned long long)*serial,
+              (unsigned long long)psnap.commit_marker.index));
+        }
+      }
+    }
+  }
+}
+
+void InvariantChecker::AddViolation(const std::string& invariant,
+                                    const std::string& detail) {
+  MYRAFT_LOG(Error) << "invariant violation: " << invariant << ": " << detail;
+  violations_.push_back(Violation{invariant, detail});
+}
+
+}  // namespace myraft::chaos

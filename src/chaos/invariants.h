@@ -1,0 +1,87 @@
+// Cluster invariant checker: the oracle half of the chaos harness. During
+// a run it continuously audits Election Safety; at every quiescent window
+// (all faults healed, crashed nodes restarted, replication converged) it
+// audits the full invariant set that defines MyRaft's correctness:
+//
+//   ElectionSafety      at most one leader per term, ever observed;
+//   LogMatching         same (term,index) => byte-identical entry, across
+//                       every pair of live logs;
+//   LeaderCompleteness  the current leader's log contains every
+//                       client-acknowledged write at its original OpId;
+//   Durability          every acknowledged write's row and GTID are
+//                       present on the primary (no acked write lost);
+//   GtidMonotonicity    each engine's executed GTID set at a quiescent
+//                       window contains its previous window's set;
+//   ApplierEquivalence  every engine's state checksum equals a serial
+//                       replay of the committed log prefix (the parallel
+//                       applier is serializable);
+//   Convergence         a healed cluster elects a primary and catches
+//                       every live node up (liveness; checked by runner);
+//   Recovery            a crashed node restarts successfully from its
+//                       (possibly tail-torn) disk (checked by runner).
+
+#ifndef MYRAFT_CHAOS_INVARIANTS_H_
+#define MYRAFT_CHAOS_INVARIANTS_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "binlog/gtid.h"
+#include "sim/cluster.h"
+#include "wire/types.h"
+
+namespace myraft::chaos {
+
+/// A client-acknowledged write: the durability ledger entry. Keys are
+/// unique per run, so "lost" is unambiguous.
+struct AckedWrite {
+  std::string key;
+  std::string value;
+  binlog::Gtid gtid;
+  OpId opid;
+};
+
+struct Violation {
+  std::string invariant;
+  std::string detail;
+
+  std::string ToString() const { return invariant + ": " + detail; }
+};
+
+class InvariantChecker {
+ public:
+  /// Cheap continuous audit; call every poll tick during the run.
+  /// Records (term -> leader) sightings and flags Election Safety
+  /// violations the moment a second leader appears in the same term.
+  void ObserveRoles(sim::ClusterHarness& cluster);
+
+  /// Full audit; call only at a quiescent window, after the runner has
+  /// healed all faults, restarted crashed nodes and waited for
+  /// convergence.
+  void CheckQuiescent(sim::ClusterHarness& cluster,
+                      const std::vector<AckedWrite>& acked);
+
+  /// For violations detected outside the checker (convergence timeouts,
+  /// restart failures).
+  void AddViolation(const std::string& invariant, const std::string& detail);
+
+  const std::vector<Violation>& violations() const { return violations_; }
+
+ private:
+  /// Caps per-invariant spam: identical-cause violations within one audit
+  /// collapse into the first detail plus a count.
+  class WindowCollector;
+
+  std::map<uint64_t, MemberId> leader_by_term_;
+  std::set<uint64_t> reported_terms_;
+  /// Executed GTID set per engine at the previous quiescent window.
+  std::map<MemberId, binlog::GtidSet> previous_executed_;
+  std::vector<Violation> violations_;
+};
+
+}  // namespace myraft::chaos
+
+#endif  // MYRAFT_CHAOS_INVARIANTS_H_

@@ -1,0 +1,149 @@
+#include "chaos/schedule.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace myraft::chaos {
+namespace {
+
+struct ActionName {
+  FaultAction action;
+  std::string_view name;
+};
+
+// Keep names stable: schedule files checked in as regression repros parse
+// against them forever.
+constexpr ActionName kActionNames[] = {
+    {FaultAction::kCrash, "crash"},
+    {FaultAction::kCrashTorn, "crash-torn"},
+    {FaultAction::kRestart, "restart"},
+    {FaultAction::kLinkCut, "link-cut"},
+    {FaultAction::kLinkHeal, "link-heal"},
+    {FaultAction::kOneWayCut, "oneway-cut"},
+    {FaultAction::kOneWayHeal, "oneway-heal"},
+    {FaultAction::kPartition, "partition"},
+    {FaultAction::kPartitionHeal, "partition-heal"},
+    {FaultAction::kLossRate, "loss"},
+    {FaultAction::kDuplicateRate, "duplicate"},
+    {FaultAction::kJitter, "jitter"},
+    {FaultAction::kHealAll, "heal-all"},
+};
+
+Result<uint64_t> ParseU64(std::string_view token) {
+  if (token.empty()) return Status::InvalidArgument("empty number");
+  uint64_t value = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("bad number: " + std::string(token));
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string_view FaultActionToString(FaultAction action) {
+  for (const ActionName& entry : kActionNames) {
+    if (entry.action == action) return entry.name;
+  }
+  return "unknown";
+}
+
+Result<FaultAction> FaultActionFromString(std::string_view token) {
+  for (const ActionName& entry : kActionNames) {
+    if (entry.name == token) return entry.action;
+  }
+  return Status::InvalidArgument("unknown fault action: " +
+                                 std::string(token));
+}
+
+bool FaultActionTakesParam(FaultAction action) {
+  return action == FaultAction::kLossRate ||
+         action == FaultAction::kDuplicateRate ||
+         action == FaultAction::kJitter;
+}
+
+std::string FaultStep::ToString() const {
+  std::string line = StringPrintf("step %llu %s", (unsigned long long)at_micros,
+                                  std::string(FaultActionToString(action)).c_str());
+  if (FaultActionTakesParam(action)) {
+    line += StringPrintf(" %llu", (unsigned long long)param);
+  } else {
+    for (const std::string& target : targets) line += " " + target;
+  }
+  return line;
+}
+
+std::string Schedule::ToText() const {
+  std::string out = "# myraft chaos schedule v1\n";
+  out += StringPrintf("seed %llu\n", (unsigned long long)seed);
+  out += StringPrintf("duration %llu\n", (unsigned long long)duration_micros);
+  out += StringPrintf("quiesce %llu\n",
+                      (unsigned long long)quiesce_interval_micros);
+  for (const FaultStep& step : steps) out += step.ToString() + "\n";
+  return out;
+}
+
+Result<Schedule> Schedule::Parse(const std::string& text) {
+  Schedule schedule;
+  schedule.duration_micros = 0;  // must be present in the file
+  for (const std::string& raw_line : SplitString(text, '\n')) {
+    // Tokenize on spaces, dropping empties so extra whitespace is fine.
+    std::vector<std::string> tokens;
+    for (std::string& token : SplitString(raw_line, ' ')) {
+      if (!token.empty()) tokens.push_back(std::move(token));
+    }
+    if (tokens.empty() || tokens[0][0] == '#') continue;
+    const std::string& keyword = tokens[0];
+    if (keyword == "seed" || keyword == "duration" || keyword == "quiesce") {
+      if (tokens.size() != 2) {
+        return Status::InvalidArgument("bad header line: " + raw_line);
+      }
+      auto value = ParseU64(tokens[1]);
+      MYRAFT_RETURN_NOT_OK(value.status());
+      if (keyword == "seed") schedule.seed = *value;
+      if (keyword == "duration") schedule.duration_micros = *value;
+      if (keyword == "quiesce") schedule.quiesce_interval_micros = *value;
+      continue;
+    }
+    if (keyword != "step") {
+      return Status::InvalidArgument("unknown schedule line: " + raw_line);
+    }
+    if (tokens.size() < 3) {
+      return Status::InvalidArgument("truncated step line: " + raw_line);
+    }
+    FaultStep step;
+    auto at = ParseU64(tokens[1]);
+    MYRAFT_RETURN_NOT_OK(at.status());
+    step.at_micros = *at;
+    auto action = FaultActionFromString(tokens[2]);
+    MYRAFT_RETURN_NOT_OK(action.status());
+    step.action = *action;
+    if (FaultActionTakesParam(step.action)) {
+      if (tokens.size() != 4) {
+        return Status::InvalidArgument("expected one param: " + raw_line);
+      }
+      auto param = ParseU64(tokens[3]);
+      MYRAFT_RETURN_NOT_OK(param.status());
+      step.param = *param;
+    } else {
+      step.targets.assign(tokens.begin() + 3, tokens.end());
+    }
+    schedule.steps.push_back(std::move(step));
+  }
+  if (schedule.duration_micros == 0) {
+    return Status::InvalidArgument("schedule file missing duration");
+  }
+  if (schedule.quiesce_interval_micros == 0) {
+    return Status::InvalidArgument("schedule quiesce interval must be > 0");
+  }
+  std::stable_sort(schedule.steps.begin(), schedule.steps.end(),
+                   [](const FaultStep& a, const FaultStep& b) {
+                     return a.at_micros < b.at_micros;
+                   });
+  return schedule;
+}
+
+}  // namespace myraft::chaos

@@ -1,0 +1,75 @@
+// Fault schedules: the replayable unit of chaos testing. A Schedule is a
+// seed plus a time-ordered list of fault steps; executing the same
+// schedule against the same cluster seed is fully deterministic, so a
+// failing schedule (possibly minimized, see minimizer.h) is a complete
+// bug reproduction that can be committed as a regression test or attached
+// to a report.
+
+#ifndef MYRAFT_CHAOS_SCHEDULE_H_
+#define MYRAFT_CHAOS_SCHEDULE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace myraft::chaos {
+
+/// One fault primitive. Targets are member ids, or the placeholder
+/// "@leader" (resolved to the current primary when the step fires), or
+/// "*" for kRestart ("every node currently down").
+enum class FaultAction : uint8_t {
+  kCrash = 0,       // targets: {node}; process crash, disk intact
+  kCrashTorn,       // targets: {node}; power loss — unsynced tail is lost
+  kRestart,         // targets: {node} or {"*"}
+  kLinkCut,         // targets: {a, b}; symmetric
+  kLinkHeal,        // targets: {a, b}
+  kOneWayCut,       // targets: {from, to}; asymmetric: from->to drops
+  kOneWayHeal,      // targets: {from, to}
+  kPartition,       // targets: group; cuts every (group, non-group) link
+  kPartitionHeal,   // targets: group; heals those links
+  kLossRate,        // param: drop probability in parts-per-million
+  kDuplicateRate,   // param: duplication probability in ppm
+  kJitter,          // param: extra uniform delivery delay in micros
+  kHealAll,         // heals links/partitions/loss/duplication/jitter
+};
+
+std::string_view FaultActionToString(FaultAction action);
+Result<FaultAction> FaultActionFromString(std::string_view token);
+
+/// True for actions whose argument is the numeric `param` (no targets).
+bool FaultActionTakesParam(FaultAction action);
+
+struct FaultStep {
+  uint64_t at_micros = 0;  // relative to the start of the chaos run
+  FaultAction action = FaultAction::kHealAll;
+  std::vector<std::string> targets;
+  uint64_t param = 0;
+
+  bool operator==(const FaultStep&) const = default;
+
+  /// "step <at> <action> [targets... | param]" — one schedule-file line.
+  std::string ToString() const;
+};
+
+struct Schedule {
+  uint64_t seed = 0;
+  uint64_t duration_micros = 20'000'000;
+  /// The runner heals everything, restarts crashed nodes and audits the
+  /// cluster invariants every this-many micros of schedule time.
+  uint64_t quiesce_interval_micros = 5'000'000;
+  std::vector<FaultStep> steps;  // sorted by at_micros
+
+  bool operator==(const Schedule&) const = default;
+
+  /// Deterministic text form (the schedule-file format, see DESIGN.md
+  /// §11.3). Identical schedules serialize byte-identically.
+  std::string ToText() const;
+  static Result<Schedule> Parse(const std::string& text);
+};
+
+}  // namespace myraft::chaos
+
+#endif  // MYRAFT_CHAOS_SCHEDULE_H_

@@ -76,13 +76,60 @@ bool FlexiRaftQuorumEngine::IsElectionQuorumSatisfied(
       return vanilla.IsElectionQuorumSatisfied(context, granted);
     }
     case QuorumMode::kSingleRegionDynamic: {
-      // The committed tail can only live in the last known leader's
-      // region's majority, so the election quorum must cover it; the
-      // candidate's own region majority is additionally required since it
-      // becomes the next data quorum (§4.3).
+      // The committed tail can only live in a potential leader's region's
+      // majority, so the election quorum must cover those; the candidate's
+      // own region majority is additionally required since it becomes the
+      // next data quorum (§4.3).
       const bool own_region_ok =
           HasRegionMajority(config, context.subject_region, granted);
       if (!own_region_ok) return false;
+      if (context.responded != nullptr) {
+        // Live election: the last-leader view was aggregated from vote
+        // responses, so it is only trustworthy once a majority of EVERY
+        // voter region has responded (grants or denials both carry the
+        // voter's evidence). Any responding majority of a region
+        // intersects every vote and ack quorum that region ever formed,
+        // so the freshest potential leader cannot hide from the sample.
+        // Without this, a candidate starved of one region's traffic can
+        // judge itself against a stale view and elect with a quorum
+        // disjoint from a rival's (two leaders in one term).
+        for (const auto& [region, voters] : config.VotersByRegion()) {
+          if (!HasRegionMajority(config, region, *context.responded)) {
+            return false;
+          }
+        }
+        const std::set<RegionId>* evidence = context.evidence_regions;
+        if (evidence == nullptr || evidence->empty()) {
+          // No leader and no binding vote anywhere in the covered
+          // majorities: the cluster is pristine. Majorities of every
+          // region keep two pristine same-term candidates intersecting.
+          for (const auto& [region, voters] : config.VotersByRegion()) {
+            if (!HasRegionMajority(config, region, granted)) return false;
+          }
+          return true;
+        }
+        // Pessimistic rule (§4.1): a binding vote for X at term T means a
+        // term-T leader may exist in X's region, so intersect the data
+        // quorum of every evidence region — not just the max-term one,
+        // which two candidates can disagree on.
+        for (const RegionId& region : *evidence) {
+          if (region == context.subject_region) continue;
+          bool has_voters = false;
+          for (const auto& m : config.members) {
+            if (m.is_voter() && m.region == region) {
+              has_voters = true;
+              break;
+            }
+          }
+          // A region with no voters left (drained by config change)
+          // cannot form a data quorum anyone could have committed into.
+          if (has_voters && !HasRegionMajority(config, region, granted)) {
+            return false;
+          }
+        }
+        return true;
+      }
+      // Caller-vouched view (unit-style callers, optimistic doom checks).
       if (context.last_leader_region.empty()) {
         // No commits can exist before the first leader; a majority of all
         // voters is the safe bootstrap quorum.

@@ -203,6 +203,23 @@ void RaftConsensus::Tick() {
   if (!started_) return;
   const uint64_t now = clock_->NowMicros();
 
+  // Deferred follower fsync (inline_follower_sync = false): group-sync
+  // the received tail once per tick instead of inside every append. The
+  // leader hears the updated durable index on the next response it gets
+  // from us, so commit quorums lag the ack path by at most a tick plus a
+  // heartbeat — the window in which a power-loss crash can tear an
+  // acked-but-unsynced suffix.
+  if (!options_.inline_follower_sync &&
+      last_synced_index_ < log_->LastOpId().index) {
+    Status s = log_->Sync();
+    if (s.ok()) {
+      last_synced_index_ = log_->LastOpId().index;
+    } else {
+      MYRAFT_LOG(Error) << options_.self
+                        << ": deferred log sync failed: " << s;
+    }
+  }
+
   if (role_ == RaftRole::kLeader) {
     if (options_.enable_auto_step_down && !peers_.empty()) {
       std::set<MemberId> responsive{options_.self};
@@ -709,8 +726,11 @@ void RaftConsensus::HandleAppendEntries(const AppendEntriesRequest& request) {
   }
   // Sync whenever the durable tail trails the log — this also covers
   // heartbeats/retries arriving after a batch whose sync never completed,
-  // so a received-but-unsynced suffix eventually becomes durable.
-  if (appended || last_synced_index_ < log_->LastOpId().index) {
+  // so a received-but-unsynced suffix eventually becomes durable. With
+  // deferred sync the next Tick picks it up instead, and this response
+  // reports the still-stale durable index.
+  if (options_.inline_follower_sync &&
+      (appended || last_synced_index_ < log_->LastOpId().index)) {
     Status s = log_->Sync();
     if (!s.ok()) {
       MYRAFT_LOG(Error) << options_.self << ": log sync failed: " << s;
@@ -792,7 +812,10 @@ void RaftConsensus::HandleAppendEntriesResponse(
     // everything received so replication is not re-sent while the
     // follower's sync catches up (the next heartbeat refreshes it).
     const uint64_t acked =
-        std::min(response.last_received.index, response.last_durable_index);
+        options_.unsafe_commit_on_received
+            ? response.last_received.index  // fault injection: see RaftOptions
+            : std::min(response.last_received.index,
+                       response.last_durable_index);
     peer.match_index = std::max(peer.match_index, acked);
     peer.next_index =
         std::max(peer.next_index, response.last_received.index + 1);
@@ -869,6 +892,9 @@ Status RaftConsensus::BeginElection(ElectionMode mode,
   election.cursor_snapshot = cursor;
   PotentialLeaderEvidence(options_.self, &election.known_leader_term,
                           &election.known_leader_region);
+  if (election.known_leader_term > 0 && !election.known_leader_region.empty()) {
+    election.evidence_regions.insert(election.known_leader_region);
+  }
 
   switch (mode) {
     case ElectionMode::kRealElection: {
@@ -955,8 +981,14 @@ bool RaftConsensus::ElectionQuorumSatisfied(
   if (election_.has_value()) {
     // Use the freshest last-leader view aggregated across voters, not
     // just our own (possibly starved) one — the committed tail lives in
-    // THAT leader's region.
+    // THAT leader's region. Handing over the response set and the full
+    // evidence union lets the engine refuse to trust that view until the
+    // responses cover a majority of every region (election safety: two
+    // candidates aggregating over disjoint respondent sets must not win
+    // the same term with disjoint quorums).
     context.last_leader_region = election_->known_leader_region;
+    context.responded = &election_->responded;
+    context.evidence_regions = &election_->evidence_regions;
   }
   return quorum_->IsElectionQuorumSatisfied(context, granted);
 }
@@ -1115,6 +1147,9 @@ void RaftConsensus::HandleVoteResponse(const VoteResponse& response) {
   if (response.last_leader_term > election_->known_leader_term) {
     election_->known_leader_term = response.last_leader_term;
     election_->known_leader_region = response.last_leader_region;
+  }
+  if (response.last_leader_term > 0 && !response.last_leader_region.empty()) {
+    election_->evidence_regions.insert(response.last_leader_region);
   }
 
   if (ElectionQuorumSatisfied(election_->granted)) {

@@ -95,6 +95,23 @@ struct RaftOptions {
   bool enable_auto_step_down = false;
   uint64_t auto_step_down_after_micros = 3'000'000;
 
+  /// Followers fsync appended entries inline before responding (true
+  /// keeps the historical lock-step behaviour, where the reported durable
+  /// index always equals the received index). When false the sync is
+  /// deferred to the next Tick, so acks can genuinely run ahead of the
+  /// durable horizon — the regime where the leader-side
+  /// min(received, durable) quorum rule actually matters and where
+  /// power-loss crashes (sim CrashMode::kLoseUnsynced) can tear an
+  /// acked-but-unsynced tail.
+  bool inline_follower_sync = true;
+
+  /// FAULT INJECTION (chaos checker self-test only): commit quorums count
+  /// a peer's last *received* index instead of min(received, durable).
+  /// This re-introduces the durability bug fixed in the durable-index
+  /// work: with deferred follower sync and tail-loss crashes, an acked
+  /// write can be lost. Never enable outside tests.
+  bool unsafe_commit_on_received = false;
+
   /// Destination for "raft.*" / "log_cache.*" metrics. Null means a
   /// private per-instance registry (unit-test isolation).
   metrics::MetricRegistry* metrics = nullptr;
@@ -307,6 +324,13 @@ class RaftConsensus {
     /// election quorum must cover this leader's region.
     uint64_t known_leader_term = 0;
     RegionId known_leader_region;
+    /// Pessimistic union of every potential-leader region reported by any
+    /// response (or our own metadata): a vote for X at term T means a
+    /// term-T leader may exist in X's region, so the election quorum must
+    /// intersect the data quorum of each such region. Tracking only the
+    /// max-term view lets two same-term candidates aggregate divergent
+    /// stale views and win with disjoint quorums.
+    std::set<RegionId> evidence_regions;
     /// Open "raft.election" span for real elections (0 = untraced).
     uint64_t trace_span_id = 0;
   };

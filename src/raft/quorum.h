@@ -23,6 +23,15 @@ struct QuorumContext {
   /// FlexiRaft's dynamic quorum shifting).
   MemberId last_known_leader;
   RegionId last_leader_region;
+  /// Set by the live election path only: every voter that responded to
+  /// the round so far (grants AND denials), and the union of potential-
+  /// leader regions those responses reported. When `responded` is
+  /// non-null, engines whose quorum depends on the last-leader view must
+  /// not trust it until the responses provably cover the freshest
+  /// evidence (see FlexiRaftQuorumEngine). Null means the caller vouches
+  /// for `last_leader_region` itself (unit tests, optimistic doom checks).
+  const std::set<MemberId>* responded = nullptr;
+  const std::set<RegionId>* evidence_regions = nullptr;
 };
 
 class QuorumEngine {

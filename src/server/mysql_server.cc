@@ -258,6 +258,12 @@ void MySqlServer::SubmitWrite(std::vector<binlog::RowOperation> ops,
       PendingCommit{xid,   opid,       gtid,      submitted_micros,
                     flushed_micros, trace, total_span, wait_span,
                     std::move(done)};
+  // A single-voter commit quorum (e.g. a FlexiRaft data quorum whose
+  // region holds only the leader) is completed by the self-append, so the
+  // marker advances inside Replicate — before the pending entry above
+  // exists. Retire it now; otherwise nothing ever does.
+  const OpId marker = plugin_->consensus()->commit_marker();
+  if (marker.index >= opid.index) OnConsensusCommitAdvanced(marker);
 }
 
 std::optional<std::string> MySqlServer::Read(const std::string& table,
@@ -810,6 +816,27 @@ Status MySqlServer::PurgeLogsTo(const std::string& file) {
     return Status::IllegalState("cannot purge entries not yet applied");
   }
   return binlog_->PurgeLogsTo(file);
+}
+
+InvariantSnapshot MySqlServer::CaptureInvariantSnapshot() const {
+  InvariantSnapshot snap;
+  const raft::RaftConsensus* consensus = plugin_->consensus();
+  snap.role = consensus->role();
+  snap.term = consensus->term();
+  snap.leader = consensus->leader();
+  snap.commit_marker = consensus->commit_marker();
+  snap.last_logged = consensus->last_logged();
+  snap.first_log_index = binlog_->FirstIndex();
+  snap.last_durable_index = consensus->last_synced_index();
+  snap.writes_enabled = writes_enabled_;
+  snap.gtids_in_log = binlog_->gtids_in_log().ToString();
+  if (engine_ != nullptr) {
+    snap.executed_gtids = engine_->ExecutedGtids().ToString();
+    snap.last_applied = engine_->LastAppliedOpId();
+    snap.state_checksum = engine_->StateChecksum();
+    snap.row_count = engine_->RowCount();
+  }
+  return snap;
 }
 
 MySqlServer::Stats MySqlServer::stats() const {

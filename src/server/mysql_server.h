@@ -105,6 +105,27 @@ struct BinaryLogInfo {
   uint64_t size = 0;
 };
 
+/// Point-in-time view of everything the chaos invariant checker asserts
+/// over (src/chaos): consensus positions, the durable horizon, GTID sets
+/// and engine state. Cheap to capture; taken after every quiescent window.
+struct InvariantSnapshot {
+  RaftRole role = RaftRole::kFollower;
+  uint64_t term = 0;
+  MemberId leader;
+  OpId commit_marker;
+  OpId last_logged;
+  uint64_t first_log_index = 0;
+  /// Highest log index covered by an fsync (what a power-loss keeps).
+  uint64_t last_durable_index = 0;
+  bool writes_enabled = false;
+  std::string gtids_in_log;
+  // Engine view (zero/empty for logtailers):
+  std::string executed_gtids;
+  OpId last_applied;
+  uint64_t state_checksum = 0;
+  uint64_t row_count = 0;
+};
+
 class MySqlServer final : public plugin::ServerHooks {
  public:
   /// Point-in-time snapshot of the registry-backed "server.*" counters.
@@ -214,6 +235,8 @@ class MySqlServer final : public plugin::ServerHooks {
   uint64_t StateChecksum() const {
     return engine_ != nullptr ? engine_->StateChecksum() : 0;
   }
+  /// Snapshot for the chaos invariant checker.
+  InvariantSnapshot CaptureInvariantSnapshot() const;
   /// Observer for role changes (instrumentation for downtime probes).
   void set_role_change_callback(std::function<void(DbRole)> cb) {
     role_change_cb_ = std::move(cb);

@@ -19,6 +19,12 @@ trace::TracerOptions ClientTracerOptions(const ClusterOptions& options,
   return out;
 }
 
+NetworkOptions WithDefaultMetrics(NetworkOptions options,
+                                  metrics::MetricRegistry* registry) {
+  if (options.metrics == nullptr) options.metrics = registry;
+  return options;
+}
+
 }  // namespace
 
 ClusterHarness::ClusterHarness(ClusterOptions options,
@@ -26,7 +32,7 @@ ClusterHarness::ClusterHarness(ClusterOptions options,
     : options_(std::move(options)),
       quorum_(quorum),
       loop_(options_.seed),
-      network_(&loop_, options_.network),
+      network_(&loop_, WithDefaultMetrics(options_.network, &net_metrics_)),
       client_tracer_(ClientTracerOptions(options_, &loop_)) {}
 
 Status ClusterHarness::Bootstrap() {
@@ -146,11 +152,18 @@ void ClusterHarness::ClientWrite(const std::string& key,
   // Shared completion guard: the first of {server response, client
   // timeout} wins.
   auto responded = std::make_shared<bool>(false);
-  auto finish = [this, done, issued_at, responded, span](Status status) {
+  auto finish = [this, done, issued_at, responded, span](
+                    Status status, binlog::Gtid gtid = binlog::Gtid{},
+                    OpId opid = OpId{}) {
     if (*responded) return;
     *responded = true;
     client_tracer_.EndSpan(span, status.ok() ? "ok" : status.ToString());
-    done(ClientWriteResult{std::move(status), loop_.now() - issued_at});
+    ClientWriteResult result;
+    result.status = std::move(status);
+    result.latency_micros = loop_.now() - issued_at;
+    result.gtid = gtid;
+    result.opid = opid;
+    done(result);
   };
   loop_.Schedule(options_.client_timeout_micros, [finish]() {
     finish(Status::TimedOut("client write timed out"));
@@ -191,8 +204,9 @@ void ClusterHarness::ClientWrite(const std::string& key,
           std::move(ops),
           [this, finish](const server::WriteResult& result) {
             loop_.Schedule(options_.client_one_way_micros,
-                           [finish, status = result.status]() {
-                             finish(status);
+                           [finish, status = result.status,
+                            gtid = result.gtid, opid = result.opid]() {
+                             finish(status, gtid, opid);
                            });
           },
           trace::TraceContext{trace, span});
@@ -344,6 +358,11 @@ std::string ClusterHarness::MetricsSnapshotJson() const {
     out += "\":";
     out += node->metrics()->ToJson();
   }
+  // Network fault accounting rides along under a reserved key so drops
+  // are visible in the same snapshot as per-node latencies.
+  if (!first) out += ',';
+  out += "\"network\":";
+  out += net_metrics_.ToJson();
   out += '}';
   return out;
 }
@@ -359,6 +378,12 @@ std::string ClusterHarness::MetricsSnapshotText() const {
       out += line;
       out += '\n';
     }
+  }
+  for (const std::string& line : SplitString(net_metrics_.ToText(), '\n')) {
+    if (line.empty()) continue;
+    out += "network.";
+    out += line;
+    out += '\n';
   }
   return out;
 }

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "binlog/gtid.h"
 #include "sim/downtime_probe.h"
 #include "sim/node.h"
 
@@ -59,6 +60,11 @@ class ClusterHarness {
   struct ClientWriteResult {
     Status status;
     uint64_t latency_micros = 0;
+    /// Identity of the committed transaction (zero/empty on failure or
+    /// timeout). The chaos harness keys its acked-write durability ledger
+    /// on these.
+    binlog::Gtid gtid;
+    OpId opid;
   };
   using ClientCallback = std::function<void(const ClientWriteResult&)>;
 
@@ -101,11 +107,16 @@ class ClusterHarness {
 
   // --- Fault injection -------------------------------------------------------------
 
-  void Crash(const MemberId& id) {
+  void Crash(const MemberId& id,
+             SimNode::CrashMode mode = SimNode::CrashMode::kKeepDisk) {
     // The fault instant anchors the failover timeline (TraceAnalyzer's
     // t=0); it lives in the client journal since the node itself dies.
-    client_tracer_.Instant("fault", "crash", 0, "node=" + id);
-    nodes_.at(id)->Crash();
+    client_tracer_.Instant("fault", "crash", 0,
+                           "node=" + id +
+                               (mode == SimNode::CrashMode::kLoseUnsynced
+                                    ? " mode=lose_unsynced"
+                                    : ""));
+    nodes_.at(id)->Crash(mode);
   }
   Status Restart(const MemberId& id) { return nodes_.at(id)->Restart(); }
 
@@ -156,10 +167,15 @@ class ClusterHarness {
   std::string TraceJsonl() const;
   std::string TraceChromeJson() const;
 
+  /// Registry the network's net.* fault counters land in (snapshot key
+  /// "network"); also reachable via NetworkOptions::metrics override.
+  metrics::MetricRegistry* net_metrics() { return &net_metrics_; }
+
  private:
   ClusterOptions options_;
   const raft::QuorumEngine* quorum_;
   EventLoop loop_;
+  metrics::MetricRegistry net_metrics_;  // must outlive network_
   SimNetwork network_;
   trace::Tracer client_tracer_;
   server::InMemoryServiceDiscovery discovery_;

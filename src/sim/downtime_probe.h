@@ -78,6 +78,11 @@ class DowntimeProbe {
     bool saw_outage = false;
     uint64_t outage_start_micros = 0;
     uint64_t max_outage_micros = 0;
+    /// Issue time of the latest probe known to have succeeded. Callbacks
+    /// complete out of issue order (a failing probe surfaces a full
+    /// client-timeout after fast successes issued later), so outage
+    /// bookkeeping orders probes by *issue* time, never completion time.
+    uint64_t last_success_issued_micros = 0;
     int outages = 0;
     int consecutive_successes = 0;
     uint64_t next_key = 0;
@@ -89,22 +94,48 @@ class DowntimeProbe {
     const uint64_t issued_at = loop->now();
     const std::string key = StringPrintf(
         "probe-%llu", (unsigned long long)state->next_key++);
-    write(key, [loop, state, issued_at](bool ok) {
+    write(key, [state, issued_at](bool ok) {
       if (state->finished) return;
       if (ok) {
-        ++state->consecutive_successes;
+        state->last_success_issued_micros =
+            std::max(state->last_success_issued_micros, issued_at);
         if (state->in_outage) {
+          if (issued_at <= state->outage_start_micros) {
+            // Issued before the outage began: says nothing about
+            // recovery (and nothing about current stability either).
+            return;
+          }
           state->in_outage = false;
-          const uint64_t outage = loop->now() - state->outage_start_micros;
+          // Outage ends at the succeeding probe's *issue* time — the
+          // first instant the system demonstrably accepted a write —
+          // matching TraceAnalyzer's first-write convention. Completion
+          // time would inflate every outage by a client round trip.
+          const uint64_t outage = issued_at - state->outage_start_micros;
           state->max_outage_micros =
               std::max(state->max_outage_micros, outage);
         }
+        ++state->consecutive_successes;
       } else {
+        if (issued_at <= state->last_success_issued_micros) {
+          // Stale failure: a probe issued after this one already
+          // succeeded, so the system was up past `issued_at`. Starting
+          // an outage here would create a phantom window that no future
+          // success may close (blocking settle until the timeout) and
+          // would wrongly reset the consecutive-success streak — the
+          // back-to-back-failover miscount this probe used to have.
+          return;
+        }
         state->consecutive_successes = 0;
         if (!state->in_outage) {
           state->in_outage = true;
           state->saw_outage = true;
           ++state->outages;
+          state->outage_start_micros = issued_at;
+        } else if (issued_at < state->outage_start_micros) {
+          // Failures can also complete out of order; the outage starts
+          // at the earliest failed issue (e.g. a probe that landed
+          // exactly on the crash tick but timed out later than one
+          // issued a few intervals after it).
           state->outage_start_micros = issued_at;
         }
       }

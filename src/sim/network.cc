@@ -20,6 +20,21 @@ std::pair<RegionId, RegionId> NormalisedRegionPair(const RegionId& a,
 
 }  // namespace
 
+SimNetwork::SimNetwork(EventLoop* loop, NetworkOptions options)
+    : loop_(loop), options_(options) {
+  if (options_.metrics != nullptr) {
+    m_dropped_ = options_.metrics->GetCounter("net.dropped");
+    m_dropped_node_down_ =
+        options_.metrics->GetCounter("net.dropped.node_down");
+    m_dropped_link_cut_ =
+        options_.metrics->GetCounter("net.dropped.link_cut");
+    m_dropped_loss_ = options_.metrics->GetCounter("net.dropped.loss");
+    m_dropped_in_flight_ =
+        options_.metrics->GetCounter("net.dropped.in_flight");
+    m_duplicated_ = options_.metrics->GetCounter("net.duplicated");
+  }
+}
+
 void SimNetwork::RegisterNode(const MemberId& id, const RegionId& region,
                               DeliverFn deliver) {
   nodes_[id] = Node{region, std::move(deliver)};
@@ -51,6 +66,26 @@ void SimNetwork::SetLinkCut(const MemberId& a, const MemberId& b, bool cut) {
   } else {
     cut_links_.erase(NormalisedPair(a, b));
   }
+}
+
+void SimNetwork::SetLinkOneWayCut(const MemberId& from, const MemberId& to,
+                                  bool cut) {
+  if (cut) {
+    one_way_cuts_.insert({from, to});
+  } else {
+    one_way_cuts_.erase({from, to});
+  }
+}
+
+void SimNetwork::HealAllFaults() {
+  cut_links_.clear();
+  one_way_cuts_.clear();
+  partitioned_regions_.clear();
+  extra_delay_.clear();
+  replication_lag_.clear();
+  options_.loss_rate = 0.0;
+  options_.duplicate_rate = 0.0;
+  options_.chaos_jitter_micros = 0;
 }
 
 void SimNetwork::SetRegionPartitioned(const RegionId& region,
@@ -107,19 +142,42 @@ uint64_t SimNetwork::SampleLatency(const RegionId& from, const RegionId& to) {
   return latency;
 }
 
+void SimNetwork::CountDrop(metrics::Counter* reason_counter) {
+  ++dropped_;
+  if (m_dropped_ != nullptr) m_dropped_->Increment();
+  if (reason_counter != nullptr) reason_counter->Increment();
+}
+
+void SimNetwork::ScheduleDelivery(const MemberId& from, const MemberId& dest,
+                                  uint64_t latency, Message message) {
+  loop_->Schedule(latency, [this, from, dest, msg = std::move(message)]() {
+    auto it = nodes_.find(dest);
+    // Re-check liveness at delivery time (node may have crashed in
+    // flight).
+    if (it == nodes_.end() || down_.count(dest) > 0) {
+      CountDrop(m_dropped_in_flight_);
+      return;
+    }
+    it->second.deliver(from, msg);
+  });
+}
+
 void SimNetwork::Send(const MemberId& from, Message message) {
   // Deliver to the physical next hop (a proxy relay when routed).
   const MemberId dest = MessageNextHop(message);
   auto from_it = nodes_.find(from);
   auto dest_it = nodes_.find(dest);
   if (from_it == nodes_.end() || dest_it == nodes_.end() ||
-      down_.count(from) > 0 || down_.count(dest) > 0 ||
-      LinkCutBetween(from, dest)) {
-    ++dropped_;
+      down_.count(from) > 0 || down_.count(dest) > 0) {
+    CountDrop(m_dropped_node_down_);
+    return;
+  }
+  if (LinkCutBetween(from, dest) || one_way_cuts_.count({from, dest}) > 0) {
+    CountDrop(m_dropped_link_cut_);
     return;
   }
   if (options_.loss_rate > 0 && loop_->rng()->Bernoulli(options_.loss_rate)) {
-    ++dropped_;
+    CountDrop(m_dropped_loss_);
     return;
   }
 
@@ -147,17 +205,22 @@ void SimNetwork::Send(const MemberId& from, Message message) {
       }
     }
   }
+  if (options_.chaos_jitter_micros > 0) {
+    // Per-message uniform jitter: with a spread wider than the base
+    // latency this reorders messages on the same link.
+    latency += loop_->rng()->Uniform(options_.chaos_jitter_micros);
+  }
 
-  loop_->Schedule(latency, [this, from, dest, msg = std::move(message)]() {
-    auto it = nodes_.find(dest);
-    // Re-check liveness at delivery time (node may have crashed in
-    // flight).
-    if (it == nodes_.end() || down_.count(dest) > 0) {
-      ++dropped_;
-      return;
+  if (options_.duplicate_rate > 0 &&
+      loop_->rng()->Bernoulli(options_.duplicate_rate)) {
+    if (m_duplicated_ != nullptr) m_duplicated_->Increment();
+    uint64_t dup_latency = SampleLatency(from_region, dest_region);
+    if (options_.chaos_jitter_micros > 0) {
+      dup_latency += loop_->rng()->Uniform(options_.chaos_jitter_micros);
     }
-    it->second.deliver(from, msg);
-  });
+    ScheduleDelivery(from, dest, dup_latency, message);
+  }
+  ScheduleDelivery(from, dest, latency, std::move(message));
 }
 
 uint64_t SimNetwork::CrossRegionBytes() const {

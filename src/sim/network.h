@@ -11,6 +11,7 @@
 #include <string>
 
 #include "sim/event_loop.h"
+#include "util/metrics.h"
 #include "wire/messages.h"
 
 namespace myraft::sim {
@@ -28,6 +29,17 @@ struct NetworkOptions {
   LatencyModel cross_region{15'000, 2'000};
   /// Probability each message is dropped (applied after partitions).
   double loss_rate = 0.0;
+  /// Probability each delivered message is delivered twice (the duplicate
+  /// takes an independently sampled latency, so it may arrive first).
+  double duplicate_rate = 0.0;
+  /// Extra uniform delay in [0, chaos_jitter_micros) added per message on
+  /// top of the latency model. Large values reorder messages aggressively.
+  uint64_t chaos_jitter_micros = 0;
+  /// Optional registry for net.* fault counters (drops by reason,
+  /// duplicates). Without it drops are only visible via
+  /// dropped_messages(), which is how they used to vanish from metrics
+  /// snapshots entirely.
+  metrics::MetricRegistry* metrics = nullptr;
 };
 
 class SimNetwork {
@@ -38,8 +50,7 @@ class SimNetwork {
   using DeliverFn =
       std::function<void(const MemberId& physical_from, const Message&)>;
 
-  SimNetwork(EventLoop* loop, NetworkOptions options)
-      : loop_(loop), options_(options) {}
+  SimNetwork(EventLoop* loop, NetworkOptions options);
 
   // --- Topology ---------------------------------------------------------------
 
@@ -60,9 +71,22 @@ class SimNetwork {
   bool IsNodeUp(const MemberId& id) const { return down_.count(id) == 0; }
   /// Bidirectional link cut between two members.
   void SetLinkCut(const MemberId& a, const MemberId& b, bool cut);
+  /// One-way link fault: messages from `from` to `to` are dropped while
+  /// the reverse direction keeps flowing. Composable with SetLinkCut /
+  /// region partitions (any matching fault drops the message). Models the
+  /// asymmetric partitions that break naive failure detectors: `to` still
+  /// hears `from` and vice-versa is dead.
+  void SetLinkOneWayCut(const MemberId& from, const MemberId& to, bool cut);
   /// Full region partition: cuts every link crossing the region boundary.
   void SetRegionPartitioned(const RegionId& region, bool partitioned);
   void SetLossRate(double rate) { options_.loss_rate = rate; }
+  void SetDuplicateRate(double rate) { options_.duplicate_rate = rate; }
+  /// Per-message uniform extra delay (reorders aggressively when larger
+  /// than the base latency spread).
+  void SetChaosJitter(uint64_t micros) { options_.chaos_jitter_micros = micros; }
+  /// Heals every link/region/one-way fault and resets loss, duplication
+  /// and jitter rates (node up/down state is not touched).
+  void HealAllFaults();
   /// Extra one-way delay applied to all messages to/from a member
   /// (models a lagging / overloaded host).
   void SetNodeExtraDelay(const MemberId& id, uint64_t extra_micros);
@@ -108,12 +132,17 @@ class SimNetwork {
 
   uint64_t SampleLatency(const RegionId& from, const RegionId& to);
   bool LinkCutBetween(const MemberId& a, const MemberId& b) const;
+  /// Bumps dropped_ plus net.dropped and the given per-reason counter.
+  void CountDrop(metrics::Counter* reason_counter);
+  void ScheduleDelivery(const MemberId& from, const MemberId& dest,
+                        uint64_t latency, Message message);
 
   EventLoop* loop_;
   NetworkOptions options_;
   std::map<MemberId, Node> nodes_;
   std::set<MemberId> down_;
   std::set<std::pair<MemberId, MemberId>> cut_links_;  // normalised pairs
+  std::set<std::pair<MemberId, MemberId>> one_way_cuts_;  // (from, to)
   std::set<RegionId> partitioned_regions_;
   std::map<MemberId, uint64_t> extra_delay_;
   std::map<MemberId, uint64_t> replication_lag_;
@@ -121,6 +150,13 @@ class SimNetwork {
   std::map<std::pair<RegionId, RegionId>, LinkStats> link_stats_;
   std::map<std::pair<MemberId, MemberId>, LinkStats> member_link_stats_;
   uint64_t dropped_ = 0;
+  // net.* fault counters; null when no registry was supplied.
+  metrics::Counter* m_dropped_ = nullptr;
+  metrics::Counter* m_dropped_node_down_ = nullptr;
+  metrics::Counter* m_dropped_link_cut_ = nullptr;
+  metrics::Counter* m_dropped_loss_ = nullptr;
+  metrics::Counter* m_dropped_in_flight_ = nullptr;
+  metrics::Counter* m_duplicated_ = nullptr;
 };
 
 }  // namespace myraft::sim

@@ -91,7 +91,7 @@ Status SimNode::Restart() {
   return server_->Start();
 }
 
-void SimNode::Crash() {
+void SimNode::Crash(CrashMode mode) {
   if (!up_) return;
   up_ = false;
   network_->SetNodeUp(id(), false);
@@ -99,6 +99,16 @@ void SimNode::Crash() {
   // Volatile state dies with the process; env_ (the disk) survives.
   server_.reset();
   router_.reset();
+  if (mode == CrashMode::kLoseUnsynced) {
+    CrashFaultInjectionEnv* fault_env = GetCrashFaultInjectionEnv(env_.get());
+    if (fault_env != nullptr) {
+      const size_t torn = fault_env->LoseUnsyncedData();
+      if (torn > 0) {
+        MYRAFT_LOG(Info) << id() << ": power-loss crash tore unsynced tails in "
+                         << torn << " file(s)";
+      }
+    }
+  }
 }
 
 void SimNode::Deliver(const MemberId& physical_from, const Message& message) {

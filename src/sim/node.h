@@ -45,8 +45,18 @@ class SimNode {
   /// Restart after Crash() (recovers from the surviving MemEnv).
   Status Restart();
 
-  /// Process crash: drops volatile state, deregisters from the network.
-  void Crash();
+  enum class CrashMode {
+    /// Process crash: the OS page cache survives, so the MemEnv keeps
+    /// every appended byte (mysqld dying while the host stays up).
+    kKeepDisk,
+    /// Power-loss crash: everything past each file's fsync horizon is
+    /// torn away before recovery runs (host/kernel failure).
+    kLoseUnsynced,
+  };
+
+  /// Crash: drops volatile state, deregisters from the network. With
+  /// kLoseUnsynced the disk is truncated to its durable horizon.
+  void Crash(CrashMode mode = CrashMode::kKeepDisk);
 
   bool up() const { return up_; }
   const MemberId& id() const { return options_.server.id; }

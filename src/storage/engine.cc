@@ -389,6 +389,12 @@ Result<std::vector<PendingWrite>> MiniEngine::PendingWrites(TxnId txn) const {
   return it->second.writes;
 }
 
+uint64_t MiniEngine::WalDurableBytes() const {
+  CrashFaultInjectionEnv* fault_env = GetCrashFaultInjectionEnv(env_);
+  if (fault_env != nullptr) return fault_env->SyncedSize(WalPath());
+  return WalSizeBytes();
+}
+
 uint64_t MiniEngine::StateChecksum() const {
   // Tables and rows iterate in sorted order, so this is deterministic and
   // comparable across replicas regardless of write interleavings.

@@ -111,6 +111,13 @@ class MiniEngine {
   uint64_t RowCount() const;
   /// Current WAL size (drives checkpoint scheduling).
   uint64_t WalSizeBytes() const { return wal_ != nullptr ? wal_->Size() : 0; }
+  /// WAL bytes covered by the last fsync — what a power-loss crash keeps.
+  /// The engine never syncs its WAL on the hot path by design: prepared
+  /// transactions are rolled back at recovery and the applier re-applies
+  /// from the (durable, quorum-replicated) binlog, so losing the whole
+  /// WAL tail is recoverable. Exact under a crash-fault-injection Env;
+  /// equals WalSizeBytes() otherwise.
+  uint64_t WalDurableBytes() const;
 
   /// Writes a snapshot of committed state and truncates the WAL. Keeps
   /// reopen cost bounded in long-running deployments.

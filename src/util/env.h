@@ -89,6 +89,29 @@ Env* GetPosixEnv();
 /// Creates a fresh private in-memory filesystem.
 std::unique_ptr<Env> NewMemEnv();
 
+/// Crash-fidelity controls implemented by MemEnv. The env tracks an fsync
+/// horizon per file (bytes covered by the last WritableFile::Sync); a
+/// simulated power-loss crash truncates every file back to that horizon,
+/// so recovery code only ever sees bytes it actually made durable.
+///
+/// Metadata operations (rename, remove, explicit truncate) are treated as
+/// durable at the time they happen — modelling their non-atomicity is out
+/// of scope; the interesting crash surface here is appended-but-unsynced
+/// WAL/binlog bytes.
+class CrashFaultInjectionEnv {
+ public:
+  virtual ~CrashFaultInjectionEnv() = default;
+  /// Truncates every file to its fsync horizon. Returns the number of
+  /// files that lost bytes.
+  virtual size_t LoseUnsyncedData() = 0;
+  /// Durable size of `path` (0 if never synced or unknown).
+  virtual uint64_t SyncedSize(const std::string& path) const = 0;
+};
+
+/// Downcast helper: non-null iff `env` supports crash fault injection
+/// (MemEnv does; PosixEnv does not).
+CrashFaultInjectionEnv* GetCrashFaultInjectionEnv(Env* env);
+
 }  // namespace myraft
 
 #endif  // MYRAFT_UTIL_ENV_H_

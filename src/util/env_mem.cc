@@ -14,6 +14,10 @@ namespace {
 struct MemFileData {
   std::mutex mu;
   std::string contents;
+  // Fsync horizon: bytes covered by the last Sync(). A simulated
+  // power-loss crash (LoseUnsyncedData) truncates back to this, so
+  // recovery paths only ever see bytes the writer made durable.
+  uint64_t synced_size = 0;
 };
 
 class MemWritableFile final : public WritableFile {
@@ -27,7 +31,11 @@ class MemWritableFile final : public WritableFile {
     return Status::OK();
   }
   Status Flush() override { return Status::OK(); }
-  Status Sync() override { return Status::OK(); }
+  Status Sync() override {
+    std::lock_guard<std::mutex> lock(data_->mu);
+    data_->synced_size = data_->contents.size();
+    return Status::OK();
+  }
   Status Close() override { return Status::OK(); }
   uint64_t Size() const override {
     std::lock_guard<std::mutex> lock(data_->mu);
@@ -95,7 +103,7 @@ class MemRandomAccessFile final : public RandomAccessFile {
   std::shared_ptr<MemFileData> data_;
 };
 
-class MemEnv final : public Env {
+class MemEnv final : public Env, public CrashFaultInjectionEnv {
  public:
   Result<std::unique_ptr<WritableFile>> NewWritableFile(
       const std::string& path) override {
@@ -194,11 +202,37 @@ class MemEnv final : public Env {
       return Status::InvalidArgument("truncate beyond EOF: " + path);
     }
     it->second->contents.resize(size);
+    // An explicit truncate is a durable metadata operation; the horizon
+    // never exceeds the file size afterwards.
+    it->second->synced_size = std::min<uint64_t>(it->second->synced_size, size);
     return Status::OK();
   }
 
+  // --- CrashFaultInjectionEnv ---------------------------------------------------
+
+  size_t LoseUnsyncedData() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t truncated = 0;
+    for (auto& [path, data] : files_) {
+      std::lock_guard<std::mutex> flock(data->mu);
+      if (data->contents.size() > data->synced_size) {
+        data->contents.resize(data->synced_size);
+        ++truncated;
+      }
+    }
+    return truncated;
+  }
+
+  uint64_t SyncedSize(const std::string& path) const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(path);
+    if (it == files_.end()) return 0;
+    std::lock_guard<std::mutex> flock(it->second->mu);
+    return it->second->synced_size;
+  }
+
  private:
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<MemFileData>> files_;
   std::map<std::string, bool> dirs_;
 };
@@ -206,5 +240,9 @@ class MemEnv final : public Env {
 }  // namespace
 
 std::unique_ptr<Env> NewMemEnv() { return std::make_unique<MemEnv>(); }
+
+CrashFaultInjectionEnv* GetCrashFaultInjectionEnv(Env* env) {
+  return dynamic_cast<CrashFaultInjectionEnv*>(env);
+}
 
 }  // namespace myraft

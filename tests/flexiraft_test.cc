@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "raft_test_harness.h"
 #include "util/random.h"
 
@@ -94,6 +96,177 @@ TEST(FlexiRaftUnitTest, BootstrapElectionNeedsGlobalMajority) {
   EXPECT_TRUE(engine.IsElectionQuorumSatisfied(
       context, {"db0", "lt0a", "lt0b", "db1", "lt1a"}));
 }
+
+TEST(FlexiRaftUnitTest, DynamicElectionRequiresEvidenceCoverage) {
+  FlexiRaftQuorumEngine engine({QuorumMode::kSingleRegionDynamic});
+  const auto config = PaperConfig();
+  auto context = Context(config, "db1", "r1", "r0");
+  const std::set<MemberId> granted{"db1", "lt1a", "db0", "lt0a"};
+  // Caller-vouched view: the scalar rule accepts r1 + r0 majorities.
+  EXPECT_TRUE(engine.IsElectionQuorumSatisfied(context, granted));
+  // Live-election view: the same grants are not trusted until a majority
+  // of EVERY region has responded — the freshest leader evidence could be
+  // hiding in silent r2.
+  std::set<MemberId> responded = granted;
+  std::set<RegionId> evidence{"r0"};
+  context.responded = &responded;
+  context.evidence_regions = &evidence;
+  EXPECT_FALSE(engine.IsElectionQuorumSatisfied(context, granted));
+  // Denials carry evidence too: r2 responses complete the coverage.
+  responded.insert("lt2a");
+  responded.insert("lt2b");
+  EXPECT_TRUE(engine.IsElectionQuorumSatisfied(context, granted));
+}
+
+TEST(FlexiRaftUnitTest, DynamicElectionRequiresAllEvidenceRegions) {
+  FlexiRaftQuorumEngine engine({QuorumMode::kSingleRegionDynamic});
+  const auto config = PaperConfig();
+  auto context = Context(config, "db1", "r1", "r0");
+  std::set<MemberId> responded;
+  for (const auto& m : config.members) responded.insert(m.id);
+  // A binding vote recorded for an r2 candidate means a leader may exist
+  // there: its data quorum must be intersected too, not just the
+  // max-term region's (two candidates can disagree on the max).
+  std::set<RegionId> evidence{"r0", "r2"};
+  context.responded = &responded;
+  context.evidence_regions = &evidence;
+  std::set<MemberId> granted{"db1", "lt1a", "db0", "lt0a"};
+  EXPECT_FALSE(engine.IsElectionQuorumSatisfied(context, granted));
+  granted.insert("lt2a");
+  granted.insert("lt2b");
+  EXPECT_TRUE(engine.IsElectionQuorumSatisfied(context, granted));
+}
+
+TEST(FlexiRaftUnitTest, PristineClusterElectionNeedsEveryRegion) {
+  FlexiRaftQuorumEngine engine({QuorumMode::kSingleRegionDynamic});
+  const auto config = PaperConfig();
+  auto context = Context(config, "db0", "r0", "");
+  std::set<MemberId> responded;
+  for (const auto& m : config.members) responded.insert(m.id);
+  std::set<RegionId> evidence;  // nobody ever led or voted
+  context.responded = &responded;
+  context.evidence_regions = &evidence;
+  // A plain global majority is not enough on the live path: two pristine
+  // same-term candidates with disjoint global majorities must still
+  // share a region-majority somewhere.
+  EXPECT_FALSE(engine.IsElectionQuorumSatisfied(
+      context, {"db0", "lt0a", "lt0b", "db1", "lt1a"}));
+  EXPECT_TRUE(engine.IsElectionQuorumSatisfied(
+      context, {"db0", "lt0a", "db1", "lt1a", "db2", "lt2a"}));
+}
+
+// Model-level regression for a double-leader found by the chaos harness:
+// two same-term candidates aggregate the last-leader view from whichever
+// voters happened to respond, judge themselves against divergent stale
+// views, and win with disjoint quorums. Simulates the voter protocol
+// (binding vote per term, evidence reported pre-vote and excluding votes
+// for the requester) under random layouts, histories, reachability and
+// interleavings: no interleaving may produce two winners.
+class FlexiRaftElectionSafetyTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(FlexiRaftElectionSafetyTest, SameTermCandidatesCannotBothWin) {
+  Random rng(GetParam());
+  FlexiRaftQuorumEngine engine({QuorumMode::kSingleRegionDynamic});
+  for (int round = 0; round < 200; ++round) {
+    MembershipConfig config;
+    const int regions = 2 + static_cast<int>(rng.Uniform(3));
+    for (int r = 0; r < regions; ++r) {
+      const int voters = 1 + static_cast<int>(rng.Uniform(5));
+      for (int v = 0; v < voters; ++v) {
+        config.members.push_back(MemberInfo{
+            StringPrintf("m%d_%d", r, v), "r" + std::to_string(r),
+            MemberKind::kMySql, RaftMemberType::kVoter});
+      }
+    }
+    const auto& members = config.members;
+    if (members.size() < 2) continue;
+
+    // Per-voter persisted state: the latest binding vote (term, for,
+    // region) — earlier failed elections leave these behind.
+    struct VoterState {
+      uint64_t vote_term = 0;
+      MemberId voted_for;
+      RegionId voted_region;
+    };
+    std::map<MemberId, VoterState> state;
+    for (const auto& m : members) {
+      VoterState s;
+      if (rng.OneIn(2)) {
+        const auto& past = members[rng.Uniform(members.size())];
+        s.vote_term = 1 + rng.Uniform(5);
+        s.voted_for = past.id;
+        s.voted_region = past.region;
+      }
+      state[m.id] = s;
+    }
+
+    const uint64_t kTerm = 10;
+    const size_t ai = rng.Uniform(members.size());
+    size_t bi = rng.Uniform(members.size() - 1);
+    if (bi >= ai) ++bi;
+    const MemberInfo& cand_a = members[ai];
+    const MemberInfo& cand_b = members[bi];
+
+    struct Tally {
+      std::set<MemberId> granted;
+      std::set<MemberId> responded;
+      std::set<RegionId> evidence;
+    };
+    Tally tally_a, tally_b;
+    auto respond = [&](const MemberInfo& voter, const MemberInfo& cand,
+                       Tally* tally) {
+      tally->responded.insert(voter.id);
+      VoterState& s = state[voter.id];
+      // Evidence computed before recording this vote, excluding votes
+      // for the requester itself (mirrors PotentialLeaderEvidence).
+      if (s.vote_term > 0 && s.voted_for != cand.id) {
+        tally->evidence.insert(s.voted_region);
+      }
+      if (s.voted_for.empty() || s.vote_term < kTerm) {
+        s.vote_term = kTerm;
+        s.voted_for = cand.id;
+        s.voted_region = cand.region;
+        tally->granted.insert(voter.id);
+      } else if (s.voted_for == cand.id) {
+        tally->granted.insert(voter.id);
+      }
+    };
+    // Candidates vote for themselves first.
+    respond(cand_a, cand_a, &tally_a);
+    respond(cand_b, cand_b, &tally_b);
+    // Remaining voters handle the two requests in random order; either
+    // request may be lost to them entirely.
+    for (const auto& m : members) {
+      if (m.id == cand_a.id || m.id == cand_b.id) continue;
+      const bool reach_a = !rng.OneIn(4);
+      const bool reach_b = !rng.OneIn(4);
+      const bool a_first = rng.OneIn(2);
+      if (a_first && reach_a) respond(m, cand_a, &tally_a);
+      if (reach_b) respond(m, cand_b, &tally_b);
+      if (!a_first && reach_a) respond(m, cand_a, &tally_a);
+    }
+    // Each candidate may also (or may not) hear the rival's request.
+    if (rng.OneIn(2)) respond(cand_a, cand_b, &tally_b);
+    if (rng.OneIn(2)) respond(cand_b, cand_a, &tally_a);
+
+    auto satisfied = [&](const MemberInfo& cand, const Tally& tally) {
+      QuorumContext context =
+          Context(config, cand.id, cand.region, /*last leader*/ "");
+      context.responded = &tally.responded;
+      context.evidence_regions = &tally.evidence;
+      return engine.IsElectionQuorumSatisfied(context, tally.granted);
+    };
+    const bool a_wins = satisfied(cand_a, tally_a);
+    const bool b_wins = satisfied(cand_b, tally_b);
+    ASSERT_FALSE(a_wins && b_wins)
+        << "round " << round << ": " << cand_a.id << " and " << cand_b.id
+        << " both won term " << kTerm;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlexiRaftElectionSafetyTest,
+                         ::testing::Values(101, 202, 303, 404, 505));
 
 TEST(FlexiRaftUnitTest, MultiRegionMode) {
   FlexiRaftOptions options;
@@ -388,16 +561,34 @@ TEST(FlexiRaftClusterTest, VotingHistoryBlocksStaleQuorumElection) {
   AddPaperTopology(&cluster);  // r0/r1/r2, db + 2 logtailers each
   cluster.StartAll(&engine, FastOptions());
 
-  const MemberId first_leader = cluster.WaitForLeader(10 * kSecond);
-  ASSERT_FALSE(first_leader.empty());
+  ASSERT_FALSE(cluster.WaitForLeader(10 * kSecond).empty());
   cluster.loop()->RunFor(2 * kSecond);
+  const MemberId first_leader = cluster.CurrentLeader();
+  ASSERT_FALSE(first_leader.empty());
 
-  // Crash the leader; a new leader in another region gets elected with
-  // votes from the old region's logtailers.
+  // Move leadership to a database in another region (graceful §4.3
+  // transfer keeps this deterministic — a timeout-driven failover may
+  // just elect an in-region logtailer), then crash the old leader. The
+  // old region's logtailers cast binding votes for the new leader but
+  // will be cut off before receiving any of its entries.
   const RegionId old_region = cluster.node(first_leader)->region();
-  cluster.Crash(first_leader);
-  const MemberId new_leader = cluster.WaitForLeader(20 * kSecond);
+  MemberId new_leader;
+  for (const MemberId& id : cluster.ids()) {
+    if (cluster.node(id)->region() != old_region &&
+        id.compare(0, 2, "db") == 0) {
+      new_leader = id;
+      break;
+    }
+  }
   ASSERT_FALSE(new_leader.empty());
+  const Status transfer_status =
+      cluster.node(first_leader)->consensus()->TransferLeadership(new_leader);
+  ASSERT_TRUE(transfer_status.ok()) << transfer_status.ToString();
+  for (int i = 0; i < 40 && cluster.CurrentLeader() != new_leader; ++i) {
+    cluster.loop()->RunFor(kSecond / 2);
+  }
+  ASSERT_EQ(cluster.CurrentLeader(), new_leader);
+  cluster.Crash(first_leader);
   const RegionId new_region = cluster.node(new_leader)->region();
   ASSERT_NE(new_region, old_region);
 

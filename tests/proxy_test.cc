@@ -151,7 +151,12 @@ TEST(ProxyClusterTest, ReplicationFlowsThroughRelaysAndConverges) {
   proxy_cluster.Start(&engine);
   RaftTestCluster* cluster = proxy_cluster.cluster();
 
-  const MemberId leader_id = cluster->WaitForLeader(10 * kSecond);
+  ASSERT_FALSE(cluster->WaitForLeader(10 * kSecond).empty());
+  // A logtailer can win the bootstrap race as a temporary witness leader
+  // (§2.2); let its automatic handoff to a database replica settle so
+  // the replication burst below runs under a stable leader.
+  cluster->loop()->RunFor(2 * kSecond);
+  const MemberId leader_id = cluster->CurrentLeader();
   ASSERT_FALSE(leader_id.empty());
   raft::RaftConsensus* leader = cluster->node(leader_id)->consensus();
 
@@ -189,7 +194,9 @@ TEST(ProxyClusterTest, ProxySavesCrossRegionBytes) {
     proxy_cluster.AddPaperTopology();
     proxy_cluster.Start(&engine);
     RaftTestCluster* cluster = proxy_cluster.cluster();
-    const MemberId leader_id = cluster->WaitForLeader(10 * kSecond);
+    ASSERT_FALSE(cluster->WaitForLeader(10 * kSecond).empty());
+    cluster->loop()->RunFor(2 * kSecond);  // settle any witness handoff
+    const MemberId leader_id = cluster->CurrentLeader();
     ASSERT_FALSE(leader_id.empty());
     raft::RaftConsensus* leader = cluster->node(leader_id)->consensus();
     cluster->loop()->RunFor(kSecond);
@@ -226,7 +233,9 @@ TEST(ProxyClusterTest, DeadRelayIsRoutedAround) {
   proxy_cluster.Start(&engine);
   RaftTestCluster* cluster = proxy_cluster.cluster();
 
-  const MemberId leader_id = cluster->WaitForLeader(10 * kSecond);
+  ASSERT_FALSE(cluster->WaitForLeader(10 * kSecond).empty());
+  cluster->loop()->RunFor(2 * kSecond);  // settle any witness handoff
+  const MemberId leader_id = cluster->CurrentLeader();
   ASSERT_FALSE(leader_id.empty());
   raft::RaftConsensus* leader = cluster->node(leader_id)->consensus();
   const RegionId home = cluster->node(leader_id)->region();
@@ -275,7 +284,9 @@ TEST(ProxyClusterTest, MissingEntryDegradesToHeartbeatThenRecovers) {
   proxy_cluster.Start(&engine);
   RaftTestCluster* cluster = proxy_cluster.cluster();
 
-  const MemberId leader_id = cluster->WaitForLeader(10 * kSecond);
+  ASSERT_FALSE(cluster->WaitForLeader(10 * kSecond).empty());
+  cluster->loop()->RunFor(2 * kSecond);  // settle any witness handoff
+  const MemberId leader_id = cluster->CurrentLeader();
   ASSERT_FALSE(leader_id.empty());
   raft::RaftConsensus* leader = cluster->node(leader_id)->consensus();
   const RegionId home = cluster->node(leader_id)->region();
