@@ -4,12 +4,21 @@
 // binlog manager append/read path. These quantify the per-transaction
 // leader-thread overhead that shows up as the ~1-2% latency delta in
 // Figure 5.
+//
+// `--commit-latency` switches to a simulated end-to-end commit-latency
+// run instead (inline vs coalesced group commit, 1 and 8 clients) and
+// writes BENCH_micro_commit_latency.json; CI gates p50/p99 against the
+// committed baseline in bench/baselines/ (>15% regression fails) and
+// asserts the coalesced 8-client fsync-per-commit ratio stays < 0.5.
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "binlog/binlog_manager.h"
 #include "binlog/transaction.h"
+#include "flexiraft/flexiraft.h"
 #include "raft/log_cache.h"
+#include "sim/cluster.h"
 #include "storage/engine.h"
 #include "util/compression.h"
 #include "util/crc32c.h"
@@ -215,7 +224,144 @@ void BM_HistogramAdd(benchmark::State& state) {
 }
 BENCHMARK(BM_HistogramAdd);
 
+// --- Commit-latency mode (--commit-latency) ----------------------------------
+
+const raft::QuorumEngine* CommitLatencyEngine() {
+  static auto* engine = new flexiraft::FlexiRaftQuorumEngine(
+      {flexiraft::QuorumMode::kSingleRegionDynamic});
+  return engine;
+}
+
+uint64_t PrimaryCounter(sim::ClusterHarness* harness, const MemberId& primary,
+                        const std::string& name) {
+  const auto* counter =
+      harness->node(primary)->metrics()->FindCounter(name);
+  return counter == nullptr ? 0 : counter->value();
+}
+
+struct CommitLatencyResult {
+  Histogram latency;
+  double fsync_per_commit = 0.0;
+  int acked = 0;
+};
+
+/// Drives `writes` client writes at `clients` concurrency (bursts issued
+/// at one virtual instant) against a fresh cluster and measures the
+/// client-observed commit latency plus the primary's binlog fsyncs per
+/// committed transaction.
+CommitLatencyResult RunCommitLatencyConfig(uint64_t seed, bool coalesced,
+                                           int clients, int writes) {
+  constexpr uint64_t kSecond = 1'000'000;
+  sim::ClusterOptions options;
+  options.seed = seed;
+  options.db_regions = 3;
+  options.logtailers_per_db = 2;
+  options.raft.group_commit_sync = coalesced;
+  sim::ClusterHarness harness(options, CommitLatencyEngine());
+  CommitLatencyResult result;
+  if (!harness.Bootstrap().ok()) return result;
+  const MemberId primary = harness.WaitForPrimary(30 * kSecond);
+  if (primary.empty()) return result;
+  (void)harness.SyncWrite("warm", "up");  // settle bootstrap syncs
+
+  const uint64_t syncs_before =
+      PrimaryCounter(&harness, primary, "binlog.syncs");
+  int issued = 0;
+  while (issued < writes) {
+    int outstanding = 0;
+    for (int c = 0; c < clients && issued < writes; ++c, ++issued) {
+      ++outstanding;
+      harness.ClientWrite(
+          "k" + std::to_string(issued % 97), "v" + std::to_string(issued),
+          [&result, &outstanding](
+              const sim::ClusterHarness::ClientWriteResult& r) {
+            --outstanding;
+            if (r.status.ok()) {
+              result.latency.Add(r.latency_micros);
+              ++result.acked;
+            }
+          });
+    }
+    const uint64_t deadline = harness.loop()->now() + 10 * kSecond;
+    while (outstanding > 0 && harness.loop()->now() < deadline) {
+      harness.loop()->RunFor(1'000);
+    }
+  }
+  const uint64_t syncs =
+      PrimaryCounter(&harness, primary, "binlog.syncs") - syncs_before;
+  result.fsync_per_commit =
+      result.acked == 0 ? 0.0
+                        : static_cast<double>(syncs) / result.acked;
+  return result;
+}
+
+int RunCommitLatency(const bench::BenchArgs& args) {
+  bench::PrintHeader("Commit latency: inline vs coalesced group commit",
+                     "§3.4 three-stage group commit; §5 Figure 5 latency");
+  struct Config {
+    const char* name;
+    bool coalesced;
+    int clients;
+  };
+  const Config configs[] = {
+      {"inline_1c", false, 1},
+      {"inline_8c", false, 8},
+      {"coalesced_1c", true, 1},
+      {"coalesced_8c", true, 8},
+  };
+  const int writes = args.quick ? 160 : 800;
+
+  bench::PrintPercentileHeaderMs();
+  std::string summary = "{";
+  std::string ratios = "{";
+  bool failed = false;
+  for (const Config& config : configs) {
+    const CommitLatencyResult result = RunCommitLatencyConfig(
+        args.seed, config.coalesced, config.clients, writes);
+    if (result.acked < writes) failed = true;
+    bench::PrintPercentileRowMs(config.coalesced ? "coalesced" : "inline",
+                                config.clients == 1 ? "1-client" : "8-client",
+                                result.latency);
+    printf("  %-22s fsync/commit = %.3f (%d/%d acked)\n", config.name,
+           result.fsync_per_commit, result.acked, writes);
+    if (summary.size() > 1) summary += ",";
+    summary += StringPrintf(
+        "\"%s\":{\"latency\":%s,\"fsync_per_commit\":%.4f,\"acked\":%d}",
+        config.name, bench::HistogramJson(result.latency).c_str(),
+        result.fsync_per_commit, result.acked);
+    if (ratios.size() > 1) ratios += ",";
+    ratios += StringPrintf("\"%s\":%.4f", config.name,
+                           result.fsync_per_commit);
+  }
+  summary += "}";
+  ratios += "}";
+  // Internals: the before/after fsync amortization at a glance (inline_*
+  // = the per-write seed behaviour, coalesced_* = the group-commit sync
+  // stage). The full latency histograms live in the summary.
+  const std::string internals =
+      StringPrintf("{\"fsync_per_commit\":%s}", ratios.c_str());
+  if (!bench::WriteBenchJson("micro_commit_latency", summary, internals)) {
+    return 1;
+  }
+  if (failed) {
+    fprintf(stderr, "some writes failed or timed out\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace myraft
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (strcmp(argv[i], "--commit-latency") == 0) {
+      return myraft::RunCommitLatency(myraft::bench::ParseArgs(argc, argv));
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

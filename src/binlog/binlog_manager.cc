@@ -24,6 +24,7 @@ BinlogManager::BinlogManager(Env* env, BinlogManagerOptions options)
   rotations_ = registry->GetCounter("binlog.rotations");
   purges_ = registry->GetCounter("binlog.purges");
   purged_files_ = registry->GetCounter("binlog.purged_files");
+  syncs_ = registry->GetCounter("binlog.syncs");
 }
 
 Result<std::unique_ptr<BinlogManager>> BinlogManager::Open(
@@ -403,7 +404,10 @@ Status BinlogManager::AppendEntry(const LogEntry& entry) {
   return Status::InvalidArgument("unknown entry type");
 }
 
-Status BinlogManager::Sync() { return writer_->Sync(); }
+Status BinlogManager::Sync() {
+  syncs_->Increment();
+  return writer_->Sync();
+}
 
 Result<LogEntry> BinlogManager::ReadEntry(uint64_t index) const {
   auto it = entries_.find(index);

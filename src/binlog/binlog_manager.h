@@ -183,6 +183,7 @@ class BinlogManager {
   metrics::Counter* rotations_;
   metrics::Counter* purges_;
   metrics::Counter* purged_files_;
+  metrics::Counter* syncs_;
 };
 
 }  // namespace myraft::binlog

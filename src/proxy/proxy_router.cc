@@ -98,6 +98,7 @@ void ProxyRouter::RouteRequest(AppendEntriesRequest request) {
   request.entries_compressed = false;
   for (LogEntry& entry : request.entries) {
     entry.payload.clear();  // checksum retained for verification
+    entry.shared_payload.reset();  // drop borrowed zero-copy buffers too
   }
   lower_send_(std::move(request));
 }

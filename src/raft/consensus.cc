@@ -62,8 +62,18 @@ RaftConsensus::RaftConsensus(RaftOptions options, LogAbstraction* log,
   m_.window_rewinds = metrics_->GetCounter("raft.window_rewinds");
   m_.wire_batches_compressed =
       metrics_->GetCounter("raft.wire_batches_compressed");
+  m_.zero_copy_batches = metrics_->GetCounter("raft.zero_copy_batches");
+  m_.group_syncs = metrics_->GetCounter("raft.group_syncs");
+  m_.group_sync_coalesced =
+      metrics_->GetCounter("raft.group_sync_coalesced");
+  m_.marker_only_heartbeats =
+      metrics_->GetCounter("raft.marker_only_heartbeats");
   m_.inflight_window_batches =
       metrics_->GetHistogram("raft.inflight_window_batches");
+  m_.effective_window_batches =
+      metrics_->GetHistogram("raft.effective_window_batches");
+  m_.peer_rtt_us = metrics_->GetHistogram("raft.peer_rtt_us");
+  m_.stall_duration_us = metrics_->GetHistogram("raft.stall_duration_us");
   m_.commit_advance_latency_us =
       metrics_->GetHistogram("raft.commit_advance_latency_us");
 }
@@ -84,6 +94,10 @@ RaftConsensus::Stats RaftConsensus::stats() const {
   s.stale_responses_ignored = m_.stale_responses_ignored->value();
   s.window_rewinds = m_.window_rewinds->value();
   s.wire_batches_compressed = m_.wire_batches_compressed->value();
+  s.zero_copy_batches = m_.zero_copy_batches->value();
+  s.group_syncs = m_.group_syncs->value();
+  s.group_sync_coalesced = m_.group_sync_coalesced->value();
+  s.marker_only_heartbeats = m_.marker_only_heartbeats->value();
   return s;
 }
 
@@ -214,10 +228,20 @@ void RaftConsensus::Tick() {
     Status s = log_->Sync();
     if (s.ok()) {
       last_synced_index_ = log_->LastOpId().index;
+      // A leader running deferred sync (chaos mode) can now count its own
+      // ack; without this its single-region commits wait a heartbeat.
+      if (role_ == RaftRole::kLeader) AdvanceCommitMarker();
     } else {
       MYRAFT_LOG(Error) << options_.self
                         << ": deferred log sync failed: " << s;
     }
+  }
+  // Belt-and-braces for the group-commit sync stage: if the deferred sync
+  // was dropped (host restart races), the next tick picks the tail up.
+  if (group_sync_active() && !group_sync_scheduled_ &&
+      options_.inline_follower_sync &&
+      last_synced_index_ < log_->LastOpId().index) {
+    ScheduleGroupSync();
   }
 
   if (role_ == RaftRole::kLeader) {
@@ -251,6 +275,7 @@ void RaftConsensus::Tick() {
         m_.window_rewinds->Increment();
       }
       if (peer.next_index <= log_->LastOpId().index ||
+          peer.last_sent_commit_index < commit_marker_.index ||
           (peer.inflight.empty() &&
            now - peer.last_rpc_sent_micros >=
                options_.heartbeat_interval_micros)) {
@@ -294,8 +319,17 @@ Result<OpId> RaftConsensus::Replicate(EntryType type, std::string payload,
   const OpId opid{meta_.current_term, log_->LastOpId().index + 1};
   const LogEntry entry = LogEntry::Make(opid, type, std::move(payload));
   MYRAFT_RETURN_NOT_OK(AppendToLocalLog(entry));
-  MYRAFT_RETURN_NOT_OK(log_->Sync());
-  last_synced_index_ = log_->LastOpId().index;
+  if (group_sync_active()) {
+    // Group-commit sync stage (§3.4): every Replicate() arriving before
+    // the deferred sync runs shares one fsync. The entry still ships to
+    // peers immediately; only the leader's own quorum ack waits (gated on
+    // last_synced_index_ in AdvanceCommitMarker), so durability is
+    // unchanged — just amortised.
+    ScheduleGroupSync();
+  } else {
+    MYRAFT_RETURN_NOT_OK(log_->Sync());
+    last_synced_index_ = log_->LastOpId().index;
+  }
   replicate_time_micros_[opid.index] = clock_->NowMicros();
   if (options_.tracer != nullptr && trace_ctx.valid()) {
     replicate_trace_ctx_[opid.index] = trace_ctx;
@@ -396,6 +430,136 @@ void RaftConsensus::CancelInflight(PeerStatus* peer) {
   peer->inflight.clear();
   peer->inflight_bytes = 0;
   peer->awaiting_response = false;
+  NoteStallEnded(peer);
+}
+
+// --- Group-commit sync stage ---------------------------------------------------
+
+void RaftConsensus::ScheduleGroupSync() {
+  if (group_sync_scheduled_) {
+    // Another write already armed the sync; this one rides along.
+    m_.group_sync_coalesced->Increment();
+    return;
+  }
+  group_sync_scheduled_ = true;
+  options_.defer(0, [this]() { RunGroupSync(); });
+}
+
+void RaftConsensus::RunGroupSync() {
+  group_sync_scheduled_ = false;
+  if (!started_) return;
+  if (last_synced_index_ < log_->LastOpId().index) {
+    Status s = log_->Sync();
+    if (s.ok()) {
+      last_synced_index_ = log_->LastOpId().index;
+      m_.group_syncs->Increment();
+    } else {
+      MYRAFT_LOG(Error) << options_.self << ": group sync failed: " << s;
+      // Leader: the self ack stays withheld, nothing commits on our vote.
+      // Follower: fall through — the held ack (if any) reports the stale
+      // durable index, which is exactly the truth.
+    }
+  }
+  if (role_ == RaftRole::kLeader) {
+    // The leader's own (now durable) ack may complete a quorum.
+    last_commit_completer_.clear();
+    AdvanceCommitMarker();
+    return;
+  }
+  if (follower_ack_pending_) {
+    // One cumulative ack stands in for every batch that shared the sync.
+    // It acks the verified prefix, not the raw tail (see the member doc).
+    follower_ack_pending_ = false;
+    AppendEntriesResponse response;
+    response.from = options_.self;
+    response.dest = follower_ack_dest_;
+    response.term = meta_.current_term;
+    response.success = true;
+    response.last_received = log_->LastOpId();
+    if (follower_ack_verified_index_ < response.last_received.index) {
+      auto verified = log_->OpIdAt(follower_ack_verified_index_);
+      response.last_received =
+          verified.ok() ? *verified : OpId{0, follower_ack_verified_index_};
+    }
+    follower_ack_verified_index_ = 0;
+    response.last_durable_index = last_synced_index_;
+    response.trace_id = follower_ack_trace_id_;
+    response.trace_span_id = follower_ack_span_id_;
+    outbox_->Send(std::move(response));
+  }
+}
+
+// --- Adaptive in-flight window -------------------------------------------------
+
+size_t RaftConsensus::EffectiveWindow(const PeerStatus& peer) const {
+  const size_t floor_batches = options_.max_inflight_batches;
+  if (!options_.adaptive_inflight_window || peer.srtt_micros == 0 ||
+      peer.delivery_rate_bps <= 0.0 || peer.avg_batch_bytes <= 0.0) {
+    return floor_batches;  // no samples yet: static floor
+  }
+  // BDP over the smoothed RTT with a 2x gain so the pipe stays full while
+  // acks are on the return path; the per-peer byte budget still applies
+  // independently via inflight_bytes.
+  const double bdp_bytes =
+      peer.delivery_rate_bps * static_cast<double>(peer.srtt_micros) / 1e6;
+  const double batches = 2.0 * bdp_bytes / peer.avg_batch_bytes;
+  const size_t cap =
+      std::max(options_.adaptive_window_cap_batches, floor_batches);
+  if (batches <= static_cast<double>(floor_batches)) return floor_batches;
+  if (batches >= static_cast<double>(cap)) return cap;
+  return static_cast<size_t>(batches);
+}
+
+size_t RaftConsensus::effective_window(const MemberId& peer_id) const {
+  auto it = peers_.find(peer_id);
+  return it == peers_.end() ? options_.max_inflight_batches
+                            : EffectiveWindow(it->second);
+}
+
+void RaftConsensus::RecordAckSample(PeerStatus* peer,
+                                    const InflightBatch& batch,
+                                    uint64_t now) {
+  peer->total_acked_bytes += batch.bytes;
+  if (now <= batch.sent_micros) return;  // same-instant ack: no RTT signal
+  const uint64_t rtt = now - batch.sent_micros;
+  m_.peer_rtt_us->Record(rtt);
+  peer->srtt_micros =
+      peer->srtt_micros == 0 ? rtt : (peer->srtt_micros * 7 + rtt) / 8;
+  const uint64_t delivered =
+      peer->total_acked_bytes - batch.acked_bytes_at_send;
+  const double rate = static_cast<double>(std::max<uint64_t>(delivered, 1)) *
+                      1e6 / static_cast<double>(rtt);
+  // Max filter with EWMA decay (BBR-style): jump to faster evidence
+  // immediately, forget it gradually when deliveries slow down.
+  peer->delivery_rate_bps =
+      std::max(rate, peer->delivery_rate_bps * 0.875 + rate * 0.125);
+}
+
+void RaftConsensus::NoteStallEnded(PeerStatus* peer) {
+  if (!peer->stalled) return;
+  peer->stalled = false;
+  const uint64_t now = clock_->NowMicros();
+  m_.stall_duration_us->Record(
+      now >= peer->stall_started_micros ? now - peer->stall_started_micros
+                                        : 0);
+}
+
+bool RaftConsensus::LookupTermAt(uint64_t index, uint64_t* term) const {
+  if (index == 0) {
+    *term = 0;
+    return true;
+  }
+  auto opid = log_->OpIdAt(index);
+  if (opid.ok()) {
+    *term = opid->term;
+    return true;
+  }
+  auto cached = cache_.GetCompressed(index);
+  if (cached.has_value()) {
+    *term = cached->id.term;
+    return true;
+  }
+  return false;
 }
 
 void RaftConsensus::MaybeCompressPayloads(AppendEntriesRequest* request) {
@@ -417,12 +581,67 @@ void RaftConsensus::MaybeCompressPayloads(AppendEntriesRequest* request) {
   m_.wire_batches_compressed->Increment();
 }
 
+bool RaftConsensus::TryFetchCompressed(uint64_t next_index,
+                                       AppendEntriesRequest* request,
+                                       uint64_t* raw_bytes) {
+  if (options_.wire_compression_min_bytes == 0) return false;
+  const uint64_t last = log_->LastOpId().index;
+  uint64_t raw = 0;
+  uint64_t packed = 0;
+  std::vector<LogEntry> entries;
+  uint64_t index = next_index;
+  while (index <= last && entries.size() < options_.max_entries_per_rpc &&
+         raw < options_.max_bytes_per_rpc) {
+    auto cached = cache_.GetCompressed(index);
+    if (!cached.has_value()) return false;  // not fully cached: fall back
+    LogEntry entry;
+    entry.id = cached->id;
+    entry.type = cached->type;
+    entry.checksum = cached->checksum;
+    entry.shared_payload = std::move(cached->compressed);
+    raw += cached->uncompressed_size;
+    packed += entry.shared_payload->size();
+    entries.push_back(std::move(entry));
+    ++index;
+  }
+  if (entries.empty()) return false;
+  // Same profitability rule as MaybeCompressPayloads, decided from the
+  // cached sizes alone — no inflate, no recompress, no byte copies.
+  if (raw < options_.wire_compression_min_bytes || packed >= raw) {
+    return false;
+  }
+  request->entries = std::move(entries);
+  request->entries_compressed = true;
+  *raw_bytes = raw;
+  m_.wire_batches_compressed->Increment();
+  m_.zero_copy_batches->Increment();
+  return true;
+}
+
+void RaftConsensus::SendMarkerOnlyHeartbeat(const MemberId& peer_id,
+                                            PeerStatus* peer) {
+  // Anchor prev at the peer's acked match point so the log-matching check
+  // passes regardless of what is still in flight ahead of it.
+  uint64_t prev_term = 0;
+  if (!LookupTermAt(peer->match_index, &prev_term)) return;
+  AppendEntriesRequest request;
+  request.leader = options_.self;
+  request.dest = peer_id;
+  request.term = meta_.current_term;
+  request.commit_marker = commit_marker_;
+  request.prev = OpId{prev_term, peer->match_index};
+  m_.marker_only_heartbeats->Increment();
+  peer->last_rpc_sent_micros = clock_->NowMicros();
+  peer->last_sent_commit_index =
+      std::max(peer->last_sent_commit_index, commit_marker_.index);
+  outbox_->Send(std::move(request));
+}
+
 void RaftConsensus::SendAppendEntriesTo(const MemberId& peer_id,
                                         bool allow_empty) {
   auto it = peers_.find(peer_id);
   if (it == peers_.end()) return;
   PeerStatus& peer = it->second;
-  const uint64_t now = clock_->NowMicros();
   const uint64_t last = log_->LastOpId().index;
 
   // Stream as many batches as the in-flight window and byte budget allow.
@@ -432,35 +651,61 @@ void RaftConsensus::SendAppendEntriesTo(const MemberId& peer_id,
   // the optimistic cursor instead of re-sending the same suffix.
   bool sent_entries = false;
   while (peer.next_index <= last) {
-    if (peer.inflight.size() >= options_.max_inflight_batches ||
+    const size_t window = EffectiveWindow(peer);
+    if (peer.inflight.size() >= window ||
         peer.inflight_bytes >= options_.max_inflight_bytes_per_peer) {
-      m_.pipeline_stalls->Increment();
+      // Count the *transition* into the stalled state, not every attempt
+      // against a full window (the historical over-counting).
+      if (!peer.stalled) {
+        peer.stalled = true;
+        peer.stall_started_micros = clock_->NowMicros();
+        m_.pipeline_stalls->Increment();
+      }
       break;
     }
-    uint64_t prev_term = 0;
-    auto entries = FetchEntriesFor(peer.next_index, &prev_term);
-    if (!entries.ok()) {
-      MYRAFT_LOG(Warning) << options_.self << ": cannot serve entries to "
-                          << peer_id << ": " << entries.status();
-      return;
-    }
-    if (entries->empty()) break;  // nothing fetchable despite next<=last
 
     AppendEntriesRequest request;
+    uint64_t batch_raw_bytes = 0;
+    uint64_t prev_term = 0;
+    // Zero-copy fast path: ship the cache's compressed spans as-is.
+    bool zero_copy = LookupTermAt(peer.next_index - 1, &prev_term) &&
+                     TryFetchCompressed(peer.next_index, &request,
+                                        &batch_raw_bytes);
+    if (!zero_copy) {
+      auto entries = FetchEntriesFor(peer.next_index, &prev_term);
+      if (!entries.ok()) {
+        MYRAFT_LOG(Warning) << options_.self << ": cannot serve entries to "
+                            << peer_id << ": " << entries.status();
+        return;
+      }
+      if (entries->empty()) break;  // nothing fetchable despite next<=last
+      request.entries = std::move(*entries);
+      for (const auto& e : request.entries) {
+        batch_raw_bytes += e.payload.size();
+      }
+    }
     request.leader = options_.self;
     request.dest = peer_id;
     request.term = meta_.current_term;
     request.commit_marker = commit_marker_;
     request.prev = OpId{prev_term, peer.next_index - 1};
-    request.entries = std::move(*entries);
 
     InflightBatch batch;
     batch.first_index = peer.next_index;
     batch.last_index = request.entries.back().id.index;
-    batch.sent_micros = now;
-    for (const auto& e : request.entries) batch.bytes += e.payload.size();
+    // Stamped per send, not once per call: later batches in one streaming
+    // burst get their own timestamps, so RPC-timeout and RTT accounting
+    // aren't skewed against them.
+    batch.sent_micros = clock_->NowMicros();
+    batch.bytes = batch_raw_bytes;
+    batch.acked_bytes_at_send = peer.total_acked_bytes;
     m_.entries_replicated->Increment(request.entries.size());
-    MaybeCompressPayloads(&request);
+    if (!zero_copy) MaybeCompressPayloads(&request);
+    const double sized =
+        std::max<double>(1.0, static_cast<double>(batch_raw_bytes));
+    peer.avg_batch_bytes = peer.avg_batch_bytes <= 0.0
+                               ? sized
+                               : peer.avg_batch_bytes * 0.875 + sized * 0.125;
 
     if (options_.tracer != nullptr) {
       // The batch span belongs to the first traced entry's transaction
@@ -486,12 +731,25 @@ void RaftConsensus::SendAppendEntriesTo(const MemberId& peer_id,
     peer.inflight_bytes += batch.bytes;
     peer.inflight.push_back(batch);
     peer.awaiting_response = true;
-    peer.last_rpc_sent_micros = now;
+    peer.last_rpc_sent_micros = batch.sent_micros;
+    peer.last_sent_commit_index =
+        std::max(peer.last_sent_commit_index, commit_marker_.index);
     m_.inflight_window_batches->Record(peer.inflight.size());
+    m_.effective_window_batches->Record(window);
     outbox_->Send(std::move(request));
     sent_entries = true;
   }
-  if (sent_entries || !allow_empty || !peer.inflight.empty()) return;
+  if (sent_entries) return;
+  if (!peer.inflight.empty()) {
+    // Full (or blocked) window: an advanced commit marker would otherwise
+    // wait for an ack to free window space before reaching this peer.
+    // Squeeze a marker-only heartbeat past the window instead.
+    if (allow_empty && peer.last_sent_commit_index < commit_marker_.index) {
+      SendMarkerOnlyHeartbeat(peer_id, &peer);
+    }
+    return;
+  }
+  if (!allow_empty) return;
 
   // Caught up and idle: plain heartbeat, not tracked in the window (a lost
   // heartbeat is simply replaced at the next interval).
@@ -515,7 +773,9 @@ void RaftConsensus::SendAppendEntriesTo(const MemberId& peer_id,
     return;
   }
   m_.heartbeats_sent->Increment();
-  peer.last_rpc_sent_micros = now;
+  peer.last_rpc_sent_micros = clock_->NowMicros();
+  peer.last_sent_commit_index =
+      std::max(peer.last_sent_commit_index, commit_marker_.index);
   outbox_->Send(std::move(request));
 }
 
@@ -534,7 +794,13 @@ void RaftConsensus::AdvanceCommitMarker() {
     // Raft safety: a leader only commits entries from its own term by
     // counting replicas (older entries commit transitively).
     if (opid->term != meta_.current_term) break;
-    std::set<MemberId> ackers{options_.self};
+    // The leader's own ack obeys the same durability rule as peers': only
+    // the fsynced tail counts. With the group-commit sync stage the tail
+    // can trail the log between Replicate() and the coalescing sync.
+    std::set<MemberId> ackers;
+    if (options_.unsafe_commit_on_received || last_synced_index_ >= n) {
+      ackers.insert(options_.self);
+    }
     for (const auto& [peer_id, peer] : peers_) {
       if (peer.match_index >= n) ackers.insert(peer_id);
     }
@@ -589,7 +855,7 @@ void RaftConsensus::HandleAppendEntries(const AppendEntriesRequest& request) {
     inflated.entries_compressed = false;
     for (auto& entry : inflated.entries) {
       std::string raw;
-      Status decomp = LzDecompress(entry.payload, &raw);
+      Status decomp = LzDecompress(entry.payload_bytes(), &raw);
       if (!decomp.ok()) {
         MYRAFT_LOG(Error) << options_.self
                           << ": undecompressable batch from "
@@ -601,12 +867,14 @@ void RaftConsensus::HandleAppendEntries(const AppendEntriesRequest& request) {
         response.success = false;
         response.last_received = log_->LastOpId();
         response.last_durable_index = last_synced_index_;
+        response.request_prev_index = request.prev.index;
         response.trace_id = request.trace_id;
         response.trace_span_id = request.trace_span_id;
         outbox_->Send(std::move(response));
         return;
       }
       entry.payload = std::move(raw);
+      entry.shared_payload.reset();  // owned again after inflation
     }
     HandleAppendEntries(inflated);
     return;
@@ -621,6 +889,7 @@ void RaftConsensus::HandleAppendEntries(const AppendEntriesRequest& request) {
   // Only the fsynced tail counts towards the leader's commit quorum; a
   // received-but-unsynced suffix would be lost in a crash.
   response.last_durable_index = last_synced_index_;
+  response.request_prev_index = request.prev.index;
   // Echo the trace context so the ack stitches back to the batch span.
   response.trace_id = request.trace_id;
   response.trace_span_id = request.trace_span_id;
@@ -724,6 +993,16 @@ void RaftConsensus::HandleAppendEntries(const AppendEntriesRequest& request) {
       }
     }
   }
+  // The commit marker may only advance over the prefix this request
+  // verified: prev for an empty request, the batch tail otherwise. Our own
+  // log tail is NOT safe — a rewinding leader's heartbeat can anchor prev
+  // at the match point while we still carry a divergent unverified suffix
+  // above it (e.g. a rejoined deposed leader), and committing that suffix
+  // diverges the replica.
+  const uint64_t verified_index = request.entries.empty()
+                                      ? request.prev.index
+                                      : request.entries.back().id.index;
+
   // Sync whenever the durable tail trails the log — this also covers
   // heartbeats/retries arriving after a batch whose sync never completed,
   // so a received-but-unsynced suffix eventually becomes durable. With
@@ -731,6 +1010,33 @@ void RaftConsensus::HandleAppendEntries(const AppendEntriesRequest& request) {
   // reports the still-stale durable index.
   if (options_.inline_follower_sync &&
       (appended || last_synced_index_ < log_->LastOpId().index)) {
+    if (group_sync_active() && !append_failed) {
+      // Coalesced follower sync: hold this ack and let one deferred fsync
+      // cover every batch that arrives this instant; RunGroupSync sends a
+      // single cumulative response in place of the per-batch ones. The
+      // leader hears a durable index that genuinely covers the sync, so
+      // the quorum rule is untouched — followers just fsync (and ack)
+      // once per burst.
+      const uint64_t commit_to =
+          std::min(request.commit_marker.index, verified_index);
+      if (commit_to > commit_marker_.index) {
+        auto opid = log_->OpIdAt(commit_to);
+        if (opid.ok()) SetCommitMarker(*opid);
+      }
+      follower_ack_pending_ = true;
+      follower_ack_dest_ = request.leader;
+      follower_ack_verified_index_ =
+          std::max(follower_ack_verified_index_, verified_index);
+      follower_ack_trace_id_ = request.trace_id;
+      follower_ack_span_id_ = request.trace_span_id;
+      ScheduleGroupSync();
+      if (append_span.id != 0) {
+        append_span.end_args = StringPrintf(
+            "ok held-for-group-sync last=%llu",
+            (unsigned long long)log_->LastOpId().index);
+      }
+      return;
+    }
     Status s = log_->Sync();
     if (!s.ok()) {
       MYRAFT_LOG(Error) << options_.self << ": log sync failed: " << s;
@@ -755,7 +1061,16 @@ void RaftConsensus::HandleAppendEntries(const AppendEntriesRequest& request) {
   }
 
   response.success = true;
+  // Ack only the prefix this request verified (prev check + appended
+  // entries). An unverified divergent suffix above it must not look acked,
+  // or the leader would retire undelivered in-flight batches against it
+  // and count a bogus match_index towards commit.
   response.last_received = log_->LastOpId();
+  if (verified_index < response.last_received.index) {
+    auto verified = log_->OpIdAt(verified_index);
+    response.last_received =
+        verified.ok() ? *verified : OpId{0, verified_index};
+  }
   response.last_durable_index = last_synced_index_;
   if (append_span.id != 0) {
     append_span.end_args =
@@ -767,7 +1082,7 @@ void RaftConsensus::HandleAppendEntries(const AppendEntriesRequest& request) {
   // Advance our commit marker to what the leader has committed (§3.4:
   // piggybacked commit marker).
   const uint64_t commit_to =
-      std::min(request.commit_marker.index, log_->LastOpId().index);
+      std::min(request.commit_marker.index, verified_index);
   if (commit_to > commit_marker_.index) {
     auto opid = log_->OpIdAt(commit_to);
     if (opid.ok()) SetCommitMarker(*opid);
@@ -785,7 +1100,8 @@ void RaftConsensus::HandleAppendEntriesResponse(
   auto it = peers_.find(response.from);
   if (it == peers_.end()) return;
   PeerStatus& peer = it->second;
-  peer.last_response_micros = clock_->NowMicros();
+  const uint64_t now = clock_->NowMicros();
+  peer.last_response_micros = now;
 
   if (response.success) {
     // Retire every in-flight batch the follower's tail now covers. Acks
@@ -802,10 +1118,17 @@ void RaftConsensus::HandleAppendEntriesResponse(
             StringPrintf("acked_by=%s durable=%llu", response.from.c_str(),
                          (unsigned long long)response.last_durable_index));
       }
+      // Each retired batch contributes an RTT / delivery-rate sample to
+      // the adaptive window estimators.
+      RecordAckSample(&peer, front, now);
       peer.inflight_bytes -= front.bytes;
       peer.inflight.pop_front();
     }
     peer.awaiting_response = !peer.inflight.empty();
+    if (peer.stalled && peer.inflight.size() < EffectiveWindow(peer) &&
+        peer.inflight_bytes < options_.max_inflight_bytes_per_peer) {
+      NoteStallEnded(&peer);
+    }
 
     // Commit quorums only count fsynced entries: match on the durable
     // index, not the received one. next_index still advances past
@@ -841,25 +1164,29 @@ void RaftConsensus::HandleAppendEntriesResponse(
     }
   } else {
     const uint64_t hint = response.last_received.index;
-    // Stale rejection guard: within one leader term a follower's durable
-    // prefix only grows, so a legitimate rewind hint is never below what
-    // it already acked. Anything lower is a reordered rejection for a
-    // batch that has since succeeded — acting on it would re-stream an
-    // already-acked suffix.
-    if (hint < peer.match_index) {
+    // Stale rejection guard, keyed on WHICH request was refused (the echoed
+    // prev), not on the tail hint: an in-order ack can overtake a reordered
+    // rejection on the return path and raise match_index past the hint
+    // while the rejected batches are still genuinely undelivered. Only a
+    // rejection of a request whose prev lies below the acked match is
+    // provably obsolete — the follower verifiably holds that prefix now.
+    if (response.request_prev_index < peer.match_index) {
       m_.stale_responses_ignored->Increment();
       return;
     }
     // Rewind and retry. The rejected batch invalidates the whole in-flight
     // suffix after it (each batch's prev points into its predecessor), so
-    // cancel the window and restream from the rewound cursor.
+    // cancel the window and restream from the rewound cursor. The cursor
+    // may drop below match_index: a follower that crashed before fsyncing
+    // its acked tail legitimately rejects batches at or above match, and
+    // clamping there would resend the same refused prev forever. Re-sent
+    // prefixes are idempotent on the follower.
     const uint64_t base =
         peer.inflight.empty() ? peer.next_index
                               : peer.inflight.front().first_index;
     CancelInflight(&peer);
     m_.window_rewinds->Increment();
-    peer.next_index =
-        std::max<uint64_t>(1, std::min(base - 1, hint + 1));
+    peer.next_index = std::max<uint64_t>(1, std::min(base - 1, hint + 1));
     SendAppendEntriesTo(response.from, /*allow_empty=*/true);
   }
 }
@@ -1244,6 +1571,10 @@ void RaftConsensus::BecomeLeader() {
   }
   role_ = RaftRole::kLeader;
   leader_ = options_.self;
+  // Any ack held for a coalesced follower sync is moot now that this node
+  // leads; the self-ack path covers its durability.
+  follower_ack_pending_ = false;
+  follower_ack_verified_index_ = 0;
   meta_.last_known_leader = options_.self;
   meta_.last_leader_region = options_.region;
   meta_.last_leader_term = meta_.current_term;
@@ -1305,6 +1636,11 @@ void RaftConsensus::StepDown(uint64_t new_term, const MemberId& new_leader,
   peers_.clear();
   replicate_time_micros_.clear();
   replicate_trace_ctx_.clear();
+  // A held coalesced ack addressed to a dethroned leader is dropped; the
+  // new leader's first append re-elicits one (any scheduled group sync
+  // itself still runs — durability work is never discarded).
+  follower_ack_pending_ = false;
+  follower_ack_verified_index_ = 0;
   ResetElectionTimer();
 
   if (was_leader) {

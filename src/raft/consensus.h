@@ -20,6 +20,7 @@
 #define MYRAFT_RAFT_CONSENSUS_H_
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -60,8 +61,16 @@ struct RaftOptions {
   /// Replication pipelining: number of AppendEntries batches the leader
   /// keeps in flight per peer before the first ack (1 = lock-step). The
   /// paper's throughput numbers (§5, Fig. 5) assume the dissemination
-  /// path is not ack-bound on WAN RTTs.
+  /// path is not ack-bound on WAN RTTs. With the adaptive window this is
+  /// the floor the window never shrinks below.
   size_t max_inflight_batches = 4;
+  /// BDP-style adaptive in-flight window: per peer, the window is sized
+  /// from measured delivery rate × smoothed RTT (÷ average batch size),
+  /// clamped to [max_inflight_batches, adaptive_window_cap_batches] and
+  /// always bounded by max_inflight_bytes_per_peer. Until the first RTT
+  /// sample the static floor applies.
+  bool adaptive_inflight_window = true;
+  size_t adaptive_window_cap_batches = 64;
   /// Byte budget across one peer's in-flight window (payload bytes).
   uint64_t max_inflight_bytes_per_peer = 4ull << 20;
   /// Compress entry payloads on the wire when a batch carries at least
@@ -104,6 +113,24 @@ struct RaftOptions {
   /// power-loss crashes (sim CrashMode::kLoseUnsynced) can tear an
   /// acked-but-unsynced tail.
   bool inline_follower_sync = true;
+
+  /// Group-commit sync stage (the paper's §3.4 three-stage group commit):
+  /// when a defer hook is installed, Replicate() skips its inline fsync
+  /// and schedules one coalescing Sync() that covers every entry appended
+  /// by the time it runs — concurrently arriving writes share a single
+  /// fsync. Durability semantics are unchanged: the leader's own quorum
+  /// ack is gated on last_synced_index, so nothing commits before the
+  /// covering sync completes. Followers in inline-sync mode coalesce the
+  /// same way (one sync + one cumulative ack per scheduling instant);
+  /// deferred-tick follower sync (inline_follower_sync = false) is
+  /// already batched and stays as-is.
+  bool group_commit_sync = true;
+  /// Host-provided deferral hook: run `fn` after `delay_micros` once the
+  /// current call stack unwinds (the sim node schedules it on the event
+  /// loop; delay 0 means "this same instant, after pending events").
+  /// Null disables the group-commit sync stage entirely — every sync
+  /// stays inline, the historical lock-step behaviour.
+  std::function<void(uint64_t delay_micros, std::function<void()> fn)> defer;
 
   /// FAULT INJECTION (chaos checker self-test only): commit quorums count
   /// a peer's last *received* index instead of min(received, durable).
@@ -168,6 +195,10 @@ class RaftConsensus {
     uint64_t last_index = 0;  // inclusive
     uint64_t bytes = 0;       // payload bytes (pre-compression)
     uint64_t sent_micros = 0;
+    /// Peer's cumulative acked-byte count when this batch was sent; the
+    /// delta at ack time is the bytes delivered over one RTT (the
+    /// delivery-rate sample feeding the adaptive window).
+    uint64_t acked_bytes_at_send = 0;
     /// Open "raft.replicate.batch" span; closed when the batch is acked
     /// or its window suffix is cancelled. 0 when tracing is off.
     uint64_t trace_span_id = 0;
@@ -187,6 +218,21 @@ class RaftConsensus {
     /// previous one's tail, so a rejection invalidates the whole suffix.
     std::deque<InflightBatch> inflight;
     uint64_t inflight_bytes = 0;
+    /// Adaptive-window estimators: smoothed RTT (EWMA 7/8), max-filtered
+    /// delivery rate (decays 7/8 when samples drop), average batch size.
+    uint64_t srtt_micros = 0;
+    double delivery_rate_bps = 0.0;
+    double avg_batch_bytes = 0.0;
+    uint64_t total_acked_bytes = 0;
+    /// Stall accounting counts *transitions* into the window-full state,
+    /// not attempts while stalled (the over-counting fix).
+    bool stalled = false;
+    uint64_t stall_started_micros = 0;
+    /// Highest commit-marker index ever put on the wire to this peer;
+    /// when the marker advances past it and the window is full, a
+    /// marker-only heartbeat carries the news instead of waiting for
+    /// window space.
+    uint64_t last_sent_commit_index = 0;
   };
 
   /// Point-in-time snapshot of the registry-backed "raft.*" counters.
@@ -205,6 +251,10 @@ class RaftConsensus {
     uint64_t stale_responses_ignored = 0;
     uint64_t window_rewinds = 0;
     uint64_t wire_batches_compressed = 0;
+    uint64_t zero_copy_batches = 0;
+    uint64_t group_syncs = 0;
+    uint64_t group_sync_coalesced = 0;
+    uint64_t marker_only_heartbeats = 0;
   };
 
   RaftConsensus(RaftOptions options, LogAbstraction* log,
@@ -291,6 +341,10 @@ class RaftConsensus {
            transfer_->phase == TransferState::Phase::kQuiesced;
   }
   const std::map<MemberId, PeerStatus>& peers() const { return peers_; }
+  /// Current adaptive in-flight window for a peer, in batches (the static
+  /// floor until RTT/delivery samples exist). Introspection for tests and
+  /// tools.
+  size_t effective_window(const MemberId& peer_id) const;
   Stats stats() const;
   metrics::MetricRegistry* metrics() const { return metrics_; }
   const LogCache& log_cache() const { return cache_; }
@@ -360,6 +414,31 @@ class RaftConsensus {
   // Replication plumbing.
   void SendAppendEntriesTo(const MemberId& peer_id, bool allow_empty);
   void BroadcastAppendEntries();
+  /// Group-commit sync stage: schedule (at most one outstanding) deferred
+  /// coalescing sync; RunGroupSync fsyncs the accumulated tail, then
+  /// advances the commit marker (leader) or flushes the held cumulative
+  /// ack (follower).
+  void ScheduleGroupSync();
+  void RunGroupSync();
+  bool group_sync_active() const {
+    return options_.group_commit_sync && options_.defer != nullptr;
+  }
+  /// Adaptive window plumbing.
+  size_t EffectiveWindow(const PeerStatus& peer) const;
+  void RecordAckSample(PeerStatus* peer, const InflightBatch& batch,
+                       uint64_t now);
+  void NoteStallEnded(PeerStatus* peer);
+  /// Term of the entry at `index` (0 for index 0), from log or cache.
+  bool LookupTermAt(uint64_t index, uint64_t* term) const;
+  /// Empty AppendEntries anchored at the peer's match point, carrying only
+  /// the advanced commit marker past a full window.
+  void SendMarkerOnlyHeartbeat(const MemberId& peer_id, PeerStatus* peer);
+  /// Zero-copy send: assemble a batch directly from the cache's
+  /// already-compressed spans (borrowed buffers, no inflate/re-encode).
+  /// False when the batch isn't fully cached or compression isn't
+  /// profitable — the caller falls back to FetchEntriesFor.
+  bool TryFetchCompressed(uint64_t next_index, AppendEntriesRequest* request,
+                          uint64_t* raw_bytes);
   /// Drops the peer's in-flight window and rewinds next_index to the
   /// first unacked entry (RPC loss / rejection recovery). Closes any open
   /// batch spans as cancelled.
@@ -416,8 +495,22 @@ class RaftConsensus {
     /// Rejections/timeouts that cancelled an in-flight suffix.
     metrics::Counter* window_rewinds;
     metrics::Counter* wire_batches_compressed;
+    /// Batches shipped straight from the cache's compressed spans.
+    metrics::Counter* zero_copy_batches;
+    /// Coalescing syncs actually issued / extra Replicate() calls that
+    /// piggybacked on an already-scheduled one.
+    metrics::Counter* group_syncs;
+    metrics::Counter* group_sync_coalesced;
+    /// Marker-only heartbeats squeezed past a full window.
+    metrics::Counter* marker_only_heartbeats;
     /// Window occupancy (batches in flight) sampled at each batch send.
     metrics::HistogramMetric* inflight_window_batches;
+    /// Adaptive window size sampled at each batch send.
+    metrics::HistogramMetric* effective_window_batches;
+    /// Per-batch RTT samples feeding the adaptive window.
+    metrics::HistogramMetric* peer_rtt_us;
+    /// Time spent with a peer's window full, recorded when a stall ends.
+    metrics::HistogramMetric* stall_duration_us;
     /// Replicate() -> commit-marker advance, leader side.
     metrics::HistogramMetric* commit_advance_latency_us;
   };
@@ -454,6 +547,19 @@ class RaftConsensus {
   /// Durable (fsynced) tail of the local log; trails log_->LastOpId()
   /// between Append and Sync.
   uint64_t last_synced_index_ = 0;
+  /// Group-commit sync stage: one coalescing sync outstanding at a time.
+  bool group_sync_scheduled_ = false;
+  /// Follower-side coalesced ack held until the covering sync completes
+  /// (inline-sync mode only): one cumulative response replaces the
+  /// per-batch ones for every batch that arrived this instant.
+  bool follower_ack_pending_ = false;
+  MemberId follower_ack_dest_;
+  /// Highest index the held batches actually verified against the leader's
+  /// log. The cumulative ack reports this, never the raw tail: the tail can
+  /// still carry a divergent unverified suffix (rejoined deposed leader).
+  uint64_t follower_ack_verified_index_ = 0;
+  uint64_t follower_ack_trace_id_ = 0;
+  uint64_t follower_ack_span_id_ = 0;
   /// Leader-side Replicate() timestamps awaiting commit, for the
   /// commit-advance latency histogram. Cleared on step down.
   std::map<uint64_t, uint64_t> replicate_time_micros_;

@@ -28,18 +28,26 @@ LogCache::LogCache(uint64_t capacity_bytes,
 }
 
 void LogCache::Retire(const Cached& cached) {
-  size_bytes_ -= cached.compressed_payload.size();
-  compressed_bytes_->Add(-(int64_t)cached.compressed_payload.size());
+  size_bytes_ -= cached.compressed_payload->size();
+  compressed_bytes_->Add(-(int64_t)cached.compressed_payload->size());
   uncompressed_bytes_->Add(-(int64_t)cached.uncompressed_size);
 }
 
-void LogCache::Put(const LogEntry& entry) {
+LogCache::Cached LogCache::Compress(const LogEntry& entry) {
   Cached cached;
   cached.id = entry.id;
   cached.type = entry.type;
   cached.checksum = entry.checksum;
-  cached.uncompressed_size = entry.payload.size();
-  LzCompress(entry.payload, &cached.compressed_payload);
+  const Slice payload = entry.payload_bytes();
+  cached.uncompressed_size = payload.size();
+  auto compressed = std::make_shared<std::string>();
+  LzCompress(payload, compressed.get());
+  cached.compressed_payload = std::move(compressed);
+  return cached;
+}
+
+void LogCache::Put(const LogEntry& entry) {
+  Cached cached = Compress(entry);
 
   // Retire a replaced entry before accounting the new one, so overwrites
   // (leader re-proposals, truncate-then-refill) don't inflate the byte
@@ -47,8 +55,8 @@ void LogCache::Put(const LogEntry& entry) {
   auto it = entries_.find(entry.id.index);
   if (it != entries_.end()) Retire(it->second);
 
-  size_bytes_ += cached.compressed_payload.size();
-  compressed_bytes_->Add((int64_t)cached.compressed_payload.size());
+  size_bytes_ += cached.compressed_payload->size();
+  compressed_bytes_->Add((int64_t)cached.compressed_payload->size());
   uncompressed_bytes_->Add((int64_t)cached.uncompressed_size);
   entries_[entry.id.index] = std::move(cached);
 
@@ -66,7 +74,7 @@ Result<LogEntry> LogCache::Inflate(const Cached& cached) {
   entry.type = cached.type;
   entry.checksum = cached.checksum;
   MYRAFT_RETURN_NOT_OK(
-      LzDecompress(cached.compressed_payload, &entry.payload));
+      LzDecompress(*cached.compressed_payload, &entry.payload));
   if (!entry.VerifyChecksum()) {
     return Status::Corruption("log cache entry failed checksum");
   }
@@ -78,19 +86,14 @@ void LogCache::PutReadahead(const LogEntry& entry) {
       readahead_.count(entry.id.index) > 0) {
     return;
   }
-  Cached cached;
-  cached.id = entry.id;
-  cached.type = entry.type;
-  cached.checksum = entry.checksum;
-  cached.uncompressed_size = entry.payload.size();
-  LzCompress(entry.payload, &cached.compressed_payload);
+  Cached cached = Compress(entry);
   // Bounded to a quarter of the main capacity; read-ahead is filled and
   // consumed in ascending order, so once the budget is full the earliest
   // prefix is the useful part — just drop the surplus.
-  if (readahead_bytes_ + cached.compressed_payload.size() > capacity_ / 4) {
+  if (readahead_bytes_ + cached.compressed_payload->size() > capacity_ / 4) {
     return;
   }
-  readahead_bytes_ += cached.compressed_payload.size();
+  readahead_bytes_ += cached.compressed_payload->size();
   readahead_[entry.id.index] = std::move(cached);
 }
 
@@ -107,7 +110,7 @@ Result<LogEntry> LogCache::Get(uint64_t index) const {
     // Sequential catch-up consumption: everything below this index has
     // already been served, reclaim its budget.
     for (auto trim = readahead_.begin(); trim != ra;) {
-      readahead_bytes_ -= trim->second.compressed_payload.size();
+      readahead_bytes_ -= trim->second.compressed_payload->size();
       trim = readahead_.erase(trim);
     }
     return entry;
@@ -117,13 +120,27 @@ Result<LogEntry> LogCache::Get(uint64_t index) const {
   return Status::NotFound("log cache miss");
 }
 
+std::optional<LogCache::CompressedEntry> LogCache::GetCompressed(
+    uint64_t index) const {
+  auto it = entries_.find(index);
+  if (it == entries_.end()) return std::nullopt;
+  hits_->Increment();
+  CompressedEntry out;
+  out.id = it->second.id;
+  out.type = it->second.type;
+  out.checksum = it->second.checksum;
+  out.uncompressed_size = it->second.uncompressed_size;
+  out.compressed = it->second.compressed_payload;
+  return out;
+}
+
 void LogCache::TruncateAfter(uint64_t index) {
   for (auto it = entries_.upper_bound(index); it != entries_.end();) {
     Retire(it->second);
     it = entries_.erase(it);
   }
   for (auto it = readahead_.upper_bound(index); it != readahead_.end();) {
-    readahead_bytes_ -= it->second.compressed_payload.size();
+    readahead_bytes_ -= it->second.compressed_payload->size();
     it = readahead_.erase(it);
   }
 }

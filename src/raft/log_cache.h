@@ -9,6 +9,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 
 #include "util/metrics.h"
 #include "util/result.h"
@@ -49,6 +50,19 @@ class LogCache {
   /// Corruption if the cached bytes fail checksum on the way out.
   Result<LogEntry> Get(uint64_t index) const;
 
+  /// Zero-copy send path: the entry's already-compressed span, without
+  /// inflating. The shared buffer stays valid across eviction/truncation
+  /// for as long as the caller holds it. Main map only (read-ahead
+  /// catch-up traffic keeps using Get's inflate path). nullopt on miss.
+  struct CompressedEntry {
+    OpId id;
+    EntryType type = EntryType::kNoOp;
+    uint32_t checksum = 0;          // covers the uncompressed payload
+    uint64_t uncompressed_size = 0;
+    std::shared_ptr<const std::string> compressed;
+  };
+  std::optional<CompressedEntry> GetCompressed(uint64_t index) const;
+
   bool Contains(uint64_t index) const {
     return entries_.count(index) > 0 || readahead_.count(index) > 0;
   }
@@ -69,8 +83,12 @@ class LogCache {
     EntryType type = EntryType::kNoOp;
     uint32_t checksum = 0;
     uint64_t uncompressed_size = 0;
-    std::string compressed_payload;
+    /// Shared so the zero-copy send path can borrow the bytes; in-flight
+    /// batches keep them alive after the cache drops this slot.
+    std::shared_ptr<const std::string> compressed_payload;
   };
+
+  static Cached Compress(const LogEntry& entry);
 
   void Retire(const Cached& cached);
   static Result<LogEntry> Inflate(const Cached& cached);

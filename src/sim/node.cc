@@ -54,6 +54,20 @@ Status SimNode::BuildProcess() {
   options_.proxy.metrics = &metrics_;
   options_.server.tracer = &tracer_;
   options_.proxy.tracer = &tracer_;
+  // Group-commit sync stage: raft defers its fsync onto the event loop so
+  // same-instant Replicate/AppendEntries bursts coalesce into one Sync().
+  // The incarnation guard drops callbacks scheduled by a crashed process.
+  options_.server.raft.defer = [this](uint64_t delay_micros,
+                                      std::function<void()> fn) {
+    const uint64_t my_incarnation = incarnation_;
+    loop_->Schedule(delay_micros, [this, my_incarnation,
+                                   fn = std::move(fn)]() {
+      if (!up_ || incarnation_ != my_incarnation) return;
+      ScopedLogContext log_context(id(), loop_->clock());
+      fn();
+      MaybeSchedulePump();
+    });
+  };
   // Router first (it is the server's outbox), bind consensus after.
   router_ = std::make_unique<proxy::ProxyRouter>(
       options_.server.id, options_.server.region, options_.proxy, loop_,

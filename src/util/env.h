@@ -106,6 +106,10 @@ class CrashFaultInjectionEnv {
   virtual size_t LoseUnsyncedData() = 0;
   /// Durable size of `path` (0 if never synced or unknown).
   virtual uint64_t SyncedSize(const std::string& path) const = 0;
+  /// Total WritableFile::Sync() calls on this env since creation. Group
+  /// commit is asserted against this: N concurrent writes must need ≪ N
+  /// fsyncs.
+  virtual uint64_t SyncCalls() const = 0;
 };
 
 /// Downcast helper: non-null iff `env` supports crash fault injection

@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -22,8 +23,9 @@ struct MemFileData {
 
 class MemWritableFile final : public WritableFile {
  public:
-  explicit MemWritableFile(std::shared_ptr<MemFileData> data)
-      : data_(std::move(data)) {}
+  MemWritableFile(std::shared_ptr<MemFileData> data,
+                  std::shared_ptr<std::atomic<uint64_t>> sync_calls)
+      : data_(std::move(data)), sync_calls_(std::move(sync_calls)) {}
 
   Status Append(const Slice& chunk) override {
     std::lock_guard<std::mutex> lock(data_->mu);
@@ -34,6 +36,7 @@ class MemWritableFile final : public WritableFile {
   Status Sync() override {
     std::lock_guard<std::mutex> lock(data_->mu);
     data_->synced_size = data_->contents.size();
+    sync_calls_->fetch_add(1, std::memory_order_relaxed);
     return Status::OK();
   }
   Status Close() override { return Status::OK(); }
@@ -44,6 +47,8 @@ class MemWritableFile final : public WritableFile {
 
  private:
   std::shared_ptr<MemFileData> data_;
+  // Env-wide fsync tally; shared so counts survive handle destruction.
+  std::shared_ptr<std::atomic<uint64_t>> sync_calls_;
 };
 
 class MemSequentialFile final : public SequentialFile {
@@ -110,7 +115,7 @@ class MemEnv final : public Env, public CrashFaultInjectionEnv {
     std::lock_guard<std::mutex> lock(mu_);
     auto data = std::make_shared<MemFileData>();
     files_[path] = data;
-    return {std::make_unique<MemWritableFile>(std::move(data))};
+    return {std::make_unique<MemWritableFile>(std::move(data), sync_calls_)};
   }
 
   Result<std::unique_ptr<WritableFile>> NewAppendableFile(
@@ -124,7 +129,7 @@ class MemEnv final : public Env, public CrashFaultInjectionEnv {
     } else {
       data = it->second;
     }
-    return {std::make_unique<MemWritableFile>(std::move(data))};
+    return {std::make_unique<MemWritableFile>(std::move(data), sync_calls_)};
   }
 
   Result<std::unique_ptr<SequentialFile>> NewSequentialFile(
@@ -231,10 +236,16 @@ class MemEnv final : public Env, public CrashFaultInjectionEnv {
     return it->second->synced_size;
   }
 
+  uint64_t SyncCalls() const override {
+    return sync_calls_->load(std::memory_order_relaxed);
+  }
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<MemFileData>> files_;
   std::map<std::string, bool> dirs_;
+  std::shared_ptr<std::atomic<uint64_t>> sync_calls_ =
+      std::make_shared<std::atomic<uint64_t>>(0);
 };
 
 }  // namespace

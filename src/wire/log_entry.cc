@@ -28,8 +28,14 @@ LogEntry LogEntry::Make(OpId id, EntryType type, std::string payload) {
   return e;
 }
 
+bool LogEntry::operator==(const LogEntry& other) const {
+  return id == other.id && type == other.type && checksum == other.checksum &&
+         payload_bytes() == other.payload_bytes();
+}
+
 bool LogEntry::VerifyChecksum() const {
-  return checksum == crc32c::Value(payload.data(), payload.size());
+  const Slice bytes = payload_bytes();
+  return checksum == crc32c::Value(bytes.data(), bytes.size());
 }
 
 void LogEntry::EncodeTo(std::string* dst) const {
@@ -37,7 +43,7 @@ void LogEntry::EncodeTo(std::string* dst) const {
   PutVarint64(dst, id.index);
   dst->push_back(static_cast<char>(type));
   PutFixed32(dst, checksum);
-  PutLengthPrefixed(dst, payload);
+  PutLengthPrefixed(dst, payload_bytes());
 }
 
 Result<LogEntry> LogEntry::DecodeFrom(Slice* input) {

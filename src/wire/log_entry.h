@@ -6,6 +6,7 @@
 #define MYRAFT_WIRE_LOG_ENTRY_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "util/result.h"
@@ -33,11 +34,23 @@ struct LogEntry {
   OpId id;
   EntryType type = EntryType::kNoOp;
   std::string payload;
+  /// Zero-copy send path: when set, the payload bytes live in this shared
+  /// buffer (borrowed from the leader's LogCache, which keeps it alive
+  /// across eviction/truncation while the batch is in flight) and
+  /// `payload` stays empty. Only compressed wire batches use this form;
+  /// everything decoded from disk or the wire owns its payload.
+  std::shared_ptr<const std::string> shared_payload;
   /// CRC32C of payload, stamped at commit time on the primary (§3.4) and
   /// verified on receipt / on read-back from disk.
   uint32_t checksum = 0;
 
-  bool operator==(const LogEntry&) const = default;
+  /// The logical payload bytes regardless of owned/borrowed storage.
+  Slice payload_bytes() const {
+    return shared_payload != nullptr ? Slice(*shared_payload) : Slice(payload);
+  }
+
+  /// Logical equality: a borrowed-buffer entry equals its owned twin.
+  bool operator==(const LogEntry& other) const;
 
   /// Builds an entry with the checksum computed from the payload.
   static LogEntry Make(OpId id, EntryType type, std::string payload);
@@ -49,7 +62,7 @@ struct LogEntry {
   /// Consumes one entry from the front of `input`.
   static Result<LogEntry> DecodeFrom(Slice* input);
 
-  size_t ByteSize() const { return payload.size() + 32; }
+  size_t ByteSize() const { return payload_bytes().size() + 32; }
 };
 
 /// Payload codec for kConfigChange entries.

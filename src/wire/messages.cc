@@ -102,7 +102,7 @@ Result<AppendEntriesRequest> AppendEntriesRequest::DecodeFrom(Slice in) {
 
 uint64_t AppendEntriesRequest::PayloadBytes() const {
   uint64_t total = 0;
-  for (const auto& e : entries) total += e.payload.size();
+  for (const auto& e : entries) total += e.payload_bytes().size();
   return total;
 }
 
@@ -116,6 +116,7 @@ void AppendEntriesResponse::EncodeTo(std::string* dst) const {
   dst->push_back(success ? 1 : 0);
   PutOpId(dst, last_received);
   PutVarint64(dst, last_durable_index);
+  PutVarint64(dst, request_prev_index);
   if (trace_id != 0 || trace_span_id != 0) {  // optional, as in the request
     PutVarint64(dst, trace_id);
     PutVarint64(dst, trace_span_id);
@@ -132,7 +133,8 @@ Result<AppendEntriesResponse> AppendEntriesResponse::DecodeFrom(Slice in) {
   resp.success = in[0] != 0;
   in.RemovePrefix(1);
   if (!GetOpId(&in, &resp.last_received) ||
-      !GetVarint64(&in, &resp.last_durable_index)) {
+      !GetVarint64(&in, &resp.last_durable_index) ||
+      !GetVarint64(&in, &resp.request_prev_index)) {
     return Truncated("append-response body");
   }
   if (!in.empty()) {  // optional trailing trace context (absent = untraced)

@@ -71,6 +71,12 @@ struct AppendEntriesResponse {
   /// watermark). On failure: hint for the leader to rewind.
   OpId last_received;
   uint64_t last_durable_index = 0;
+  /// Echo of the request's prev.index. Identifies WHICH batch a rejection
+  /// refuses, so the leader can tell a live rejection from a reordered one
+  /// that arrived after the batch already succeeded on retry (the tail
+  /// hint alone cannot: an ack overtaking the rejection makes a live
+  /// rejection look stale and stalls the window until the RPC timeout).
+  uint64_t request_prev_index = 0;
   /// Echo of the request's trace context (optional trailing varints; see
   /// AppendEntriesRequest) so acks stitch back to the batch span.
   uint64_t trace_id = 0;

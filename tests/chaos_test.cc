@@ -205,6 +205,31 @@ TEST(ChaosRegressionTest, AsymmetricLeaderIsolationFailsOver) {
   EXPECT_NE(runner.TraceJsonl().find("election_started"), std::string::npos);
 }
 
+TEST(ChaosRegressionTest, TornLeaderCrashDuringCoalescedSyncLosesNothing) {
+  // Group-commit durability schedule: power-fail the leader mid-stream,
+  // squarely inside the window where a burst of appends awaits its
+  // coalesced fsync. The leader's own quorum ack is gated on that sync
+  // completing, so every write acked before the torn crash must hold a
+  // durable quorum copy; the checker's ledger has to stay clean across
+  // the promotion and the old leader's rejoin truncation.
+  ChaosOptions options = PaperTopologyOptions();
+  options.write_interval_micros = 2'000;  // dense enough to straddle syncs
+
+  Schedule schedule;
+  schedule.seed = 11;
+  schedule.duration_micros = 3'000'000;
+  schedule.quiesce_interval_micros = 1'500'000;
+  schedule.steps = {
+      Step(301'000, FaultAction::kCrashTorn, {"@leader"}),
+      Step(900'000, FaultAction::kRestart, {"*"}),
+  };
+
+  ChaosRunner runner(options, FlexiEngine());
+  const ChaosReport report = runner.Run(schedule);
+  EXPECT_TRUE(report.passed) << report.ToText();
+  EXPECT_GT(report.writes_acked, 0u);
+}
+
 TEST(ChaosRegressionTest, Seed9DoubleLeaderScheduleStaysClean) {
   // The generated corpus schedule that originally exposed the FlexiRaft
   // double-leader (two candidates aggregating divergent stale last-leader

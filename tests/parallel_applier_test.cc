@@ -48,6 +48,7 @@ std::map<std::string, std::string> RunConflictingWorkload(
   for (int b = 0; b < bursts; ++b) {
     int outstanding = 0;
     bool failed = false;
+    std::string fail_reason;
     for (int w = 0; w < burst_width; ++w) {
       // 7 keys cycled by 3-wide bursts: every burst overlaps with its
       // neighbours' rows.
@@ -56,10 +57,13 @@ std::map<std::string, std::string> RunConflictingWorkload(
                                 std::to_string(w);
       ++outstanding;
       harness->ClientWrite(key, value,
-                           [&outstanding, &failed](
+                           [&outstanding, &failed, &fail_reason](
                                const ClusterHarness::ClientWriteResult& r) {
                              --outstanding;
-                             if (!r.status.ok()) failed = true;
+                             if (!r.status.ok()) {
+                               failed = true;
+                               fail_reason = r.status.ToString();
+                             }
                            });
       expect[key] = key + "=" + value;
     }
@@ -68,7 +72,8 @@ std::map<std::string, std::string> RunConflictingWorkload(
       harness->loop()->RunFor(1'000);
     }
     EXPECT_EQ(outstanding, 0);
-    EXPECT_FALSE(failed) << "write failed in burst " << b;
+    EXPECT_FALSE(failed) << "write failed in burst " << b << ": "
+                         << fail_reason;
   }
   return expect;
 }

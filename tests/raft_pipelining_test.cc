@@ -102,6 +102,9 @@ class PipeliningTest : public ::testing::Test {
     response.success = false;
     response.last_received = hint;
     response.last_durable_index = hint.index;
+    // A real follower echoes the refused request's prev; its tail hint is
+    // the closest stand-in a synthesized rejection has.
+    response.request_prev_index = hint.index;
     consensus_->HandleMessage(Message(response));
   }
 
@@ -233,6 +236,74 @@ TEST_F(PipeliningTest, OldestBatchTimeoutRewindsWindow) {
   EXPECT_EQ(second_wave[0].prev.index, first_wave[0].prev.index);
 }
 
+TEST_F(PipeliningTest, StallCountsTransitionsNotAttempts) {
+  Start(SmallBatchOptions());
+  auto opids = Replicate(7);
+  // Window of 4: entries 5-7 each bounce off the full window, but the
+  // stall counter records the *transition* into the stalled state — one
+  // per peer (b and c) — not one per blocked send attempt.
+  EXPECT_EQ(consensus_->stats().pipeline_stalls, 2u);
+  // Draining b's window ends its stall and records its duration in the
+  // stall histogram; c stays stalled without further counting.
+  clock_.AdvanceMicros(3'000);
+  AckFrom("b", opids[3]);
+  const auto* stall_hist =
+      consensus_->metrics()->FindHistogram("raft.stall_duration_us");
+  ASSERT_NE(stall_hist, nullptr);
+  EXPECT_GE(stall_hist->snapshot().count(), 1u);
+  EXPECT_EQ(consensus_->stats().pipeline_stalls, 2u);
+}
+
+TEST_F(PipeliningTest, MarkerOnlyHeartbeatWhenWindowFull) {
+  RaftOptions options = SmallBatchOptions();
+  options.max_inflight_batches = 1;
+  options.adaptive_inflight_window = false;
+  Start(options);
+  auto opids = Replicate(2);
+  // "c" never acks: its one-slot window is pinned by the bootstrap no-op
+  // batch, so the commit marker cannot ride a new entry batch to it.
+  outbox_.sent.clear();
+  AckFrom("b", opids[1]);  // a+b majority commits both entries
+  ASSERT_TRUE(consensus_->IsCommitted(opids[1]));
+  clock_.AdvanceMicros(10'000);  // under heartbeat interval & rpc timeout
+  consensus_->Tick();
+  // The marker still reaches c: an entry-less heartbeat anchored at c's
+  // acked match point, leaving the in-flight window untouched.
+  auto to_c = outbox_.AppendsTo("c");
+  ASSERT_GE(to_c.size(), 1u);
+  const AppendEntriesRequest& hb = to_c.back();
+  EXPECT_TRUE(hb.entries.empty());
+  EXPECT_EQ(hb.commit_marker.index, opids[1].index);
+  EXPECT_EQ(hb.prev.index, consensus_->peers().at("c").match_index);
+  EXPECT_GE(consensus_->stats().marker_only_heartbeats, 1u);
+  EXPECT_EQ(consensus_->peers().at("c").inflight.size(), 1u);
+  // The marker is only re-sent once it advances again: an immediate
+  // second tick stays quiet.
+  outbox_.sent.clear();
+  consensus_->Tick();
+  EXPECT_TRUE(outbox_.AppendsTo("c").empty());
+}
+
+TEST_F(PipeliningTest, AdaptiveWindowGrowsWithMeasuredBdp) {
+  Start(SmallBatchOptions());  // adaptive window on, static floor of 4
+  EXPECT_EQ(consensus_->effective_window("b"), 4u);
+  auto opids = Replicate(4);
+  // One cumulative ack 5ms later: four batches delivered inside one RTT.
+  // The BDP estimate (delivery rate x srtt, 2x gain) now says the pipe
+  // holds more than the static floor.
+  clock_.AdvanceMicros(5'000);
+  AckFrom("b", opids[3]);
+  EXPECT_GT(consensus_->effective_window("b"), 4u);
+  // The wider window streams a burst the old floor would have split:
+  // all 6 batches go out before any ack.
+  outbox_.sent.clear();
+  Replicate(6);
+  EXPECT_EQ(outbox_.AppendsTo("b").size(), 6u);
+  // "c" never acked, so it still sits at the floor with 4 streamed.
+  EXPECT_EQ(consensus_->effective_window("c"), 4u);
+  EXPECT_EQ(outbox_.AppendsTo("c").size(), 0u);  // window full since setup
+}
+
 TEST_F(PipeliningTest, TermBumpMidWindowStepsDown) {
   Start(SmallBatchOptions());
   Replicate(4);
@@ -251,8 +322,13 @@ TEST_F(PipeliningTest, LargeBatchesCompressedOnTheWire) {
   auto to_b = outbox_.AppendsTo("b");
   ASSERT_EQ(to_b.size(), 1u);
   EXPECT_TRUE(to_b[0].entries_compressed);
-  EXPECT_LT(to_b[0].entries[0].payload.size(), compressible.size());
+  // The hot tail ships the LogCache's already-compressed span borrowed
+  // via shared_payload (zero-copy), so size the logical bytes, not the
+  // owned payload string (empty for a borrowed buffer).
+  EXPECT_GT(to_b[0].entries[0].payload_bytes().size(), 0u);
+  EXPECT_LT(to_b[0].entries[0].payload_bytes().size(), compressible.size());
   EXPECT_GE(consensus_->stats().wire_batches_compressed, 1u);
+  EXPECT_GE(consensus_->stats().zero_copy_batches, 1u);
 }
 
 TEST_F(PipeliningTest, FollowerInflatesCompressedBatch) {
