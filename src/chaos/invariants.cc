@@ -240,6 +240,20 @@ void InvariantChecker::CheckQuiescent(sim::ClusterHarness& cluster,
   }
 }
 
+void InvariantChecker::ObserveRead(const std::string& key,
+                                   const std::string& expected,
+                                   const std::optional<std::string>& actual,
+                                   bool served_by_lease,
+                                   const MemberId& served_by) {
+  if (actual.has_value() && *actual == expected) return;
+  AddViolation(
+      served_by_lease ? "StaleReadUnderLease" : "StaleRead",
+      StringPrintf("%s served read of %s: expected \"%s\", got %s",
+                   served_by.c_str(), key.c_str(), expected.c_str(),
+                   actual.has_value() ? ("\"" + *actual + "\"").c_str()
+                                      : "(missing)"));
+}
+
 void InvariantChecker::AddViolation(const std::string& invariant,
                                     const std::string& detail) {
   MYRAFT_LOG(Error) << "invariant violation: " << invariant << ": " << detail;

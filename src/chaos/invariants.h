@@ -18,13 +18,19 @@
 //   Convergence         a healed cluster elects a primary and catches
 //                       every live node up (liveness; checked by runner);
 //   Recovery            a crashed node restarts successfully from its
-//                       (possibly tail-torn) disk (checked by runner).
+//                       (possibly tail-torn) disk (checked by runner);
+//   StaleReadUnderLease a read served through the lease fast path (or a
+//                       quorum round) observes every write acked before
+//                       the read was issued — leases may refuse reads,
+//                       never answer with old data (§13; fed per-read by
+//                       the runner via ObserveRead).
 
 #ifndef MYRAFT_CHAOS_INVARIANTS_H_
 #define MYRAFT_CHAOS_INVARIANTS_H_
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -63,6 +69,16 @@ class InvariantChecker {
   /// convergence.
   void CheckQuiescent(sim::ClusterHarness& cluster,
                       const std::vector<AckedWrite>& acked);
+
+  /// §13 stale-read audit: one completed (successful) client read
+  /// checked against the acked-write ledger. `expected` is the row image
+  /// acked before the read was issued; keys are unique per run, so a
+  /// successful read observing anything else is a linearizability
+  /// violation — StaleReadUnderLease when the lease fast path served it,
+  /// StaleRead for a quorum/follower-gated read.
+  void ObserveRead(const std::string& key, const std::string& expected,
+                   const std::optional<std::string>& actual,
+                   bool served_by_lease, const MemberId& served_by);
 
   /// For violations detected outside the checker (convergence timeouts,
   /// restart failures).

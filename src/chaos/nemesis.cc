@@ -21,6 +21,8 @@ enum class Family {
   kLoss,
   kDuplicate,
   kJitter,
+  kClockSkew,
+  kClockRate,
 };
 
 struct WeightedFamily {
@@ -28,20 +30,32 @@ struct WeightedFamily {
   uint32_t weight;
 };
 
-Family PickFamily(Random* rng, bool allow_torn) {
+bool FamilyEnabled(Family family, const NemesisOptions& options) {
+  if (family == Family::kCrashTorn) return options.allow_torn_crashes;
+  if (family == Family::kClockSkew || family == Family::kClockRate) {
+    return options.clock_faults;
+  }
+  return true;
+}
+
+Family PickFamily(Random* rng, const NemesisOptions& options) {
+  // Clock families sit at the END of the table: with clock_faults off,
+  // the weight prefix (and so every historical seed's draw sequence) is
+  // unchanged.
   static constexpr WeightedFamily kFamilies[] = {
       {Family::kCrash, 3},   {Family::kCrashTorn, 3}, {Family::kOneWayCut, 2},
       {Family::kLinkCut, 2}, {Family::kPartition, 2}, {Family::kLoss, 1},
       {Family::kDuplicate, 1}, {Family::kJitter, 1},
+      {Family::kClockSkew, 2}, {Family::kClockRate, 2},
   };
   uint32_t total = 0;
   for (const WeightedFamily& f : kFamilies) {
-    if (f.family == Family::kCrashTorn && !allow_torn) continue;
+    if (!FamilyEnabled(f.family, options)) continue;
     total += f.weight;
   }
   uint32_t pick = static_cast<uint32_t>(rng->Uniform(total));
   for (const WeightedFamily& f : kFamilies) {
-    if (f.family == Family::kCrashTorn && !allow_torn) continue;
+    if (!FamilyEnabled(f.family, options)) continue;
     if (pick < f.weight) return f.family;
     pick -= f.weight;
   }
@@ -97,7 +111,7 @@ Schedule GenerateSchedule(uint64_t seed, const std::vector<MemberId>& members,
     // Leave room before the end so held faults usually resolve in-window.
     const uint64_t at = rng.Uniform(options.duration_micros);
     const bool heal = rng.NextDouble() >= options.leave_unhealed_probability;
-    const Family family = PickFamily(&rng, options.allow_torn_crashes);
+    const Family family = PickFamily(&rng, options);
     FaultStep step;
     step.at_micros = at;
     switch (family) {
@@ -190,6 +204,29 @@ Schedule GenerateSchedule(uint64_t seed, const std::vector<MemberId>& members,
           h.at_micros = at + hold();
           h.action = step.action;
           h.param = 0;
+          schedule.steps.push_back(std::move(h));
+        }
+        break;
+      }
+      case Family::kClockSkew:
+      case Family::kClockRate: {
+        // Per-node clock faults (§13), leader included: skew jumps up to
+        // ~2x a lease duration; rates 0.5x .. 2x nominal, far beyond any
+        // realistic oscillator so the drift margin is genuinely stressed.
+        const std::string target = pick_crash_target();
+        if (family == Family::kClockSkew) {
+          step.action = FaultAction::kClockSkew;
+          step.param = rng.UniformRange(50'000, 2'000'000);
+        } else {
+          step.action = FaultAction::kClockRate;
+          step.param = rng.UniformRange(500'000, 2'000'000);
+        }
+        step.targets = {target};
+        if (heal) {
+          FaultStep h;
+          h.at_micros = at + hold();
+          h.action = FaultAction::kClockHeal;
+          h.targets = {target};
           schedule.steps.push_back(std::move(h));
         }
         break;

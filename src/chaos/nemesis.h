@@ -37,6 +37,11 @@ struct NemesisOptions {
   /// Probability that a crash-family fault targets "@leader".
   double target_leader_probability = 0.4;
   bool allow_torn_crashes = true;
+  /// Include bounded-clock-drift faults (§13: clock-skew / clock-rate on
+  /// single nodes, leader included). Off by default so schedules
+  /// generated from historical seeds stay byte-identical (checked-in
+  /// repros regenerate exactly).
+  bool clock_faults = false;
 };
 
 /// `members` must be the full sorted member-id list (ClusterHarness::ids()

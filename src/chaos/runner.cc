@@ -17,6 +17,10 @@ std::string ChaosReport::ToText() const {
   out += StringPrintf("writes issued=%llu acked=%llu\n",
                       (unsigned long long)writes_issued,
                       (unsigned long long)writes_acked);
+  out += StringPrintf("reads issued=%llu ok=%llu lease=%llu\n",
+                      (unsigned long long)reads_issued,
+                      (unsigned long long)reads_ok,
+                      (unsigned long long)reads_lease);
   out += StringPrintf("violations=%zu\n", violations.size());
   for (const Violation& v : violations) {
     out += "  " + v.ToString() + "\n";
@@ -69,6 +73,7 @@ ChaosReport ChaosRunner::Run(const Schedule& schedule) {
   const uint64_t duration = schedule.duration_micros;
   const uint64_t quiesce_every = schedule.quiesce_interval_micros;
   uint64_t next_write_at = start;
+  uint64_t next_read_at = start;
   size_t next_step = 0;
 
   uint64_t window_end_offset = 0;
@@ -85,11 +90,16 @@ ChaosReport ChaosRunner::Run(const Schedule& schedule) {
         IssueWrite(&report);
         next_write_at = loop->now() + options_.write_interval_micros;
       }
+      if (options_.read_interval_micros > 0 && next_read_at <= loop->now()) {
+        IssueRead(&checker, &report);
+        next_read_at = loop->now() + options_.read_interval_micros;
+      }
       checker.ObserveRoles(*cluster_);
       loop->RunFor(options_.poll_interval_micros);
     }
     Quiesce(&checker, &report);
     next_write_at = loop->now();
+    next_read_at = loop->now();
   }
 
   report.violations = checker.violations();
@@ -114,6 +124,29 @@ void ChaosRunner::IssueWrite(ChaosReport* report) {
         if (!result.status.ok()) return;
         ++report->writes_acked;
         acked_.push_back(AckedWrite{key, value, result.gtid, result.opid});
+      });
+}
+
+void ChaosRunner::IssueRead(InvariantChecker* checker, ChaosReport* report) {
+  if (acked_.empty()) return;
+  // Read back a uniformly chosen acked key. Keys are unique per run and
+  // never overwritten, so the expected row image is exact: a successful
+  // read observing anything else is a stale read (§13).
+  const AckedWrite& w =
+      acked_[cluster_->loop()->rng()->Uniform(acked_.size())];
+  ++report->reads_issued;
+  cluster_->ClientRead(
+      w.key, sim::ClusterHarness::ClientReadOptions{},
+      [checker, report, key = w.key, expected = w.key + "=" + w.value](
+          const sim::ClusterHarness::ClientReadResult& r) {
+        // Refusals/timeouts are availability, not staleness; the read
+        // path is allowed to say no (invalid lease, no leader), never
+        // to answer with old data.
+        if (!r.status.ok()) return;
+        ++report->reads_ok;
+        if (r.served_by_lease) ++report->reads_lease;
+        checker->ObserveRead(key, expected, r.value, r.served_by_lease,
+                             r.served_by);
       });
 }
 
@@ -221,6 +254,43 @@ void ChaosRunner::ApplyStep(const FaultStep& step, InvariantChecker* checker,
       net->HealAllFaults();
       applied = true;
       break;
+    case FaultAction::kClockSkew: {
+      if (step.targets.size() != 1) break;
+      const MemberId id = resolve(step.targets[0]);
+      if (!known(id)) break;
+      // Keep the current rate: a skew jump models an NTP step, not a
+      // frequency change. The clock survives crashes, so a down node's
+      // oscillator can be skewed too.
+      sim::SimNode* node = cluster_->node(id);
+      node->SetClockDrift(static_cast<int64_t>(step.param),
+                          node->clock()->rate());
+      applied = true;
+      break;
+    }
+    case FaultAction::kClockRate: {
+      if (step.targets.size() != 1) break;
+      const MemberId id = resolve(step.targets[0]);
+      if (!known(id)) break;
+      cluster_->node(id)->SetClockDrift(
+          0, static_cast<double>(step.param) / 1e6);
+      applied = true;
+      break;
+    }
+    case FaultAction::kClockHeal: {
+      if (step.targets.size() != 1) break;
+      if (step.targets[0] == "*") {
+        for (const MemberId& id : cluster_->ids()) {
+          cluster_->node(id)->HealClockDrift();
+        }
+        applied = true;
+      } else {
+        const MemberId id = resolve(step.targets[0]);
+        if (!known(id)) break;
+        cluster_->node(id)->HealClockDrift();
+        applied = true;
+      }
+      break;
+    }
   }
   if (applied) {
     ++report->steps_applied;
@@ -233,6 +303,9 @@ void ChaosRunner::Quiesce(InvariantChecker* checker, ChaosReport* report) {
   sim::EventLoop* loop = cluster_->loop();
   cluster_->network()->HealAllFaults();
   for (const MemberId& id : cluster_->ids()) {
+    // Clock rates back to nominal (accumulated offsets persist — only
+    // durations matter to lease safety, so they are harmless).
+    cluster_->node(id)->HealClockDrift();
     if (!cluster_->node(id)->up()) {
       const Status s = cluster_->Restart(id);
       if (!s.ok()) {

@@ -34,6 +34,10 @@ struct ChaosOptions {
 
   /// Concurrent workload: one unique-key write every this-many micros.
   uint64_t write_interval_micros = 25'000;
+  /// Concurrent read workload (§13): one leader read of a previously
+  /// acked key every this-many micros, audited against the ledger (the
+  /// "no stale read under lease" invariant). 0 disables.
+  uint64_t read_interval_micros = 50'000;
   /// Granularity of fault application / role polling.
   uint64_t poll_interval_micros = 5'000;
   /// Budget for a quiescent window to converge before the runner records
@@ -50,6 +54,10 @@ struct ChaosReport {
   int windows = 0;
   uint64_t writes_issued = 0;
   uint64_t writes_acked = 0;
+  uint64_t reads_issued = 0;
+  uint64_t reads_ok = 0;
+  /// Successful reads served by the lease fast path (vs quorum rounds).
+  uint64_t reads_lease = 0;
   uint64_t steps_applied = 0;
   /// Steps that resolved to nothing (e.g. "@leader" with no primary, or
   /// crashing an already-down node); skipping keeps minimized schedules
@@ -74,6 +82,7 @@ class ChaosRunner {
 
  private:
   void IssueWrite(ChaosReport* report);
+  void IssueRead(InvariantChecker* checker, ChaosReport* report);
   void ApplyStep(const FaultStep& step, InvariantChecker* checker,
                  ChaosReport* report);
   void Quiesce(InvariantChecker* checker, ChaosReport* report);

@@ -28,6 +28,9 @@ constexpr ActionName kActionNames[] = {
     {FaultAction::kDuplicateRate, "duplicate"},
     {FaultAction::kJitter, "jitter"},
     {FaultAction::kHealAll, "heal-all"},
+    {FaultAction::kClockSkew, "clock-skew"},
+    {FaultAction::kClockRate, "clock-rate"},
+    {FaultAction::kClockHeal, "clock-heal"},
 };
 
 Result<uint64_t> ParseU64(std::string_view token) {
@@ -65,10 +68,18 @@ bool FaultActionTakesParam(FaultAction action) {
          action == FaultAction::kJitter;
 }
 
+bool FaultActionTakesTargetAndParam(FaultAction action) {
+  return action == FaultAction::kClockSkew ||
+         action == FaultAction::kClockRate;
+}
+
 std::string FaultStep::ToString() const {
   std::string line = StringPrintf("step %llu %s", (unsigned long long)at_micros,
                                   std::string(FaultActionToString(action)).c_str());
   if (FaultActionTakesParam(action)) {
+    line += StringPrintf(" %llu", (unsigned long long)param);
+  } else if (FaultActionTakesTargetAndParam(action)) {
+    for (const std::string& target : targets) line += " " + target;
     line += StringPrintf(" %llu", (unsigned long long)param);
   } else {
     for (const std::string& target : targets) line += " " + target;
@@ -126,6 +137,15 @@ Result<Schedule> Schedule::Parse(const std::string& text) {
         return Status::InvalidArgument("expected one param: " + raw_line);
       }
       auto param = ParseU64(tokens[3]);
+      MYRAFT_RETURN_NOT_OK(param.status());
+      step.param = *param;
+    } else if (FaultActionTakesTargetAndParam(step.action)) {
+      if (tokens.size() != 5) {
+        return Status::InvalidArgument("expected target and param: " +
+                                       raw_line);
+      }
+      step.targets = {tokens[3]};
+      auto param = ParseU64(tokens[4]);
       MYRAFT_RETURN_NOT_OK(param.status());
       step.param = *param;
     } else {

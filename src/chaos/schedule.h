@@ -34,6 +34,11 @@ enum class FaultAction : uint8_t {
   kDuplicateRate,   // param: duplication probability in ppm
   kJitter,          // param: extra uniform delivery delay in micros
   kHealAll,         // heals links/partitions/loss/duplication/jitter
+  // Bounded-clock-drift nemesis (§13). These manipulate a node's LOCAL
+  // clock (sim::DriftClock), the one its raft/lease arithmetic reads.
+  kClockSkew,       // targets: {node}; param: forward jump in micros
+  kClockRate,       // targets: {node}; param: rate in ppm (1e6 = nominal)
+  kClockHeal,       // targets: {node} or {"*"}; rate back to 1.0
 };
 
 std::string_view FaultActionToString(FaultAction action);
@@ -41,6 +46,9 @@ Result<FaultAction> FaultActionFromString(std::string_view token);
 
 /// True for actions whose argument is the numeric `param` (no targets).
 bool FaultActionTakesParam(FaultAction action);
+/// True for actions taking one target AND the numeric `param` (the
+/// clock-fault shape: "step <at> <action> <node> <param>").
+bool FaultActionTakesTargetAndParam(FaultAction action);
 
 struct FaultStep {
   uint64_t at_micros = 0;  // relative to the start of the chaos run

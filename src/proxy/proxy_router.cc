@@ -46,6 +46,41 @@ MemberId ProxyRouter::ChooseRelay(const RegionId& region,
   return fallback != nullptr ? *fallback : "";
 }
 
+MemberId ProxyRouter::ChooseReadTarget(
+    const RegionId& client_region, uint64_t staleness_budget_entries) const {
+  if (consensus_ == nullptr) return "";
+  const bool leading = consensus_->role() == RaftRole::kLeader;
+  if (!leading || staleness_budget_entries == 0) {
+    reads_routed_leader_->Increment();
+    return leading ? self_ : consensus_->leader();
+  }
+  // Leader-side steering: the replication bookkeeping (match indexes) is
+  // authoritative here, so lag checks need no extra round trips.
+  const uint64_t marker = consensus_->commit_marker().index;
+  const auto& peers = consensus_->peers();
+  MemberId best;
+  uint64_t best_match = 0;
+  for (const auto& member : consensus_->config().members) {
+    if (member.kind != MemberKind::kMySql || member.id == self_) continue;
+    if (member.region != client_region) continue;
+    if (!RelayHealthy(member.id)) continue;
+    auto it = peers.find(member.id);
+    if (it == peers.end()) continue;
+    const uint64_t match = it->second.match_index;
+    if (match + staleness_budget_entries < marker) continue;  // too stale
+    if (best.empty() || match > best_match) {
+      best = member.id;
+      best_match = match;
+    }
+  }
+  if (best.empty()) {
+    reads_routed_leader_->Increment();
+    return self_;
+  }
+  reads_routed_follower_->Increment();
+  return best;
+}
+
 void ProxyRouter::Send(Message message) {
   if (!options_.enabled) {
     lower_send_(std::move(message));
@@ -254,6 +289,8 @@ ProxyRouter::Stats ProxyRouter::stats() const {
   s.relayed_responses = relayed_responses_->value();
   s.route_arounds = route_arounds_->value();
   s.bytes_relayed = bytes_relayed_->value();
+  s.reads_routed_follower = reads_routed_follower_->value();
+  s.reads_routed_leader = reads_routed_leader_->value();
   return s;
 }
 

@@ -58,6 +58,8 @@ class ProxyRouter final : public raft::RaftOutbox {
     uint64_t relayed_responses = 0;
     uint64_t route_arounds = 0;          // unhealthy relay bypassed
     uint64_t bytes_relayed = 0;          // wire bytes forwarded as a hop
+    uint64_t reads_routed_follower = 0;  // reads steered to a follower
+    uint64_t reads_routed_leader = 0;    // reads kept on the leader
   };
 
   using SendFn = std::function<void(Message)>;
@@ -84,6 +86,9 @@ class ProxyRouter final : public raft::RaftOutbox {
     relayed_responses_ = registry->GetCounter("proxy.relayed_responses");
     route_arounds_ = registry->GetCounter("proxy.route_arounds");
     bytes_relayed_ = registry->GetCounter("proxy.bytes_relayed");
+    reads_routed_follower_ =
+        registry->GetCounter("proxy.reads_routed_follower");
+    reads_routed_leader_ = registry->GetCounter("proxy.reads_routed_leader");
   }
 
   ~ProxyRouter() {
@@ -113,6 +118,17 @@ class ProxyRouter final : public raft::RaftOutbox {
   void set_enabled(bool enabled) { options_.enabled = enabled; }
   bool enabled() const { return options_.enabled; }
   Stats stats() const;
+
+  /// Read steering (§13): pick the member a read from `client_region`
+  /// should hit. With a nonzero staleness budget and this node leading,
+  /// prefers the most caught-up healthy MySQL member in the client's
+  /// region whose replication lag (commit marker − match index) fits the
+  /// budget; otherwise the read stays on the leader (self when leading,
+  /// else the last known leader — "" when none is known). The follower
+  /// still read-your-writes gates via SubmitRead, so the budget only
+  /// bounds expected wait, never correctness.
+  MemberId ChooseReadTarget(const RegionId& client_region,
+                            uint64_t staleness_budget_entries) const;
 
  private:
   /// Relay member for `region` (prefers MySQL voters), or "" when no
@@ -149,6 +165,8 @@ class ProxyRouter final : public raft::RaftOutbox {
   metrics::Counter* relayed_responses_;
   metrics::Counter* route_arounds_;
   metrics::Counter* bytes_relayed_;
+  metrics::Counter* reads_routed_follower_;
+  metrics::Counter* reads_routed_leader_;
 };
 
 }  // namespace myraft::proxy

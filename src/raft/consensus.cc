@@ -68,6 +68,9 @@ RaftConsensus::RaftConsensus(RaftOptions options, LogAbstraction* log,
       metrics_->GetCounter("raft.group_sync_coalesced");
   m_.marker_only_heartbeats =
       metrics_->GetCounter("raft.marker_only_heartbeats");
+  m_.lease_renewals = metrics_->GetCounter("raft.lease_renewals");
+  m_.reads_lease = metrics_->GetCounter("raft.reads_lease");
+  m_.reads_quorum = metrics_->GetCounter("raft.reads_quorum");
   m_.inflight_window_batches =
       metrics_->GetHistogram("raft.inflight_window_batches");
   m_.effective_window_batches =
@@ -98,6 +101,9 @@ RaftConsensus::Stats RaftConsensus::stats() const {
   s.group_syncs = m_.group_syncs->value();
   s.group_sync_coalesced = m_.group_sync_coalesced->value();
   s.marker_only_heartbeats = m_.marker_only_heartbeats->value();
+  s.lease_renewals = m_.lease_renewals->value();
+  s.reads_lease = m_.reads_lease->value();
+  s.reads_quorum = m_.reads_quorum->value();
   return s;
 }
 
@@ -485,6 +491,8 @@ void RaftConsensus::RunGroupSync() {
     response.last_durable_index = last_synced_index_;
     response.trace_id = follower_ack_trace_id_;
     response.trace_span_id = follower_ack_span_id_;
+    response.lease_granted_micros = follower_ack_lease_echo_;
+    follower_ack_lease_echo_ = 0;
     outbox_->Send(std::move(response));
   }
 }
@@ -630,6 +638,7 @@ void RaftConsensus::SendMarkerOnlyHeartbeat(const MemberId& peer_id,
   request.term = meta_.current_term;
   request.commit_marker = commit_marker_;
   request.prev = OpId{prev_term, peer->match_index};
+  StampLease(&request);
   m_.marker_only_heartbeats->Increment();
   peer->last_rpc_sent_micros = clock_->NowMicros();
   peer->last_sent_commit_index =
@@ -689,6 +698,7 @@ void RaftConsensus::SendAppendEntriesTo(const MemberId& peer_id,
     request.term = meta_.current_term;
     request.commit_marker = commit_marker_;
     request.prev = OpId{prev_term, peer.next_index - 1};
+    StampLease(&request);
 
     InflightBatch batch;
     batch.first_index = peer.next_index;
@@ -772,6 +782,7 @@ void RaftConsensus::SendAppendEntriesTo(const MemberId& peer_id,
     // tick rather than an untracked send.
     return;
   }
+  StampLease(&request);
   m_.heartbeats_sent->Increment();
   peer.last_rpc_sent_micros = clock_->NowMicros();
   peer.last_sent_commit_index =
@@ -843,6 +854,149 @@ void RaftConsensus::SetCommitMarker(OpId new_marker) {
     pending_config_index_ = 0;  // membership change committed
   }
   listener_->OnCommitAdvanced(commit_marker_);
+}
+
+// --- Leader leases & linearizable reads (§13) ------------------------------------
+
+uint64_t RaftConsensus::LeaseDurationMicros() const {
+  // Safety clamp: the grant must expire while the granting follower's own
+  // election timer (plus stickiness against pre-votes) still shields this
+  // leader — no rival can be elected inside that window, so a valid lease
+  // proves no newer committed writes exist anywhere. The margin absorbs
+  // follower clocks running fast.
+  const uint64_t timeout = ElectionTimeoutMicros();
+  const uint64_t margin = options_.lease_drift_margin_micros;
+  const uint64_t cap = timeout > margin ? timeout - margin : 0;
+  return std::min(options_.lease_duration_micros, cap);
+}
+
+void RaftConsensus::StampLease(AppendEntriesRequest* request) {
+  if (role_ != RaftRole::kLeader) return;
+  // The send timestamp goes on every leader AppendEntries regardless of
+  // lease config: its echo is the freshness proof ReadIndex rounds need
+  // (ConfirmQuorumReads). The duration — the actual lease offer — only
+  // when leases are on.
+  request->lease_sent_micros = clock_->NowMicros();
+  if (!options_.enable_leader_leases) return;
+  request->lease_duration_micros = LeaseDurationMicros();
+}
+
+void RaftConsensus::RecordLeaseGrant(const AppendEntriesResponse& response,
+                                     PeerStatus* peer) {
+  if (!options_.enable_leader_leases || response.lease_granted_micros == 0) {
+    return;
+  }
+  if (response.term != meta_.current_term) return;
+  // Expiry arithmetic entirely on our own clock: the follower echoed OUR
+  // send timestamp, the duration counts from it, and the drift margin
+  // fences off follower clocks running up to margin/duration fast.
+  const uint64_t margin = options_.lease_drift_margin_micros;
+  const uint64_t expiry = response.lease_granted_micros + LeaseDurationMicros();
+  const uint64_t fenced = expiry > margin ? expiry - margin : 0;
+  if (fenced > peer->lease_expiry_micros) {
+    peer->lease_expiry_micros = fenced;
+    m_.lease_renewals->Increment();
+  }
+}
+
+void RaftConsensus::RevokeLease() {
+  for (auto& [peer_id, peer] : peers_) peer.lease_expiry_micros = 0;
+}
+
+bool RaftConsensus::HasValidLease() const {
+  if (!options_.enable_leader_leases || role_ != RaftRole::kLeader) {
+    return false;
+  }
+  const uint64_t now = clock_->NowMicros();
+  // Deferred handoff: a fresh leader first waits out every grant the
+  // deposed leader could still hold.
+  if (now < lease_serve_after_micros_) return false;
+  // A lease read linearizes at the commit marker, so the marker must be
+  // from our own term (the leadership no-op committed) — older markers
+  // may trail entries the previous leader committed.
+  if (commit_marker_.term != meta_.current_term) return false;
+  std::set<MemberId> holders{options_.self};
+  for (const auto& [peer_id, peer] : peers_) {
+    if (peer.lease_expiry_micros > now) holders.insert(peer_id);
+  }
+  return quorum_->IsCommitQuorumSatisfied(MakeQuorumContext(options_.self),
+                                          holders);
+}
+
+void RaftConsensus::LinearizableRead(ReadCallback done) {
+  ReadResult result;
+  if (role_ != RaftRole::kLeader) {
+    result.status = Status::IllegalState("not the leader");
+    done(result);
+    return;
+  }
+  if (commit_marker_.term != meta_.current_term) {
+    result.status =
+        Status::ServiceUnavailable("leadership not yet established");
+    done(result);
+    return;
+  }
+  if (HasValidLease()) {
+    m_.reads_lease->Increment();
+    result.status = Status::OK();
+    result.read_index = commit_marker_;
+    result.served_by_lease = true;
+    done(result);
+    return;
+  }
+  // ReadIndex fallback: capture the commit marker as the read point, then
+  // confirm we are still the quorum's leader with one round of acks that
+  // arrive AFTER this registration — a deposed leader's stale marker can
+  // never gather fresh current-term acks.
+  PendingQuorumRead read;
+  read.read_marker = commit_marker_;
+  read.registered_micros = clock_->NowMicros();
+  read.confirmed.insert(options_.self);
+  read.done = std::move(done);
+  pending_reads_.push_back(std::move(read));
+  if (quorum_->IsCommitQuorumSatisfied(MakeQuorumContext(options_.self),
+                                       pending_reads_.back().confirmed)) {
+    // Single-voter data quorum.
+    ConfirmQuorumReads(options_.self, clock_->NowMicros());
+    return;
+  }
+  for (const auto& [peer_id, peer] : peers_) {
+    SendAppendEntriesTo(peer_id, /*allow_empty=*/true);
+  }
+}
+
+void RaftConsensus::ConfirmQuorumReads(const MemberId& from,
+                                       uint64_t acked_sent_micros) {
+  if (pending_reads_.empty()) return;
+  for (auto& read : pending_reads_) {
+    // Only an ack to an AppendEntries we sent at-or-after registration
+    // proves we were still the quorum's leader at the read point; an ack
+    // already in flight when the read arrived proves nothing.
+    if (acked_sent_micros >= read.registered_micros) {
+      read.confirmed.insert(from);
+    }
+  }
+  // Pop before firing: a callback may re-enter LinearizableRead.
+  while (!pending_reads_.empty() &&
+         quorum_->IsCommitQuorumSatisfied(MakeQuorumContext(options_.self),
+                                          pending_reads_.front().confirmed)) {
+    PendingQuorumRead read = std::move(pending_reads_.front());
+    pending_reads_.pop_front();
+    m_.reads_quorum->Increment();
+    ReadResult result;
+    result.status = Status::OK();
+    result.read_index = read.read_marker;
+    read.done(result);
+  }
+}
+
+void RaftConsensus::FailPendingReads(const Status& reason) {
+  if (pending_reads_.empty()) return;
+  std::deque<PendingQuorumRead> failed = std::move(pending_reads_);
+  pending_reads_.clear();
+  ReadResult result;
+  result.status = reason;
+  for (auto& read : failed) read.done(result);
 }
 
 // --- Replication: receiver side -------------------------------------------------
@@ -1029,6 +1183,12 @@ void RaftConsensus::HandleAppendEntries(const AppendEntriesRequest& request) {
           std::max(follower_ack_verified_index_, verified_index);
       follower_ack_trace_id_ = request.trace_id;
       follower_ack_span_id_ = request.trace_span_id;
+      if (request.lease_sent_micros != 0 && IsVoterSelf()) {
+        // Timestamp echo rides the held cumulative ack; max over the held
+        // batches' send timestamps (the freshest echo wins).
+        follower_ack_lease_echo_ =
+            std::max(follower_ack_lease_echo_, request.lease_sent_micros);
+      }
       ScheduleGroupSync();
       if (append_span.id != 0) {
         append_span.end_args = StringPrintf(
@@ -1072,6 +1232,14 @@ void RaftConsensus::HandleAppendEntries(const AppendEntriesRequest& request) {
         verified.ok() ? *verified : OpId{0, verified_index};
   }
   response.last_durable_index = last_synced_index_;
+  if (request.lease_sent_micros != 0 && IsVoterSelf()) {
+    // Echo the leader's send timestamp: ReadIndex freshness proof always,
+    // and — when the request carried a duration — a lease grant (§13).
+    // The grant promise (not electing a rival before it expires) is kept
+    // by our own election timer, which last_leader_contact_micros_ just
+    // re-armed.
+    response.lease_granted_micros = request.lease_sent_micros;
+  }
   if (append_span.id != 0) {
     append_span.end_args =
         StringPrintf("ok last=%llu durable=%llu",
@@ -1142,8 +1310,14 @@ void RaftConsensus::HandleAppendEntriesResponse(
     peer.match_index = std::max(peer.match_index, acked);
     peer.next_index =
         std::max(peer.next_index, response.last_received.index + 1);
+    RecordLeaseGrant(response, &peer);
     last_commit_completer_ = response.from;  // straggler if the marker moves
     AdvanceCommitMarker();
+    // A current-term success doubles as leadership confirmation for the
+    // ReadIndex rounds whose registration its echoed send time postdates.
+    if (response.term == meta_.current_term) {
+      ConfirmQuorumReads(response.from, response.lease_granted_micros);
+    }
 
     // Graceful transfer: once the quiesced target is fully caught up,
     // fire TimeoutNow (§2.2 Promotion).
@@ -1151,6 +1325,7 @@ void RaftConsensus::HandleAppendEntriesResponse(
         transfer_->phase == TransferState::Phase::kQuiesced &&
         response.from == transfer_->target &&
         peer.match_index == log_->LastOpId().index) {
+      RevokeLease();
       StartElectionRequest go;
       go.from = options_.self;
       go.dest = transfer_->target;
@@ -1443,6 +1618,7 @@ void RaftConsensus::HandleVoteResponse(const VoteResponse& response) {
     auto it = peers_.find(transfer_->target);
     if (it != peers_.end() &&
         it->second.match_index == log_->LastOpId().index) {
+      RevokeLease();
       StartElectionRequest go;
       go.from = options_.self;
       go.dest = transfer_->target;
@@ -1575,6 +1751,16 @@ void RaftConsensus::BecomeLeader() {
   // leads; the self-ack path covers its durability.
   follower_ack_pending_ = false;
   follower_ack_verified_index_ = 0;
+  follower_ack_lease_echo_ = 0;
+  if (options_.enable_leader_leases) {
+    // Deferred lease handoff (§13): refuse lease reads until every grant
+    // the deposed leader could still hold has provably expired. It
+    // measured durations from ITS send timestamps, all at most "now", so
+    // now + duration + margin outlasts them on any in-margin clock.
+    lease_serve_after_micros_ = clock_->NowMicros() +
+                                options_.lease_duration_micros +
+                                options_.lease_drift_margin_micros;
+  }
   meta_.last_known_leader = options_.self;
   meta_.last_leader_region = options_.region;
   meta_.last_leader_term = meta_.current_term;
@@ -1641,6 +1827,11 @@ void RaftConsensus::StepDown(uint64_t new_term, const MemberId& new_leader,
   // itself still runs — durability work is never discarded).
   follower_ack_pending_ = false;
   follower_ack_verified_index_ = 0;
+  follower_ack_lease_echo_ = 0;
+  // Deposed leaseholder fencing (§13): the lease died with the peer
+  // state above; reads parked on a quorum round can never confirm now.
+  lease_serve_after_micros_ = 0;
+  FailPendingReads(Status::Aborted("leadership lost"));
   ResetElectionTimer();
 
   if (was_leader) {
@@ -1696,6 +1887,7 @@ Status RaftConsensus::TransferLeadership(const MemberId& target) {
     auto it = peers_.find(target);
     if (it != peers_.end() &&
         it->second.match_index == log_->LastOpId().index) {
+      RevokeLease();
       StartElectionRequest go;
       go.from = options_.self;
       go.dest = target;

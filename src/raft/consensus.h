@@ -132,6 +132,27 @@ struct RaftOptions {
   /// stays inline, the historical lock-step behaviour.
   std::function<void(uint64_t delay_micros, std::function<void()> fn)> defer;
 
+  /// LeaseGuard leader leases (DESIGN.md §13): followers piggyback lease
+  /// grants on their AppendEntries acks (including the coalesced and
+  /// marker-only heartbeat paths — no separate lease RPC); a leader
+  /// holding unexpired grants from a commit quorum serves linearizable
+  /// reads locally with zero quorum round-trips. Off by default; the
+  /// read path then always takes the ReadIndex fallback.
+  bool enable_leader_leases = false;
+  /// How long a grant lasts, measured on the leader's clock from the
+  /// moment the granting request was SENT (the follower echoes the send
+  /// timestamp back, so expiry arithmetic never mixes clocks). Clamped
+  /// at use to the election timeout minus the drift margin: a follower's
+  /// own election timer is what makes the grant a promise — it will not
+  /// campaign (nor, via leader stickiness, indulge pre-votes) before the
+  /// timeout elapses, so no rival leader can exist while a grant lives.
+  uint64_t lease_duration_micros = 1'200'000;
+  /// Bounded-clock-drift safety margin (LeaseGuard): subtracted from
+  /// every grant's leader-side expiry and added to a new leader's
+  /// serve-after wait, covering follower clocks running fast by up to
+  /// margin/duration in relative rate.
+  uint64_t lease_drift_margin_micros = 100'000;
+
   /// FAULT INJECTION (chaos checker self-test only): commit quorums count
   /// a peer's last *received* index instead of min(received, durable).
   /// This re-introduces the durability bug fixed in the durable-index
@@ -233,6 +254,10 @@ class RaftConsensus {
     /// marker-only heartbeat carries the news instead of waiting for
     /// window space.
     uint64_t last_sent_commit_index = 0;
+    /// Leader-clock expiry of this peer's freshest lease grant (0 =
+    /// none): echoed send timestamp + lease duration − drift margin,
+    /// monotone max over acks (§13).
+    uint64_t lease_expiry_micros = 0;
   };
 
   /// Point-in-time snapshot of the registry-backed "raft.*" counters.
@@ -255,6 +280,9 @@ class RaftConsensus {
     uint64_t group_syncs = 0;
     uint64_t group_sync_coalesced = 0;
     uint64_t marker_only_heartbeats = 0;
+    uint64_t lease_renewals = 0;
+    uint64_t reads_lease = 0;
+    uint64_t reads_quorum = 0;
   };
 
   RaftConsensus(RaftOptions options, LogAbstraction* log,
@@ -296,6 +324,28 @@ class RaftConsensus {
   bool IsCommitted(OpId opid) const {
     return !opid.IsZero() && opid.index <= commit_marker_.index;
   }
+
+  /// Outcome of LinearizableRead: on OK, `read_index` is the consensus
+  /// point the read linearizes at — the caller must wait until its state
+  /// machine covers it before serving data.
+  struct ReadResult {
+    Status status;
+    OpId read_index;
+    bool served_by_lease = false;
+  };
+  using ReadCallback = std::function<void(const ReadResult&)>;
+  /// Linearizable read point (§13). Under a valid leader lease the
+  /// callback fires immediately — zero quorum round-trips — with the
+  /// current commit marker as the read index; otherwise a ReadIndex-style
+  /// round confirms leadership with fresh quorum acks first. Fails with
+  /// IllegalState on non-leaders, ServiceUnavailable before the
+  /// leadership no-op commits, and Aborted when leadership is lost while
+  /// a quorum round is in flight.
+  void LinearizableRead(ReadCallback done);
+  /// True when this leader currently holds unexpired lease grants from a
+  /// commit quorum and the deferred-handoff wait has passed.
+  /// Introspection for tests and the chaos stale-read audit.
+  bool HasValidLease() const;
 
   /// Graceful promotion (§2.2): mock election → quiesce → catch-up →
   /// TimeoutNow. Progress/failure surfaces via listener callbacks.
@@ -448,6 +498,26 @@ class RaftConsensus {
   void MaybeCompressPayloads(AppendEntriesRequest* request);
   void AdvanceCommitMarker();
   void SetCommitMarker(OpId new_marker);
+  /// Lease plumbing (§13).
+  uint64_t LeaseDurationMicros() const;
+  /// Attach a lease grant request to an outbound AppendEntries (all three
+  /// leader send paths: data batches, marker-only and idle heartbeats).
+  void StampLease(AppendEntriesRequest* request);
+  /// Fold a follower's echoed grant into its peer state (monotone max).
+  void RecordLeaseGrant(const AppendEntriesResponse& response,
+                        PeerStatus* peer);
+  /// Drop every grant — called right before TimeoutNow so a hand-picked
+  /// successor, electable well inside the grants' lifetime, can never
+  /// race this (still unaware, not yet deposed) leaseholder's reads.
+  void RevokeLease();
+  /// Count `from`'s fresh current-term ack towards the in-flight
+  /// ReadIndex rounds it postdates, and release the rounds whose quorum
+  /// is now confirmed. `acked_sent_micros` is our own send timestamp the
+  /// ack echoed back: only acks to AppendEntries sent at-or-after a
+  /// round's registration prove we were still leader then — an ack that
+  /// was already in flight proves nothing about the present.
+  void ConfirmQuorumReads(const MemberId& from, uint64_t acked_sent_micros);
+  void FailPendingReads(const Status& reason);
   Status AppendToLocalLog(const LogEntry& entry);
   Result<std::vector<LogEntry>> FetchEntriesFor(uint64_t next_index,
                                                 uint64_t* prev_term);
@@ -503,6 +573,12 @@ class RaftConsensus {
     metrics::Counter* group_sync_coalesced;
     /// Marker-only heartbeats squeezed past a full window.
     metrics::Counter* marker_only_heartbeats;
+    /// Lease grants folded into peer state (renewals included).
+    metrics::Counter* lease_renewals;
+    /// LinearizableRead served locally under a valid lease.
+    metrics::Counter* reads_lease;
+    /// LinearizableRead served via the ReadIndex quorum fallback.
+    metrics::Counter* reads_quorum;
     /// Window occupancy (batches in flight) sampled at each batch send.
     metrics::HistogramMetric* inflight_window_batches;
     /// Adaptive window size sampled at each batch send.
@@ -560,6 +636,23 @@ class RaftConsensus {
   uint64_t follower_ack_verified_index_ = 0;
   uint64_t follower_ack_trace_id_ = 0;
   uint64_t follower_ack_span_id_ = 0;
+  /// Lease echo carried by the next coalesced cumulative ack: max send
+  /// timestamp over the held batches' grant requests (0 = none).
+  uint64_t follower_ack_lease_echo_ = 0;
+  /// Deferred lease handoff (§13): leader-clock time before which a
+  /// fresh leader refuses lease reads, waiting out every grant the
+  /// deposed leader could still hold. 0 outside leadership.
+  uint64_t lease_serve_after_micros_ = 0;
+  /// ReadIndex fallback rounds awaiting fresh quorum acks (leader side).
+  struct PendingQuorumRead {
+    OpId read_marker;
+    /// Registration time (our clock): acks only count if they echo a
+    /// send timestamp at or after this.
+    uint64_t registered_micros = 0;
+    std::set<MemberId> confirmed;
+    ReadCallback done;
+  };
+  std::deque<PendingQuorumRead> pending_reads_;
   /// Leader-side Replicate() timestamps awaiting commit, for the
   /// commit-advance latency histogram. Cleared on step down.
   std::map<uint64_t, uint64_t> replicate_time_micros_;

@@ -62,6 +62,9 @@ Status MySqlServer::Init(const raft::QuorumEngine* quorum, Random* rng,
   m_.applier_lag_hist = metrics_->GetHistogram("server.applier_lag_hist");
   m_.applier_concurrency =
       metrics_->GetHistogram("server.applier_concurrency");
+  m_.reads_served = metrics_->GetCounter("server.reads_served");
+  m_.reads_gated = metrics_->GetCounter("server.reads_gated");
+  m_.read_wait_us = metrics_->GetHistogram("server.read_wait_us");
   applier_free_at_.assign(std::max<uint32_t>(1, options_.applier_workers), 0);
 
   binlog::BinlogManagerOptions binlog_options;
@@ -272,6 +275,49 @@ std::optional<std::string> MySqlServer::Read(const std::string& table,
   return engine_->Get(table, key);
 }
 
+// --- Gated reads: the follower GTID-wait gate (§13) ---------------------------
+
+uint64_t MySqlServer::AppliedIndex() const {
+  if (engine_ == nullptr) return 0;
+  // next_apply_index_ is the replica low-water mark; on the primary the
+  // pipeline bypasses the applier, so the engine's own cursor (advanced by
+  // CommitPrepared in stage 3) is authoritative there. No-op/config
+  // entries never touch the engine, hence the max of both views.
+  return std::max(next_apply_index_ - 1, engine_->LastAppliedOpId().index);
+}
+
+void MySqlServer::SubmitRead(const std::string& table, const std::string& key,
+                             uint64_t min_index, ReadCallback done) {
+  if (engine_ == nullptr) {
+    done(ReadResult{Status::NotSupported("logtailers hold no data"), {}, 0});
+    return;
+  }
+  const uint64_t cursor = AppliedIndex();
+  if (cursor >= min_index) {
+    m_.reads_served->Increment();
+    m_.read_wait_us->Record(0);
+    done(ReadResult{Status::OK(), engine_->Get(table, key), cursor});
+    return;
+  }
+  m_.reads_gated->Increment();
+  parked_reads_.emplace(
+      min_index, ParkedRead{table, key, clock_->NowMicros(), std::move(done)});
+}
+
+void MySqlServer::MaybeServeReads() {
+  if (parked_reads_.empty() || engine_ == nullptr) return;
+  const uint64_t cursor = AppliedIndex();
+  while (!parked_reads_.empty() && parked_reads_.begin()->first <= cursor) {
+    // Pop before firing: the callback may submit another read.
+    ParkedRead read = std::move(parked_reads_.begin()->second);
+    parked_reads_.erase(parked_reads_.begin());
+    m_.reads_served->Increment();
+    m_.read_wait_us->Record(clock_->NowMicros() - read.parked_micros);
+    read.done(
+        ReadResult{Status::OK(), engine_->Get(read.table, read.key), cursor});
+  }
+}
+
 // --- Consensus-commit stage + applier (§3.4/§3.5) --------------------------------
 
 void MySqlServer::OnConsensusCommitAdvanced(OpId marker) {
@@ -334,6 +380,9 @@ void MySqlServer::OnConsensusCommitAdvanced(OpId marker) {
   RunApplier();
   MaybeCompletePromotion();
   if (witness_handoff_pending_) MaybeWitnessHandoff();
+  // On the primary RunApplier is a no-op, but the engine commits above
+  // advanced the cursor — serve reads parked on those indexes.
+  MaybeServeReads();
 }
 
 void MySqlServer::OnLogEntryAppended(const LogEntry& entry) {
@@ -519,6 +568,7 @@ void MySqlServer::RunApplier() {
                            : 0;
   m_.applier_lag_entries->Set((int64_t)lag);
   m_.applier_lag_hist->Record((int64_t)lag);
+  MaybeServeReads();
 }
 
 void MySqlServer::ResetApplier() {
@@ -852,6 +902,8 @@ MySqlServer::Stats MySqlServer::stats() const {
   s.promotions_completed = m_.promotions_completed->value();
   s.demotions = m_.demotions->value();
   s.engine_checkpoints = m_.engine_checkpoints->value();
+  s.reads_served = m_.reads_served->value();
+  s.reads_gated = m_.reads_gated->value();
   return s;
 }
 

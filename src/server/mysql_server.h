@@ -86,6 +86,16 @@ struct WriteResult {
 };
 using WriteCallback = std::function<void(const WriteResult&)>;
 
+/// Outcome of a gated read (SubmitRead). `applied_index` is the apply
+/// cursor at serve time — always >= the requested floor on success, so
+/// clients can thread it into their next read for session monotonicity.
+struct ReadResult {
+  Status status;
+  std::optional<std::string> value;
+  uint64_t applied_index = 0;
+};
+using ReadCallback = std::function<void(const ReadResult&)>;
+
 struct MasterStatus {
   std::string file;
   uint64_t position = 0;
@@ -141,6 +151,8 @@ class MySqlServer final : public plugin::ServerHooks {
     uint64_t promotions_completed = 0;
     uint64_t demotions = 0;
     uint64_t engine_checkpoints = 0;
+    uint64_t reads_served = 0;
+    uint64_t reads_gated = 0;
   };
 
   /// Opens (or recovers) all storage and wires the plugin. Call
@@ -186,6 +198,17 @@ class MySqlServer final : public plugin::ServerHooks {
   /// Committed read (any MySQL member; logtailers have no data).
   std::optional<std::string> Read(const std::string& table,
                                   const std::string& key) const;
+  /// Read-your-writes gated read (§13): serves from the engine once the
+  /// apply cursor covers `min_index` (the client's last-seen raft index /
+  /// a leader's ReadIndex), parking until the applier catches up
+  /// otherwise. `min_index` 0 reads whatever is applied now. Works on
+  /// primaries (pipeline engine commits advance the cursor) and replicas
+  /// (the parallel applier's low-water mark gates).
+  void SubmitRead(const std::string& table, const std::string& key,
+                  uint64_t min_index, ReadCallback done);
+  /// Highest raft index whose effects are visible to reads on this
+  /// member (the GTID-wait gate's cursor).
+  uint64_t AppliedIndex() const;
 
   bool writes_enabled() const { return writes_enabled_; }
   DbRole db_role() const;
@@ -324,6 +347,11 @@ class MySqlServer final : public plugin::ServerHooks {
     metrics::HistogramMetric* applier_lag_hist;
     /// Busy worker slots at each dispatch.
     metrics::HistogramMetric* applier_concurrency;
+    /// Gated-read path (§13): reads served (immediately or after a
+    /// wait), reads that had to park for the applier, and the wait time.
+    metrics::Counter* reads_served;
+    metrics::Counter* reads_gated;
+    metrics::HistogramMetric* read_wait_us;
   };
 
   MySqlServer(Env* env, MySqlServerOptions options, Clock* clock)
@@ -344,6 +372,8 @@ class MySqlServer final : public plugin::ServerHooks {
   /// A logtailer that won an election hands leadership to the most
   /// caught-up MySQL voter (§2.2).
   void MaybeWitnessHandoff();
+  /// Serves parked reads whose floor the apply cursor now covers.
+  void MaybeServeReads();
   void SetDbRole(DbRole role);
 
   Env* env_;
@@ -371,6 +401,17 @@ class MySqlServer final : public plugin::ServerHooks {
   /// the MySQL-style `last_committed` for dependency intervals.
   uint64_t group_commit_last_committed_ = 0;
   std::map<uint64_t, PendingCommit> pending_;  // by raft index
+  /// Reads parked behind the GTID-wait gate, keyed by the minimum raft
+  /// index they need applied. Survive role changes: committed entries are
+  /// never truncated, so the cursor eventually covers every parked floor
+  /// (clients bound the wait with their own timeouts).
+  struct ParkedRead {
+    std::string table;
+    std::string key;
+    uint64_t parked_micros = 0;
+    ReadCallback done;
+  };
+  std::multimap<uint64_t, ParkedRead> parked_reads_;
   std::optional<PromotionState> promotion_;
   bool witness_handoff_pending_ = false;
   std::function<void(DbRole)> role_change_cb_;

@@ -233,6 +233,142 @@ ClusterHarness::ClientWriteResult ClusterHarness::SyncWrite(
   return result;
 }
 
+void ClusterHarness::ClientRead(const std::string& key,
+                                ClientReadOptions read_options,
+                                ReadClientCallback done) {
+  const uint64_t issued_at = loop_.now();
+  MemberId dest = read_options.target;
+  const RegionId client_region = read_options.client_region.empty()
+                                     ? "region0"
+                                     : read_options.client_region;
+  if (dest.empty()) {
+    auto primary = discovery_.GetPrimary(options_.replicaset);
+    if (!primary.has_value()) {
+      done(ClientReadResult{
+          Status::ServiceUnavailable("no primary in service discovery")});
+      return;
+    }
+    dest = *primary;
+    if (read_options.mode == ReadMode::kFollower) {
+      // The primary's router steers: its replication bookkeeping knows
+      // which same-region member fits the staleness budget (§13).
+      auto it = nodes_.find(*primary);
+      if (it != nodes_.end() && it->second->up()) {
+        const MemberId steered = it->second->router()->ChooseReadTarget(
+            client_region, options_.read_staleness_budget_entries);
+        if (!steered.empty()) dest = steered;
+      }
+    }
+  }
+
+  const uint64_t trace = client_tracer_.NextTraceId();
+  const uint64_t span = client_tracer_.BeginSpan(
+      "client", "read", trace, 0, "key=" + key + " dest=" + dest);
+
+  auto responded = std::make_shared<bool>(false);
+  auto finish = [this, done, issued_at, responded, span, dest](
+                    Status status,
+                    std::optional<std::string> value = std::nullopt,
+                    bool served_by_lease = false,
+                    uint64_t applied_index = 0) {
+    if (*responded) return;
+    *responded = true;
+    client_tracer_.EndSpan(span, status.ok() ? "ok" : status.ToString());
+    ClientReadResult result;
+    result.status = std::move(status);
+    result.latency_micros = loop_.now() - issued_at;
+    result.value = std::move(value);
+    result.served_by_lease = served_by_lease;
+    result.applied_index = applied_index;
+    result.served_by = dest;
+    done(result);
+  };
+  loop_.Schedule(options_.client_timeout_micros, [finish]() {
+    finish(Status::TimedOut("client read timed out"));
+  });
+
+  const ReadMode mode = read_options.mode;
+  const uint64_t min_index = read_options.min_index;
+  loop_.Schedule(options_.client_one_way_micros, [this, dest, key, finish,
+                                                  mode, min_index]() {
+    auto it = nodes_.find(dest);
+    if (it == nodes_.end() || !it->second->up()) {
+      loop_.Schedule(options_.client_one_way_micros, [finish]() {
+        finish(Status::NetworkError("read target unreachable"));
+      });
+      return;
+    }
+    SimNode* node = it->second.get();
+    uint64_t processing = options_.server_processing_micros;
+    if (options_.server_processing_jitter_micros > 0) {
+      processing +=
+          loop_.rng()->Uniform(options_.server_processing_jitter_micros);
+    }
+    loop_.Schedule(processing, [this, node, key, finish, mode,
+                                min_index]() {
+      if (!node->up()) {
+        loop_.Schedule(options_.client_one_way_micros, [finish]() {
+          finish(Status::NetworkError("read target died mid-request"));
+        });
+        return;
+      }
+      auto reply = [this, finish](Status status,
+                                  std::optional<std::string> value,
+                                  bool lease, uint64_t applied) {
+        loop_.Schedule(options_.client_one_way_micros,
+                       [finish, status = std::move(status),
+                        value = std::move(value), lease, applied]() {
+                         finish(status, value, lease, applied);
+                       });
+      };
+      if (mode == ReadMode::kFollower) {
+        // Read-your-writes gate: parks until the applier covers the
+        // client's last-seen index (§13).
+        node->server()->SubmitRead(
+            "bench.kv", key, min_index,
+            [reply](const server::ReadResult& r) {
+              reply(r.status, r.value, false, r.applied_index);
+            });
+        return;
+      }
+      // Leader read: establish the read index (lease fast path, or a
+      // ReadIndex quorum round), then serve at that index.
+      node->server()->consensus()->LinearizableRead(
+          [node, key, reply](const raft::RaftConsensus::ReadResult& rr) {
+            if (!rr.status.ok()) {
+              reply(rr.status, std::nullopt, false, 0);
+              return;
+            }
+            node->server()->SubmitRead(
+                "bench.kv", key, rr.read_index.index,
+                [reply, lease = rr.served_by_lease](
+                    const server::ReadResult& r) {
+                  reply(r.status, r.value, lease, r.applied_index);
+                });
+          });
+    });
+  });
+}
+
+ClusterHarness::ClientReadResult ClusterHarness::SyncRead(
+    const std::string& key, ClientReadOptions read_options,
+    uint64_t timeout_micros) {
+  ClientReadResult result;
+  bool completed = false;
+  ClientRead(key, read_options, [&](const ClientReadResult& r) {
+    result = r;
+    completed = true;
+  });
+  const uint64_t deadline = loop_.now() + timeout_micros;
+  while (!completed && loop_.now() < deadline) {
+    loop_.RunFor(1'000);
+  }
+  if (!completed) {
+    result.status = Status::TimedOut("SyncRead: no completion");
+  }
+  return result;
+}
+
 Status ClusterHarness::AddNewMember(const MemberInfo& member,
                                     PrepareDiskFn prepare_disk) {
   if (nodes_.count(member.id) > 0) {
@@ -300,6 +436,32 @@ ClusterHarness::DowntimeResult ClusterHarness::MeasureWriteDowntime(
         ClientWrite(key, "v", [report](const ClientWriteResult& r) {
           report(r.status.ok());
         });
+      },
+      std::move(disruption), []() { return true; }, probe_options);
+  DowntimeResult result;
+  result.recovered = probe_result.completed;
+  result.downtime_micros =
+      probe_result.completed ? probe_result.downtime_micros : timeout_micros;
+  return result;
+}
+
+ClusterHarness::DowntimeResult ClusterHarness::MeasureReadDowntime(
+    std::function<void()> disruption, uint64_t probe_interval_micros,
+    uint64_t timeout_micros, bool expect_outage) {
+  DowntimeProbe::Options probe_options;
+  probe_options.probe_interval_micros = probe_interval_micros;
+  probe_options.timeout_micros = timeout_micros;
+  probe_options.expect_outage = expect_outage;
+  auto probe_result = DowntimeProbe::Measure(
+      &loop_,
+      [this](const std::string& key, std::function<void(bool)> report) {
+        // Leader reads: under leases this exercises the deferred lease
+        // handoff — a new leader must wait out the old lease before the
+        // first probe read succeeds (§13).
+        ClientRead(key, ClientReadOptions{},
+                   [report](const ClientReadResult& r) {
+                     report(r.status.ok());
+                   });
       },
       std::move(disruption), []() { return true; }, probe_options);
   DowntimeResult result;

@@ -53,6 +53,10 @@ struct ClusterOptions {
   uint64_t server_processing_jitter_micros = 0;
   /// Client-side timeout treated as a failed write (dead primary).
   uint64_t client_timeout_micros = 500'000;
+  /// Follower-read steering (§13): maximum replication lag, in entries,
+  /// a follower may have and still be offered client reads. 0 pins all
+  /// reads to the leader.
+  uint64_t read_staleness_budget_entries = 1'000;
 };
 
 class ClusterHarness {
@@ -71,6 +75,42 @@ class ClusterHarness {
   struct DowntimeResult {
     bool recovered = false;
     uint64_t downtime_micros = 0;
+  };
+
+  /// How a client read is routed (§13).
+  enum class ReadMode {
+    /// To the leader: LinearizableRead (local under a valid lease, else
+    /// a ReadIndex-style quorum round), then served at the read index.
+    kLeader,
+    /// To a follower picked by the proxy's staleness-budget steering,
+    /// gated on the client's last-seen index (read-your-writes).
+    kFollower,
+  };
+
+  struct ClientReadResult {
+    Status status;
+    uint64_t latency_micros = 0;
+    std::optional<std::string> value;
+    /// Leader reads: whether the lease fast path served it (false =
+    /// quorum round). Always false for follower reads.
+    bool served_by_lease = false;
+    /// Apply cursor of the serving member — feed into the next read's
+    /// `min_index` for session monotonicity.
+    uint64_t applied_index = 0;
+    /// The member that served (or refused) the read.
+    MemberId served_by;
+  };
+  using ReadClientCallback = std::function<void(const ClientReadResult&)>;
+
+  struct ClientReadOptions {
+    ReadMode mode = ReadMode::kLeader;
+    /// Follower mode: the client's last-seen raft index (0 = any applied
+    /// state). Leader mode ignores it — ReadIndex supplies the floor.
+    uint64_t min_index = 0;
+    /// Region the client sits in (follower steering); empty = region0.
+    RegionId client_region;
+    /// Explicit destination override (skips routing).
+    MemberId target;
   };
 
   ClusterHarness(ClusterOptions options, const raft::QuorumEngine* quorum);
@@ -104,6 +144,18 @@ class ClusterHarness {
   ClientWriteResult SyncWrite(const std::string& key,
                               const std::string& value,
                               uint64_t timeout_micros = 5'000'000);
+  /// Read with modelled client latency + processing cost, routed per
+  /// `read_options` (§13): leader lease/quorum reads or steered
+  /// follower reads behind the GTID-wait gate.
+  void ClientRead(const std::string& key, ClientReadOptions read_options,
+                  ReadClientCallback done);
+  /// Convenience: issue a read and run the loop until it completes.
+  ClientReadResult SyncRead(const std::string& key,
+                            ClientReadOptions read_options,
+                            uint64_t timeout_micros = 5'000'000);
+  ClientReadResult SyncRead(const std::string& key) {
+    return SyncRead(key, ClientReadOptions());
+  }
 
   // --- Fault injection -------------------------------------------------------------
 
@@ -141,6 +193,14 @@ class ClusterHarness {
                                       uint64_t probe_interval_micros = 10'000,
                                       uint64_t timeout_micros = 180'000'000,
                                       bool expect_outage = true);
+
+  /// Same, for client-observed READ unavailability: probes leader reads
+  /// (the lease path when enabled), so failover benches capture read
+  /// downtime across the deferred lease handoff (§13).
+  DowntimeResult MeasureReadDowntime(std::function<void()> disruption,
+                                     uint64_t probe_interval_micros = 10'000,
+                                     uint64_t timeout_micros = 180'000'000,
+                                     bool expect_outage = true);
 
   /// §5.1-style consistency check: all database engines that are caught up
   /// report the same state checksum. Returns false on divergence.

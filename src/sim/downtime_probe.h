@@ -1,8 +1,9 @@
-// Client-side write-availability probe shared by the MyRaft and semi-sync
-// harnesses. Issues a probe write every interval and reports the longest
-// contiguous outage window (first failed probe's issue time -> first
-// subsequent success), which is the client-observed downtime the paper's
-// Table 2 aggregates.
+// Client-side availability probe shared by the MyRaft and semi-sync
+// harnesses. Issues one probe operation (a write, or since §13 any
+// client-visible operation such as a lease read) every interval and
+// reports the longest contiguous outage window (first failed probe's
+// issue time -> first subsequent success), which is the client-observed
+// downtime the paper's Table 2 aggregates.
 
 #ifndef MYRAFT_SIM_DOWNTIME_PROBE_H_
 #define MYRAFT_SIM_DOWNTIME_PROBE_H_
@@ -18,10 +19,13 @@ namespace myraft::sim {
 
 class DowntimeProbe {
  public:
-  /// Issues one probe write for `key`; must eventually invoke the
-  /// callback with success/failure.
-  using WriteFn =
+  /// Issues one probe operation for `key` (a write for write-downtime
+  /// probes, a read for read-downtime probes); must eventually invoke
+  /// the callback with success/failure.
+  using ProbeFn =
       std::function<void(const std::string& key, std::function<void(bool)>)>;
+  /// Historical name from when only writes were probed.
+  using WriteFn = ProbeFn;
 
   struct Options {
     uint64_t probe_interval_micros = 10'000;
@@ -42,7 +46,7 @@ class DowntimeProbe {
 
   /// Runs `disruption`, probes until the system settles (and `done()`
   /// returns true), and reports the longest outage.
-  static Result Measure(EventLoop* loop, WriteFn write,
+  static Result Measure(EventLoop* loop, ProbeFn write,
                         std::function<void()> disruption,
                         std::function<bool()> done, Options options) {
     auto state = std::make_shared<State>();
@@ -88,7 +92,7 @@ class DowntimeProbe {
     uint64_t next_key = 0;
   };
 
-  static void IssueProbe(EventLoop* loop, const WriteFn& write,
+  static void IssueProbe(EventLoop* loop, const ProbeFn& write,
                          std::shared_ptr<State> state) {
     if (state->finished || loop->now() >= state->deadline) return;
     const uint64_t issued_at = loop->now();

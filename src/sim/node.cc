@@ -29,6 +29,7 @@ SimNode::SimNode(EventLoop* loop, SimNetwork* network,
       quorum_(quorum),
       options_(std::move(options)),
       env_(NewMemEnv()),
+      clock_(loop->clock()),
       tracer_(NodeTracerOptions(options_, loop, &metrics_)) {}
 
 SimNode::SimNode(EventLoop* loop, SimNetwork* network,
@@ -41,6 +42,7 @@ SimNode::SimNode(EventLoop* loop, SimNetwork* network,
       quorum_(quorum),
       options_(std::move(options)),
       env_(std::move(env)),
+      clock_(loop->clock()),
       tracer_(NodeTracerOptions(options_, loop, &metrics_)) {}
 
 SimNode::~SimNode() {
@@ -74,8 +76,10 @@ Status SimNode::BuildProcess() {
       [this](Message m) { network_->Send(id(), std::move(m)); });
   router_->set_enabled(options_.proxy_enabled);
 
+  // The server (and through it raft, binlog and engine) reads the node's
+  // LOCAL clock — the drifting view the clock-drift nemesis manipulates.
   auto server = server::MySqlServer::Create(env_.get(), options_.server,
-                                            quorum_, loop_->clock(),
+                                            quorum_, &clock_,
                                             loop_->rng(), router_.get(),
                                             discovery_);
   if (!server.ok()) return server.status();

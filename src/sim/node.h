@@ -6,15 +6,64 @@
 #ifndef MYRAFT_SIM_NODE_H_
 #define MYRAFT_SIM_NODE_H_
 
+#include <algorithm>
 #include <memory>
 
 #include "proxy/proxy_router.h"
 #include "server/mysql_server.h"
 #include "sim/event_loop.h"
 #include "sim/network.h"
+#include "util/clock.h"
 #include "util/trace.h"
 
 namespace myraft::sim {
+
+/// Per-node drifting view of the simulation clock (§13 clock-drift
+/// nemesis): from the last SetDrift anchor, local time advances at
+/// `rate` × simulated real time, optionally jumped by a skew. Returned
+/// values are clamped monotone non-decreasing (real clocks never run
+/// backwards under NTP-style slewing). Heal() restores rate 1.0 but the
+/// accumulated offset persists — only durations matter to lease safety,
+/// so a permanently offset-but-well-rated clock is harmless by design.
+class DriftClock final : public Clock {
+ public:
+  explicit DriftClock(const Clock* base) : base_(base) {
+    anchor_base_ = anchor_value_ = base_->NowMicros();
+  }
+
+  uint64_t NowMicros() const override {
+    const uint64_t real = base_->NowMicros();
+    const uint64_t drifted =
+        anchor_value_ +
+        static_cast<uint64_t>(static_cast<double>(real - anchor_base_) *
+                              rate_);
+    last_returned_ = std::max(last_returned_, drifted);
+    return last_returned_;
+  }
+
+  /// Jump local time by `skew_micros` (signed; backwards jumps are
+  /// absorbed by the monotone clamp) and run at `rate` × real time.
+  void SetDrift(int64_t skew_micros, double rate) {
+    const uint64_t now = NowMicros();
+    anchor_base_ = base_->NowMicros();
+    anchor_value_ =
+        skew_micros >= 0
+            ? now + static_cast<uint64_t>(skew_micros)
+            : now - std::min(now, static_cast<uint64_t>(-skew_micros));
+    rate_ = rate > 0 ? rate : 1.0;
+  }
+
+  void Heal() { SetDrift(0, 1.0); }
+
+  double rate() const { return rate_; }
+
+ private:
+  const Clock* base_;
+  uint64_t anchor_base_ = 0;
+  uint64_t anchor_value_ = 0;
+  double rate_ = 1.0;
+  mutable uint64_t last_returned_ = 0;
+};
 
 class SimNode {
  public:
@@ -72,6 +121,17 @@ class SimNode {
   trace::Tracer* tracer() { return &tracer_; }
   const trace::Tracer* tracer() const { return &tracer_; }
 
+  /// This node's local clock (the drifting view every in-process
+  /// subsystem — raft, engine, binlog — reads). Survives crashes like
+  /// the disk: a machine's oscillator does not reset with mysqld.
+  DriftClock* clock() { return &clock_; }
+  /// Clock-drift nemesis primitives (§13): jump by `skew_micros` and/or
+  /// run at `rate` × simulated real time; heal restores rate 1.0.
+  void SetClockDrift(int64_t skew_micros, double rate) {
+    clock_.SetDrift(skew_micros, rate);
+  }
+  void HealClockDrift() { clock_.Heal(); }
+
  private:
   Status BuildProcess();  // constructs router + server over env_
   void Deliver(const MemberId& physical_from, const Message& message);
@@ -87,6 +147,7 @@ class SimNode {
   Options options_;
 
   std::unique_ptr<Env> env_;  // survives crashes ("disk")
+  DriftClock clock_;          // the node's local clock (survives crashes)
   metrics::MetricRegistry metrics_;  // survives crashes too
   trace::Tracer tracer_;             // so does the trace journal
   std::unique_ptr<proxy::ProxyRouter> router_;

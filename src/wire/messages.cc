@@ -65,10 +65,17 @@ void AppendEntriesRequest::EncodeTo(std::string* dst) const {
   PutVarint64(dst, entries.size());
   for (const auto& e : entries) e.EncodeTo(dst);
   // Optional trailing trace context: omitted entirely when untraced so
-  // the encoding stays byte-identical to the pre-tracing format.
-  if (trace_id != 0 || trace_span_id != 0) {
+  // the encoding stays byte-identical to the pre-tracing format. The
+  // lease group sits after it, so a present lease forces the trace pair
+  // out (zeros allowed) to keep the groups positionally unambiguous.
+  const bool has_lease = lease_duration_micros != 0 || lease_sent_micros != 0;
+  if (trace_id != 0 || trace_span_id != 0 || has_lease) {
     PutVarint64(dst, trace_id);
     PutVarint64(dst, trace_span_id);
+  }
+  if (has_lease) {
+    PutVarint64(dst, lease_duration_micros);
+    PutVarint64(dst, lease_sent_micros);
   }
 }
 
@@ -96,6 +103,12 @@ Result<AppendEntriesRequest> AppendEntriesRequest::DecodeFrom(Slice in) {
       return Truncated("append-entries trace context");
     }
   }
+  if (!in.empty()) {  // optional trailing lease grant (absent = no lease)
+    if (!GetVarint64(&in, &req.lease_duration_micros) ||
+        !GetVarint64(&in, &req.lease_sent_micros)) {
+      return Truncated("append-entries lease");
+    }
+  }
   if (!in.empty()) return Status::Corruption("wire: trailing bytes");
   return req;
 }
@@ -117,10 +130,13 @@ void AppendEntriesResponse::EncodeTo(std::string* dst) const {
   PutOpId(dst, last_received);
   PutVarint64(dst, last_durable_index);
   PutVarint64(dst, request_prev_index);
-  if (trace_id != 0 || trace_span_id != 0) {  // optional, as in the request
+  // Optional trailing groups, as in the request: a lease echo forces the
+  // trace pair out so the groups stay positionally unambiguous.
+  if (trace_id != 0 || trace_span_id != 0 || lease_granted_micros != 0) {
     PutVarint64(dst, trace_id);
     PutVarint64(dst, trace_span_id);
   }
+  if (lease_granted_micros != 0) PutVarint64(dst, lease_granted_micros);
 }
 
 Result<AppendEntriesResponse> AppendEntriesResponse::DecodeFrom(Slice in) {
@@ -141,6 +157,11 @@ Result<AppendEntriesResponse> AppendEntriesResponse::DecodeFrom(Slice in) {
     if (!GetVarint64(&in, &resp.trace_id) ||
         !GetVarint64(&in, &resp.trace_span_id)) {
       return Truncated("append-response trace context");
+    }
+  }
+  if (!in.empty()) {  // optional trailing lease echo (absent = no grant)
+    if (!GetVarint64(&in, &resp.lease_granted_micros)) {
+      return Truncated("append-response lease echo");
     }
   }
   if (!in.empty()) return Status::Corruption("wire: trailing bytes");

@@ -49,6 +49,18 @@ struct AppendEntriesRequest {
   /// zero, so pre-tracing encoders decode unchanged.
   uint64_t trace_id = 0;
   uint64_t trace_span_id = 0;
+  /// Leader-lease grant request (LeaseGuard, DESIGN.md §13): the leader
+  /// asks the follower to promise not to grant votes deposing it for
+  /// `lease_duration_micros` after receipt (0 = leases off, no promise
+  /// requested). `lease_sent_micros` is the leader's local send
+  /// timestamp, stamped on every leader AppendEntries and echoed back
+  /// verbatim in the response: lease-expiry arithmetic stays on the
+  /// leader's clock, and the echo doubles as the ReadIndex freshness
+  /// proof even with leases off. A second optional trailing varint group
+  /// after the trace pair — absent from non-leader/pre-lease encoders,
+  /// which decode unchanged.
+  uint64_t lease_duration_micros = 0;
+  uint64_t lease_sent_micros = 0;
 
   bool operator==(const AppendEntriesRequest&) const = default;
 
@@ -81,6 +93,12 @@ struct AppendEntriesResponse {
   /// AppendEntriesRequest) so acks stitch back to the batch span.
   uint64_t trace_id = 0;
   uint64_t trace_span_id = 0;
+  /// Echo of the request's `lease_sent_micros` from a voter (0 from
+  /// non-voters and pre-lease followers): proves to the leader how fresh
+  /// this ack is (ReadIndex), and — when the request carried a duration —
+  /// records the lease grant. Optional trailing varint, same
+  /// compatibility scheme as the request.
+  uint64_t lease_granted_micros = 0;
 
   bool operator==(const AppendEntriesResponse&) const = default;
 

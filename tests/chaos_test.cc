@@ -59,6 +59,26 @@ TEST(ChaosScheduleTest, GenerationAndTextAreDeterministic) {
   EXPECT_NE(GenerateSchedule(43, members, nemesis).ToText(), a.ToText());
 }
 
+TEST(ChaosScheduleTest, ClockFaultStepsRoundTrip) {
+  // The clock family uses the third step shape (target + param); the
+  // replay format must round-trip it exactly, heals included.
+  Schedule schedule;
+  schedule.seed = 1;
+  schedule.duration_micros = 2'000'000;
+  schedule.quiesce_interval_micros = 1'000'000;
+  FaultStep skew = Step(100'000, FaultAction::kClockSkew, {"db0"});
+  skew.param = 750'000;
+  FaultStep rate = Step(200'000, FaultAction::kClockRate, {"@leader"});
+  rate.param = 1'500'000;
+  schedule.steps = {skew, rate,
+                    Step(900'000, FaultAction::kClockHeal, {"*"})};
+  auto parsed = Schedule::Parse(schedule.ToText());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->ToText(), schedule.ToText());
+  EXPECT_EQ(parsed->steps[0].param, 750'000u);
+  EXPECT_EQ(parsed->steps[1].targets, std::vector<std::string>{"@leader"});
+}
+
 TEST(ChaosTopologyTest, MemberIdsMatchBootstrappedCluster) {
   // The nemesis targets members by name before the cluster exists;
   // TopologyMemberIds must stay pinned to ClusterHarness::Bootstrap.
@@ -228,6 +248,124 @@ TEST(ChaosRegressionTest, TornLeaderCrashDuringCoalescedSyncLosesNothing) {
   const ChaosReport report = runner.Run(schedule);
   EXPECT_TRUE(report.passed) << report.ToText();
   EXPECT_GT(report.writes_acked, 0u);
+}
+
+// --- LeaseGuard lease chaos schedules (§13) ---------------------------
+//
+// Each schedule runs with leases enabled and the concurrent read
+// workload on (one leader read of an acked key every 50ms by default);
+// the checker's StaleReadUnderLease invariant audits every successful
+// read against the ledger. Refusing a read under a lost lease is
+// availability, never a violation — serving yesterday's value is.
+
+ChaosOptions LeaseOptions() {
+  ChaosOptions options = PaperTopologyOptions();
+  options.cluster.raft.enable_leader_leases = true;
+  options.write_interval_micros = 10'000;
+  options.read_interval_micros = 20'000;
+  return options;
+}
+
+TEST(ChaosLeaseTest, LeaseExpiryRacingLeaderCrashServesNoStaleReads) {
+  // The expiry/crash race: skew the leaseholder's clock forward so its
+  // own lease view expires instantly mid-serve, then power-fail it
+  // before any renewal lands. The successor must win the term and the
+  // read ledger must stay exact across the handoff window.
+  Schedule schedule;
+  schedule.seed = 13;
+  schedule.duration_micros = 4'000'000;
+  schedule.quiesce_interval_micros = 2'000'000;
+  FaultStep skew = Step(300'000, FaultAction::kClockSkew, {"@leader"});
+  skew.param = 2'000'000;  // +2s: past lease expiry in one jump
+  schedule.steps = {
+      skew,
+      Step(320'000, FaultAction::kCrashTorn, {"@leader"}),
+      Step(1'200'000, FaultAction::kRestart, {"*"}),
+      Step(1'200'000, FaultAction::kClockHeal, {"*"}),
+  };
+
+  ChaosRunner runner(LeaseOptions(), FlexiEngine());
+  const ChaosReport report = runner.Run(schedule);
+  EXPECT_TRUE(report.passed) << report.ToText();
+  EXPECT_GT(report.writes_acked, 0u);
+  EXPECT_GT(report.reads_ok, 0u) << report.ToText();
+}
+
+TEST(ChaosLeaseTest, DriftBeyondMarginNeverServesStale) {
+  // Rate drift past the configured margin on both sides of the grant:
+  // a 2x-fast leader burns through its own lease view early (renewal
+  // pressure), and a 2x-fast voter's election timer expires while the
+  // leader still believes that voter's promise stands — the margin is
+  // genuinely exceeded, and safety must fall to the quorum-intersection
+  // backstop (the rival still needs an undrifted voter). A mid-run
+  // leader crash forces the deferred-handoff window under drift.
+  Schedule schedule;
+  schedule.seed = 17;
+  schedule.duration_micros = 5'000'000;
+  schedule.quiesce_interval_micros = 2'500'000;
+  FaultStep leader_rate = Step(200'000, FaultAction::kClockRate, {"@leader"});
+  leader_rate.param = 2'000'000;  // 2x nominal
+  FaultStep voter_rate = Step(200'000, FaultAction::kClockRate, {"lt1a"});
+  voter_rate.param = 2'000'000;
+  schedule.steps = {
+      leader_rate,
+      voter_rate,
+      Step(1'500'000, FaultAction::kCrashTorn, {"@leader"}),
+      Step(2'200'000, FaultAction::kRestart, {"*"}),
+      Step(2'200'000, FaultAction::kClockHeal, {"*"}),
+  };
+
+  ChaosRunner runner(LeaseOptions(), FlexiEngine());
+  const ChaosReport report = runner.Run(schedule);
+  EXPECT_TRUE(report.passed) << report.ToText();
+  EXPECT_GT(report.reads_ok, 0u) << report.ToText();
+  EXPECT_GT(report.reads_lease, 0u) << report.ToText();
+}
+
+TEST(ChaosLeaseTest, PartitionedLeaseholderRefusesButNeverLies) {
+  // Partition the leaseholder away from every voter. Its standing
+  // grants run out within one lease duration and cannot renew; from
+  // then on it must refuse lease reads (falling back to quorum rounds
+  // that cannot complete) rather than serve values the majority side's
+  // new leader may be overwriting. Reads during the partition may fail
+  // — the invariant only audits the ones that claimed success.
+  Schedule schedule;
+  schedule.seed = 19;
+  schedule.duration_micros = 5'000'000;
+  schedule.quiesce_interval_micros = 2'500'000;
+  schedule.steps = {
+      Step(400'000, FaultAction::kPartition, {"@leader"}),
+      Step(2'000'000, FaultAction::kHealAll, {}),
+  };
+
+  ChaosRunner runner(LeaseOptions(), FlexiEngine());
+  const ChaosReport report = runner.Run(schedule);
+  EXPECT_TRUE(report.passed) << report.ToText();
+  EXPECT_GT(report.writes_acked, 0u);
+  // Lease fast-path reads happened before the partition bit.
+  EXPECT_GT(report.reads_lease, 0u) << report.ToText();
+}
+
+TEST(ChaosLeaseTest, GeneratedClockFaultCorpusStaysClean) {
+  // End-to-end nemesis coverage: a generated schedule with the clock
+  // family enabled, run with leases on. Pins the generator's clock-step
+  // shapes (skew/rate with params, paired heals) through the runner.
+  NemesisOptions nemesis;
+  nemesis.clock_faults = true;
+  const ChaosOptions options = LeaseOptions();
+  const Schedule schedule = GenerateSchedule(
+      21, TopologyMemberIds(options.cluster), nemesis);
+  const bool has_clock_step = std::any_of(
+      schedule.steps.begin(), schedule.steps.end(), [](const FaultStep& s) {
+        return s.action == FaultAction::kClockSkew ||
+               s.action == FaultAction::kClockRate;
+      });
+  EXPECT_TRUE(has_clock_step) << schedule.ToText();
+
+  ChaosRunner runner(options, FlexiEngine());
+  const ChaosReport report = runner.Run(schedule);
+  EXPECT_TRUE(report.passed) << report.ToText();
+  EXPECT_GT(report.reads_ok, 0u) << report.ToText();
 }
 
 TEST(ChaosRegressionTest, Seed9DoubleLeaderScheduleStaysClean) {

@@ -150,10 +150,61 @@ class ConsensusUnitTest : public ::testing::Test {
     return LogEntry::Make({term, index}, EntryType::kNoOp, payload);
   }
 
+  /// Rebuilds `consensus_` with LeaseGuard leases on (fresh meta dir,
+  /// same log/clock/outbox). Call before any appends.
+  void EnableLeases(uint64_t duration_micros = 1'200'000,
+                    uint64_t margin_micros = 100'000) {
+    RaftOptions options;
+    options.self = "a";
+    options.region = "r0";
+    options.enable_pre_vote = false;
+    options.enable_leader_leases = true;
+    options.lease_duration_micros = duration_micros;
+    options.lease_drift_margin_micros = margin_micros;
+    lease_meta_store_ =
+        std::make_unique<ConsensusMetadataStore>(env_.get(), "/cmeta-lease");
+    consensus_ = std::make_unique<RaftConsensus>(
+        options, &faulty_log_, &quorum_, lease_meta_store_.get(), &clock_,
+        &rng_, &outbox_, &listener_);
+    MembershipConfig config;
+    config.members = {
+        {"a", "r0", MemberKind::kMySql, RaftMemberType::kVoter},
+        {"b", "r0", MemberKind::kMySql, RaftMemberType::kVoter},
+        {"c", "r1", MemberKind::kMySql, RaftMemberType::kVoter},
+    };
+    ASSERT_TRUE(consensus_->Bootstrap(config).ok());
+  }
+
+  /// Durable ack of the leader's whole log from `peer`, echoing
+  /// `lease_echo_micros` (0 = no echo, e.g. a pre-lease follower).
+  void AckAll(const MemberId& peer, uint64_t lease_echo_micros) {
+    AppendEntriesResponse ack;
+    ack.from = peer;
+    ack.dest = "a";
+    ack.term = consensus_->term();
+    ack.success = true;
+    ack.last_received = consensus_->last_logged();
+    ack.last_durable_index = ack.last_received.index;
+    ack.lease_granted_micros = lease_echo_micros;
+    consensus_->HandleMessage(Message(ack));
+  }
+
+  /// Heartbeats all peers and returns the send timestamp the requests
+  /// were lease-stamped with.
+  uint64_t SendStampedHeartbeats() {
+    clock_.AdvanceMicros(600'000);  // > heartbeat interval
+    outbox_.sent.clear();
+    consensus_->Tick();
+    const auto request = outbox_.Last<AppendEntriesRequest>();
+    EXPECT_EQ(request.lease_sent_micros, clock_.NowMicros());
+    return request.lease_sent_micros;
+  }
+
   ManualClock clock_;
   Random rng_{1};
   std::unique_ptr<Env> env_;
   std::unique_ptr<ConsensusMetadataStore> meta_store_;
+  std::unique_ptr<ConsensusMetadataStore> lease_meta_store_;
   MemLog log_;
   FaultyLog faulty_log_{&log_};
   MajorityQuorumEngine quorum_;
@@ -673,6 +724,162 @@ TEST_F(ConsensusUnitTest, BootstrapValidation) {
   config.members = {{"a", "r0", MemberKind::kMySql, RaftMemberType::kVoter}};
   EXPECT_TRUE(consensus.Bootstrap(config).IsInvalidArgument());
   EXPECT_TRUE(consensus.Start().code() == StatusCode::kUninitialized);
+}
+
+// --- LeaseGuard leader leases (§13) --------------------------------------
+
+TEST_F(ConsensusUnitTest, LeaseReadsNeedQuorumOfFreshGrants) {
+  EnableLeases();
+  BecomeLeader();
+  AckAll("b", 0);  // commit the leadership no-op, no grant yet
+  EXPECT_EQ(listener_.last_commit, consensus_->last_logged());
+  EXPECT_FALSE(consensus_->HasValidLease());
+
+  // Skip past the deferred-handoff window, then gather fresh grants:
+  // self plus b's echo satisfy the 2-of-3 commit quorum.
+  clock_.AdvanceMicros(1'300'001);
+  const uint64_t sent = SendStampedHeartbeats();
+  EXPECT_FALSE(consensus_->HasValidLease());
+  AckAll("b", sent);
+  EXPECT_TRUE(consensus_->HasValidLease());
+
+  // Served locally at the commit marker, with zero outbound messages.
+  outbox_.sent.clear();
+  RaftConsensus::ReadResult read;
+  consensus_->LinearizableRead(
+      [&](const RaftConsensus::ReadResult& r) { read = r; });
+  EXPECT_TRUE(read.status.ok());
+  EXPECT_TRUE(read.served_by_lease);
+  EXPECT_EQ(read.read_index, consensus_->commit_marker());
+  EXPECT_TRUE(outbox_.sent.empty());
+  EXPECT_EQ(consensus_->stats().reads_lease, 1u);
+
+  // Grants age out (duration minus drift margin after the stamp); the
+  // lease must lapse on its own, bounding any stale window.
+  clock_.AdvanceMicros(1'200'000);
+  EXPECT_FALSE(consensus_->HasValidLease());
+}
+
+TEST_F(ConsensusUnitTest, NewLeaderDefersLeaseServiceThroughHandoffWindow) {
+  EnableLeases();
+  BecomeLeader();
+  AckAll("b", 0);
+  // Fresh grants from a commit quorum — but a brand-new leader must
+  // first wait out every grant its deposed predecessor could still hold,
+  // so the lease stays unusable through the serve-after window.
+  const uint64_t sent = SendStampedHeartbeats();
+  AckAll("b", sent);
+  EXPECT_FALSE(consensus_->HasValidLease());
+
+  // Reads still work: they fall back to a ReadIndex quorum round.
+  outbox_.sent.clear();
+  bool done = false;
+  RaftConsensus::ReadResult read;
+  consensus_->LinearizableRead(
+      [&](const RaftConsensus::ReadResult& r) { read = r; done = true; });
+  EXPECT_FALSE(done);  // awaiting a fresh round of acks
+  const auto round = outbox_.Last<AppendEntriesRequest>();
+  AckAll("b", round.lease_sent_micros);
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(read.status.ok());
+  EXPECT_FALSE(read.served_by_lease);
+
+  // Once the window has provably drained, the standing grants count.
+  clock_.AdvanceMicros(800'000);
+  EXPECT_TRUE(consensus_->HasValidLease());
+}
+
+TEST_F(ConsensusUnitTest, DeposedLeaseholderRefusesReadsImmediately) {
+  EnableLeases();
+  BecomeLeader();
+  AckAll("b", 0);
+  clock_.AdvanceMicros(1'300'001);
+  AckAll("b", SendStampedHeartbeats());
+  ASSERT_TRUE(consensus_->HasValidLease());
+
+  // A higher-term response deposes us mid-lease: reads must stop at
+  // once, long before the grants' wall-clock expiry.
+  AppendEntriesResponse higher;
+  higher.from = "b";
+  higher.dest = "a";
+  higher.term = consensus_->term() + 1;
+  higher.success = false;
+  consensus_->HandleMessage(Message(higher));
+  EXPECT_EQ(consensus_->role(), RaftRole::kFollower);
+  EXPECT_FALSE(consensus_->HasValidLease());
+  RaftConsensus::ReadResult read;
+  consensus_->LinearizableRead(
+      [&](const RaftConsensus::ReadResult& r) { read = r; });
+  EXPECT_TRUE(read.status.IsIllegalState());
+}
+
+TEST_F(ConsensusUnitTest, StepDownFailsPendingQuorumReads) {
+  BecomeLeader();  // leases off: every read takes the quorum round
+  AckAll("b", 0);
+  bool done = false;
+  Status status;
+  consensus_->LinearizableRead(
+      [&](const RaftConsensus::ReadResult& r) {
+        done = true;
+        status = r.status;
+      });
+  EXPECT_FALSE(done);
+  AppendEntriesResponse higher;
+  higher.from = "b";
+  higher.dest = "a";
+  higher.term = consensus_->term() + 1;
+  higher.success = false;
+  consensus_->HandleMessage(Message(higher));
+  ASSERT_TRUE(done);  // failed, not leaked
+  EXPECT_FALSE(status.ok());
+}
+
+TEST_F(ConsensusUnitTest, ReadIndexIgnoresAcksSentBeforeRegistration) {
+  BecomeLeader();
+  AckAll("b", 0);
+  clock_.AdvanceMicros(1'000);
+  bool done = false;
+  RaftConsensus::ReadResult read;
+  consensus_->LinearizableRead(
+      [&](const RaftConsensus::ReadResult& r) { read = r; done = true; });
+  EXPECT_FALSE(done);
+  // An ack echoing a send timestamp older than the registration — a
+  // response already in flight when the read arrived — proves nothing
+  // about current leadership and must not confirm the round.
+  AckAll("b", clock_.NowMicros() - 1);
+  EXPECT_FALSE(done);
+  AckAll("b", clock_.NowMicros());
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(read.status.ok());
+  EXPECT_FALSE(read.served_by_lease);
+  EXPECT_EQ(consensus_->stats().reads_quorum, 1u);
+}
+
+TEST_F(ConsensusUnitTest, LeadershipTransferRevokesLease) {
+  EnableLeases();
+  BecomeLeader();
+  AckAll("b", 0);
+  clock_.AdvanceMicros(1'300'001);
+  const uint64_t sent = SendStampedHeartbeats();
+  AckAll("b", sent);
+  ASSERT_TRUE(consensus_->HasValidLease());
+
+  ASSERT_TRUE(consensus_->TransferLeadership("b").ok());
+  VoteResponse outcome;  // mock election passes
+  outcome.from = "b";
+  outcome.dest = "a";
+  outcome.term = consensus_->term();
+  outcome.granted = true;
+  outcome.mock_election = true;
+  outcome.reason = "mock-outcome";
+  consensus_->HandleMessage(Message(outcome));
+  ASSERT_TRUE(consensus_->is_quiesced_for_transfer());
+  // The caught-up target triggers TimeoutNow; every grant is revoked
+  // first so this (still unaware, not yet deposed) leaseholder can never
+  // serve a lease read racing its successor's election.
+  AckAll("b", clock_.NowMicros());
+  EXPECT_FALSE(outbox_.OfType<StartElectionRequest>().empty());
+  EXPECT_FALSE(consensus_->HasValidLease());
 }
 
 }  // namespace

@@ -142,6 +142,62 @@ TEST(MessagesTest, AppendEntriesRoundTrip) {
   EXPECT_FALSE(req.IsHeartbeat());
 }
 
+TEST(MessagesTest, AppendEntriesLeaseRoundTrip) {
+  // The lease group trails the (optional) trace pair; an untraced request
+  // carrying a lease must force the zero trace pair out and still round-
+  // trip, with and without a duration (duration 0 = timestamp-only stamp).
+  for (uint64_t duration : {uint64_t{0}, uint64_t{1'100'000}}) {
+    auto req = MakeAppendRequest();
+    req.lease_duration_micros = duration;
+    req.lease_sent_micros = 777'000'123;
+    std::string buf;
+    req.EncodeTo(&buf);
+    auto decoded = AppendEntriesRequest::DecodeFrom(buf);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_EQ(*decoded, req);
+  }
+}
+
+TEST(MessagesTest, AppendEntriesWithoutLeaseStaysPreLeaseCompatible) {
+  // No lease, no trace: the encoding must not grow any trailing groups, so
+  // pre-lease decoders (which reject trailing bytes) still accept it.
+  const auto req = MakeAppendRequest();
+  std::string with_lease_buf, buf;
+  req.EncodeTo(&buf);
+  auto with_lease = req;
+  with_lease.lease_sent_micros = 1;
+  with_lease.EncodeTo(&with_lease_buf);
+  EXPECT_LT(buf.size(), with_lease_buf.size());
+  auto decoded = AppendEntriesRequest::DecodeFrom(buf);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->lease_duration_micros, 0u);
+  EXPECT_EQ(decoded->lease_sent_micros, 0u);
+}
+
+TEST(MessagesTest, AppendResponseLeaseEchoRoundTrip) {
+  AppendEntriesResponse resp;
+  resp.from = "lt1a";
+  resp.dest = "db0";
+  resp.term = 9;
+  resp.success = true;
+  resp.last_received = {9, 43};
+  resp.last_durable_index = 43;
+  resp.lease_granted_micros = 777'000'123;
+  std::string buf;
+  resp.EncodeTo(&buf);
+  auto decoded = AppendEntriesResponse::DecodeFrom(buf);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(*decoded, resp);
+  // Without the echo the trailing groups vanish entirely.
+  resp.lease_granted_micros = 0;
+  std::string plain;
+  resp.EncodeTo(&plain);
+  EXPECT_LT(plain.size(), buf.size());
+  auto plain_decoded = AppendEntriesResponse::DecodeFrom(plain);
+  ASSERT_TRUE(plain_decoded.ok());
+  EXPECT_EQ(plain_decoded->lease_granted_micros, 0u);
+}
+
 TEST(MessagesTest, ProxyOpFlagSurvives) {
   auto req = MakeAppendRequest();
   req.proxy_payload_omitted = true;
