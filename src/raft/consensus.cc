@@ -71,6 +71,7 @@ RaftConsensus::RaftConsensus(RaftOptions options, LogAbstraction* log,
   m_.lease_renewals = metrics_->GetCounter("raft.lease_renewals");
   m_.reads_lease = metrics_->GetCounter("raft.reads_lease");
   m_.reads_quorum = metrics_->GetCounter("raft.reads_quorum");
+  m_.reads_timed_out = metrics_->GetCounter("raft.reads_timed_out");
   m_.inflight_window_batches =
       metrics_->GetHistogram("raft.inflight_window_batches");
   m_.effective_window_batches =
@@ -104,6 +105,7 @@ RaftConsensus::Stats RaftConsensus::stats() const {
   s.lease_renewals = m_.lease_renewals->value();
   s.reads_lease = m_.reads_lease->value();
   s.reads_quorum = m_.reads_quorum->value();
+  s.reads_timed_out = m_.reads_timed_out->value();
   return s;
 }
 
@@ -120,6 +122,15 @@ Status RaftConsensus::Bootstrap(const MembershipConfig& config) {
 
 Status RaftConsensus::Start() {
   if (started_) return Status::IllegalState("already started");
+  // Lease safety (§13.6) rests on pre-vote leader stickiness: a grantor's
+  // refusal to indulge pre-votes while its leader is fresh is what makes
+  // the grant a promise. Binding votes perform no leader-alive check, so
+  // leases without pre-vote would silently void the safety argument.
+  if (options_.enable_leader_leases && !options_.enable_pre_vote) {
+    return Status::InvalidArgument(
+        "enable_leader_leases requires enable_pre_vote: lease grants are "
+        "promised through pre-vote leader stickiness (DESIGN.md §13.6)");
+  }
   MYRAFT_ASSIGN_OR_RETURN(meta_, meta_store_->Load());
   if (meta_.config.members.empty()) {
     return Status::Uninitialized("no membership config; bootstrap first");
@@ -140,6 +151,21 @@ Status RaftConsensus::Start() {
   commit_marker_ = kZeroOpId;
   // Everything recovered from the on-disk log is durable by definition.
   last_synced_index_ = log_->LastOpId().index;
+  // Startup lease embargo (§13.6): a voter may have echoed a lease grant
+  // moments before a crash, and nothing about that promise survives in
+  // memory — leader identity and last-contact are volatile, and binding
+  // votes have no stickiness at all. Until every grant this node could
+  // possibly have made has provably expired, refuse to help elect a
+  // rival: the deposed leaseholder may still be serving local reads
+  // against an unexpired commit quorum of grants. A first boot (term 0,
+  // empty log) can never have granted anything — an echo requires leader
+  // contact, which persists a term bump before the echo is sent.
+  if (options_.enable_leader_leases &&
+      (meta_.current_term > 0 || log_->LastOpId().index > 0)) {
+    vote_embargo_until_micros_ = clock_->NowMicros() +
+                                 options_.lease_duration_micros +
+                                 options_.lease_drift_margin_micros;
+  }
   ResetElectionTimer();
   started_ = true;
   return Status::OK();
@@ -290,6 +316,19 @@ void RaftConsensus::Tick() {
     }
     if (transfer_.has_value() && now > transfer_->deadline_micros) {
       FailTransfer(Status::TimedOut("leadership transfer deadline"));
+    }
+    // Leader-side read deadline: a leader cut off from its quorum (with
+    // auto step down off) would otherwise accumulate pending_reads_ and
+    // their captured callbacks unboundedly — clients gave up long ago.
+    while (!pending_reads_.empty() &&
+           now - pending_reads_.front().registered_micros >
+               ReadDeadlineMicros()) {
+      PendingQuorumRead read = std::move(pending_reads_.front());
+      pending_reads_.pop_front();
+      m_.reads_timed_out->Increment();
+      ReadResult result;
+      result.status = Status::TimedOut("linearizable read deadline");
+      read.done(result);
     }
     return;
   }
@@ -854,6 +893,8 @@ void RaftConsensus::SetCommitMarker(OpId new_marker) {
     pending_config_index_ = 0;  // membership change committed
   }
   listener_->OnCommitAdvanced(commit_marker_);
+  // Leases-off linearizable reads wait on their no-op barrier (§13.2).
+  CompleteBarrierReads();
 }
 
 // --- Leader leases & linearizable reads (§13) ------------------------------------
@@ -872,12 +913,14 @@ uint64_t RaftConsensus::LeaseDurationMicros() const {
 
 void RaftConsensus::StampLease(AppendEntriesRequest* request) {
   if (role_ != RaftRole::kLeader) return;
-  // The send timestamp goes on every leader AppendEntries regardless of
-  // lease config: its echo is the freshness proof ReadIndex rounds need
-  // (ConfirmQuorumReads). The duration — the actual lease offer — only
-  // when leases are on.
-  request->lease_sent_micros = clock_->NowMicros();
+  // Wire compatibility (§13.6): the lease fields are a trailing varint
+  // group that pre-lease decoders reject as corruption, so they only go
+  // on the wire when leases are enabled — which requires every member to
+  // run a lease-aware binary. With leases off the encoding is
+  // byte-identical to the pre-lease format, and the read path uses the
+  // commit-barrier fallback instead of echoed-timestamp freshness.
   if (!options_.enable_leader_leases) return;
+  request->lease_sent_micros = clock_->NowMicros();
   request->lease_duration_micros = LeaseDurationMicros();
 }
 
@@ -944,15 +987,43 @@ void RaftConsensus::LinearizableRead(ReadCallback done) {
     done(result);
     return;
   }
-  // ReadIndex fallback: capture the commit marker as the read point, then
-  // confirm we are still the quorum's leader with one round of acks that
-  // arrive AFTER this registration — a deposed leader's stale marker can
-  // never gather fresh current-term acks.
   PendingQuorumRead read;
   read.read_marker = commit_marker_;
   read.registered_micros = clock_->NowMicros();
-  read.confirmed.insert(options_.self);
   read.done = std::move(done);
+
+  if (!options_.enable_leader_leases) {
+    // Commit-barrier fallback: with leases off the wire carries no
+    // timestamp echo (pre-lease followers may be in the ring, §13.6), so
+    // leadership is confirmed the strongest way possible — replicate a
+    // no-op and serve when it commits. A committed current-term entry
+    // proves no rival quorum existed through the registration: any later
+    // election quorum intersects the barrier's commit quorum, and a voter
+    // that had already moved to a higher term cannot have acked it. Reads
+    // registered while a barrier is in flight share it.
+    if (read_barrier_index_ <= commit_marker_.index) {
+      auto noop = Replicate(EntryType::kNoOp, "");
+      if (!noop.ok()) {
+        result.status = noop.status();
+        read.done(result);
+        return;
+      }
+      read_barrier_index_ = noop->index;
+    }
+    read.barrier_index = read_barrier_index_;
+    pending_reads_.push_back(std::move(read));
+    // Single-voter rings commit inside Replicate, before the read could
+    // register; catch up immediately instead of waiting for an ack.
+    CompleteBarrierReads();
+    return;
+  }
+
+  // ReadIndex echo round (leases on, so every follower echoes our send
+  // timestamp): capture the commit marker as the read point, then confirm
+  // we are still the quorum's leader with one round of acks that were
+  // sent AFTER this registration — a deposed leader's stale marker can
+  // never gather fresh current-term acks.
+  read.confirmed.insert(options_.self);
   pending_reads_.push_back(std::move(read));
   if (quorum_->IsCommitQuorumSatisfied(MakeQuorumContext(options_.self),
                                        pending_reads_.back().confirmed)) {
@@ -976,8 +1047,10 @@ void RaftConsensus::ConfirmQuorumReads(const MemberId& from,
       read.confirmed.insert(from);
     }
   }
-  // Pop before firing: a callback may re-enter LinearizableRead.
-  while (!pending_reads_.empty() &&
+  // Pop before firing: a callback may re-enter LinearizableRead. Barrier
+  // reads (barrier_index != 0) complete on commit-marker advance, not on
+  // ack counts — skip them here.
+  while (!pending_reads_.empty() && pending_reads_.front().barrier_index == 0 &&
          quorum_->IsCommitQuorumSatisfied(MakeQuorumContext(options_.self),
                                           pending_reads_.front().confirmed)) {
     PendingQuorumRead read = std::move(pending_reads_.front());
@@ -988,6 +1061,29 @@ void RaftConsensus::ConfirmQuorumReads(const MemberId& from,
     result.read_index = read.read_marker;
     read.done(result);
   }
+}
+
+void RaftConsensus::CompleteBarrierReads() {
+  // Pop before firing: a callback may re-enter LinearizableRead.
+  while (!pending_reads_.empty() &&
+         pending_reads_.front().barrier_index != 0 &&
+         pending_reads_.front().barrier_index <= commit_marker_.index) {
+    PendingQuorumRead read = std::move(pending_reads_.front());
+    pending_reads_.pop_front();
+    m_.reads_quorum->Increment();
+    ReadResult result;
+    result.status = Status::OK();
+    result.read_index = read.read_marker;
+    read.done(result);
+  }
+}
+
+uint64_t RaftConsensus::ReadDeadlineMicros() const {
+  // One RPC timeout plus an election timeout: long enough for any healthy
+  // confirmation round (echo acks or a barrier commit) to land, short
+  // enough that a quorum-severed leader sheds callbacks at the same scale
+  // its clients give up.
+  return options_.rpc_timeout_micros + ElectionTimeoutMicros();
 }
 
 void RaftConsensus::FailPendingReads(const Status& reason) {
@@ -1537,6 +1633,18 @@ VoteResponse RaftConsensus::EvaluateVote(const VoteRequest& request) {
     return response;
   }
 
+  // Startup lease embargo (§13.6): a restart may have erased the memory
+  // of a lease grant echoed just before the crash, so this voter must
+  // act as if one is outstanding — no pre-votes and no binding votes
+  // until the longest grant it could have made has expired. Mock
+  // elections stay unaffected: they are leader-initiated dry runs and
+  // never depose anyone.
+  if ((binding || request.pre_vote) &&
+      clock_->NowMicros() < vote_embargo_until_micros_) {
+    response.reason = "startup-lease-embargo";
+    return response;
+  }
+
   const OpId my_last = log_->LastOpId();
 
   if (request.mock_election) {
@@ -1752,6 +1860,7 @@ void RaftConsensus::BecomeLeader() {
   follower_ack_pending_ = false;
   follower_ack_verified_index_ = 0;
   follower_ack_lease_echo_ = 0;
+  read_barrier_index_ = 0;
   if (options_.enable_leader_leases) {
     // Deferred lease handoff (§13): refuse lease reads until every grant
     // the deposed leader could still hold has provably expired. It
@@ -1831,6 +1940,7 @@ void RaftConsensus::StepDown(uint64_t new_term, const MemberId& new_leader,
   // Deposed leaseholder fencing (§13): the lease died with the peer
   // state above; reads parked on a quorum round can never confirm now.
   lease_serve_after_micros_ = 0;
+  read_barrier_index_ = 0;
   FailPendingReads(Status::Aborted("leadership lost"));
   ResetElectionTimer();
 

@@ -137,7 +137,16 @@ struct RaftOptions {
   /// marker-only heartbeat paths — no separate lease RPC); a leader
   /// holding unexpired grants from a commit quorum serves linearizable
   /// reads locally with zero quorum round-trips. Off by default; the
-  /// read path then always takes the ReadIndex fallback.
+  /// read path then falls back to a commit-barrier round (§13.2).
+  ///
+  /// Two deployment constraints, both enforced or documented in §13.6:
+  ///  * requires enable_pre_vote — the grant promise is kept by pre-vote
+  ///    leader stickiness, so Start() rejects leases without it;
+  ///  * requires a fully upgraded cluster — the lease fields ride the
+  ///    wire as trailing varint groups that pre-lease decoders reject,
+  ///    so they are only emitted when this flag is on. With it off the
+  ///    encoding is byte-identical to the pre-lease format and old and
+  ///    new binaries interoperate freely.
   bool enable_leader_leases = false;
   /// How long a grant lasts, measured on the leader's clock from the
   /// moment the granting request was SENT (the follower echoes the send
@@ -283,6 +292,7 @@ class RaftConsensus {
     uint64_t lease_renewals = 0;
     uint64_t reads_lease = 0;
     uint64_t reads_quorum = 0;
+    uint64_t reads_timed_out = 0;
   };
 
   RaftConsensus(RaftOptions options, LogAbstraction* log,
@@ -517,7 +527,13 @@ class RaftConsensus {
   /// round's registration prove we were still leader then — an ack that
   /// was already in flight proves nothing about the present.
   void ConfirmQuorumReads(const MemberId& from, uint64_t acked_sent_micros);
+  /// Fire barrier-fallback reads (leases off) whose no-op barrier the
+  /// commit marker now covers.
+  void CompleteBarrierReads();
   void FailPendingReads(const Status& reason);
+  /// Leader-side ceiling on how long a registered quorum read may sit
+  /// unconfirmed before it fails with TimedOut.
+  uint64_t ReadDeadlineMicros() const;
   Status AppendToLocalLog(const LogEntry& entry);
   Result<std::vector<LogEntry>> FetchEntriesFor(uint64_t next_index,
                                                 uint64_t* prev_term);
@@ -579,6 +595,9 @@ class RaftConsensus {
     metrics::Counter* reads_lease;
     /// LinearizableRead served via the ReadIndex quorum fallback.
     metrics::Counter* reads_quorum;
+    /// Pending quorum reads failed at the leader-side deadline (a leader
+    /// cut off from its quorum must not hoard read callbacks forever).
+    metrics::Counter* reads_timed_out;
     /// Window occupancy (batches in flight) sampled at each batch send.
     metrics::HistogramMetric* inflight_window_batches;
     /// Adaptive window size sampled at each batch send.
@@ -649,10 +668,21 @@ class RaftConsensus {
     /// Registration time (our clock): acks only count if they echo a
     /// send timestamp at or after this.
     uint64_t registered_micros = 0;
+    /// Commit-barrier fallback (leases off): index of the no-op this read
+    /// completes on instead of counting echoed acks. 0 = echo round.
+    uint64_t barrier_index = 0;
     std::set<MemberId> confirmed;
     ReadCallback done;
   };
   std::deque<PendingQuorumRead> pending_reads_;
+  /// In-flight read-barrier no-op (leases off): reads registered while it
+  /// is uncommitted share it instead of appending one no-op each.
+  uint64_t read_barrier_index_ = 0;
+  /// Startup lease embargo (§13.6): until this leader-clock instant, a
+  /// freshly restarted voter refuses pre-votes AND binding votes — a
+  /// lease grant echoed just before a crash is a promise that must
+  /// survive the restart, and nothing about it is persisted.
+  uint64_t vote_embargo_until_micros_ = 0;
   /// Leader-side Replicate() timestamps awaiting commit, for the
   /// commit-advance latency histogram. Cleared on step down.
   std::map<uint64_t, uint64_t> replicate_time_micros_;

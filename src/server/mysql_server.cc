@@ -282,8 +282,9 @@ uint64_t MySqlServer::AppliedIndex() const {
   // next_apply_index_ is the replica low-water mark; on the primary the
   // pipeline bypasses the applier, so the engine's own cursor (advanced by
   // CommitPrepared in stage 3) is authoritative there. No-op/config
-  // entries never touch the engine, hence the max of both views.
-  return std::max(next_apply_index_ - 1, engine_->LastAppliedOpId().index);
+  // entries never touch the engine, hence the primary floor on top.
+  return std::max({next_apply_index_ - 1, engine_->LastAppliedOpId().index,
+                   primary_applied_floor_});
 }
 
 void MySqlServer::SubmitRead(const std::string& table, const std::string& key,
@@ -322,6 +323,7 @@ void MySqlServer::MaybeServeReads() {
 
 void MySqlServer::OnConsensusCommitAdvanced(OpId marker) {
   trace::Tracer* tracer = options_.tracer;
+  bool engine_commit_failed = false;
   // Stage 3: engine-commit every pending write covered by the marker.
   while (!pending_.empty() && pending_.begin()->first <= marker.index) {
     PendingCommit pending = std::move(pending_.begin()->second);
@@ -346,6 +348,7 @@ void MySqlServer::OnConsensusCommitAdvanced(OpId marker) {
         tracer->EndSpan(pending.total_span, "engine_commit_failed");
       }
       pending.done(WriteResult{std::move(s), pending.gtid, pending.opid});
+      engine_commit_failed = true;
       continue;
     }
     m_.writes_committed->Increment();
@@ -375,6 +378,15 @@ void MySqlServer::OnConsensusCommitAdvanced(OpId marker) {
           << " straggler=" << (straggler.empty() ? "self" : straggler.c_str());
     }
     pending.done(WriteResult{Status::OK(), pending.gtid, pending.opid});
+  }
+
+  // With every pending write at or below the marker retired, the whole
+  // marker prefix is reflected in engine state — the remainder is no-op
+  // and config entries. Only the primary pipeline can claim this; a
+  // replica's marker routinely outruns its applier.
+  if (writes_enabled_ && !engine_commit_failed &&
+      (pending_.empty() || pending_.begin()->first > marker.index)) {
+    primary_applied_floor_ = std::max(primary_applied_floor_, marker.index);
   }
 
   RunApplier();

@@ -387,6 +387,12 @@ class MySqlServer final : public plugin::ServerHooks {
   bool writes_enabled_ = false;
   DbRole db_role_ = DbRole::kReplica;
   uint64_t next_txn_no_ = 1;
+  /// Primary-side applied floor: highest commit marker whose whole prefix
+  /// is reflected in local engine state (every pending write at or below
+  /// it engine-committed; no-op/config entries are state-invisible).
+  /// Needed because the engine cursor alone never advances past no-ops —
+  /// a read fenced at a commit-barrier no-op (§13.2) would park forever.
+  uint64_t primary_applied_floor_ = 0;
   /// Low-water mark: everything below is engine-committed in log order.
   uint64_t next_apply_index_ = 1;
   /// Next entry to admit to the apply window (>= next_apply_index_).

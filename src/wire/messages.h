@@ -53,12 +53,15 @@ struct AppendEntriesRequest {
   /// asks the follower to promise not to grant votes deposing it for
   /// `lease_duration_micros` after receipt (0 = leases off, no promise
   /// requested). `lease_sent_micros` is the leader's local send
-  /// timestamp, stamped on every leader AppendEntries and echoed back
-  /// verbatim in the response: lease-expiry arithmetic stays on the
-  /// leader's clock, and the echo doubles as the ReadIndex freshness
-  /// proof even with leases off. A second optional trailing varint group
-  /// after the trace pair — absent from non-leader/pre-lease encoders,
-  /// which decode unchanged.
+  /// timestamp, echoed back verbatim in the response: lease-expiry
+  /// arithmetic stays on the leader's clock, and the echo doubles as the
+  /// ReadIndex freshness proof. A second optional trailing varint group
+  /// after the trace pair. Wire compatibility (§13.6): pre-lease decoders
+  /// reject ANY trailing bytes, so these fields are stamped only when
+  /// `enable_leader_leases` is on — which therefore requires a fully
+  /// upgraded cluster. With leases off the encoding is byte-identical to
+  /// the pre-lease format and linearizable reads use the commit-barrier
+  /// fallback instead of the echo.
   uint64_t lease_duration_micros = 0;
   uint64_t lease_sent_micros = 0;
 
@@ -94,10 +97,11 @@ struct AppendEntriesResponse {
   uint64_t trace_id = 0;
   uint64_t trace_span_id = 0;
   /// Echo of the request's `lease_sent_micros` from a voter (0 from
-  /// non-voters and pre-lease followers): proves to the leader how fresh
-  /// this ack is (ReadIndex), and — when the request carried a duration —
-  /// records the lease grant. Optional trailing varint, same
-  /// compatibility scheme as the request.
+  /// non-voters, pre-lease followers, and whenever the request carried no
+  /// stamp): proves to the leader how fresh this ack is (ReadIndex), and —
+  /// when the request carried a duration — records the lease grant.
+  /// Optional trailing varint, same compatibility scheme as the request:
+  /// absent when zero, so leases-off traffic stays pre-lease-decodable.
   uint64_t lease_granted_micros = 0;
 
   bool operator==(const AppendEntriesResponse&) const = default;

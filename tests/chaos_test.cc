@@ -346,6 +346,34 @@ TEST(ChaosLeaseTest, PartitionedLeaseholderRefusesButNeverLies) {
   EXPECT_GT(report.reads_lease, 0u) << report.ToText();
 }
 
+TEST(ChaosLeaseTest, GrantorCrashRestartRacingElectionServesNoStaleReads) {
+  // The restart hole (§13.6): a voter's grant promise lives only in
+  // volatile stickiness state. Crash-restart one grantor per region
+  // inside the grant window, then partition the leaseholder — without
+  // the startup vote embargo the restarted voters would help elect a
+  // rival while the cut-off leaseholder still holds an unexpired commit
+  // quorum of grants and is serving local reads. The embargo makes the
+  // restarted voters sit out past every grant they could have made, so
+  // the ledger must stay exact.
+  Schedule schedule;
+  schedule.seed = 23;
+  schedule.duration_micros = 5'000'000;
+  schedule.quiesce_interval_micros = 2'500'000;
+  schedule.steps = {
+      Step(400'000, FaultAction::kCrashTorn, {"lt0a", "lt1a", "lt2a"}),
+      Step(450'000, FaultAction::kRestart, {"lt0a", "lt1a", "lt2a"}),
+      Step(500'000, FaultAction::kPartition, {"@leader"}),
+      Step(2'200'000, FaultAction::kHealAll, {}),
+  };
+
+  ChaosRunner runner(LeaseOptions(), FlexiEngine());
+  const ChaosReport report = runner.Run(schedule);
+  EXPECT_TRUE(report.passed) << report.ToText();
+  EXPECT_GT(report.writes_acked, 0u);
+  // Lease fast-path reads happened before the partition bit.
+  EXPECT_GT(report.reads_lease, 0u) << report.ToText();
+}
+
 TEST(ChaosLeaseTest, GeneratedClockFaultCorpusStaysClean) {
   // End-to-end nemesis coverage: a generated schedule with the clock
   // family enabled, run with leases on. Pins the generator's clock-step

@@ -157,7 +157,9 @@ class ConsensusUnitTest : public ::testing::Test {
     RaftOptions options;
     options.self = "a";
     options.region = "r0";
-    options.enable_pre_vote = false;
+    // Leases require pre-vote (Start() rejects the combination); tests
+    // still elect directly via StartElection(kRealElection).
+    options.enable_pre_vote = true;
     options.enable_leader_leases = true;
     options.lease_duration_micros = duration_micros;
     options.lease_drift_margin_micros = margin_micros;
@@ -835,6 +837,9 @@ TEST_F(ConsensusUnitTest, StepDownFailsPendingQuorumReads) {
 }
 
 TEST_F(ConsensusUnitTest, ReadIndexIgnoresAcksSentBeforeRegistration) {
+  // The echo round only runs with leases on (off, reads use the commit
+  // barrier); a fresh leader inside the handoff window falls back to it.
+  EnableLeases();
   BecomeLeader();
   AckAll("b", 0);
   clock_.AdvanceMicros(1'000);
@@ -853,6 +858,151 @@ TEST_F(ConsensusUnitTest, ReadIndexIgnoresAcksSentBeforeRegistration) {
   EXPECT_TRUE(read.status.ok());
   EXPECT_FALSE(read.served_by_lease);
   EXPECT_EQ(consensus_->stats().reads_quorum, 1u);
+}
+
+TEST_F(ConsensusUnitTest, LeasesOffReadsCompleteOnBarrierCommit) {
+  BecomeLeader();
+  AckAll("b", 0);  // commit the leadership no-op at index 1
+  const uint64_t before = consensus_->last_logged().index;
+  bool done1 = false, done2 = false;
+  RaftConsensus::ReadResult read1, read2;
+  consensus_->LinearizableRead(
+      [&](const RaftConsensus::ReadResult& r) { read1 = r; done1 = true; });
+  consensus_->LinearizableRead(
+      [&](const RaftConsensus::ReadResult& r) { read2 = r; done2 = true; });
+  // One shared barrier no-op for both reads, not one each.
+  EXPECT_EQ(consensus_->last_logged().index, before + 1);
+  EXPECT_FALSE(done1);
+  EXPECT_FALSE(done2);
+  // A pre-lease ack (no echo) commits the barrier; both reads complete
+  // at the marker captured when they registered.
+  AckAll("b", 0);
+  ASSERT_TRUE(done1);
+  ASSERT_TRUE(done2);
+  EXPECT_TRUE(read1.status.ok());
+  EXPECT_FALSE(read1.served_by_lease);
+  EXPECT_EQ(read1.read_index.index, before);
+  EXPECT_TRUE(read2.status.ok());
+  EXPECT_EQ(consensus_->stats().reads_quorum, 2u);
+}
+
+TEST_F(ConsensusUnitTest, LeasesOffAppendsCarryNoLeaseFields) {
+  // Wire compatibility (§13.6): with leases off the leader must emit the
+  // pre-lease byte format — a pre-lease decoder rejects trailing fields.
+  BecomeLeader();
+  AckAll("b", 0);  // drain the no-op batch so the tick heartbeats
+  clock_.AdvanceMicros(600'000);
+  outbox_.sent.clear();
+  consensus_->Tick();
+  const auto request = outbox_.Last<AppendEntriesRequest>();
+  EXPECT_EQ(request.lease_sent_micros, 0u);
+  EXPECT_EQ(request.lease_duration_micros, 0u);
+}
+
+TEST_F(ConsensusUnitTest, PendingReadsFailAfterDeadline) {
+  BecomeLeader();
+  AckAll("b", 0);
+  bool done = false;
+  RaftConsensus::ReadResult read;
+  consensus_->LinearizableRead(
+      [&](const RaftConsensus::ReadResult& r) { read = r; done = true; });
+  EXPECT_FALSE(done);
+  // Quorum never answers (leader partitioned, auto step down off): the
+  // callback must not be parked forever.
+  clock_.AdvanceMicros(2'400'000);  // < rpc timeout + election timeout
+  consensus_->Tick();
+  EXPECT_FALSE(done);
+  clock_.AdvanceMicros(200'000);  // past the deadline
+  consensus_->Tick();
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(read.status.IsTimedOut());
+  EXPECT_EQ(consensus_->stats().reads_timed_out, 1u);
+}
+
+TEST_F(ConsensusUnitTest, LeasesRequirePreVote) {
+  RaftOptions options;
+  options.self = "a";
+  options.region = "r0";
+  options.enable_pre_vote = false;
+  options.enable_leader_leases = true;
+  auto store =
+      std::make_unique<ConsensusMetadataStore>(env_.get(), "/cmeta-nopv");
+  RaftConsensus bad(options, &faulty_log_, &quorum_, store.get(), &clock_,
+                    &rng_, &outbox_, &listener_);
+  MembershipConfig config;
+  config.members = {
+      {"a", "r0", MemberKind::kMySql, RaftMemberType::kVoter},
+  };
+  // Lease safety rests on pre-vote stickiness; the combination must be
+  // rejected at startup, not silently weakened.
+  EXPECT_TRUE(bad.Bootstrap(config).IsInvalidArgument());
+}
+
+TEST_F(ConsensusUnitTest, RestartEmbargoesVotesThroughGrantWindow) {
+  EnableLeases();
+  BecomeLeader();  // persists term 1; this node may have echoed a grant
+  AckAll("b", 0);
+
+  // Crash-restart on the same durable state: the grant promise lived in
+  // volatile memory, so the voter must refuse to depose anyone until the
+  // longest grant it could have made has expired.
+  RaftOptions options;
+  options.self = "a";
+  options.region = "r0";
+  options.enable_pre_vote = true;
+  options.enable_leader_leases = true;
+  options.lease_duration_micros = 1'200'000;
+  options.lease_drift_margin_micros = 100'000;
+  RaftConsensus restarted(options, &faulty_log_, &quorum_,
+                          lease_meta_store_.get(), &clock_, &rng_, &outbox_,
+                          &listener_);
+  ASSERT_TRUE(restarted.Start().ok());
+  outbox_.sent.clear();
+
+  VoteRequest pre;
+  pre.candidate = "c";
+  pre.dest = "a";
+  pre.term = restarted.term() + 1;
+  pre.last_log = restarted.last_logged();
+  pre.candidate_region = "r1";
+  pre.pre_vote = true;
+  restarted.HandleMessage(Message(pre));
+  auto response = outbox_.Last<VoteResponse>();
+  EXPECT_FALSE(response.granted);
+  EXPECT_EQ(response.reason, "startup-lease-embargo");
+
+  VoteRequest binding = pre;
+  binding.pre_vote = false;
+  restarted.HandleMessage(Message(binding));
+  response = outbox_.Last<VoteResponse>();
+  EXPECT_FALSE(response.granted);
+  EXPECT_EQ(response.reason, "startup-lease-embargo");
+
+  // Once duration + margin has passed, every possible grant has expired
+  // and normal vote rules resume.
+  clock_.AdvanceMicros(1'300'001);
+  restarted.HandleMessage(Message(pre));
+  response = outbox_.Last<VoteResponse>();
+  EXPECT_TRUE(response.granted);
+  restarted.HandleMessage(Message(binding));
+  response = outbox_.Last<VoteResponse>();
+  EXPECT_TRUE(response.granted);
+}
+
+TEST_F(ConsensusUnitTest, FirstBootSkipsVoteEmbargo) {
+  // A freshly bootstrapped voter (term 0, empty log) can never have
+  // granted a lease — an echo requires leader contact, which persists a
+  // term bump first. No embargo, or every new cluster would stall.
+  EnableLeases();
+  VoteRequest request;
+  request.candidate = "b";
+  request.dest = "a";
+  request.term = 1;
+  request.last_log = kZeroOpId;
+  request.candidate_region = "r0";
+  consensus_->HandleMessage(Message(request));
+  auto response = outbox_.Last<VoteResponse>();
+  EXPECT_TRUE(response.granted);
 }
 
 TEST_F(ConsensusUnitTest, LeadershipTransferRevokesLease) {

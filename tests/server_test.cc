@@ -107,6 +107,25 @@ TEST_F(ServerClusterTest, WriteCommitReadRoundTrip) {
   EXPECT_EQ(primary->stats().writes_committed, 1u);
 }
 
+TEST_F(ServerClusterTest, BackToBackQuorumReadsServeAtBarrierIndexes) {
+  // Leases-off linearizable reads replicate a no-op barrier (§13.2), so
+  // a second read registers with the commit marker sitting ON a barrier
+  // no-op. The primary's applied view must cover that index even though
+  // no-ops never touch the engine — a read gated there parked forever
+  // until the primary applied floor tracked the retired marker prefix.
+  StartCluster();
+  ASSERT_TRUE(harness_->SyncWrite("user:1", "alice").status.ok());
+
+  for (int i = 0; i < 3; ++i) {
+    const auto read = harness_->SyncRead("user:1", {}, 2 * kSecond);
+    ASSERT_TRUE(read.status.ok()) << "read " << i << ": " << read.status;
+    EXPECT_EQ(read.value, "user:1=alice") << "read " << i;
+    EXPECT_FALSE(read.served_by_lease);
+  }
+  auto* primary = harness_->node(primary_)->server();
+  EXPECT_EQ(primary->consensus()->stats().reads_quorum, 3u);
+}
+
 TEST_F(ServerClusterTest, ReplicationReachesFollowersAndLearners) {
   StartCluster();
   for (int i = 0; i < 20; ++i) {
