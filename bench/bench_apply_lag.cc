@@ -57,6 +57,9 @@ ReplicationResult RunReplicationArm(size_t inflight_batches, int writes,
   options.network.cross_region = {5'000, 500};
   options.raft.max_entries_per_rpc = 8;
   options.raft.max_inflight_batches = inflight_batches;
+  // Observability plane: 100 ms windows so the BENCH json carries the
+  // throughput trajectory, not just the end-of-run totals.
+  options.obs_sample_interval_micros = 100'000;
   // Acks are measured at the raft layer; keep clients from timing out
   // and spamming retned errors while the lock-step arm saturates.
   options.client_timeout_micros = 120 * kSecond;
@@ -95,7 +98,7 @@ ReplicationResult RunReplicationArm(size_t inflight_batches, int writes,
   result.elapsed_micros = cluster.loop()->now() - start;
   result.per_sec = static_cast<double>(writes) /
                    (static_cast<double>(result.elapsed_micros) / 1e6);
-  result.internals_json = cluster.MetricsSnapshotJson();
+  result.internals_json = ClusterInternalsJson(cluster);
   result.stages_json =
       trace::TraceAnalyzer(cluster.TraceJournals()).StageBreakdownJson();
   if (!trace_out.empty()) {

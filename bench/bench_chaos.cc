@@ -7,6 +7,8 @@
 //   bench_chaos --schedule=repro.chaos       replay a schedule file
 //   bench_chaos --seed=42 --minimize         ddmin a failure to a repro
 //   bench_chaos ... --out=fail.chaos --trace-out=fail.jsonl
+//   bench_chaos ... --bundle-out=fail.json   flight-recorder bundle on failure
+//   bench_chaos ... --raftstat               cluster DebugStatus at exit
 //
 // Determinism contract: identical seeds produce byte-identical schedule
 // text and checker reports across runs (asserted by chaos_test and the
@@ -41,6 +43,12 @@ struct ChaosArgs {
   uint64_t duration_ms = 20'000;
   uint64_t quiesce_ms = 5'000;
   bool quick = false;
+  /// --bundle-out=<path>: on failure, write the flight-recorder bundle
+  /// (raftstat + trace tail + metric time series) of the failing run.
+  std::string bundle_out;
+  /// --raftstat: print cluster-wide DebugStatus after every failing run
+  /// and at exit for the last run.
+  bool raftstat = false;
 };
 
 bool ParseChaosArgs(int argc, char** argv, ChaosArgs* args) {
@@ -68,6 +76,10 @@ bool ParseChaosArgs(int argc, char** argv, ChaosArgs* args) {
       args->quiesce_ms = value;
     } else if (strcmp(argv[i], "--quick") == 0) {
       args->quick = true;
+    } else if (strncmp(argv[i], "--bundle-out=", 13) == 0) {
+      args->bundle_out = argv[i] + 13;
+    } else if (strcmp(argv[i], "--raftstat") == 0) {
+      args->raftstat = true;
     } else {
       fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return false;
@@ -147,6 +159,20 @@ int RunChaos(const ChaosArgs& args) {
       WriteTextFile(args.trace_out, runner.TraceJsonl());
       printf("trace written to %s\n", args.trace_out.c_str());
     }
+    if (!args.bundle_out.empty()) {
+      const std::string bundle = runner.LastBundleJson();
+      WriteTextFile(args.bundle_out,
+                    bundle.empty() ? "{\"trigger\":null}" : bundle);
+      printf("flight-recorder bundle written to %s\n",
+             args.bundle_out.c_str());
+    }
+    if (args.raftstat) {
+      printf("=== raftstat (failing run) ===\n%s",
+             runner.RaftstatText().c_str());
+    }
+  }
+  if (args.raftstat && failures == 0) {
+    printf("=== raftstat (last run) ===\n%s", runner.RaftstatText().c_str());
   }
   printf("chaos: %zu schedule(s), %d failure(s)\n", schedules.size(),
          failures);

@@ -243,6 +243,7 @@ struct CommitLatencyResult {
   Histogram latency;
   double fsync_per_commit = 0.0;
   int acked = 0;
+  std::string internals_json;  // ClusterInternalsJson of this config's run
 };
 
 /// Drives `writes` client writes at `clients` concurrency (bursts issued
@@ -257,6 +258,9 @@ CommitLatencyResult RunCommitLatencyConfig(uint64_t seed, bool coalesced,
   options.db_regions = 3;
   options.logtailers_per_db = 2;
   options.raft.group_commit_sync = coalesced;
+  // Observability plane: 10 ms windows catch the commit-stage latency
+  // series across the burst schedule.
+  options.obs_sample_interval_micros = 10'000;
   sim::ClusterHarness harness(options, CommitLatencyEngine());
   CommitLatencyResult result;
   if (!harness.Bootstrap().ok()) return result;
@@ -292,6 +296,7 @@ CommitLatencyResult RunCommitLatencyConfig(uint64_t seed, bool coalesced,
   result.fsync_per_commit =
       result.acked == 0 ? 0.0
                         : static_cast<double>(syncs) / result.acked;
+  result.internals_json = bench::ClusterInternalsJson(harness);
   return result;
 }
 
@@ -314,6 +319,7 @@ int RunCommitLatency(const bench::BenchArgs& args) {
   bench::PrintPercentileHeaderMs();
   std::string summary = "{";
   std::string ratios = "{";
+  std::string cluster_internals = "null";
   bool failed = false;
   for (const Config& config : configs) {
     const CommitLatencyResult result = RunCommitLatencyConfig(
@@ -332,14 +338,19 @@ int RunCommitLatency(const bench::BenchArgs& args) {
     if (ratios.size() > 1) ratios += ",";
     ratios += StringPrintf("\"%s\":%.4f", config.name,
                            result.fsync_per_commit);
+    if (!result.internals_json.empty()) {
+      cluster_internals = result.internals_json;  // last config wins
+    }
   }
   summary += "}";
   ratios += "}";
   // Internals: the before/after fsync amortization at a glance (inline_*
   // = the per-write seed behaviour, coalesced_* = the group-commit sync
-  // stage). The full latency histograms live in the summary.
-  const std::string internals =
-      StringPrintf("{\"fsync_per_commit\":%s}", ratios.c_str());
+  // stage) plus the last config's (coalesced_8c) metric snapshot and
+  // sampler time series. The full latency histograms live in the summary.
+  const std::string internals = StringPrintf(
+      "{\"fsync_per_commit\":%s,\"cluster\":%s}", ratios.c_str(),
+      cluster_internals.c_str());
   if (!bench::WriteBenchJson("micro_commit_latency", summary, internals)) {
     return 1;
   }

@@ -67,12 +67,17 @@ std::string ModeInternalsJson(sim::ClusterHarness* harness) {
       "server.reads_gated",         "proxy.reads_routed_follower",
       "proxy.reads_routed_leader",
   };
-  std::string json = "{";
+  std::string json = "{\"counters\":{";
+  bool first = true;
   for (const char* name : kCounters) {
-    if (json.size() > 1) json += ",";
+    if (!first) json += ",";
+    first = false;
     json += StringPrintf("\"%s\":%llu", name,
                          (unsigned long long)SumCounter(harness, name));
   }
+  json += "},\"time_series\":";
+  json += harness->observability_enabled() ? harness->sampler()->SeriesJson()
+                                           : "null";
   json += "}";
   return json;
 }
@@ -87,6 +92,9 @@ ReadModeResult RunReadMode(uint64_t seed, const ReadModeConfig& config,
   options.db_regions = 5;  // the paper's 5-region deployment
   options.logtailers_per_db = 2;
   options.raft.enable_leader_leases = config.leases;
+  // Observability plane: 10 ms windows show the read-path counters as a
+  // rate series (lease vs quorum) rather than only end totals.
+  options.obs_sample_interval_micros = 10'000;
   sim::ClusterHarness harness(options, ReadBenchEngine());
   ReadModeResult result;
   if (!harness.Bootstrap().ok()) return result;

@@ -99,7 +99,11 @@ struct TracedFailover {
 
 TracedFailover RunTracedFailover(uint64_t seed) {
   TracedFailover out;
-  sim::ClusterHarness cluster(RaftOptions(seed), FlexiEngine());
+  sim::ClusterOptions options = RaftOptions(seed);
+  // Observability plane on the instrumented trial: the 10 ms windows
+  // bracket the failover dip in the exported time series.
+  options.obs_sample_interval_micros = 10'000;
+  sim::ClusterHarness cluster(options, FlexiEngine());
   if (!cluster.Bootstrap().ok()) return out;
   const MemberId primary = cluster.WaitForPrimary(60 * kSecond);
   if (primary.empty()) return out;
@@ -114,7 +118,7 @@ TracedFailover RunTracedFailover(uint64_t seed) {
   out.failover_json =
       trace::TraceAnalyzer::FailoverJson(analyzer.FailoverBreakdown());
   out.stages_json = analyzer.StageBreakdownJson();
-  out.internals_json = cluster.MetricsSnapshotJson();
+  out.internals_json = ClusterInternalsJson(cluster);
   out.chrome_json = cluster.TraceChromeJson();
   out.probe_downtime_micros = result.downtime_micros;
   out.ok = true;

@@ -9,6 +9,7 @@
 #include <cstring>
 #include <string>
 
+#include "sim/cluster.h"
 #include "util/histogram.h"
 #include "util/string_util.h"
 
@@ -89,6 +90,20 @@ inline std::string HistogramJson(const Histogram& h) {
       (unsigned long long)h.count(), (unsigned long long)h.min(),
       (unsigned long long)h.max(), h.Mean(), h.Percentile(50),
       h.Percentile(95), h.Percentile(99));
+}
+
+/// The standard "internals" value for BENCH_*.json: the cluster's final
+/// metric snapshot plus — when the harness ran with the observability
+/// plane on — the sampler's windowed time series, so bench artifacts
+/// carry latency/throughput trajectories instead of only end totals.
+inline std::string ClusterInternalsJson(sim::ClusterHarness& cluster) {
+  std::string out = "{\"metrics\":";
+  out += cluster.MetricsSnapshotJson();
+  out += ",\"time_series\":";
+  out += cluster.observability_enabled() ? cluster.sampler()->SeriesJson()
+                                         : "null";
+  out += '}';
+  return out;
 }
 
 /// Writes BENCH_<name>.json next to the binary:

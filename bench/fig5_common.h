@@ -93,6 +93,9 @@ inline Fig5ArmResult RunMyRaftArm(const Fig5Setup& setup) {
   options.server_processing_micros += setup.sysbench
                                           ? kRaftOverheadSysbenchMicros
                                           : kRaftOverheadProductionMicros;
+  // Observability plane: the exported time series is the latency/rate
+  // trajectory behind the Figure-5 percentiles.
+  options.obs_sample_interval_micros = 100'000;
 
   sim::ClusterHarness cluster(options, Fig5FlexiEngine());
   MYRAFT_CHECK(cluster.Bootstrap().ok());
@@ -112,7 +115,7 @@ inline Fig5ArmResult RunMyRaftArm(const Fig5Setup& setup) {
   driver.RunToCompletion();
   Fig5ArmResult result;
   result.recorder = driver.recorder();
-  result.internals_json = cluster.MetricsSnapshotJson();
+  result.internals_json = ClusterInternalsJson(cluster);
   return result;
 }
 

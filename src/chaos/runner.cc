@@ -35,9 +35,17 @@ ChaosReport ChaosRunner::Run(const Schedule& schedule) {
   ChaosReport report;
   report.seed = schedule.seed;
   acked_.clear();
+  violations_captured_ = 0;
 
   sim::ClusterOptions cluster_options = options_.cluster;
   cluster_options.seed = schedule.seed;
+  // Observability plane on by default: the sampler/health/recorder path
+  // is read-only (no RNG draws, no behaviour changes), so the report's
+  // byte-identity contract holds, and a failing seed always carries a
+  // flight-recorder bundle (LastBundleJson).
+  if (cluster_options.obs_sample_interval_micros == 0) {
+    cluster_options.obs_sample_interval_micros = 5'000;
+  }
   // Chaos overrides (see ChaosOptions doc): deferred follower fsync makes
   // the durable/received distinction real (torn crashes can eat acked-but-
   // unsynced tails), and fast failure detection keeps failovers well
@@ -95,6 +103,7 @@ ChaosReport ChaosRunner::Run(const Schedule& schedule) {
         next_read_at = loop->now() + options_.read_interval_micros;
       }
       checker.ObserveRoles(*cluster_);
+      CaptureOnNewViolations(&checker);
       loop->RunFor(options_.poll_interval_micros);
     }
     Quiesce(&checker, &report);
@@ -109,6 +118,17 @@ ChaosReport ChaosRunner::Run(const Schedule& schedule) {
 
 std::string ChaosRunner::TraceJsonl() const {
   return cluster_ != nullptr ? cluster_->TraceJsonl() : std::string();
+}
+
+std::string ChaosRunner::LastBundleJson() const {
+  if (cluster_ == nullptr || cluster_->flight_recorder() == nullptr) {
+    return std::string();
+  }
+  return cluster_->flight_recorder()->LastBundleJson();
+}
+
+std::string ChaosRunner::RaftstatText() const {
+  return cluster_ != nullptr ? cluster_->RaftstatText() : std::string();
 }
 
 void ChaosRunner::IssueWrite(ChaosReport* report) {
@@ -175,6 +195,11 @@ void ChaosRunner::ApplyStep(const FaultStep& step, InvariantChecker* checker,
       if (step.targets.size() != 1) break;
       const MemberId id = resolve(step.targets[0]);
       if (!known(id) || !cluster_->node(id)->up()) break;
+      cluster_->TriggerFlightRecorder(
+          obs::TriggerKind::kCrashInjection,
+          (step.action == FaultAction::kCrashTorn ? "crash-torn "
+                                                  : "crash ") +
+              id);
       cluster_->Crash(id, step.action == FaultAction::kCrashTorn
                               ? sim::SimNode::CrashMode::kLoseUnsynced
                               : sim::SimNode::CrashMode::kKeepDisk);
@@ -330,7 +355,18 @@ void ChaosRunner::Quiesce(InvariantChecker* checker, ChaosReport* report) {
   } else {
     checker->AddViolation("Convergence", DescribeConvergence());
   }
+  CaptureOnNewViolations(checker);
   ++report->windows;
+}
+
+void ChaosRunner::CaptureOnNewViolations(InvariantChecker* checker) {
+  const std::vector<Violation>& violations = checker->violations();
+  if (violations.size() <= violations_captured_) return;
+  // The bundle is captured before the recorder's cooldown window closes
+  // around follow-on violations, so the first failure's state survives.
+  cluster_->TriggerFlightRecorder(obs::TriggerKind::kInvariantViolation,
+                                  violations.back().ToString());
+  violations_captured_ = violations.size();
 }
 
 bool ChaosRunner::Converged() {

@@ -80,6 +80,16 @@ class ChaosRunner {
   /// Causal-trace journal of the last Run (attach to failure artifacts).
   std::string TraceJsonl() const;
 
+  /// Most recent flight-recorder bundle of the last Run ("" when the obs
+  /// plane never triggered). Same-seed runs produce byte-identical
+  /// bundles — kept out of ChaosReport::ToText, whose byte-identity
+  /// contract predates the recorder, and exposed like TraceJsonl for
+  /// failure artifacts.
+  std::string LastBundleJson() const;
+  /// Cluster-wide `SHOW RAFT STATUS` text as of the end of the last Run
+  /// (`bench_chaos --raftstat`).
+  std::string RaftstatText() const;
+
  private:
   void IssueWrite(ChaosReport* report);
   void IssueRead(InvariantChecker* checker, ChaosReport* report);
@@ -88,11 +98,15 @@ class ChaosRunner {
   void Quiesce(InvariantChecker* checker, ChaosReport* report);
   bool Converged();
   std::string DescribeConvergence();
+  /// Flight-recorder trigger: captures a bundle for the newest violation
+  /// when the checker has grown since the last capture.
+  void CaptureOnNewViolations(InvariantChecker* checker);
 
   ChaosOptions options_;
   const raft::QuorumEngine* quorum_;
   std::unique_ptr<sim::ClusterHarness> cluster_;  // last run's cluster
   std::vector<AckedWrite> acked_;
+  size_t violations_captured_ = 0;
 };
 
 }  // namespace myraft::chaos

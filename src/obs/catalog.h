@@ -1,0 +1,32 @@
+// Static catalog of every metric the codebase registers (DESIGN.md §14).
+// The obs tests bootstrap a full cluster and assert that each registered
+// name appears here, so adding a metric without documenting it fails CI;
+// MetricCatalogMarkdown() renders the table embedded in DESIGN.md.
+
+#ifndef MYRAFT_OBS_CATALOG_H_
+#define MYRAFT_OBS_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+namespace myraft::obs {
+
+struct MetricInfo {
+  const char* name;         // registered name, e.g. "raft.pipeline_stalls"
+  const char* kind;         // "counter" | "gauge" | "histogram"
+  const char* layer;        // owning subsystem, e.g. "raft"
+  const char* description;  // one line, for the DESIGN.md table
+};
+
+/// All documented metrics, sorted by name.
+const std::vector<MetricInfo>& MetricCatalog();
+
+/// Catalog entry for `name`, or nullptr when undocumented.
+const MetricInfo* FindMetricInfo(const std::string& name);
+
+/// GitHub-flavoured markdown table of the whole catalog.
+std::string MetricCatalogMarkdown();
+
+}  // namespace myraft::obs
+
+#endif  // MYRAFT_OBS_CATALOG_H_

@@ -1,0 +1,90 @@
+#include "obs/flight_recorder.h"
+
+#include <utility>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace myraft::obs {
+
+namespace {
+
+std::string JsonString(const std::string& in) {
+  std::string out = "\"";
+  for (char c : in) {
+    switch (c) {
+      case '"': out.append("\\\""); break;
+      case '\\': out.append("\\\\"); break;
+      case '\n': out.append("\\n"); break;
+      case '\t': out.append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out.append(StringPrintf("\\u%04x", c));
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+const char* TriggerKindName(TriggerKind kind) {
+  switch (kind) {
+    case TriggerKind::kInvariantViolation: return "invariant_violation";
+    case TriggerKind::kCrashInjection: return "crash_injection";
+    case TriggerKind::kSlowTransaction: return "slow_transaction";
+    case TriggerKind::kHealthTransition: return "health_transition";
+    case TriggerKind::kManual: return "manual";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(FlightRecorderOptions options)
+    : options_(options) {
+  MYRAFT_CHECK(options_.clock != nullptr);
+  if (options_.max_bundles == 0) options_.max_bundles = 1;
+  metrics::MetricRegistry* registry = options_.metrics;
+  if (registry == nullptr) {
+    owned_metrics_ = std::make_unique<metrics::MetricRegistry>();
+    registry = owned_metrics_.get();
+  }
+  captured_counter_ = registry->GetCounter("obs.bundles_captured");
+  suppressed_counter_ = registry->GetCounter("obs.triggers_suppressed");
+}
+
+bool FlightRecorder::Trigger(TriggerKind kind, const std::string& detail) {
+  const uint64_t now = options_.clock->NowMicros();
+  const size_t slot = static_cast<size_t>(kind);
+  if (ever_captured_[slot] && options_.cooldown_micros > 0 &&
+      now - last_capture_micros_[slot] < options_.cooldown_micros) {
+    ++suppressed_;
+    suppressed_counter_->Increment();
+    return false;
+  }
+  ever_captured_[slot] = true;
+  last_capture_micros_[slot] = now;
+
+  std::string bundle = StringPrintf(
+      "{\"trigger\":{\"kind\":\"%s\",\"detail\":%s,\"ts_us\":%llu,"
+      "\"seq\":%llu}",
+      TriggerKindName(kind), JsonString(detail).c_str(),
+      (unsigned long long)now, (unsigned long long)++next_seq_);
+  bundle.append(",\"raftstat\":");
+  bundle.append(raftstat_ ? raftstat_() : "null");
+  bundle.append(",\"trace_tail\":");
+  bundle.append(trace_tail_ ? trace_tail_() : "null");
+  bundle.append(",\"metrics_series\":");
+  bundle.append(series_ ? series_() : "null");
+  bundle.push_back('}');
+
+  while (bundles_.size() >= options_.max_bundles) bundles_.pop_front();
+  bundles_.push_back(std::move(bundle));
+  ++captured_;
+  captured_counter_->Increment();
+  return true;
+}
+
+}  // namespace myraft::obs

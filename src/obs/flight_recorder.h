@@ -1,0 +1,97 @@
+// Black-box flight recorder (DESIGN.md §14). On a trigger — invariant
+// violation, crash injection, slow-transaction breach, health-detector
+// transition — it pulls three sections through provider callbacks wired up
+// by the harness and freezes them into one self-contained JSON bundle:
+//
+//   {"trigger":   {"kind","detail","ts_us","seq"},
+//    "raftstat":  per-node DebugStatus JSON for the whole cluster,
+//    "trace_tail": last N records of the merged trace timeline,
+//    "metrics_series": the sampler's windowed metric series}
+//
+// Bundles live in a bounded ring (a chaos run can trip dozens of
+// triggers); a cooldown suppresses trigger storms so the interesting
+// first-failure bundle is not evicted by its own aftershocks. Everything
+// is timestamped from the sim clock, so the same seed produces the same
+// bundle bytes — the chaos tests assert exactly that.
+
+#ifndef MYRAFT_OBS_FLIGHT_RECORDER_H_
+#define MYRAFT_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "util/clock.h"
+#include "util/metrics.h"
+
+namespace myraft::obs {
+
+enum class TriggerKind : uint8_t {
+  kInvariantViolation = 0,
+  kCrashInjection = 1,
+  kSlowTransaction = 2,
+  kHealthTransition = 3,
+  kManual = 4,
+};
+
+const char* TriggerKindName(TriggerKind kind);
+
+struct FlightRecorderOptions {
+  const Clock* clock = nullptr;  // required
+  size_t max_bundles = 4;        // ring; overflow drops the oldest bundle
+  /// Triggers of the same kind within this window are counted but not
+  /// captured (0 = capture everything).
+  uint64_t cooldown_micros = 50'000;
+  metrics::MetricRegistry* metrics = nullptr;  // optional; owns one if null
+};
+
+class FlightRecorder {
+ public:
+  /// Returns one bundle section as a complete JSON value.
+  using SectionFn = std::function<std::string()>;
+
+  explicit FlightRecorder(FlightRecorderOptions options);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// The harness wires these at bootstrap; an unset section serialises as
+  /// null so a bundle is always parseable.
+  void SetRaftstatProvider(SectionFn fn) { raftstat_ = std::move(fn); }
+  void SetTraceTailProvider(SectionFn fn) { trace_tail_ = std::move(fn); }
+  void SetMetricsSeriesProvider(SectionFn fn) { series_ = std::move(fn); }
+
+  /// Captures a bundle unless suppressed by the per-kind cooldown.
+  /// `detail` is free text naming the cause ("invariant: divergent log at
+  /// index 42"). Returns true when a bundle was captured.
+  bool Trigger(TriggerKind kind, const std::string& detail);
+
+  const std::deque<std::string>& bundles() const { return bundles_; }
+  /// Most recent bundle, or "" when none captured yet.
+  std::string LastBundleJson() const {
+    return bundles_.empty() ? std::string() : bundles_.back();
+  }
+  uint64_t captured() const { return captured_; }
+  uint64_t suppressed() const { return suppressed_; }
+
+ private:
+  FlightRecorderOptions options_;
+  std::unique_ptr<metrics::MetricRegistry> owned_metrics_;
+  metrics::Counter* captured_counter_;    // "obs.bundles_captured"
+  metrics::Counter* suppressed_counter_;  // "obs.triggers_suppressed"
+  SectionFn raftstat_;
+  SectionFn trace_tail_;
+  SectionFn series_;
+  std::deque<std::string> bundles_;
+  uint64_t last_capture_micros_[5] = {0, 0, 0, 0, 0};
+  bool ever_captured_[5] = {false, false, false, false, false};
+  uint64_t captured_ = 0;
+  uint64_t suppressed_ = 0;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace myraft::obs
+
+#endif  // MYRAFT_OBS_FLIGHT_RECORDER_H_

@@ -1,0 +1,167 @@
+#include "obs/time_series.h"
+
+#include <utility>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace myraft::obs {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  std::string s = StringPrintf("%.3f", v);
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s.empty() ? "0" : s;
+}
+
+// What one exported series reads out of a window's per-source snapshot.
+enum class SeriesKind { kCounterDelta, kGaugeLevel, kHistCount, kHistP99 };
+
+struct SeriesKey {
+  std::string source;
+  std::string metric;
+  SeriesKind kind;
+};
+
+std::string ValueAt(const SeriesKey& key, const SampleWindow& window) {
+  auto sit = window.deltas.find(key.source);
+  if (sit == window.deltas.end()) return "0";
+  const metrics::MetricSnapshot& snap = sit->second;
+  switch (key.kind) {
+    case SeriesKind::kCounterDelta: {
+      auto it = snap.counters.find(key.metric);
+      return it == snap.counters.end()
+                 ? std::string("0")
+                 : StringPrintf("%llu", (unsigned long long)it->second);
+    }
+    case SeriesKind::kGaugeLevel: {
+      auto it = snap.gauges.find(key.metric);
+      return it == snap.gauges.end()
+                 ? std::string("0")
+                 : StringPrintf("%lld", (long long)it->second);
+    }
+    case SeriesKind::kHistCount: {
+      auto it = snap.histograms.find(key.metric);
+      return it == snap.histograms.end()
+                 ? std::string("0")
+                 : StringPrintf("%llu", (unsigned long long)it->second.count());
+    }
+    case SeriesKind::kHistP99: {
+      auto it = snap.histograms.find(key.metric);
+      return it == snap.histograms.end()
+                 ? std::string("0")
+                 : FormatDouble(it->second.Percentile(99));
+    }
+  }
+  return "0";
+}
+
+}  // namespace
+
+TimeSeriesSampler::TimeSeriesSampler(TimeSeriesOptions options)
+    : options_(options) {
+  MYRAFT_CHECK(options_.clock != nullptr);
+  if (options_.capacity == 0) options_.capacity = 1;
+}
+
+void TimeSeriesSampler::AddSource(std::string name,
+                                  const metrics::MetricRegistry* registry) {
+  MYRAFT_CHECK(registry != nullptr);
+  sources_.emplace_back(std::move(name), registry);
+}
+
+void TimeSeriesSampler::Sample() {
+  SampleWindow window;
+  window.ts_micros = options_.clock->NowMicros();
+  for (const auto& [name, registry] : sources_) {
+    metrics::MetricSnapshot current = registry->Snapshot();
+    auto it = last_snapshots_.find(name);
+    if (it == last_snapshots_.end()) {
+      // First sight of this source: the whole accumulated state is the
+      // first window, so nothing registered before sampling began is lost.
+      window.deltas[name] = current;
+    } else {
+      window.deltas[name] = current.DeltaSince(it->second);
+    }
+    last_snapshots_[name] = std::move(current);
+  }
+  while (windows_.size() >= options_.capacity) {
+    windows_.pop_front();
+    ++dropped_;
+  }
+  windows_.push_back(std::move(window));
+}
+
+const metrics::MetricSnapshot* TimeSeriesSampler::LastWindow(
+    const std::string& source) const {
+  if (windows_.empty()) return nullptr;
+  auto it = windows_.back().deltas.find(source);
+  return it == windows_.back().deltas.end() ? nullptr : &it->second;
+}
+
+std::string TimeSeriesSampler::SeriesJson() const {
+  // Pass 1: the "<source>.<metric>" keys with any activity in the retained
+  // windows — idle metrics would only pad the bundle with zeros. Gauges
+  // count as active when nonzero in some window (a steady level is
+  // activity; a never-set gauge is not).
+  std::map<std::string, SeriesKey> exported;  // exported name -> lookup key
+  for (const auto& window : windows_) {
+    for (const auto& [source, snap] : window.deltas) {
+      for (const auto& [name, v] : snap.counters) {
+        if (v != 0) {
+          exported.emplace(source + "." + name,
+                           SeriesKey{source, name, SeriesKind::kCounterDelta});
+        }
+      }
+      for (const auto& [name, v] : snap.gauges) {
+        if (v != 0) {
+          exported.emplace(source + "." + name,
+                           SeriesKey{source, name, SeriesKind::kGaugeLevel});
+        }
+      }
+      for (const auto& [name, h] : snap.histograms) {
+        if (h.count() != 0) {
+          exported.emplace(source + "." + name + ".count",
+                           SeriesKey{source, name, SeriesKind::kHistCount});
+          exported.emplace(source + "." + name + ".p99",
+                           SeriesKey{source, name, SeriesKind::kHistP99});
+        }
+      }
+    }
+  }
+
+  std::string out = StringPrintf(
+      "{\"interval_us\":%llu,\"windows\":%llu,\"windows_dropped\":%llu,"
+      "\"window_ts_us\":[",
+      (unsigned long long)options_.interval_micros,
+      (unsigned long long)windows_.size(), (unsigned long long)dropped_);
+  bool first = true;
+  for (const auto& window : windows_) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append(StringPrintf("%llu", (unsigned long long)window.ts_micros));
+  }
+  out.append("],\"series\":{");
+
+  // Pass 2: one array per active key, every array exactly `windows` long
+  // (a window where the metric was idle reads 0).
+  first = true;
+  for (const auto& [name, key] : exported) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append(StringPrintf("\"%s\":[", name.c_str()));
+    bool first_value = true;
+    for (const auto& window : windows_) {
+      if (!first_value) out.push_back(',');
+      first_value = false;
+      out.append(ValueAt(key, window));
+    }
+    out.push_back(']');
+  }
+  out.append("}}");
+  return out;
+}
+
+}  // namespace myraft::obs

@@ -1,0 +1,83 @@
+// Windowed metric time series (DESIGN.md §14). The sampler snapshots a set
+// of MetricRegistries on a sim-clock cadence, diffs consecutive snapshots
+// into per-window deltas (MetricSnapshot::DeltaSince) and keeps a bounded
+// ring of windows. Exported JSON carries one equal-length array per active
+// metric, so BENCH_*.json "internals" show trajectories — a commit-latency
+// spike at window 37 — instead of only final totals.
+//
+// Depends only on util; the sim harness owns the sampling cadence (a
+// self-rescheduling EventLoop tick) and registers one source per node
+// registry plus one for the network.
+
+#ifndef MYRAFT_OBS_TIME_SERIES_H_
+#define MYRAFT_OBS_TIME_SERIES_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/metrics.h"
+
+namespace myraft::obs {
+
+struct TimeSeriesOptions {
+  const Clock* clock = nullptr;   // required
+  uint64_t interval_micros = 5'000;
+  size_t capacity = 256;          // ring of windows; overflow drops oldest
+};
+
+/// One sampling tick's view: the per-source metric deltas accumulated since
+/// the previous tick, stamped with the tick's sim time.
+struct SampleWindow {
+  uint64_t ts_micros = 0;
+  std::map<std::string, metrics::MetricSnapshot> deltas;  // keyed by source
+};
+
+class TimeSeriesSampler {
+ public:
+  explicit TimeSeriesSampler(TimeSeriesOptions options);
+
+  TimeSeriesSampler(const TimeSeriesSampler&) = delete;
+  TimeSeriesSampler& operator=(const TimeSeriesSampler&) = delete;
+
+  /// Registers a registry to sample. `registry` must outlive the sampler.
+  /// Adding mid-run is fine: the source's first window is its full state.
+  void AddSource(std::string name, const metrics::MetricRegistry* registry);
+
+  /// Captures one window across all sources (harness calls this on its
+  /// sampling tick; tests may call it manually around a ManualClock).
+  void Sample();
+
+  size_t window_count() const { return windows_.size(); }
+  uint64_t windows_dropped() const { return dropped_; }
+  uint64_t interval_micros() const { return options_.interval_micros; }
+  const std::deque<SampleWindow>& windows() const { return windows_; }
+
+  /// The most recent window's delta for `source`; nullptr before the first
+  /// Sample() or for an unknown source. HealthMonitor inputs are built
+  /// from these.
+  const metrics::MetricSnapshot* LastWindow(const std::string& source) const;
+
+  /// {"interval_us":..,"windows":N,"window_ts_us":[..],
+  ///  "series":{"<source>.<metric>":[v0..vN-1], ...}}
+  /// Counters export per-window deltas, gauges their level at the tick,
+  /// histograms a ".count" delta and a ".p99" over the window's delta.
+  /// Only metrics with activity in at least one retained window are
+  /// exported; every exported array has exactly N entries. Deterministic
+  /// bytes for same-seed runs (sim timestamps, sorted keys).
+  std::string SeriesJson() const;
+
+ private:
+  TimeSeriesOptions options_;
+  std::vector<std::pair<std::string, const metrics::MetricRegistry*>> sources_;
+  std::map<std::string, metrics::MetricSnapshot> last_snapshots_;
+  std::deque<SampleWindow> windows_;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace myraft::obs
+
+#endif  // MYRAFT_OBS_TIME_SERIES_H_

@@ -294,4 +294,37 @@ ProxyRouter::Stats ProxyRouter::stats() const {
   return s;
 }
 
+std::string ProxyRouter::DebugStatusJson() const {
+  const Stats s = stats();
+  std::string out = StringPrintf("{\"enabled\":%s,\"relay_health\":{",
+                                 options_.enabled ? "true" : "false");
+  if (consensus_ != nullptr) {
+    bool first = true;
+    for (const auto& member : consensus_->config().members) {
+      if (member.id == self_) continue;  // own health is tautological
+      if (!first) out.push_back(',');
+      first = false;
+      out.append(StringPrintf("\"%s\":%s", member.id.c_str(),
+                              RelayHealthy(member.id) ? "true" : "false"));
+    }
+  }
+  out.append(StringPrintf(
+      "},\"stats\":{\"direct_requests\":%llu,\"proxied_requests\":%llu,"
+      "\"relayed_requests\":%llu,\"reconstitutions\":%llu,"
+      "\"degraded_to_heartbeat\":%llu,\"relayed_responses\":%llu,"
+      "\"route_arounds\":%llu,\"bytes_relayed\":%llu,"
+      "\"reads_routed_follower\":%llu,\"reads_routed_leader\":%llu}}",
+      (unsigned long long)s.direct_requests,
+      (unsigned long long)s.proxied_requests,
+      (unsigned long long)s.relayed_requests,
+      (unsigned long long)s.reconstitutions,
+      (unsigned long long)s.degraded_to_heartbeat,
+      (unsigned long long)s.relayed_responses,
+      (unsigned long long)s.route_arounds,
+      (unsigned long long)s.bytes_relayed,
+      (unsigned long long)s.reads_routed_follower,
+      (unsigned long long)s.reads_routed_leader));
+  return out;
+}
+
 }  // namespace myraft::proxy

@@ -119,6 +119,11 @@ class ProxyRouter final : public raft::RaftOutbox {
   bool enabled() const { return options_.enabled; }
   Stats stats() const;
 
+  /// Structured routing-state dump for raftstat / flight-recorder bundles
+  /// (DESIGN.md §14): enablement, per-member relay health as this node
+  /// sees it, and the routing counters.
+  std::string DebugStatusJson() const;
+
   /// Read steering (§13): pick the member a read from `client_region`
   /// should hit. With a nonzero staleness budget and this node leading,
   /// prefers the most caught-up healthy MySQL member in the client's

@@ -2132,4 +2132,88 @@ std::string RaftConsensus::ToString() const {
       commit_marker_.ToString().c_str(), meta_.config.NumVoters());
 }
 
+RaftConsensus::DebugStatusSnapshot RaftConsensus::DebugStatus() const {
+  DebugStatusSnapshot s;
+  s.self = options_.self;
+  s.region = options_.region;
+  s.term = meta_.current_term;
+  s.role = role_;
+  s.leader = leader_;
+  s.commit_marker = commit_marker_;
+  s.last_logged = log_->LastOpId();
+  s.last_synced_index = last_synced_index_;
+  s.lease_enabled = options_.enable_leader_leases;
+  s.lease_valid = HasValidLease();
+  s.lease_serve_after_micros = lease_serve_after_micros_;
+  s.vote_embargo_until_micros = vote_embargo_until_micros_;
+  s.pending_reads = pending_reads_.size();
+  s.read_barrier_index = read_barrier_index_;
+  s.has_pending_config_change = pending_config_index_ != 0;
+  s.quorum = quorum_->Describe();
+  s.num_voters = meta_.config.NumVoters();
+  if (role_ == RaftRole::kLeader) {
+    for (const auto& [id, peer] : peers_) {
+      PeerDebugStatus p;
+      p.id = id;
+      p.match_index = peer.match_index;
+      p.next_index = peer.next_index;
+      p.inflight_batches = peer.inflight.size();
+      p.inflight_bytes = peer.inflight_bytes;
+      p.effective_window = effective_window(id);
+      p.srtt_micros = peer.srtt_micros;
+      p.stalled = peer.stalled;
+      p.lease_expiry_micros = peer.lease_expiry_micros;
+      p.last_response_micros = peer.last_response_micros;
+      s.peers.push_back(std::move(p));
+    }
+  }
+  return s;
+}
+
+std::string RaftConsensus::DebugStatusSnapshot::ToJson() const {
+  std::string out = StringPrintf(
+      "{\"self\":\"%s\",\"region\":\"%s\",\"term\":%llu,\"role\":\"%s\","
+      "\"leader\":\"%s\",\"commit_term\":%llu,\"commit_index\":%llu,"
+      "\"last_logged_term\":%llu,\"last_logged_index\":%llu,"
+      "\"last_synced_index\":%llu,\"lease_enabled\":%s,\"lease_valid\":%s,"
+      "\"lease_serve_after_us\":%llu,\"vote_embargo_until_us\":%llu,"
+      "\"pending_reads\":%llu,\"read_barrier_index\":%llu,"
+      "\"pending_config_change\":%s,\"quorum\":\"%s\",\"voters\":%d,"
+      "\"peers\":[",
+      self.c_str(), region.c_str(), (unsigned long long)term,
+      std::string(RaftRoleToString(role)).c_str(), leader.c_str(),
+      (unsigned long long)commit_marker.term,
+      (unsigned long long)commit_marker.index,
+      (unsigned long long)last_logged.term,
+      (unsigned long long)last_logged.index,
+      (unsigned long long)last_synced_index, lease_enabled ? "true" : "false",
+      lease_valid ? "true" : "false",
+      (unsigned long long)lease_serve_after_micros,
+      (unsigned long long)vote_embargo_until_micros,
+      (unsigned long long)pending_reads,
+      (unsigned long long)read_barrier_index,
+      has_pending_config_change ? "true" : "false", quorum.c_str(),
+      num_voters);
+  bool first = true;
+  for (const auto& p : peers) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append(StringPrintf(
+        "{\"id\":\"%s\",\"match_index\":%llu,\"next_index\":%llu,"
+        "\"inflight_batches\":%llu,\"inflight_bytes\":%llu,"
+        "\"effective_window\":%llu,\"srtt_us\":%llu,\"stalled\":%s,"
+        "\"lease_expiry_us\":%llu,\"last_response_us\":%llu}",
+        p.id.c_str(), (unsigned long long)p.match_index,
+        (unsigned long long)p.next_index,
+        (unsigned long long)p.inflight_batches,
+        (unsigned long long)p.inflight_bytes,
+        (unsigned long long)p.effective_window,
+        (unsigned long long)p.srtt_micros, p.stalled ? "true" : "false",
+        (unsigned long long)p.lease_expiry_micros,
+        (unsigned long long)p.last_response_micros));
+  }
+  out.append("]}");
+  return out;
+}
+
 }  // namespace myraft::raft

@@ -295,6 +295,45 @@ class RaftConsensus {
     uint64_t reads_timed_out = 0;
   };
 
+  /// Structured point-in-time state dump — the `SHOW RAFT STATUS` analogue
+  /// (DESIGN.md §14). Built by DebugStatus() for tools (`bench_chaos
+  /// --raftstat`) and flight-recorder bundles; ToJson() is deterministic
+  /// for same-seed sim runs (all timestamps are sim-clock).
+  struct PeerDebugStatus {
+    MemberId id;
+    uint64_t match_index = 0;
+    uint64_t next_index = 0;
+    size_t inflight_batches = 0;
+    uint64_t inflight_bytes = 0;
+    size_t effective_window = 0;
+    uint64_t srtt_micros = 0;
+    bool stalled = false;
+    uint64_t lease_expiry_micros = 0;
+    uint64_t last_response_micros = 0;
+  };
+  struct DebugStatusSnapshot {
+    MemberId self;
+    RegionId region;
+    uint64_t term = 0;
+    RaftRole role = RaftRole::kFollower;
+    MemberId leader;
+    OpId commit_marker;
+    OpId last_logged;
+    uint64_t last_synced_index = 0;
+    bool lease_enabled = false;
+    bool lease_valid = false;
+    uint64_t lease_serve_after_micros = 0;
+    uint64_t vote_embargo_until_micros = 0;
+    size_t pending_reads = 0;
+    uint64_t read_barrier_index = 0;
+    bool has_pending_config_change = false;
+    std::string quorum;  // QuorumEngine::Describe()
+    int num_voters = 0;
+    std::vector<PeerDebugStatus> peers;  // replication state, leaders only
+
+    std::string ToJson() const;
+  };
+
   RaftConsensus(RaftOptions options, LogAbstraction* log,
                 const QuorumEngine* quorum, ConsensusMetadataStore* meta_store,
                 Clock* clock, Random* rng, RaftOutbox* outbox,
@@ -421,6 +460,9 @@ class RaftConsensus {
 
   /// One-line human-readable state for tools.
   std::string ToString() const;
+
+  /// Full structured state dump (see DebugStatusSnapshot).
+  DebugStatusSnapshot DebugStatus() const;
 
  private:
   struct ElectionState {

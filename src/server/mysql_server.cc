@@ -368,14 +368,18 @@ void MySqlServer::OnConsensusCommitAdvanced(OpId marker) {
       // breakdown and the peer whose ack finally completed the quorum.
       const MemberId& straggler =
           plugin_->consensus()->last_commit_completer();
-      MYRAFT_LOG(Warning)
-          << options_.id << ": slow-txn gtid=" << pending.gtid.ToString()
-          << " opid=" << pending.opid.ToString()
-          << " total_us=" << total_micros << " flush_us="
-          << (pending.flushed_micros - pending.submitted_micros)
-          << " wait_us=" << (commit_start - pending.flushed_micros)
-          << " commit_us=" << (commit_end - commit_start)
-          << " straggler=" << (straggler.empty() ? "self" : straggler.c_str());
+      const std::string summary = StringPrintf(
+          "%s: slow-txn gtid=%s opid=%s total_us=%llu flush_us=%llu "
+          "wait_us=%llu commit_us=%llu straggler=%s",
+          options_.id.c_str(), pending.gtid.ToString().c_str(),
+          pending.opid.ToString().c_str(), (unsigned long long)total_micros,
+          (unsigned long long)(pending.flushed_micros -
+                               pending.submitted_micros),
+          (unsigned long long)(commit_start - pending.flushed_micros),
+          (unsigned long long)(commit_end - commit_start),
+          straggler.empty() ? "self" : straggler.c_str());
+      MYRAFT_LOG(Warning) << summary;
+      if (options_.slow_txn_hook) options_.slow_txn_hook(summary);
     }
     pending.done(WriteResult{Status::OK(), pending.gtid, pending.opid});
   }
@@ -917,6 +921,40 @@ MySqlServer::Stats MySqlServer::stats() const {
   s.reads_served = m_.reads_served->value();
   s.reads_gated = m_.reads_gated->value();
   return s;
+}
+
+MySqlServer::DebugStatusSnapshot MySqlServer::DebugStatus() const {
+  DebugStatusSnapshot s;
+  s.raft = plugin_->consensus()->DebugStatus();
+  s.writes_enabled = writes_enabled_;
+  s.db_role = db_role();
+  s.applied_index = AppliedIndex();
+  s.next_apply_index = next_apply_index_;
+  s.apply_window = apply_window_.size();
+  s.pending_commits = pending_.size();
+  s.parked_reads = parked_reads_.size();
+  s.primary_applied_floor = primary_applied_floor_;
+  s.executed_gtid_set = engine_ != nullptr
+                            ? engine_->ExecutedGtids().ToString()
+                            : binlog_->gtids_in_log().ToString();
+  return s;
+}
+
+std::string MySqlServer::DebugStatusSnapshot::ToJson() const {
+  std::string out = "{\"raft\":";
+  out.append(raft.ToJson());
+  out.append(StringPrintf(
+      ",\"writes_enabled\":%s,\"db_role\":\"%s\",\"applied_index\":%llu,"
+      "\"next_apply_index\":%llu,\"apply_window\":%llu,"
+      "\"pending_commits\":%llu,\"parked_reads\":%llu,"
+      "\"primary_applied_floor\":%llu,\"executed_gtids\":\"%s\"}",
+      writes_enabled ? "true" : "false",
+      std::string(DbRoleToString(db_role)).c_str(),
+      (unsigned long long)applied_index, (unsigned long long)next_apply_index,
+      (unsigned long long)apply_window, (unsigned long long)pending_commits,
+      (unsigned long long)parked_reads,
+      (unsigned long long)primary_applied_floor, executed_gtid_set.c_str()));
+  return out;
 }
 
 }  // namespace myraft::server

@@ -77,6 +77,9 @@ struct MySqlServerOptions {
   /// engine commit) exceeds this, emit a structured one-line summary with
   /// per-stage micros and the quorum-ack straggler. 0 disables.
   uint64_t slow_txn_threshold_micros = 0;
+  /// Fired (when set) with that same summary line on every breach — how
+  /// the flight recorder's slow-transaction trigger taps in (§14).
+  std::function<void(const std::string&)> slow_txn_hook;
 };
 
 struct WriteResult {
@@ -153,6 +156,25 @@ class MySqlServer final : public plugin::ServerHooks {
     uint64_t engine_checkpoints = 0;
     uint64_t reads_served = 0;
     uint64_t reads_gated = 0;
+  };
+
+  /// Structured state dump (DESIGN.md §14): the consensus DebugStatus
+  /// plus the server-side pipeline — the `SHOW RAFT STATUS` analogue a
+  /// DBA would read. Serialised into flight-recorder bundles and
+  /// `bench_chaos --raftstat`.
+  struct DebugStatusSnapshot {
+    raft::RaftConsensus::DebugStatusSnapshot raft;
+    bool writes_enabled = false;
+    DbRole db_role = DbRole::kReplica;
+    uint64_t applied_index = 0;
+    uint64_t next_apply_index = 0;
+    size_t apply_window = 0;    // admitted, not yet retired
+    size_t pending_commits = 0; // stage-2 consensus wait
+    size_t parked_reads = 0;    // gated on the apply cursor
+    uint64_t primary_applied_floor = 0;
+    std::string executed_gtid_set;
+
+    std::string ToJson() const;
   };
 
   /// Opens (or recovers) all storage and wires the plugin. Call
@@ -260,6 +282,8 @@ class MySqlServer final : public plugin::ServerHooks {
   }
   /// Snapshot for the chaos invariant checker.
   InvariantSnapshot CaptureInvariantSnapshot() const;
+  /// Full structured state dump (see DebugStatusSnapshot).
+  DebugStatusSnapshot DebugStatus() const;
   /// Observer for role changes (instrumentation for downtime probes).
   void set_role_change_callback(std::function<void(DbRole)> cb) {
     role_change_cb_ = std::move(cb);

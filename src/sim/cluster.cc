@@ -59,6 +59,11 @@ Status ClusterHarness::Bootstrap() {
         options_.applier_txn_cost_micros;
     node_options.server.slow_txn_threshold_micros =
         options_.slow_txn_threshold_micros;
+    // Trigger routing only; TriggerFlightRecorder is a no-op until the
+    // obs plane comes up at the end of Bootstrap.
+    node_options.server.slow_txn_hook = [this](const std::string& summary) {
+      TriggerFlightRecorder(obs::TriggerKind::kSlowTransaction, summary);
+    };
     node_options.proxy = options_.proxy;
     node_options.proxy_enabled = options_.proxy_enabled;
     node_options.trace_capacity = options_.trace_capacity;
@@ -88,6 +93,7 @@ Status ClusterHarness::Bootstrap() {
     MYRAFT_RETURN_NOT_OK_PREPEND(node->Bootstrap(config_),
                                  "bootstrapping " + id);
   }
+  if (options_.obs_sample_interval_micros > 0) StartObservability();
   return Status::OK();
 }
 
@@ -548,6 +554,161 @@ std::string ClusterHarness::MetricsSnapshotText() const {
     out += '\n';
   }
   return out;
+}
+
+// --- Observability plane (DESIGN.md §14) -----------------------------------------
+
+void ClusterHarness::StartObservability() {
+  obs::TimeSeriesOptions sampler_options;
+  sampler_options.clock = loop_.clock();
+  sampler_options.interval_micros = options_.obs_sample_interval_micros;
+  sampler_options.capacity = options_.obs_window_capacity;
+  sampler_ = std::make_unique<obs::TimeSeriesSampler>(sampler_options);
+  // Registries live on the SimNode (outside the server process object),
+  // so crash/restart cycles never invalidate a source.
+  for (const auto& [id, node] : nodes_) {
+    sampler_->AddSource(id, node->metrics());
+  }
+  sampler_->AddSource("network", &net_metrics_);
+  sampler_->AddSource("obs", &obs_metrics_);
+
+  obs::HealthOptions health_options = options_.health;
+  health_options.clock = loop_.clock();
+  health_ = std::make_unique<obs::HealthMonitor>(health_options);
+  health_->SetTransitionCallback([this](bool healthy, uint64_t ts_micros) {
+    if (!healthy) {
+      TriggerFlightRecorder(
+          obs::TriggerKind::kHealthTransition,
+          StringPrintf("cluster unhealthy at t=%lluus",
+                       (unsigned long long)ts_micros));
+    }
+  });
+
+  obs::FlightRecorderOptions recorder_options;
+  recorder_options.clock = loop_.clock();
+  recorder_options.cooldown_micros = options_.obs_trigger_cooldown_micros;
+  recorder_options.metrics = &obs_metrics_;
+  flight_recorder_ = std::make_unique<obs::FlightRecorder>(recorder_options);
+  flight_recorder_->SetRaftstatProvider([this] { return RaftstatJson(); });
+  flight_recorder_->SetTraceTailProvider([this] {
+    return trace::ExportJsonArrayTail(TraceJournals(),
+                                      options_.obs_trace_tail_records);
+  });
+  flight_recorder_->SetMetricsSeriesProvider(
+      [this] { return sampler_->SeriesJson(); });
+
+  // Self-rescheduling sampling tick; lives as long as the loop (which the
+  // harness owns), so capturing `this` is safe.
+  loop_.Schedule(options_.obs_sample_interval_micros,
+                 [this] { ObservabilityTick(); });
+}
+
+void ClusterHarness::ObservabilityTick() {
+  sampler_->Sample();
+
+  std::vector<obs::HealthInputs> inputs;
+  inputs.reserve(nodes_.size());
+  for (const auto& [id, node] : nodes_) {
+    obs::HealthInputs in;
+    in.node = id;
+    in.up = node->up();
+    if (in.up) {
+      const server::MySqlServer* server = node->server();
+      const raft::RaftConsensus* consensus = server->consensus();
+      in.is_leader = consensus->role() == RaftRole::kLeader;
+      in.writes_enabled = server->writes_enabled();
+      in.lease_enabled = options_.raft.enable_leader_leases;
+      in.lease_valid = consensus->HasValidLease();
+      const uint64_t commit = consensus->commit_marker().index;
+      const uint64_t applied = server->AppliedIndex();
+      in.replication_lag_entries = commit > applied ? commit - applied : 0;
+      if (const metrics::MetricSnapshot* window = sampler_->LastWindow(id)) {
+        auto counter = [window](const char* name) -> uint64_t {
+          auto it = window->counters.find(name);
+          return it == window->counters.end() ? 0 : it->second;
+        };
+        in.pipeline_stalls_delta = counter("raft.pipeline_stalls");
+        in.elections_started_delta = counter("raft.elections_started");
+        in.lease_renewals_delta = counter("raft.lease_renewals");
+        auto hist = window->histograms.find("server.commit_stage_flush_us");
+        if (hist != window->histograms.end() && hist->second.count() > 0) {
+          in.fsync_p99_micros = hist->second.Percentile(99);
+        }
+      }
+    }
+    inputs.push_back(std::move(in));
+  }
+  health_->Observe(inputs);
+
+  loop_.Schedule(options_.obs_sample_interval_micros,
+                 [this] { ObservabilityTick(); });
+}
+
+std::string ClusterHarness::RaftstatJson() {
+  std::string out = StringPrintf("{\"ts_us\":%llu,\"nodes\":{",
+                                 (unsigned long long)loop_.now());
+  bool first = true;
+  for (const auto& [id, node] : nodes_) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append(StringPrintf("\"%s\":", id.c_str()));
+    if (!node->up()) {
+      out.append("{\"up\":false}");
+      continue;
+    }
+    out.append("{\"up\":true,\"server\":");
+    out.append(node->server()->DebugStatus().ToJson());
+    out.append(",\"proxy\":");
+    out.append(node->router() != nullptr ? node->router()->DebugStatusJson()
+                                         : "null");
+    out.push_back('}');
+  }
+  out.append("}}");
+  return out;
+}
+
+std::string ClusterHarness::RaftstatText() {
+  std::string out =
+      StringPrintf("raftstat @ t=%lluus\n", (unsigned long long)loop_.now());
+  for (const auto& [id, node] : nodes_) {
+    if (!node->up()) {
+      out.append(StringPrintf("%s: down\n", id.c_str()));
+      continue;
+    }
+    const auto s = node->server()->DebugStatus();
+    out.append(StringPrintf(
+        "%s: term=%llu role=%s leader=%s commit=%llu.%llu synced=%llu "
+        "applied=%llu writes=%s lease=%s pending=%llu parked_reads=%llu\n",
+        id.c_str(), (unsigned long long)s.raft.term,
+        std::string(RaftRoleToString(s.raft.role)).c_str(),
+        s.raft.leader.empty() ? "?" : s.raft.leader.c_str(),
+        (unsigned long long)s.raft.commit_marker.term,
+        (unsigned long long)s.raft.commit_marker.index,
+        (unsigned long long)s.raft.last_synced_index,
+        (unsigned long long)s.applied_index, s.writes_enabled ? "on" : "off",
+        !s.raft.lease_enabled ? "off" : (s.raft.lease_valid ? "valid"
+                                                            : "invalid"),
+        (unsigned long long)s.pending_commits,
+        (unsigned long long)s.parked_reads));
+    for (const auto& p : s.raft.peers) {
+      out.append(StringPrintf(
+          "  peer %s: match=%llu next=%llu inflight=%llu/%lluB window=%llu "
+          "srtt=%lluus%s\n",
+          p.id.c_str(), (unsigned long long)p.match_index,
+          (unsigned long long)p.next_index,
+          (unsigned long long)p.inflight_batches,
+          (unsigned long long)p.inflight_bytes,
+          (unsigned long long)p.effective_window,
+          (unsigned long long)p.srtt_micros, p.stalled ? " STALLED" : ""));
+    }
+  }
+  return out;
+}
+
+bool ClusterHarness::TriggerFlightRecorder(obs::TriggerKind kind,
+                                           const std::string& detail) {
+  if (flight_recorder_ == nullptr) return false;
+  return flight_recorder_->Trigger(kind, detail);
 }
 
 }  // namespace myraft::sim

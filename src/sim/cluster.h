@@ -15,6 +15,9 @@
 #include <vector>
 
 #include "binlog/gtid.h"
+#include "obs/flight_recorder.h"
+#include "obs/health.h"
+#include "obs/time_series.h"
 #include "sim/downtime_probe.h"
 #include "sim/node.h"
 
@@ -43,6 +46,22 @@ struct ClusterOptions {
   size_t trace_capacity = 65'536;
   /// Forwarded to every member: slow-transaction log threshold (0 = off).
   uint64_t slow_txn_threshold_micros = 0;
+
+  /// Observability plane (DESIGN.md §14). A nonzero sampling interval
+  /// enables the whole plane: a TimeSeriesSampler tick over every node
+  /// registry (plus "network"), a HealthMonitor fed from the same tick,
+  /// and a FlightRecorder wired to the trigger matrix (invariant
+  /// violations and crash injections fire from the chaos runner;
+  /// slow-transaction breaches and health transitions fire from here).
+  uint64_t obs_sample_interval_micros = 0;
+  /// Sampler ring capacity, in windows.
+  size_t obs_window_capacity = 256;
+  /// Merged-trace records embedded in a bundle's trace_tail section.
+  size_t obs_trace_tail_records = 256;
+  /// Per-kind flight-recorder trigger cooldown.
+  uint64_t obs_trigger_cooldown_micros = 50'000;
+  /// Health-monitor thresholds (sampler-cadence rolling windows).
+  obs::HealthOptions health;
 
   // Modelled client-path constants (see EXPERIMENTS.md, "calibration"):
   /// One-way client <-> primary latency.
@@ -231,7 +250,30 @@ class ClusterHarness {
   /// "network"); also reachable via NetworkOptions::metrics override.
   metrics::MetricRegistry* net_metrics() { return &net_metrics_; }
 
+  // --- Observability plane (DESIGN.md §14) -------------------------------------
+
+  /// Non-null only when `obs_sample_interval_micros` > 0 at Bootstrap.
+  obs::TimeSeriesSampler* sampler() { return sampler_.get(); }
+  obs::HealthMonitor* health() { return health_.get(); }
+  obs::FlightRecorder* flight_recorder() { return flight_recorder_.get(); }
+  bool observability_enabled() const { return sampler_ != nullptr; }
+
+  /// Cluster-wide structured status — the `SHOW RAFT STATUS` analogue:
+  /// {"ts_us":..,"nodes":{"<id>":{"up":true,"server":{..},"proxy":{..}}
+  /// | {"up":false}, ...}}. Works with or without the obs plane.
+  std::string RaftstatJson();
+  /// Human-readable rendering of the same state, one block per node
+  /// (`bench_chaos --raftstat`).
+  std::string RaftstatText();
+
+  /// Captures a flight-recorder bundle now (no-op returning false when
+  /// the plane is off or the trigger is in cooldown). The chaos runner
+  /// calls this on invariant violations and crash injections.
+  bool TriggerFlightRecorder(obs::TriggerKind kind, const std::string& detail);
+
  private:
+  void StartObservability();
+  void ObservabilityTick();
   ClusterOptions options_;
   const raft::QuorumEngine* quorum_;
   EventLoop loop_;
@@ -242,6 +284,13 @@ class ClusterHarness {
   MembershipConfig config_;
   std::map<MemberId, std::unique_ptr<SimNode>> nodes_;
   uint64_t client_seq_ = 0;
+
+  // Observability plane; all null when disabled. obs_metrics_ hosts the
+  // recorder's own obs.* counters and is sampled under source "obs".
+  metrics::MetricRegistry obs_metrics_;
+  std::unique_ptr<obs::TimeSeriesSampler> sampler_;
+  std::unique_ptr<obs::HealthMonitor> health_;
+  std::unique_ptr<obs::FlightRecorder> flight_recorder_;
 };
 
 }  // namespace myraft::sim

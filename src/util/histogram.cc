@@ -46,6 +46,36 @@ void Histogram::Merge(const Histogram& other) {
   for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
 }
 
+Histogram Histogram::Delta(const Histogram& earlier) const {
+  Histogram delta;
+  // A snapshot pair of the same accumulating histogram is always ordered;
+  // clamp anyway so a misuse degrades to an empty window, not underflow.
+  delta.count_ = count_ >= earlier.count_ ? count_ - earlier.count_ : 0;
+  delta.sum_ = sum_ >= earlier.sum_ ? sum_ - earlier.sum_ : 0;
+  delta.sum_squares_ = sum_squares_ >= earlier.sum_squares_
+                           ? sum_squares_ - earlier.sum_squares_
+                           : 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const uint64_t n = buckets_[i] >= earlier.buckets_[i]
+                           ? buckets_[i] - earlier.buckets_[i]
+                           : 0;
+    delta.buckets_[i] = n;
+    if (n > 0) {
+      delta.min_ = std::min(delta.min_, BucketLowerBound(i));
+      delta.max_ = std::max(
+          delta.max_,
+          i + 1 < kNumBuckets ? BucketLowerBound(i + 1) - 1 : BucketLowerBound(i));
+    }
+  }
+  // The accumulated extremes are exact when they fall inside the window's
+  // populated range (the common case: the window saw the overall max).
+  if (delta.count_ > 0) {
+    if (min_ >= delta.min_) delta.min_ = std::max(delta.min_, min_);
+    delta.max_ = std::min(delta.max_, max_);
+  }
+  return delta;
+}
+
 void Histogram::Clear() {
   count_ = 0;
   min_ = UINT64_MAX;
@@ -74,10 +104,15 @@ double Histogram::Percentile(double p) const {
     if (buckets_[i] == 0) continue;
     cumulative += buckets_[i];
     if (static_cast<double>(cumulative) >= threshold) {
-      // Interpolate within the bucket.
+      // Interpolate within the bucket, up to its *inclusive* upper value:
+      // interpolating to the next bucket's lower bound used to fabricate
+      // values no sample in this bucket can equal (p50 of {10, 20} came
+      // out as 11 — the exclusive edge of 10's width-1 bucket). With the
+      // inclusive edge, first-octave (width-1) buckets are exact and
+      // wider buckets never overshoot into the neighbour.
       const uint64_t lo = BucketLowerBound(i);
       const uint64_t hi =
-          (i + 1 < kNumBuckets) ? BucketLowerBound(i + 1) : lo + 1;
+          (i + 1 < kNumBuckets) ? BucketLowerBound(i + 1) - 1 : lo;
       const double excess =
           static_cast<double>(cumulative) - threshold;
       const double frac =

@@ -20,6 +20,13 @@ class Histogram {
 
   void Add(uint64_t value);
   void Merge(const Histogram& other);
+  /// Windowed delta: the distribution of samples added to this histogram
+  /// since `earlier` was captured (bucket-wise subtraction; `earlier` must
+  /// be a previous snapshot of the same accumulating histogram). Exact
+  /// min/max of a window cannot be reconstructed from buckets, so the
+  /// delta's min/max are the bounds of its populated buckets. Feeds the
+  /// observability plane's per-window latency series (DESIGN.md §14).
+  Histogram Delta(const Histogram& earlier) const;
   void Clear();
 
   uint64_t count() const { return count_; }

@@ -31,6 +31,57 @@ std::string HistogramJson(const Histogram& h) {
 
 }  // namespace
 
+MetricSnapshot MetricSnapshot::DeltaSince(const MetricSnapshot& earlier) const {
+  MetricSnapshot delta;
+  for (const auto& [name, value] : counters) {
+    auto it = earlier.counters.find(name);
+    const uint64_t base = it == earlier.counters.end() ? 0 : it->second;
+    // Counters are monotone; clamp anyway so mismatched snapshots degrade
+    // to an empty window instead of wrapping.
+    delta.counters[name] = value >= base ? value - base : 0;
+  }
+  delta.gauges = gauges;  // instantaneous levels, not rates
+  for (const auto& [name, hist] : histograms) {
+    auto it = earlier.histograms.find(name);
+    delta.histograms[name] =
+        it == earlier.histograms.end() ? hist : hist.Delta(it->second);
+  }
+  return delta;
+}
+
+void MetricSnapshot::MergeFrom(const MetricSnapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, value] : other.gauges) gauges[name] += value;
+  for (const auto& [name, hist] : other.histograms) {
+    histograms[name].Merge(hist);
+  }
+}
+
+std::string MetricSnapshot::ToJson() const {
+  std::map<std::string, std::string> fields;
+  for (const auto& [name, value] : counters) {
+    fields[name] = StringPrintf("%llu", (unsigned long long)value);
+  }
+  for (const auto& [name, value] : gauges) {
+    fields[name] = StringPrintf("%lld", (long long)value);
+  }
+  for (const auto& [name, hist] : histograms) {
+    fields[name] = HistogramJson(hist);
+  }
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : fields) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":";
+    out += value;
+  }
+  out += '}';
+  return out;
+}
+
 Counter* MetricRegistry::GetCounter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   MYRAFT_CHECK(gauges_.count(name) == 0 && histograms_.count(name) == 0);
@@ -88,6 +139,17 @@ std::vector<std::string> MetricRegistry::Names() const {
   for (const auto& [name, _] : histograms_) names.push_back(name);
   std::sort(names.begin(), names.end());
   return names;
+}
+
+MetricSnapshot MetricRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] = h->snapshot();
+  }
+  return snap;
 }
 
 std::string MetricRegistry::ToText() const {

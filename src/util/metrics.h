@@ -66,6 +66,29 @@ class HistogramMetric {
   Histogram histogram_;
 };
 
+/// Point-in-time copy of a registry's contents, detached from the live
+/// atomics. The observability plane (DESIGN.md §14) diffs consecutive
+/// snapshots into windowed rates and merges per-node snapshots into
+/// cluster roll-ups.
+struct MetricSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, Histogram> histograms;
+
+  /// Windowed view: counters and histograms become the delta accumulated
+  /// since `earlier` (both must be snapshots of the same registry);
+  /// gauges keep their current level — a gauge is already instantaneous.
+  MetricSnapshot DeltaSince(const MetricSnapshot& earlier) const;
+  /// Cluster roll-up: sums counters and gauges, merges histograms.
+  void MergeFrom(const MetricSnapshot& other);
+  /// Same shape as MetricRegistry::ToJson.
+  std::string ToJson() const;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
 /// Find-or-create registry of named metrics. Returned pointers are stable
 /// for the registry's lifetime, so components resolve them once at
 /// construction and bump them lock-free afterwards. Re-resolving an
@@ -85,6 +108,9 @@ class MetricRegistry {
   size_t MetricCount() const;
   /// All registered names, sorted.
   std::vector<std::string> Names() const;
+
+  /// Detached point-in-time copy of every metric (see MetricSnapshot).
+  MetricSnapshot Snapshot() const;
 
   /// One "name kind value" line per metric, sorted by name.
   std::string ToText() const;

@@ -43,6 +43,35 @@ const char* KindTag(RecordKind kind) {
   return "?";
 }
 
+// One merged-timeline record as a compact JSON object — the shared shape
+// behind ExportJsonl (newline-delimited) and ExportJsonArrayTail
+// (comma-joined array for flight-recorder bundles).
+void AppendRecordJson(const std::string& node, const TraceRecord& r,
+                      std::string* out) {
+  out->append(StringPrintf("{\"node\":%s,\"seq\":%llu,\"ts\":%llu,\"ph\":\"%s\"",
+                           JsonString(node).c_str(),
+                           (unsigned long long)r.seq,
+                           (unsigned long long)r.ts_micros, KindTag(r.kind)));
+  if (!r.category.empty()) {
+    out->append(",\"cat\":" + JsonString(r.category));
+  }
+  if (!r.name.empty()) out->append(",\"name\":" + JsonString(r.name));
+  if (r.trace_id != 0) {
+    out->append(StringPrintf(",\"trace\":%llu",
+                             (unsigned long long)r.trace_id));
+  }
+  if (r.span_id != 0) {
+    out->append(StringPrintf(",\"span\":%llu",
+                             (unsigned long long)r.span_id));
+  }
+  if (r.parent_span_id != 0) {
+    out->append(StringPrintf(",\"parent\":%llu",
+                             (unsigned long long)r.parent_span_id));
+  }
+  if (!r.args.empty()) out->append(",\"args\":" + JsonString(r.args));
+  out->push_back('}');
+}
+
 }  // namespace
 
 Tracer::Tracer(TracerOptions options) : options_(std::move(options)) {
@@ -131,29 +160,23 @@ std::vector<std::pair<std::string, TraceRecord>> MergeJournals(
 std::string ExportJsonl(const std::vector<JournalView>& journals) {
   std::string out;
   for (const auto& [node, r] : MergeJournals(journals)) {
-    out.append(StringPrintf("{\"node\":%s,\"seq\":%llu,\"ts\":%llu,\"ph\":\"%s\"",
-                            JsonString(node).c_str(),
-                            (unsigned long long)r.seq,
-                            (unsigned long long)r.ts_micros, KindTag(r.kind)));
-    if (!r.category.empty()) {
-      out.append(",\"cat\":" + JsonString(r.category));
-    }
-    if (!r.name.empty()) out.append(",\"name\":" + JsonString(r.name));
-    if (r.trace_id != 0) {
-      out.append(StringPrintf(",\"trace\":%llu",
-                              (unsigned long long)r.trace_id));
-    }
-    if (r.span_id != 0) {
-      out.append(StringPrintf(",\"span\":%llu",
-                              (unsigned long long)r.span_id));
-    }
-    if (r.parent_span_id != 0) {
-      out.append(StringPrintf(",\"parent\":%llu",
-                              (unsigned long long)r.parent_span_id));
-    }
-    if (!r.args.empty()) out.append(",\"args\":" + JsonString(r.args));
-    out.append("}\n");
+    AppendRecordJson(node, r, &out);
+    out.push_back('\n');
   }
+  return out;
+}
+
+std::string ExportJsonArrayTail(const std::vector<JournalView>& journals,
+                                size_t max_records) {
+  const auto merged = MergeJournals(journals);
+  const size_t start =
+      merged.size() > max_records ? merged.size() - max_records : 0;
+  std::string out = "[";
+  for (size_t i = start; i < merged.size(); ++i) {
+    if (i != start) out.push_back(',');
+    AppendRecordJson(merged[i].first, merged[i].second, &out);
+  }
+  out.push_back(']');
   return out;
 }
 

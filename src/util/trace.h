@@ -127,6 +127,12 @@ std::vector<std::pair<std::string, TraceRecord>> MergeJournals(
 /// Deterministic bytes for same-seed runs.
 std::string ExportJsonl(const std::vector<JournalView>& journals);
 
+/// The newest `max_records` of the merged timeline as a JSON array (same
+/// per-record shape as ExportJsonl). The flight recorder (DESIGN.md §14)
+/// embeds this as a bundle's black-box trace tail.
+std::string ExportJsonArrayTail(const std::vector<JournalView>& journals,
+                                size_t max_records);
+
 /// Chrome trace-event JSON ({"traceEvents": [...]}): "X" complete events
 /// for matched spans, "i" instants, "M" metadata naming one process per
 /// node and one thread per category. Loadable in Perfetto / chrome://tracing.

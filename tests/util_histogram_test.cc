@@ -141,5 +141,42 @@ TEST(HistogramMergeTest, ClearThenReuse) {
   EXPECT_DOUBLE_EQ(h.Percentile(100), 42.0);
 }
 
+TEST(HistogramDeltaTest, DeltaIsTheWindowBetweenSnapshots) {
+  // The sampler's windowing primitive: later.Delta(earlier) holds exactly
+  // the samples recorded between the two snapshots.
+  Histogram earlier;
+  for (int i = 0; i < 100; ++i) earlier.Add(1'000);
+  Histogram later = earlier;
+  for (int i = 0; i < 50; ++i) later.Add(9'000);
+
+  const Histogram window = later.Delta(earlier);
+  EXPECT_EQ(window.count(), 50u);
+  // Every window sample was 9000: the whole percentile range reads from
+  // that one bucket, not from the 1000us samples that predate the window.
+  EXPECT_GE(window.Percentile(1), 9'000.0 * 0.9);
+  EXPECT_LE(window.Percentile(99), 9'000.0 * 1.1);
+
+  // Delta against an identical snapshot is empty.
+  const Histogram empty = later.Delta(later);
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_DOUBLE_EQ(empty.Percentile(50), 0.0);
+}
+
+TEST(HistogramDeltaTest, DeltaThenMergeRoundTrips) {
+  Histogram earlier;
+  Random rng(31);
+  for (int i = 0; i < 5'000; ++i) earlier.Add(1 + rng.Uniform(100'000));
+  Histogram later = earlier;
+  for (int i = 0; i < 5'000; ++i) later.Add(1 + rng.Uniform(100'000));
+
+  // earlier + (later - earlier) == later, bucket for bucket.
+  Histogram rebuilt = earlier;
+  rebuilt.Merge(later.Delta(earlier));
+  EXPECT_EQ(rebuilt.count(), later.count());
+  for (double p : {1.0, 50.0, 99.0, 99.9}) {
+    EXPECT_DOUBLE_EQ(rebuilt.Percentile(p), later.Percentile(p)) << "p" << p;
+  }
+}
+
 }  // namespace
 }  // namespace myraft

@@ -96,5 +96,68 @@ TEST(MetricRegistryTest, EmptyRegistrySerialises) {
   EXPECT_EQ(registry.ToText(), "");
 }
 
+TEST(MetricSnapshotTest, SnapshotIsDetachedFromLiveMetrics) {
+  MetricRegistry registry;
+  Counter* c = registry.GetCounter("raft.entries_appended");
+  Gauge* g = registry.GetGauge("server.applier_lag_entries");
+  HistogramMetric* h = registry.GetHistogram("server.commit_latency_us");
+  c->Increment(10);
+  g->Set(3);
+  h->Record(500);
+
+  const MetricSnapshot snap = registry.Snapshot();
+  c->Increment(90);  // must not show up in the detached copy
+  g->Set(-1);
+  h->Record(9'999);
+  EXPECT_EQ(snap.counters.at("raft.entries_appended"), 10u);
+  EXPECT_EQ(snap.gauges.at("server.applier_lag_entries"), 3);
+  EXPECT_EQ(snap.histograms.at("server.commit_latency_us").count(), 1u);
+  EXPECT_NE(snap.ToJson().find("\"raft.entries_appended\":10"),
+            std::string::npos);
+}
+
+TEST(MetricSnapshotTest, DeltaSinceWindowsCountersAndKeepsGaugeLevels) {
+  MetricRegistry registry;
+  Counter* c = registry.GetCounter("raft.heartbeats_sent");
+  Gauge* g = registry.GetGauge("log_cache.compressed_bytes");
+  HistogramMetric* h = registry.GetHistogram("raft.append_batch_entries");
+  c->Increment(4);
+  g->Set(100);
+  h->Record(8);
+  const MetricSnapshot earlier = registry.Snapshot();
+
+  c->Increment(6);
+  g->Set(250);
+  h->Record(16);
+  h->Record(32);
+  const MetricSnapshot window = registry.Snapshot().DeltaSince(earlier);
+  // Counters and histograms carry only the between-snapshot activity;
+  // gauges keep their instantaneous level.
+  EXPECT_EQ(window.counters.at("raft.heartbeats_sent"), 6u);
+  EXPECT_EQ(window.gauges.at("log_cache.compressed_bytes"), 250);
+  EXPECT_EQ(window.histograms.at("raft.append_batch_entries").count(), 2u);
+  EXPECT_EQ(window.histograms.at("raft.append_batch_entries").min(), 16u);
+}
+
+TEST(MetricSnapshotTest, MergeFromRollsUpAcrossNodes) {
+  MetricRegistry node_a;
+  MetricRegistry node_b;
+  node_a.GetCounter("server.txns_applied")->Increment(30);
+  node_b.GetCounter("server.txns_applied")->Increment(12);
+  node_a.GetGauge("server.applier_lag_entries")->Set(5);
+  node_b.GetGauge("server.applier_lag_entries")->Set(7);
+  node_a.GetHistogram("server.apply_txn_us")->Record(100);
+  node_b.GetHistogram("server.apply_txn_us")->Record(300);
+  node_b.GetCounter("server.reads_served")->Increment(2);  // b-only metric
+
+  MetricSnapshot rollup = node_a.Snapshot();
+  rollup.MergeFrom(node_b.Snapshot());
+  EXPECT_EQ(rollup.counters.at("server.txns_applied"), 42u);
+  EXPECT_EQ(rollup.gauges.at("server.applier_lag_entries"), 12);
+  EXPECT_EQ(rollup.histograms.at("server.apply_txn_us").count(), 2u);
+  EXPECT_EQ(rollup.histograms.at("server.apply_txn_us").max(), 300u);
+  EXPECT_EQ(rollup.counters.at("server.reads_served"), 2u);
+}
+
 }  // namespace
 }  // namespace myraft::metrics
