@@ -9,6 +9,7 @@
 //   bench_chaos ... --out=fail.chaos --trace-out=fail.jsonl
 //   bench_chaos ... --bundle-out=fail.json   flight-recorder bundle on failure
 //   bench_chaos ... --raftstat               cluster DebugStatus at exit
+//   bench_chaos --seed=1 --corpus=25 --reconfig   membership-churn corpus
 //
 // Determinism contract: identical seeds produce byte-identical schedule
 // text and checker reports across runs (asserted by chaos_test and the
@@ -49,6 +50,10 @@ struct ChaosArgs {
   /// --raftstat: print cluster-wide DebugStatus after every failing run
   /// and at exit for the last run.
   bool raftstat = false;
+  /// --reconfig: logless reconfiguration mode — enables the membership
+  /// nemesis in generated schedules and enable_logless_reconfig on the
+  /// cluster, so the Config Safety invariant gets real work.
+  bool reconfig = false;
 };
 
 bool ParseChaosArgs(int argc, char** argv, ChaosArgs* args) {
@@ -80,6 +85,8 @@ bool ParseChaosArgs(int argc, char** argv, ChaosArgs* args) {
       args->bundle_out = argv[i] + 13;
     } else if (strcmp(argv[i], "--raftstat") == 0) {
       args->raftstat = true;
+    } else if (strcmp(argv[i], "--reconfig") == 0) {
+      args->reconfig = true;
     } else {
       fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return false;
@@ -88,17 +95,19 @@ bool ParseChaosArgs(int argc, char** argv, ChaosArgs* args) {
   return true;
 }
 
-chaos::ChaosOptions RunnerOptions() {
+chaos::ChaosOptions RunnerOptions(bool reconfig) {
   chaos::ChaosOptions options;
   options.cluster.db_regions = 3;
   options.cluster.logtailers_per_db = 2;
   options.cluster.learners = 1;
+  options.cluster.raft.enable_logless_reconfig = reconfig;
   return options;
 }
 
 int RunChaos(const ChaosArgs& args) {
-  const chaos::ChaosOptions runner_options = RunnerOptions();
+  const chaos::ChaosOptions runner_options = RunnerOptions(args.reconfig);
   chaos::NemesisOptions nemesis_options;
+  nemesis_options.reconfig_faults = args.reconfig;
   nemesis_options.duration_micros = args.duration_ms * 1'000;
   nemesis_options.quiesce_interval_micros = args.quiesce_ms * 1'000;
   if (args.quick) {

@@ -102,9 +102,91 @@ void InvariantChecker::ObserveRoles(sim::ClusterHarness& cluster) {
   }
 }
 
+void InvariantChecker::ObserveConfigs(sim::ClusterHarness& cluster) {
+  // Whether majorities of two voter sets can be picked disjoint: route as
+  // many of V1's majority outside V2 as possible; whatever overlap is
+  // forced shrinks the pool V2's majority may draw from.
+  auto disjoint_majorities_possible = [](const std::set<MemberId>& v1,
+                                         const std::set<MemberId>& v2) {
+    if (v1.empty() || v2.empty()) return false;
+    const int m1 = static_cast<int>(v1.size()) / 2 + 1;
+    const int m2 = static_cast<int>(v2.size()) / 2 + 1;
+    int outside = 0;
+    for (const MemberId& m : v1) {
+      if (v2.count(m) == 0) ++outside;
+    }
+    const int forced_overlap = std::max(0, m1 - outside);
+    return m2 <= static_cast<int>(v2.size()) - forced_overlap;
+  };
+
+  for (const MemberId& id : cluster.ids()) {
+    sim::SimNode* node = cluster.node(id);
+    if (!node->up()) continue;
+    const MembershipConfig& committed =
+        node->server()->consensus()->committed_config();
+    // Legacy rings never version their configs; nothing to audit.
+    if (committed.config_term == 0 && committed.config_version == 0) continue;
+    const ConfigId config_id{committed.config_term,
+                             committed.config_version};
+    ObservedConfig observed;
+    for (const MemberInfo& member : committed.members) {
+      if (member.is_voter()) observed.voters.insert(member.id);
+    }
+    // Canonical content fingerprint: sorted "id/type" pairs.
+    std::set<std::string> parts;
+    for (const MemberInfo& member : committed.members) {
+      parts.insert(member.id + (member.is_voter() ? "/v" : "/n"));
+    }
+    for (const std::string& part : parts) {
+      if (!observed.fingerprint.empty()) observed.fingerprint += ',';
+      observed.fingerprint += part;
+    }
+
+    auto [it, inserted] = config_content_by_id_.emplace(config_id, observed);
+    if (!inserted && it->second.fingerprint != observed.fingerprint &&
+        reported_config_ids_.insert(config_id).second) {
+      AddViolation("ConfigSafety",
+                   StringPrintf("config %llu.%llu denotes two memberships: "
+                                "{%s} vs {%s} (latter on %s)",
+                                (unsigned long long)config_id.first,
+                                (unsigned long long)config_id.second,
+                                it->second.fingerprint.c_str(),
+                                observed.fingerprint.c_str(), id.c_str()));
+    }
+  }
+
+  // The single-change chain: CONSECUTIVE committed configs in identity
+  // order must have intersecting voter majorities — that intersection is
+  // what fences the older config's quorums once the newer one commits,
+  // and induction along the chain is what carries election safety across
+  // reconfigs. Non-adjacent pairs may legally admit disjoint majorities:
+  // a node lagging two changes behind is safe because the intermediate
+  // config already did the fencing, so comparing arbitrary live pairs
+  // would raise false alarms on healthy rings.
+  for (auto it = config_content_by_id_.begin();
+       it != config_content_by_id_.end(); ++it) {
+    const auto next = std::next(it);
+    if (next == config_content_by_id_.end()) break;
+    const auto pair = std::make_pair(it->first, next->first);
+    if (disjoint_majorities_possible(it->second.voters,
+                                     next->second.voters) &&
+        reported_config_pairs_.insert(pair).second) {
+      AddViolation(
+          "ConfigSafety",
+          StringPrintf("consecutive committed configs %llu.%llu and "
+                       "%llu.%llu admit disjoint majorities",
+                       (unsigned long long)it->first.first,
+                       (unsigned long long)it->first.second,
+                       (unsigned long long)next->first.first,
+                       (unsigned long long)next->first.second));
+    }
+  }
+}
+
 void InvariantChecker::CheckQuiescent(sim::ClusterHarness& cluster,
                                       const std::vector<AckedWrite>& acked) {
   ObserveRoles(cluster);
+  ObserveConfigs(cluster);
   const MemberId primary = cluster.CurrentPrimary();
   if (primary.empty()) {
     AddViolation("Convergence", "no primary at quiescent window");
@@ -152,9 +234,15 @@ void InvariantChecker::CheckQuiescent(sim::ClusterHarness& cluster,
 
   // --- Log Matching (every live log vs the leader's) ----------------------
   {
+    // Members the reconfig nemesis removed stop receiving appends: their
+    // frozen logs can hold an uncommitted suffix the ring later
+    // overwrote, and (unlike a healed partition) replication will never
+    // truncate it. Only the ACTIVE membership is comparable.
+    const MembershipConfig& active = pserver->consensus()->config();
     WindowCollector matching(this, "LogMatching");
     for (const MemberId& id : cluster.ids()) {
       if (id == primary) continue;
+      if (active.Find(id) == nullptr) continue;
       sim::SimNode* node = cluster.node(id);
       if (!node->up()) continue;
       server::MySqlServer* server = node->server();

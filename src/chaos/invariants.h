@@ -23,7 +23,18 @@
 //                       quorum round) observes every write acked before
 //                       the read was issued — leases may refuse reads,
 //                       never answer with old data (§13; fed per-read by
-//                       the runner via ObserveRead).
+//                       the runner via ObserveRead);
+//   ConfigSafety        a config identity (config_term, config_version)
+//                       always denotes one membership, and every pair of
+//                       CONSECUTIVE committed configs (identity order,
+//                       term dominating) has intersecting voter
+//                       majorities — the single-change chain whose
+//                       induction carries election safety across
+//                       reconfigs. Non-adjacent configs may legally
+//                       admit disjoint majorities (a node lagging two
+//                       changes behind is safe: the intermediate config
+//                       already fenced its quorums)
+//                       (§15; audited continuously like ElectionSafety).
 
 #ifndef MYRAFT_CHAOS_INVARIANTS_H_
 #define MYRAFT_CHAOS_INVARIANTS_H_
@@ -33,6 +44,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "binlog/gtid.h"
@@ -64,6 +76,13 @@ class InvariantChecker {
   /// violations the moment a second leader appears in the same term.
   void ObserveRoles(sim::ClusterHarness& cluster);
 
+  /// Cheap continuous Config Safety audit (§15); call alongside
+  /// ObserveRoles. Snapshots every live node's COMMITTED config and
+  /// flags (a) one identity with two different memberships, ever, and
+  /// (b) two identities installed simultaneously whose voter sets admit
+  /// disjoint majorities. Legacy (unversioned) configs are skipped.
+  void ObserveConfigs(sim::ClusterHarness& cluster);
+
   /// Full audit; call only at a quiescent window, after the runner has
   /// healed all faults, restarted crashed nodes and waited for
   /// convergence.
@@ -91,8 +110,21 @@ class InvariantChecker {
   /// collapse into the first detail plus a count.
   class WindowCollector;
 
+  using ConfigId = std::pair<uint64_t, uint64_t>;  // (config_term, version)
+
   std::map<uint64_t, MemberId> leader_by_term_;
   std::set<uint64_t> reported_terms_;
+  /// Everything ever observed committed under one config identity: the
+  /// canonical membership fingerprint (uniqueness check) and the voter
+  /// set (consecutive-pair quorum intersection). std::map keeps identity
+  /// order — (term, version) with the term dominating — for free.
+  struct ObservedConfig {
+    std::string fingerprint;
+    std::set<MemberId> voters;
+  };
+  std::map<ConfigId, ObservedConfig> config_content_by_id_;
+  std::set<ConfigId> reported_config_ids_;
+  std::set<std::pair<ConfigId, ConfigId>> reported_config_pairs_;
   /// Executed GTID set per engine at the previous quiescent window.
   std::map<MemberId, binlog::GtidSet> previous_executed_;
   std::vector<Violation> violations_;

@@ -23,6 +23,7 @@ enum class Family {
   kJitter,
   kClockSkew,
   kClockRate,
+  kReconfig,
 };
 
 struct WeightedFamily {
@@ -35,6 +36,7 @@ bool FamilyEnabled(Family family, const NemesisOptions& options) {
   if (family == Family::kClockSkew || family == Family::kClockRate) {
     return options.clock_faults;
   }
+  if (family == Family::kReconfig) return options.reconfig_faults;
   return true;
 }
 
@@ -47,6 +49,7 @@ Family PickFamily(Random* rng, const NemesisOptions& options) {
       {Family::kLinkCut, 2}, {Family::kPartition, 2}, {Family::kLoss, 1},
       {Family::kDuplicate, 1}, {Family::kJitter, 1},
       {Family::kClockSkew, 2}, {Family::kClockRate, 2},
+      {Family::kReconfig, 3},
   };
   uint32_t total = 0;
   for (const WeightedFamily& f : kFamilies) {
@@ -228,6 +231,34 @@ Schedule GenerateSchedule(uint64_t seed, const std::vector<MemberId>& members,
           h.action = FaultAction::kClockHeal;
           h.targets = {target};
           schedule.steps.push_back(std::move(h));
+        }
+        break;
+      }
+      case Family::kReconfig: {
+        // Membership churn (§15): remove a member mid-faults and re-add
+        // it later, or bounce its voting status. Concrete targets only —
+        // the runner resolves leader-collisions at fire time.
+        const std::string target = pick_member();
+        step.action = FaultAction::kReconfig;
+        if (rng.NextDouble() < 0.5) {
+          step.targets = {"remove", target};
+          // Always pair the re-add: an unhealed remove would shrink the
+          // ring for the rest of the run (quiesce heals faults, not
+          // membership).
+          FaultStep h;
+          h.at_micros = at + hold();
+          h.action = FaultAction::kReconfig;
+          h.targets = {"add", target};
+          schedule.steps.push_back(std::move(h));
+        } else {
+          step.targets = {"demote", target};
+          if (heal) {
+            FaultStep h;
+            h.at_micros = at + hold();
+            h.action = FaultAction::kReconfig;
+            h.targets = {"promote", target};
+            schedule.steps.push_back(std::move(h));
+          }
         }
         break;
       }

@@ -42,6 +42,13 @@ struct NemesisOptions {
   /// generated from historical seeds stay byte-identical (checked-in
   /// repros regenerate exactly).
   bool clock_faults = false;
+  /// Include membership-churn faults (§15: remove/re-add a member,
+  /// demote/promote voter ↔ learner, driven through the live leader while
+  /// other faults are in flight). Off by default for the same historical
+  /// byte-identity reason as clock_faults. Only meaningful on rings with
+  /// enable_logless_reconfig (the legacy log path rejects overlapping
+  /// changes, so most steps would no-op).
+  bool reconfig_faults = false;
 };
 
 /// `members` must be the full sorted member-id list (ClusterHarness::ids()

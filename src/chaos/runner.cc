@@ -103,6 +103,7 @@ ChaosReport ChaosRunner::Run(const Schedule& schedule) {
         next_read_at = loop->now() + options_.read_interval_micros;
       }
       checker.ObserveRoles(*cluster_);
+      checker.ObserveConfigs(*cluster_);
       CaptureOnNewViolations(&checker);
       loop->RunFor(options_.poll_interval_micros);
     }
@@ -316,6 +317,41 @@ void ChaosRunner::ApplyStep(const FaultStep& step, InvariantChecker* checker,
       }
       break;
     }
+    case FaultAction::kReconfig: {
+      // Membership churn through the live leader (§15). Best-effort:
+      // no primary, a self-targeting step, or a leader-side rejection
+      // (change already in flight, no current-term commit yet) are all
+      // legal outcomes under faults and count as skipped.
+      if (step.targets.size() != 2) break;
+      const std::string& subcmd = step.targets[0];
+      const MemberId id = resolve(step.targets[1]);
+      if (!known(id)) break;
+      const MemberId primary = cluster_->CurrentPrimary();
+      if (primary.empty() || id == primary) break;
+      const MembershipConfig active =
+          cluster_->node(primary)->server()->consensus()->config();
+      Status s;
+      if (subcmd == "remove") {
+        if (active.Find(id) == nullptr) break;
+        s = cluster_->RemoveMemberViaLeader(id);
+      } else if (subcmd == "add") {
+        if (active.Find(id) != nullptr) break;
+        const MemberInfo* info = cluster_->config().Find(id);
+        s = cluster_->node(primary)->server()->AddMember(*info);
+      } else if (subcmd == "demote") {
+        const MemberInfo* member = active.Find(id);
+        if (member == nullptr || !member->is_voter()) break;
+        s = cluster_->SwapMemberTypeViaLeader(id, RaftMemberType::kNonVoter);
+      } else if (subcmd == "promote") {
+        const MemberInfo* member = active.Find(id);
+        if (member == nullptr || member->is_voter()) break;
+        s = cluster_->SwapMemberTypeViaLeader(id, RaftMemberType::kVoter);
+      } else {
+        break;
+      }
+      applied = s.ok();
+      break;
+    }
   }
   if (applied) {
     ++report->steps_applied;
@@ -343,11 +379,13 @@ void ChaosRunner::Quiesce(InvariantChecker* checker, ChaosReport* report) {
   const uint64_t settle_end = loop->now() + options_.quiesce_settle_micros;
   while (loop->now() < settle_end) {
     checker->ObserveRoles(*cluster_);
+    checker->ObserveConfigs(*cluster_);
     loop->RunFor(options_.poll_interval_micros);
   }
   const uint64_t deadline = loop->now() + options_.quiesce_timeout_micros;
   while (loop->now() < deadline && !Converged()) {
     checker->ObserveRoles(*cluster_);
+    checker->ObserveConfigs(*cluster_);
     loop->RunFor(options_.poll_interval_micros);
   }
   if (Converged()) {
@@ -375,11 +413,17 @@ bool ChaosRunner::Converged() {
   const server::InvariantSnapshot psnap =
       cluster_->node(primary)->server()->CaptureInvariantSnapshot();
   if (psnap.commit_marker.index != psnap.last_logged.index) return false;
+  // Membership is judged against the primary's ACTIVE config, not the
+  // bootstrap roster: a node the reconfig nemesis removed no longer
+  // receives appends, so its frozen log must not block convergence.
+  const MembershipConfig active =
+      cluster_->node(primary)->server()->consensus()->config();
   for (const MemberId& id : cluster_->ids()) {
     sim::SimNode* node = cluster_->node(id);
     // A node whose restart failed stays down; the audit covers what's
     // live (the Recovery violation already failed the run).
     if (!node->up()) continue;
+    if (active.Find(id) == nullptr) continue;  // removed from the ring
     const server::InvariantSnapshot snap =
         node->server()->CaptureInvariantSnapshot();
     if (snap.last_logged != psnap.last_logged) return false;
@@ -404,7 +448,10 @@ std::string ChaosRunner::DescribeConvergence() {
       "stuck: primary %s marker=%s logged=%s executed=%s; lagging:",
       primary.c_str(), psnap.commit_marker.ToString().c_str(),
       psnap.last_logged.ToString().c_str(), psnap.executed_gtids.c_str());
+  const MembershipConfig active =
+      cluster_->node(primary)->server()->consensus()->config();
   for (const MemberId& id : cluster_->ids()) {
+    if (active.Find(id) == nullptr) continue;
     sim::SimNode* node = cluster_->node(id);
     if (!node->up()) {
       out += " " + id + "=down";

@@ -31,6 +31,7 @@ constexpr ActionName kActionNames[] = {
     {FaultAction::kClockSkew, "clock-skew"},
     {FaultAction::kClockRate, "clock-rate"},
     {FaultAction::kClockHeal, "clock-heal"},
+    {FaultAction::kReconfig, "reconfig"},
 };
 
 Result<uint64_t> ParseU64(std::string_view token) {

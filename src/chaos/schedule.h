@@ -39,6 +39,12 @@ enum class FaultAction : uint8_t {
   kClockSkew,       // targets: {node}; param: forward jump in micros
   kClockRate,       // targets: {node}; param: rate in ppm (1e6 = nominal)
   kClockHeal,       // targets: {node} or {"*"}; rate back to 1.0
+  // Membership nemesis (§15). Drives reconfiguration through the live
+  // leader while other faults are in flight. targets: {subcmd, member}
+  // where subcmd is "remove" (drop member from the ring), "add" (re-add a
+  // previously removed member as a voter), "demote"/"promote" (voter ↔
+  // learner swap). Steps are best-effort: no leader → the step no-ops.
+  kReconfig,
 };
 
 std::string_view FaultActionToString(FaultAction action);

@@ -1,5 +1,8 @@
 #include "flexiraft/flexiraft.h"
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "util/string_util.h"
 
 namespace myraft::flexiraft {
@@ -14,6 +17,21 @@ std::string_view QuorumModeToString(QuorumMode mode) {
       return "multi-region";
   }
   return "?";
+}
+
+std::pair<QuorumMode, int> FlexiRaftQuorumEngine::EffectiveMode(
+    const MembershipConfig& config) const {
+  const std::string& spec = config.quorum_spec;
+  if (spec.empty()) {
+    return {options_.mode, options_.multi_region_commit_regions};
+  }
+  if (spec == "majority") return {QuorumMode::kVanillaMajority, 0};
+  if (spec == "single-region") return {QuorumMode::kSingleRegionDynamic, 0};
+  if (spec.rfind("multi:", 0) == 0) {
+    const int k = std::atoi(spec.c_str() + 6);
+    if (k >= 1) return {QuorumMode::kMultiRegion, k};
+  }
+  return {QuorumMode::kVanillaMajority, 0};
 }
 
 bool FlexiRaftQuorumEngine::HasRegionMajority(
@@ -43,7 +61,8 @@ bool FlexiRaftQuorumEngine::IsCommitQuorumSatisfied(
     const raft::QuorumContext& context,
     const std::set<MemberId>& ackers) const {
   const MembershipConfig& config = *context.config;
-  switch (options_.mode) {
+  const auto [mode, multi_k] = EffectiveMode(config);
+  switch (mode) {
     case QuorumMode::kVanillaMajority: {
       raft::MajorityQuorumEngine vanilla;
       return vanilla.IsCommitQuorumSatisfied(context, ackers);
@@ -60,8 +79,7 @@ bool FlexiRaftQuorumEngine::IsCommitQuorumSatisfied(
       return HasRegionMajority(config, context.subject_region, ackers);
     }
     case QuorumMode::kMultiRegion:
-      return CountRegionMajorities(config, ackers) >=
-             options_.multi_region_commit_regions;
+      return CountRegionMajorities(config, ackers) >= multi_k;
   }
   return false;
 }
@@ -70,7 +88,8 @@ bool FlexiRaftQuorumEngine::IsElectionQuorumSatisfied(
     const raft::QuorumContext& context,
     const std::set<MemberId>& granted) const {
   const MembershipConfig& config = *context.config;
-  switch (options_.mode) {
+  const auto [mode, multi_k] = EffectiveMode(config);
+  switch (mode) {
     case QuorumMode::kVanillaMajority: {
       raft::MajorityQuorumEngine vanilla;
       return vanilla.IsElectionQuorumSatisfied(context, granted);
@@ -144,8 +163,7 @@ bool FlexiRaftQuorumEngine::IsElectionQuorumSatisfied(
       // at least R - K + 1 regions (pigeonhole).
       const int regions_with_voters =
           static_cast<int>(config.VotersByRegion().size());
-      const int needed = regions_with_voters -
-                         options_.multi_region_commit_regions + 1;
+      const int needed = regions_with_voters - multi_k + 1;
       return CountRegionMajorities(config, granted) >= std::max(1, needed);
     }
   }

@@ -23,6 +23,7 @@
 #define MYRAFT_FLEXIRAFT_FLEXIRAFT_H_
 
 #include <string>
+#include <utility>
 
 #include "raft/quorum.h"
 
@@ -61,6 +62,16 @@ class FlexiRaftQuorumEngine final : public raft::QuorumEngine {
   const FlexiRaftOptions& options() const { return options_; }
 
  private:
+  /// Resolve the mode this evaluation runs under: the config's
+  /// quorum_spec override when present ("majority", "single-region",
+  /// "multi:<K>"), else the engine's configured mode. Making the rule
+  /// part of the config turns data-quorum changes into ordinary logless
+  /// config-version bumps, so every member switches rules at the same
+  /// config identity instead of via out-of-band engine reconfiguration.
+  /// Unparsable specs resolve to vanilla majority — the one quorum that
+  /// is always safe. Returns {mode, multi-region K}.
+  std::pair<QuorumMode, int> EffectiveMode(
+      const MembershipConfig& config) const;
   /// True if `members` contains a strict majority of the voters whose
   /// region is `region`. Regions without voters never have majorities.
   static bool HasRegionMajority(const MembershipConfig& config,

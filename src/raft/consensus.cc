@@ -116,6 +116,14 @@ Status RaftConsensus::Bootstrap(const MembershipConfig& config) {
   }
   meta_ = ConsensusMetadata{};
   meta_.config = config;
+  if (options_.enable_logless_reconfig && meta_.config.config_term == 0 &&
+      meta_.config.config_version == 0) {
+    // Seed the logless identity so (0,0) stays reserved for "no config
+    // reported" on the wire. Legacy-path bootstraps keep (0,0) and an
+    // unversioned on-disk encoding.
+    meta_.config.config_version = 1;
+  }
+  meta_.committed_config = meta_.config;  // a bootstrap config is committed
   MYRAFT_RETURN_NOT_OK(meta_store_->Save(meta_));
   return Start();
 }
@@ -165,6 +173,16 @@ Status RaftConsensus::Start() {
     vote_embargo_until_micros_ = clock_->NowMicros() +
                                  options_.lease_duration_micros +
                                  options_.lease_drift_margin_micros;
+  }
+  if (!options_.enable_logless_reconfig &&
+      !(meta_.committed_config == meta_.config)) {
+    // Legacy log path: a membership change was in flight at shutdown (the
+    // active config runs ahead of the committed one). Re-locate its
+    // kConfigChange entry to restore pending_config_index_ — and fall
+    // back to the committed config when a torn crash lost the suffix that
+    // carried it. (Logless pendingness needs no log entry; the identity
+    // comparison in has_pending_config_change covers it.)
+    RollbackConfigForTruncation();
   }
   ResetElectionTimer();
   started_ = true;
@@ -361,6 +379,13 @@ Result<OpId> RaftConsensus::Replicate(EntryType type, std::string payload,
   if (is_quiesced_for_transfer() && type == EntryType::kTransaction) {
     return Status::ServiceUnavailable("quiesced for leadership transfer");
   }
+  if (type == EntryType::kConfigChange && has_pending_config_change()) {
+    // Guard EVERY entry point, not just AddMember/RemoveMember: a direct
+    // Replicate(kConfigChange) used to stack a second uncommitted config
+    // on top of a pending one, leaving the truncation rollback pointing
+    // at the intermediate config instead of the last durable one.
+    return Status::IllegalState("another membership change is in flight");
+  }
   const OpId opid{meta_.current_term, log_->LastOpId().index + 1};
   const LogEntry entry = LogEntry::Make(opid, type, std::move(payload));
   MYRAFT_RETURN_NOT_OK(AppendToLocalLog(entry));
@@ -383,7 +408,6 @@ Result<OpId> RaftConsensus::Replicate(EntryType type, std::string payload,
   if (type == EntryType::kConfigChange) {
     auto config = DecodeMembershipConfig(entry.payload);
     if (!config.ok()) return config.status();
-    previous_config_ = meta_.config;
     pending_config_index_ = opid.index;
     MYRAFT_RETURN_NOT_OK(ApplyConfig(*config, /*from_log=*/true));
   }
@@ -532,6 +556,10 @@ void RaftConsensus::RunGroupSync() {
     response.trace_span_id = follower_ack_span_id_;
     response.lease_granted_micros = follower_ack_lease_echo_;
     follower_ack_lease_echo_ = 0;
+    if (options_.enable_logless_reconfig) {
+      response.config_term = meta_.config.config_term;
+      response.config_version = meta_.config.config_version;
+    }
     outbox_->Send(std::move(response));
   }
 }
@@ -678,6 +706,7 @@ void RaftConsensus::SendMarkerOnlyHeartbeat(const MemberId& peer_id,
   request.commit_marker = commit_marker_;
   request.prev = OpId{prev_term, peer->match_index};
   StampLease(&request);
+  StampConfig(&request);
   m_.marker_only_heartbeats->Increment();
   peer->last_rpc_sent_micros = clock_->NowMicros();
   peer->last_sent_commit_index =
@@ -738,6 +767,7 @@ void RaftConsensus::SendAppendEntriesTo(const MemberId& peer_id,
     request.commit_marker = commit_marker_;
     request.prev = OpId{prev_term, peer.next_index - 1};
     StampLease(&request);
+    StampConfig(&request);
 
     InflightBatch batch;
     batch.first_index = peer.next_index;
@@ -822,6 +852,7 @@ void RaftConsensus::SendAppendEntriesTo(const MemberId& peer_id,
     return;
   }
   StampLease(&request);
+  StampConfig(&request);
   m_.heartbeats_sent->Increment();
   peer.last_rpc_sent_micros = clock_->NowMicros();
   peer.last_sent_commit_index =
@@ -891,6 +922,7 @@ void RaftConsensus::SetCommitMarker(OpId new_marker) {
   if (pending_config_index_ != 0 &&
       pending_config_index_ <= new_marker.index) {
     pending_config_index_ = 0;  // membership change committed
+    MarkConfigCommitted();
   }
   listener_->OnCommitAdvanced(commit_marker_);
   // Leases-off linearizable reads wait on their no-op barrier (§13.2).
@@ -1172,6 +1204,17 @@ void RaftConsensus::HandleAppendEntries(const AppendEntriesRequest& request) {
   last_leader_contact_micros_ = clock_->NowMicros();
   response.term = meta_.current_term;
 
+  // Logless reconfiguration: adopt a newer config carried by the leader
+  // BEFORE any log checks — config propagation is deliberately decoupled
+  // from log replication, so membership heals even while the log is
+  // rewinding or unavailable. The response echoes the installed identity
+  // either way; that echo is what drives the leader's install quorum.
+  MaybeInstallConfig(request);
+  if (options_.enable_logless_reconfig) {
+    response.config_term = meta_.config.config_term;
+    response.config_version = meta_.config.config_version;
+  }
+
   // Log-matching check on the preceding entry.
   if (request.prev.index > 0) {
     const uint64_t last = log_->LastOpId().index;
@@ -1208,14 +1251,13 @@ void RaftConsensus::HandleAppendEntries(const AppendEntriesRequest& request) {
       }
       cache_.TruncateAfter(entry.id.index - 1);
       last_synced_index_ = std::min(last_synced_index_, entry.id.index - 1);
-      if (pending_config_index_ >= entry.id.index) {
-        // The uncommitted membership change was truncated away: fall back
-        // to the previous config.
-        pending_config_index_ = 0;
-        Status cs = ApplyConfig(previous_config_, /*from_log=*/true);
-        if (!cs.ok()) {
-          MYRAFT_LOG(Error) << "config rollback failed: " << cs;
-        }
+      if (!options_.enable_logless_reconfig) {
+        // The truncated suffix may have carried the kConfigChange entry
+        // (or entries) behind the active config — including one applied
+        // before a restart, when pending_config_index_ is no longer set.
+        // Re-derive the config from what survives instead of guessing
+        // from in-memory state.
+        RollbackConfigForTruncation();
       }
       listener_->OnSuffixTruncated(log_->LastOpId());
     }
@@ -1236,7 +1278,6 @@ void RaftConsensus::HandleAppendEntries(const AppendEntriesRequest& request) {
     if (entry.type == EntryType::kConfigChange) {
       auto config = DecodeMembershipConfig(entry.payload);
       if (config.ok()) {
-        previous_config_ = meta_.config;
         pending_config_index_ = entry.id.index;
         Status cs = ApplyConfig(*config, /*from_log=*/true);
         if (!cs.ok()) MYRAFT_LOG(Error) << "apply config failed: " << cs;
@@ -1407,6 +1448,16 @@ void RaftConsensus::HandleAppendEntriesResponse(
     peer.next_index =
         std::max(peer.next_index, response.last_received.index + 1);
     RecordLeaseGrant(response, &peer);
+    // Logless reconfig: fold the echoed installed-config identity into the
+    // peer state (monotone — a reordered older echo must not regress it)
+    // and re-check the pending config's install quorum.
+    if (response.config_term > peer.acked_config_term ||
+        (response.config_term == peer.acked_config_term &&
+         response.config_version > peer.acked_config_version)) {
+      peer.acked_config_term = response.config_term;
+      peer.acked_config_version = response.config_version;
+      MaybeCommitConfig();
+    }
     last_commit_completer_ = response.from;  // straggler if the marker moves
     AdvanceCommitMarker();
     // A current-term success doubles as leadership confirmation for the
@@ -1434,6 +1485,17 @@ void RaftConsensus::HandleAppendEntriesResponse(
       SendAppendEntriesTo(response.from, /*allow_empty=*/false);
     }
   } else {
+    // Even a log-matching rejection acks the config install (the echo
+    // reflects the follower's installed config, not its log): this is
+    // what lets a reconfig commit while the rejecting follower's log is
+    // still rewinding or healing.
+    if (response.config_term > peer.acked_config_term ||
+        (response.config_term == peer.acked_config_term &&
+         response.config_version > peer.acked_config_version)) {
+      peer.acked_config_term = response.config_term;
+      peer.acked_config_version = response.config_version;
+      MaybeCommitConfig();
+    }
     const uint64_t hint = response.last_received.index;
     // Stale rejection guard, keyed on WHICH request was refused (the echoed
     // prev), not on the tail hint: an in-order ack can overtake a reordered
@@ -1566,6 +1628,10 @@ void RaftConsensus::RequestVotes() {
     request.pre_vote = election_->mode == ElectionMode::kPreVote;
     request.mock_election = election_->mode == ElectionMode::kMockElection;
     request.leader_cursor_snapshot = election_->cursor_snapshot;
+    if (options_.enable_logless_reconfig) {
+      request.config_term = meta_.config.config_term;
+      request.config_version = meta_.config.config_version;
+    }
     outbox_->Send(std::move(request));
   }
 }
@@ -1630,6 +1696,16 @@ VoteResponse RaftConsensus::EvaluateVote(const VoteRequest& request) {
   const MemberInfo* candidate_info = meta_.config.Find(request.candidate);
   if (candidate_info == nullptr || !candidate_info->is_voter()) {
     response.reason = "candidate-not-a-voter";
+    return response;
+  }
+  // Logless reconfig: deny candidates campaigning on a superseded config.
+  // A leader elected on an old member set could assemble quorums disjoint
+  // from the new config's — the config analogue of the stale-log check.
+  if (options_.enable_logless_reconfig &&
+      (meta_.config.config_term > request.config_term ||
+       (meta_.config.config_term == request.config_term &&
+        meta_.config.config_version > request.config_version))) {
+    response.reason = "stale-config";
     return response;
   }
 
@@ -1879,6 +1955,23 @@ void RaftConsensus::BecomeLeader() {
   RefreshPeers();
   transfer_.reset();
 
+  if (options_.enable_logless_reconfig &&
+      meta_.config.config_term != meta_.current_term) {
+    // Logless reconfig (Schultz et al.): a new leader rebases the config
+    // identity onto its own term. The term dominates the (term, version)
+    // ordering, so any uncommitted config a deposed leader is still
+    // propagating is superseded everywhere our heartbeats reach, and the
+    // rebased config re-commits through a fresh install quorum.
+    MembershipConfig rebased = meta_.config;
+    rebased.config_term = meta_.current_term;
+    Status cs = ApplyConfig(rebased, /*from_log=*/false);
+    if (!cs.ok()) {
+      MYRAFT_LOG(Error) << options_.self
+                        << ": config term rebase failed: " << cs;
+    }
+    MaybeCommitConfig();  // single-voter rings commit immediately
+  }
+
   // §3.3 promotion step 1: assert leadership with a no-op and
   // consensus-commit the tail of the log.
   auto noop = Replicate(EntryType::kNoOp, "");
@@ -2044,9 +2137,29 @@ void RaftConsensus::HandleStartElection(const StartElectionRequest& request) {
 
 // --- Membership --------------------------------------------------------------
 
+namespace {
+/// Number of members whose VOTING status differs between the two configs
+/// (voter added, voter removed, or voter <-> learner swap). Non-voting
+/// changes (learners, regions, quorum_spec) don't count: they cannot
+/// change any quorum.
+int CountVotingChanges(const MembershipConfig& from,
+                       const MembershipConfig& to) {
+  int changes = 0;
+  for (const auto& member : to.members) {
+    const MemberInfo* old = from.Find(member.id);
+    const bool was_voter = old != nullptr && old->is_voter();
+    if (member.is_voter() != was_voter) ++changes;
+  }
+  for (const auto& member : from.members) {
+    if (member.is_voter() && to.Find(member.id) == nullptr) ++changes;
+  }
+  return changes;
+}
+}  // namespace
+
 Status RaftConsensus::AddMember(const MemberInfo& member) {
   if (role_ != RaftRole::kLeader) return Status::IllegalState("not leader");
-  if (pending_config_index_ != 0) {
+  if (!options_.enable_logless_reconfig && pending_config_index_ != 0) {
     return Status::IllegalState("another membership change is in flight");
   }
   if (meta_.config.Contains(member.id)) {
@@ -2054,6 +2167,9 @@ Status RaftConsensus::AddMember(const MemberInfo& member) {
   }
   MembershipConfig new_config = meta_.config;
   new_config.members.push_back(member);
+  if (options_.enable_logless_reconfig) {
+    return ProposeConfig(std::move(new_config), /*force=*/false);
+  }
   new_config.config_index = log_->LastOpId().index + 1;
   std::string payload;
   EncodeMembershipConfig(new_config, &payload);
@@ -2064,7 +2180,7 @@ Status RaftConsensus::AddMember(const MemberInfo& member) {
 
 Status RaftConsensus::RemoveMember(const MemberId& member) {
   if (role_ != RaftRole::kLeader) return Status::IllegalState("not leader");
-  if (pending_config_index_ != 0) {
+  if (!options_.enable_logless_reconfig && pending_config_index_ != 0) {
     return Status::IllegalState("another membership change is in flight");
   }
   if (member == options_.self) {
@@ -2078,12 +2194,239 @@ Status RaftConsensus::RemoveMember(const MemberId& member) {
       std::remove_if(new_config.members.begin(), new_config.members.end(),
                      [&](const MemberInfo& m) { return m.id == member; }),
       new_config.members.end());
+  if (options_.enable_logless_reconfig) {
+    return ProposeConfig(std::move(new_config), /*force=*/false);
+  }
   new_config.config_index = log_->LastOpId().index + 1;
   std::string payload;
   EncodeMembershipConfig(new_config, &payload);
   auto opid = Replicate(EntryType::kConfigChange, std::move(payload));
   if (!opid.ok()) return opid.status();
   return Status::OK();
+}
+
+Status RaftConsensus::SetMemberType(const MemberId& member,
+                                    RaftMemberType type) {
+  if (role_ != RaftRole::kLeader) return Status::IllegalState("not leader");
+  if (!options_.enable_logless_reconfig && pending_config_index_ != 0) {
+    return Status::IllegalState("another membership change is in flight");
+  }
+  if (member == options_.self && type == RaftMemberType::kNonVoter) {
+    return Status::InvalidArgument("leader cannot demote itself");
+  }
+  MembershipConfig new_config = meta_.config;
+  MemberInfo* info = nullptr;
+  for (auto& m : new_config.members) {
+    if (m.id == member) {
+      info = &m;
+      break;
+    }
+  }
+  if (info == nullptr) {
+    return Status::NotFound("member not in config: " + member);
+  }
+  if (info->type == type) return Status::OK();  // idempotent no-op
+  info->type = type;
+  if (options_.enable_logless_reconfig) {
+    return ProposeConfig(std::move(new_config), /*force=*/false);
+  }
+  new_config.config_index = log_->LastOpId().index + 1;
+  std::string payload;
+  EncodeMembershipConfig(new_config, &payload);
+  auto opid = Replicate(EntryType::kConfigChange, std::move(payload));
+  if (!opid.ok()) return opid.status();
+  return Status::OK();
+}
+
+Status RaftConsensus::SetQuorumSpec(const std::string& quorum_spec) {
+  if (role_ != RaftRole::kLeader) return Status::IllegalState("not leader");
+  if (!options_.enable_logless_reconfig) {
+    return Status::NotSupported(
+        "quorum-spec changes require enable_logless_reconfig");
+  }
+  if (meta_.config.quorum_spec == quorum_spec) return Status::OK();
+  MembershipConfig new_config = meta_.config;
+  new_config.quorum_spec = quorum_spec;
+  return ProposeConfig(std::move(new_config), /*force=*/false);
+}
+
+Status RaftConsensus::ForceReplaceConfig(MembershipConfig new_config) {
+  if (role_ != RaftRole::kLeader) return Status::IllegalState("not leader");
+  if (!options_.enable_logless_reconfig) {
+    return Status::NotSupported(
+        "forced reconfig requires enable_logless_reconfig");
+  }
+  if (!new_config.Contains(options_.self)) {
+    return Status::InvalidArgument("forced config must include self");
+  }
+  if (new_config.NumVoters() == 0) {
+    return Status::InvalidArgument("forced config has no voters");
+  }
+  MYRAFT_LOG(Warning) << options_.self
+                      << ": FORCED config replacement: "
+                      << new_config.ToString();
+  return ProposeConfig(std::move(new_config), /*force=*/true);
+}
+
+Status RaftConsensus::ProposeConfig(MembershipConfig new_config, bool force) {
+  if (role_ != RaftRole::kLeader) return Status::IllegalState("not leader");
+  if (!force) {
+    if (has_pending_config_change()) {
+      return Status::IllegalState("another membership change is in flight");
+    }
+    // A committed current-term entry proves this leader's authority is
+    // current; without it, a leader elected on a stale log could bump the
+    // config before discovering it must step down.
+    if (commit_marker_.term != meta_.current_term) {
+      return Status::ServiceUnavailable(
+          "leadership not yet established (current-term entry uncommitted)");
+    }
+    // §2.2 single-change rule, enforced structurally: quorum intersection
+    // between consecutive configs is only guaranteed one voting change at
+    // a time. The force path (Quorum Fixer) deliberately bypasses this —
+    // with the old quorum dead, intersection with it is meaningless and
+    // excising all dead voters in one bump is the point.
+    if (CountVotingChanges(meta_.config, new_config) > 1) {
+      return Status::InvalidArgument(
+          "at most one voting-membership change per reconfig");
+    }
+  }
+  // Version the new config: (term, version) with the term dominating, so
+  // a config proposed by a deposed leader can never supersede one issued
+  // at a later term no matter how many bumps it racked up.
+  new_config.config_term = meta_.current_term;
+  new_config.config_version = meta_.config.config_version + 1;
+  new_config.config_index = 0;  // logless configs carry no log position
+  const MembershipConfig old_config = meta_.config;
+  MYRAFT_RETURN_NOT_OK(ApplyConfig(new_config, /*from_log=*/false));
+  MaybeCommitConfig();  // single-voter (or self-sufficient) quorums: now
+  // Push the new config out immediately — the install quorum is gated on
+  // echoes, and waiting a heartbeat interval would stall every reconfig.
+  for (const auto& [peer_id, peer] : peers_) {
+    SendAppendEntriesTo(peer_id, /*allow_empty=*/true);
+  }
+  // Farewell to members the new config dropped: RefreshPeers has already
+  // forgotten them, so without this they would never learn, sitting in
+  // the old config campaigning into vote denials forever. One stamped
+  // heartbeat makes them install the config, see themselves gone, and
+  // park as non-campaigning followers.
+  for (const auto& member : old_config.members) {
+    if (member.id == options_.self || meta_.config.Contains(member.id)) {
+      continue;
+    }
+    AppendEntriesRequest farewell;
+    farewell.leader = options_.self;
+    farewell.dest = member.id;
+    farewell.term = meta_.current_term;
+    farewell.commit_marker = commit_marker_;
+    farewell.prev = kZeroOpId;  // log matching is irrelevant to the config
+    StampLease(&farewell);
+    StampConfig(&farewell);
+    outbox_->Send(std::move(farewell));
+  }
+  return Status::OK();
+}
+
+void RaftConsensus::MaybeCommitConfig() {
+  if (!options_.enable_logless_reconfig || role_ != RaftRole::kLeader) return;
+  if (meta_.committed_config.SameIdAs(meta_.config)) return;  // none pending
+  // Logless commit rule (Schultz et al.): the pending config is committed
+  // once a quorum of the NEW config has installed it. Log state plays no
+  // part — this is what lets reconfiguration proceed while the log is
+  // unavailable or healing. MakeQuorumContext evaluates against
+  // meta_.config, i.e. the new member set.
+  std::set<MemberId> installed{options_.self};
+  for (const auto& [peer_id, peer] : peers_) {
+    if (peer.acked_config_term == meta_.config.config_term &&
+        peer.acked_config_version == meta_.config.config_version) {
+      installed.insert(peer_id);
+    }
+  }
+  if (quorum_->IsCommitQuorumSatisfied(MakeQuorumContext(options_.self),
+                                       installed)) {
+    MarkConfigCommitted();
+  }
+}
+
+void RaftConsensus::MarkConfigCommitted() {
+  if (meta_.committed_config == meta_.config) return;
+  meta_.committed_config = meta_.config;
+  Status s = PersistMeta();
+  if (!s.ok()) {
+    MYRAFT_LOG(Error) << options_.self
+                      << ": persist committed config failed: " << s;
+    return;
+  }
+  MYRAFT_LOG(Info) << options_.self << ": config committed: "
+                   << meta_.config.ToString();
+}
+
+void RaftConsensus::RollbackConfigForTruncation() {
+  // The log suffix that carried the active config may be gone (divergent
+  // -suffix overwrite, torn crash). Re-derive the config from what
+  // survives: the highest remaining uncommitted kConfigChange entry, else
+  // the last committed config. The historical single previous_config_
+  // rollback slot got stacked changes wrong — truncating a suffix with
+  // two uncommitted config entries rolled back to the intermediate
+  // config, not the last durable one.
+  pending_config_index_ = 0;
+  MembershipConfig target = meta_.committed_config;
+  const uint64_t last = log_->LastOpId().index;
+  for (uint64_t index = last; index > commit_marker_.index && index > 0;
+       --index) {
+    auto cached = cache_.Get(index);
+    LogEntry entry;
+    if (cached.ok()) {
+      entry = std::move(*cached);
+    } else {
+      auto batch = log_->ReadBatch(index, 1, UINT64_MAX);
+      if (!batch.ok() || batch->empty()) continue;
+      entry = std::move(batch->front());
+    }
+    if (entry.type != EntryType::kConfigChange) continue;
+    auto config = DecodeMembershipConfig(entry.payload);
+    if (!config.ok()) continue;
+    target = std::move(*config);
+    if (!(target == meta_.committed_config)) pending_config_index_ = index;
+    break;
+  }
+  if (target == meta_.config) return;  // active config survived; done
+  Status s = ApplyConfig(target, /*from_log=*/true);
+  if (!s.ok()) {
+    MYRAFT_LOG(Error) << options_.self << ": config rollback failed: " << s;
+  }
+}
+
+void RaftConsensus::MaybeInstallConfig(const AppendEntriesRequest& request) {
+  if (!options_.enable_logless_reconfig || request.config_payload.empty()) {
+    return;
+  }
+  auto config = DecodeMembershipConfig(request.config_payload);
+  if (!config.ok()) {
+    MYRAFT_LOG(Error) << options_.self << ": undecodable config from "
+                      << request.leader << ": " << config.status();
+    return;
+  }
+  if (!config->IdIsNewerThan(meta_.config)) return;
+  // Install is decoupled from the log: no log-matching gate, no entry.
+  // Adopting the newer config is what makes this node count towards the
+  // NEW config's install quorum (via the response echo).
+  Status s = ApplyConfig(*config, /*from_log=*/false);
+  if (!s.ok()) {
+    MYRAFT_LOG(Error) << options_.self << ": config install failed: " << s;
+  }
+}
+
+void RaftConsensus::StampConfig(AppendEntriesRequest* request) {
+  // Same wire-compat discipline as StampLease (§13.6): the config payload
+  // is a trailing group pre-reconfig decoders reject, so it only goes on
+  // the wire when logless reconfig is on — which requires a fully
+  // upgraded cluster. Configs are a few dozen bytes; carrying the full
+  // encoding on every AppendEntries keeps install decoupled from any
+  // particular batch.
+  if (role_ != RaftRole::kLeader || !options_.enable_logless_reconfig) return;
+  request->config_payload.clear();
+  EncodeMembershipConfig(meta_.config, &request->config_payload);
 }
 
 Status RaftConsensus::ApplyConfig(const MembershipConfig& config,
@@ -2096,7 +2439,16 @@ Status RaftConsensus::ApplyConfig(const MembershipConfig& config,
     const MemberInfo* self = SelfInfo();
     if (self != nullptr) {
       role_ = self->is_learner() ? RaftRole::kLearner : RaftRole::kFollower;
+    } else {
+      // Removed from the ring: park as a quiescent follower. IsVoterSelf()
+      // is false from here on, so this node never campaigns, never votes,
+      // and never disrupts the ring it no longer belongs to — it just
+      // waits to be re-added or retired by an operator.
+      role_ = RaftRole::kFollower;
     }
+  } else if (role_ == RaftRole::kCandidate && SelfInfo() == nullptr) {
+    AbortElection(Status::Aborted("removed from config"));
+    role_ = RaftRole::kFollower;
   }
   listener_->OnMembershipChanged(meta_.config);
   return Status::OK();
@@ -2148,7 +2500,10 @@ RaftConsensus::DebugStatusSnapshot RaftConsensus::DebugStatus() const {
   s.vote_embargo_until_micros = vote_embargo_until_micros_;
   s.pending_reads = pending_reads_.size();
   s.read_barrier_index = read_barrier_index_;
-  s.has_pending_config_change = pending_config_index_ != 0;
+  s.has_pending_config_change = has_pending_config_change();
+  s.config_term = meta_.config.config_term;
+  s.config_version = meta_.config.config_version;
+  s.config_committed = meta_.committed_config.SameIdAs(meta_.config);
   s.quorum = quorum_->Describe();
   s.num_voters = meta_.config.NumVoters();
   if (role_ == RaftRole::kLeader) {
@@ -2178,7 +2533,9 @@ std::string RaftConsensus::DebugStatusSnapshot::ToJson() const {
       "\"last_synced_index\":%llu,\"lease_enabled\":%s,\"lease_valid\":%s,"
       "\"lease_serve_after_us\":%llu,\"vote_embargo_until_us\":%llu,"
       "\"pending_reads\":%llu,\"read_barrier_index\":%llu,"
-      "\"pending_config_change\":%s,\"quorum\":\"%s\",\"voters\":%d,"
+      "\"pending_config_change\":%s,\"config_term\":%llu,"
+      "\"config_version\":%llu,\"config_committed\":%s,"
+      "\"quorum\":\"%s\",\"voters\":%d,"
       "\"peers\":[",
       self.c_str(), region.c_str(), (unsigned long long)term,
       std::string(RaftRoleToString(role)).c_str(), leader.c_str(),
@@ -2192,7 +2549,9 @@ std::string RaftConsensus::DebugStatusSnapshot::ToJson() const {
       (unsigned long long)vote_embargo_until_micros,
       (unsigned long long)pending_reads,
       (unsigned long long)read_barrier_index,
-      has_pending_config_change ? "true" : "false", quorum.c_str(),
+      has_pending_config_change ? "true" : "false",
+      (unsigned long long)config_term, (unsigned long long)config_version,
+      config_committed ? "true" : "false", quorum.c_str(),
       num_voters);
   bool first = true;
   for (const auto& p : peers) {

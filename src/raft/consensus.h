@@ -162,6 +162,19 @@ struct RaftOptions {
   /// margin/duration in relative rate.
   uint64_t lease_drift_margin_micros = 100'000;
 
+  /// Logless dynamic reconfiguration (Schultz et al.; DESIGN.md §15):
+  /// the membership config lives in versioned consensus metadata
+  /// (config_term, config_version) instead of the replicated log. Changes
+  /// install via AppendEntries (decoupled from log replication — they
+  /// proceed while the log is unavailable or healing) and commit once a
+  /// quorum of the NEW config acks the install. Elections additionally
+  /// check the candidate's config identity ("stale-config" denials).
+  /// Off by default: the config fields ride the wire as trailing groups
+  /// that pre-reconfig decoders reject, so enabling this requires a
+  /// fully upgraded cluster (same discipline as leases, §13.6). With it
+  /// off, membership changes use the legacy log-entry path.
+  bool enable_logless_reconfig = false;
+
   /// FAULT INJECTION (chaos checker self-test only): commit quorums count
   /// a peer's last *received* index instead of min(received, durable).
   /// This re-introduces the durability bug fixed in the durable-index
@@ -267,6 +280,11 @@ class RaftConsensus {
     /// none): echoed send timestamp + lease duration − drift margin,
     /// monotone max over acks (§13).
     uint64_t lease_expiry_micros = 0;
+    /// Logless reconfig: identity of the config this peer last reported
+    /// installed (echoed in AppendEntries responses). Drives the
+    /// config-install quorum that commits a pending config.
+    uint64_t acked_config_term = 0;
+    uint64_t acked_config_version = 0;
   };
 
   /// Point-in-time snapshot of the registry-backed "raft.*" counters.
@@ -327,6 +345,9 @@ class RaftConsensus {
     size_t pending_reads = 0;
     uint64_t read_barrier_index = 0;
     bool has_pending_config_change = false;
+    uint64_t config_term = 0;
+    uint64_t config_version = 0;
+    bool config_committed = true;
     std::string quorum;  // QuorumEngine::Describe()
     int num_voters = 0;
     std::vector<PeerDebugStatus> peers;  // replication state, leaders only
@@ -400,9 +421,25 @@ class RaftConsensus {
   /// TimeoutNow. Progress/failure surfaces via listener callbacks.
   Status TransferLeadership(const MemberId& target);
 
-  /// Single-server membership changes (§2.2). One at a time.
+  /// Single-server membership changes (§2.2). One at a time. With
+  /// `enable_logless_reconfig` these go through the logless path
+  /// (config-version bump, install-quorum commit); otherwise they append
+  /// a kConfigChange log entry.
   Status AddMember(const MemberInfo& member);
   Status RemoveMember(const MemberId& member);
+  /// Voter ↔ learner (witness) swap as a single config change.
+  Status SetMemberType(const MemberId& member, RaftMemberType type);
+  /// Data-quorum rule change ("" = engine default, "majority",
+  /// "single-region", "multi:<K>") as a config-version bump. Logless
+  /// path only.
+  Status SetQuorumSpec(const std::string& quorum_spec);
+  /// Quorum Fixer (§5.3) force path, logless only: replaces the entire
+  /// member set in ONE config bump, bypassing the committed-config and
+  /// single-change preconditions. This is how a shattered quorum is
+  /// repaired — with the data quorum dead, no log entry (and no chain of
+  /// single-member excisions) can ever commit, but a forced config whose
+  /// install quorum is satisfiable by the survivors can.
+  Status ForceReplaceConfig(MembershipConfig new_config);
 
   // --- Manual elections & remediation ------------------------------------------
 
@@ -424,12 +461,19 @@ class RaftConsensus {
   OpId commit_marker() const { return commit_marker_; }
   OpId last_logged() const { return log_->LastOpId(); }
   const MembershipConfig& config() const { return meta_.config; }
+  /// Last config known committed (== config() in steady state).
+  const MembershipConfig& committed_config() const {
+    return meta_.committed_config;
+  }
   const MemberId& last_known_leader() const {
     return meta_.last_known_leader;
   }
   bool has_pending_config_change() const {
-    return pending_config_index_ != 0;
+    return pending_config_index_ != 0 ||
+           (options_.enable_logless_reconfig &&
+            !meta_.committed_config.SameIdAs(meta_.config));
   }
+  const RaftOptions& options() const { return options_; }
   std::optional<MemberId> transfer_target() const {
     return transfer_ ? std::optional<MemberId>(transfer_->target)
                      : std::nullopt;
@@ -592,6 +636,29 @@ class RaftConsensus {
   Status ApplyConfig(const MembershipConfig& config, bool from_log);
   void RefreshPeers();
   Status PersistMeta();
+  /// Logless path: stamp (config_term = current term, config_version + 1)
+  /// on `new_config`, apply it locally as pending, and broadcast. With
+  /// `force` unset, enforces the reconfig preconditions: leader, current
+  /// config committed, a current-term entry committed, and at most one
+  /// voting-membership change vs the current config.
+  Status ProposeConfig(MembershipConfig new_config, bool force);
+  /// Commit check for a pending logless config: installed on a quorum of
+  /// the NEW config (per-peer acked config ids + self)?
+  void MaybeCommitConfig();
+  /// Mark the active config committed and persist (both paths).
+  void MarkConfigCommitted();
+  /// Legacy-path truncation rollback: when the log suffix that carried
+  /// the active config is gone (divergent-suffix overwrite or torn
+  /// crash), re-derive the config from what survives — the highest
+  /// remaining kConfigChange entry, else the last committed config.
+  /// Replaces the single previous_config_ rollback slot.
+  void RollbackConfigForTruncation();
+  /// Follower-side install of a config carried on AppendEntries
+  /// (logless): adopt it iff its identity is newer than ours.
+  void MaybeInstallConfig(const AppendEntriesRequest& request);
+  /// Attach the active config to an outbound AppendEntries (all three
+  /// leader send paths), logless mode only — the StampLease analogue.
+  void StampConfig(AppendEntriesRequest* request);
 
   uint64_t ElectionTimeoutMicros() const;
   void ResetElectionTimer();
@@ -678,8 +745,10 @@ class RaftConsensus {
 
   uint64_t last_leader_contact_micros_ = 0;
   uint64_t election_timeout_micros_ = 0;  // current randomized timeout
-  uint64_t pending_config_index_ = 0;     // uncommitted config entry index
-  MembershipConfig previous_config_;      // rollback target on truncation
+  /// Legacy log path only: index of the uncommitted kConfigChange entry
+  /// whose config is active (0 = none pending). Logless pendingness is
+  /// derived from committed_config vs config identity instead.
+  uint64_t pending_config_index_ = 0;
 
   /// Durable (fsynced) tail of the local log; trails log_->LastOpId()
   /// between Append and Sync.

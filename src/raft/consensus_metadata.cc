@@ -28,8 +28,16 @@ Result<ConsensusMetadata> ConsensusMetadataStore::Load() const {
       !GetVarint64(&in, &meta.last_vote_term) ||
       !GetLengthPrefixed(&in, &voted_member) ||
       !GetLengthPrefixed(&in, &voted_region) ||
-      !GetLengthPrefixed(&in, &config) || !in.empty()) {
+      !GetLengthPrefixed(&in, &config)) {
     return Status::Corruption("cmeta: truncated");
+  }
+  // Optional trailing committed-config blob; absent (the legacy format)
+  // means the active config is itself committed.
+  Slice committed;
+  const bool has_committed = !in.empty();
+  if (has_committed &&
+      (!GetLengthPrefixed(&in, &committed) || !in.empty())) {
+    return Status::Corruption("cmeta: truncated committed config");
   }
   meta.last_voted_for = voted_member.ToString();
   meta.last_voted_region = voted_region.ToString();
@@ -37,6 +45,12 @@ Result<ConsensusMetadata> ConsensusMetadataStore::Load() const {
   meta.last_known_leader = last_leader.ToString();
   meta.last_leader_region = last_region.ToString();
   MYRAFT_ASSIGN_OR_RETURN(meta.config, DecodeMembershipConfig(config));
+  if (has_committed) {
+    MYRAFT_ASSIGN_OR_RETURN(meta.committed_config,
+                            DecodeMembershipConfig(committed));
+  } else {
+    meta.committed_config = meta.config;
+  }
   return meta;
 }
 
@@ -53,6 +67,11 @@ Status ConsensusMetadataStore::Save(const ConsensusMetadata& meta) const {
   std::string config;
   EncodeMembershipConfig(meta.config, &config);
   PutLengthPrefixed(&out, config);
+  if (!(meta.committed_config == meta.config)) {
+    std::string committed;
+    EncodeMembershipConfig(meta.committed_config, &committed);
+    PutLengthPrefixed(&out, committed);
+  }
   PutFixed32(&out, crc32c::Value(out.data(), out.size()));
 
   const std::string tmp = path_ + ".tmp";

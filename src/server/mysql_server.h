@@ -266,6 +266,12 @@ class MySqlServer final : public plugin::ServerHooks {
   Status RemoveMember(const MemberId& member) {
     return plugin_->consensus()->RemoveMember(member);
   }
+  Status SetMemberType(const MemberId& member, RaftMemberType type) {
+    return plugin_->consensus()->SetMemberType(member, type);
+  }
+  Status SetQuorumSpec(const std::string& spec) {
+    return plugin_->consensus()->SetQuorumSpec(spec);
+  }
 
   // --- Introspection -------------------------------------------------------------
 

@@ -429,6 +429,19 @@ Status ClusterHarness::RemoveMemberViaLeader(const MemberId& member) {
   return nodes_.at(primary)->server()->RemoveMember(member);
 }
 
+Status ClusterHarness::SwapMemberTypeViaLeader(const MemberId& member,
+                                               RaftMemberType type) {
+  const MemberId primary = CurrentPrimary();
+  if (primary.empty()) return Status::ServiceUnavailable("no primary");
+  return nodes_.at(primary)->server()->SetMemberType(member, type);
+}
+
+Status ClusterHarness::SetQuorumSpecViaLeader(const std::string& spec) {
+  const MemberId primary = CurrentPrimary();
+  if (primary.empty()) return Status::ServiceUnavailable("no primary");
+  return nodes_.at(primary)->server()->SetQuorumSpec(spec);
+}
+
 ClusterHarness::DowntimeResult ClusterHarness::MeasureWriteDowntime(
     std::function<void()> disruption, uint64_t probe_interval_micros,
     uint64_t timeout_micros, bool expect_outage) {

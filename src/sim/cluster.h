@@ -204,6 +204,13 @@ class ClusterHarness {
   /// RemoveMember via the current leader; the node keeps running but is
   /// no longer part of the ring (automation would decommission it).
   Status RemoveMemberViaLeader(const MemberId& member);
+  /// Changes a member's voting status via the current leader (voter ↔
+  /// witness/learner swaps). Logless rings do this as one config bump.
+  Status SwapMemberTypeViaLeader(const MemberId& member, RaftMemberType type);
+  /// Installs a quorum-rule override for the ring via the current leader
+  /// ("majority", "single-region", "multi:<K>"; "" reverts to the
+  /// engine default). Logless rings only.
+  Status SetQuorumSpecViaLeader(const std::string& spec);
 
   /// Executes `disruption` and measures the client-observed write
   /// unavailability: the longest window during which probe writes

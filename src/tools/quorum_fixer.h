@@ -5,7 +5,11 @@
 //   (2) out-of-band checks for the longest log among reachable members,
 //   (3) forcibly relax the leader-election quorum on the chosen member so
 //       it can win despite not collecting enough votes,
-//   (4) after a successful promotion, reset the quorum expectations.
+//   (4) after a successful promotion, reset the quorum expectations,
+//   (5) on logless-reconfig rings, force one config bump demoting every
+//       dead voter so the survivors form a self-sufficient quorum — the
+//       bump commits via the install quorum of the NEW config, so it
+//       succeeds even though the old data quorum can never ack again.
 //
 // Deliberately run by a human, not automatically (the paper wants every
 // shattered quorum root-caused).
@@ -36,6 +40,13 @@ struct QuorumFixerReport {
   MemberId chosen;          // member promoted by the override
   OpId chosen_last_log;
   bool quorum_was_shattered = false;
+  /// Logless rings only: step 5 rebuilt the membership by demoting every
+  /// dead voter in ONE forced config bump (see RunQuorumFixer), and how
+  /// many voters that demoted. Always false on the legacy log path —
+  /// there a config change is itself a log entry, which can never commit
+  /// while the data quorum is dead.
+  bool forced_reconfig = false;
+  int voters_excised = 0;
 };
 
 /// Runs the remediation synchronously on the harness's event loop.

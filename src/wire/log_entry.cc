@@ -78,6 +78,14 @@ void EncodeMembershipConfig(const MembershipConfig& config, std::string* dst) {
     dst->push_back(static_cast<char>(m.kind));
     dst->push_back(static_cast<char>(m.type));
   }
+  // Logless identity group, absent when unused so legacy configs encode
+  // byte-identically (old decoders reject trailing bytes as corruption).
+  if (config.config_term != 0 || config.config_version != 0 ||
+      !config.quorum_spec.empty()) {
+    PutVarint64(dst, config.config_term);
+    PutVarint64(dst, config.config_version);
+    PutLengthPrefixed(dst, config.quorum_spec);
+  }
 }
 
 Result<MembershipConfig> DecodeMembershipConfig(Slice input) {
@@ -103,6 +111,15 @@ Result<MembershipConfig> DecodeMembershipConfig(Slice input) {
     m.kind = static_cast<MemberKind>(kind);
     m.type = static_cast<RaftMemberType>(type);
     config.members.push_back(std::move(m));
+  }
+  if (!input.empty()) {
+    Slice spec;
+    if (!GetVarint64(&input, &config.config_term) ||
+        !GetVarint64(&input, &config.config_version) ||
+        !GetLengthPrefixed(&input, &spec)) {
+      return Status::Corruption("config: truncated identity group");
+    }
+    config.quorum_spec = spec.ToString();
   }
   if (!input.empty()) return Status::Corruption("config: trailing bytes");
   return config;

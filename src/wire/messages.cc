@@ -66,9 +66,12 @@ void AppendEntriesRequest::EncodeTo(std::string* dst) const {
   for (const auto& e : entries) e.EncodeTo(dst);
   // Optional trailing trace context: omitted entirely when untraced so
   // the encoding stays byte-identical to the pre-tracing format. The
-  // lease group sits after it, so a present lease forces the trace pair
-  // out (zeros allowed) to keep the groups positionally unambiguous.
-  const bool has_lease = lease_duration_micros != 0 || lease_sent_micros != 0;
+  // lease group sits after it, and the config group after that, so a
+  // present later group forces every earlier one out (zeros allowed) to
+  // keep the groups positionally unambiguous.
+  const bool has_config = !config_payload.empty();
+  const bool has_lease = lease_duration_micros != 0 ||
+                         lease_sent_micros != 0 || has_config;
   if (trace_id != 0 || trace_span_id != 0 || has_lease) {
     PutVarint64(dst, trace_id);
     PutVarint64(dst, trace_span_id);
@@ -77,6 +80,7 @@ void AppendEntriesRequest::EncodeTo(std::string* dst) const {
     PutVarint64(dst, lease_duration_micros);
     PutVarint64(dst, lease_sent_micros);
   }
+  if (has_config) PutLengthPrefixed(dst, config_payload);
 }
 
 Result<AppendEntriesRequest> AppendEntriesRequest::DecodeFrom(Slice in) {
@@ -109,6 +113,13 @@ Result<AppendEntriesRequest> AppendEntriesRequest::DecodeFrom(Slice in) {
       return Truncated("append-entries lease");
     }
   }
+  if (!in.empty()) {  // optional trailing config (absent = logless off)
+    Slice config;
+    if (!GetLengthPrefixed(&in, &config)) {
+      return Truncated("append-entries config");
+    }
+    req.config_payload = config.ToString();
+  }
   if (!in.empty()) return Status::Corruption("wire: trailing bytes");
   return req;
 }
@@ -130,13 +141,20 @@ void AppendEntriesResponse::EncodeTo(std::string* dst) const {
   PutOpId(dst, last_received);
   PutVarint64(dst, last_durable_index);
   PutVarint64(dst, request_prev_index);
-  // Optional trailing groups, as in the request: a lease echo forces the
-  // trace pair out so the groups stay positionally unambiguous.
-  if (trace_id != 0 || trace_span_id != 0 || lease_granted_micros != 0) {
+  // Optional trailing groups, as in the request: a present later group
+  // forces every earlier one out so the groups stay positionally
+  // unambiguous.
+  const bool has_config = config_term != 0 || config_version != 0;
+  const bool has_lease = lease_granted_micros != 0 || has_config;
+  if (trace_id != 0 || trace_span_id != 0 || has_lease) {
     PutVarint64(dst, trace_id);
     PutVarint64(dst, trace_span_id);
   }
-  if (lease_granted_micros != 0) PutVarint64(dst, lease_granted_micros);
+  if (has_lease) PutVarint64(dst, lease_granted_micros);
+  if (has_config) {
+    PutVarint64(dst, config_term);
+    PutVarint64(dst, config_version);
+  }
 }
 
 Result<AppendEntriesResponse> AppendEntriesResponse::DecodeFrom(Slice in) {
@@ -164,6 +182,12 @@ Result<AppendEntriesResponse> AppendEntriesResponse::DecodeFrom(Slice in) {
       return Truncated("append-response lease echo");
     }
   }
+  if (!in.empty()) {  // optional trailing config ack (absent = logless off)
+    if (!GetVarint64(&in, &resp.config_term) ||
+        !GetVarint64(&in, &resp.config_version)) {
+      return Truncated("append-response config ack");
+    }
+  }
   if (!in.empty()) return Status::Corruption("wire: trailing bytes");
   return resp;
 }
@@ -181,6 +205,12 @@ void VoteRequest::EncodeTo(std::string* dst) const {
   if (mock_election) flags |= 2;
   dst->push_back(static_cast<char>(flags));
   PutOpId(dst, leader_cursor_snapshot);
+  // Optional trailing config identity (logless reconfig): absent when
+  // off, so logless-off traffic stays pre-reconfig-decodable.
+  if (config_term != 0 || config_version != 0) {
+    PutVarint64(dst, config_term);
+    PutVarint64(dst, config_version);
+  }
 }
 
 Result<VoteRequest> VoteRequest::DecodeFrom(Slice in) {
@@ -197,6 +227,12 @@ Result<VoteRequest> VoteRequest::DecodeFrom(Slice in) {
   req.mock_election = (flags & 2) != 0;
   if (!GetOpId(&in, &req.leader_cursor_snapshot)) {
     return Truncated("vote-request snapshot");
+  }
+  if (!in.empty()) {  // optional trailing config identity (logless)
+    if (!GetVarint64(&in, &req.config_term) ||
+        !GetVarint64(&in, &req.config_version)) {
+      return Truncated("vote-request config identity");
+    }
   }
   if (!in.empty()) return Status::Corruption("wire: trailing bytes");
   return req;

@@ -64,6 +64,14 @@ struct AppendEntriesRequest {
   /// fallback instead of the echo.
   uint64_t lease_duration_micros = 0;
   uint64_t lease_sent_micros = 0;
+  /// Logless reconfiguration (DESIGN.md §15): the leader's current
+  /// MembershipConfig, encoded with EncodeMembershipConfig, carried on
+  /// every AppendEntries so config propagation is decoupled from log
+  /// replication. A third optional trailing group after the lease pair;
+  /// absent (empty) when `enable_logless_reconfig` is off, so
+  /// logless-off traffic stays byte-identical to the pre-reconfig
+  /// format (same fully-upgraded-cluster discipline as leases, §13.6).
+  std::string config_payload;
 
   bool operator==(const AppendEntriesRequest&) const = default;
 
@@ -103,6 +111,13 @@ struct AppendEntriesResponse {
   /// Optional trailing varint, same compatibility scheme as the request:
   /// absent when zero, so leases-off traffic stays pre-lease-decodable.
   uint64_t lease_granted_micros = 0;
+  /// Logless reconfiguration: the (config_term, config_version) identity
+  /// of the follower's installed config after processing the request —
+  /// the leader's per-peer config-ack state that drives the install
+  /// (config-commit) quorum. Optional trailing varint pair, present only
+  /// when the follower runs with logless reconfig enabled.
+  uint64_t config_term = 0;
+  uint64_t config_version = 0;
 
   bool operator==(const AppendEntriesResponse&) const = default;
 
@@ -125,6 +140,12 @@ struct VoteRequest {
   /// Voting rules additionally reject lagging same-region voters.
   bool mock_election = false;
   OpId leader_cursor_snapshot;
+  /// Logless reconfiguration: the candidate's config identity. Voters
+  /// deny candidates whose config is older than their own ("stale-
+  /// config") so a leader cannot be elected on a superseded member set.
+  /// Optional trailing varint pair, absent when logless reconfig is off.
+  uint64_t config_term = 0;
+  uint64_t config_version = 0;
 
   bool operator==(const VoteRequest&) const = default;
 

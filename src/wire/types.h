@@ -89,13 +89,44 @@ struct MemberInfo {
 /// Replicaset membership. Changed one member at a time (§2.2: "Quorum
 /// intersection is implicitly achieved by allowing only one membership
 /// change at a time").
+///
+/// Two ways a config can be identified, depending on the reconfig path:
+///  * log-based (legacy): `config_index` is the log index of the
+///    kConfigChange entry that created it; version/term stay 0.
+///  * logless (Schultz et al.): the config is versioned consensus STATE,
+///    identified by (config_term, config_version) and ordered
+///    lexicographically with the term dominating — a new leader rewrites
+///    config_term to its own term, superseding any uncommitted config a
+///    deposed leader may still be propagating. `config_index` is 0.
 struct MembershipConfig {
   std::vector<MemberInfo> members;
   /// Log index at which this config was appended (0 for the bootstrap
-  /// config).
+  /// config and for every logless config).
   uint64_t config_index = 0;
+  /// Logless config identity: bumped by one on every config change.
+  uint64_t config_version = 0;
+  /// Term of the leader that (re)issued this config.
+  uint64_t config_term = 0;
+  /// Data-quorum override consulted by the quorum engine: "" (engine
+  /// default), "majority", "single-region", or "multi:<K>". Making the
+  /// quorum rule part of the config turns FlexiRaft data-quorum changes
+  /// into ordinary config-version bumps.
+  std::string quorum_spec;
 
   bool operator==(const MembershipConfig&) const = default;
+
+  /// Lexicographic (config_term, config_version) comparison — the logless
+  /// "which config supersedes which" rule.
+  bool IdIsNewerThan(const MembershipConfig& other) const {
+    if (config_term != other.config_term) {
+      return config_term > other.config_term;
+    }
+    return config_version > other.config_version;
+  }
+  bool SameIdAs(const MembershipConfig& other) const {
+    return config_term == other.config_term &&
+           config_version == other.config_version;
+  }
 
   const MemberInfo* Find(const MemberId& id) const;
   bool Contains(const MemberId& id) const { return Find(id) != nullptr; }

@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include "flexiraft/flexiraft.h"
+#include "raft_test_harness.h"
 #include "sim/cluster.h"
+#include "wire/log_entry.h"
 
 namespace myraft::sim {
 namespace {
@@ -117,6 +119,408 @@ TEST(ClusterMembershipTest, RemoveMemberShrinksTheRing) {
   // at the consensus level; here we just verify the ring still serves.
   ASSERT_TRUE(cluster.SyncWrite("post-remove", "v").status.ok());
   EXPECT_TRUE(cluster.CheckReplicaConsistency());
+}
+
+// ---------------------------------------------------------------------------
+// Logless reconfiguration (§15): config-as-state changes that commit via the
+// install quorum, never the log.
+
+/// First logtailer in `cluster`'s config outside `region` ("" if none).
+MemberId LogtailerOutsideRegion(ClusterHarness& cluster,
+                                const RegionId& region) {
+  for (const auto& member : cluster.config().members) {
+    if (member.kind == MemberKind::kLogtailer && member.region != region) {
+      return member.id;
+    }
+  }
+  return "";
+}
+
+TEST(ClusterMembershipTest, LoglessAddMemberCommitsViaConfigQuorum) {
+  ClusterOptions options;
+  options.seed = 64;
+  options.db_regions = 3;
+  options.logtailers_per_db = 2;
+  options.raft.enable_logless_reconfig = true;
+  ClusterHarness cluster(options, FlexiEngine());
+  ASSERT_TRUE(cluster.Bootstrap().ok());
+  const MemberId primary = cluster.WaitForPrimary(30 * kSecond);
+  ASSERT_FALSE(primary.empty());
+  ASSERT_TRUE(cluster.SyncWrite("a", "1").status.ok());
+  cluster.loop()->RunFor(2 * kSecond);
+
+  raft::RaftConsensus* leader = cluster.node(primary)->server()->consensus();
+  const uint64_t version_before = leader->config().config_version;
+
+  MemberInfo learner{"dbnew", "region1", MemberKind::kMySql,
+                     RaftMemberType::kNonVoter};
+  ASSERT_TRUE(cluster.AddNewMember(learner).ok());
+  cluster.loop()->RunFor(5 * kSecond);
+
+  // The change rode the versioned-config channel, not the log: identity
+  // bumped, install quorum reached, pending window closed.
+  EXPECT_GT(leader->config().config_version, version_before);
+  EXPECT_FALSE(leader->has_pending_config_change());
+  EXPECT_TRUE(
+      leader->committed_config().SameIdAs(leader->config()));
+  for (const MemberId& id : cluster.ids()) {
+    EXPECT_TRUE(cluster.node(id)->server()->consensus()->config().Contains(
+        "dbnew"))
+        << id;
+  }
+  ASSERT_TRUE(cluster.SyncWrite("post-add", "v").status.ok());
+  cluster.loop()->RunFor(2 * kSecond);
+  EXPECT_TRUE(cluster.CheckReplicaConsistency());
+}
+
+TEST(ClusterMembershipTest, LoglessConcurrentChangeIsRefused) {
+  ClusterOptions options;
+  options.seed = 65;
+  options.db_regions = 3;
+  options.logtailers_per_db = 2;
+  options.raft.enable_logless_reconfig = true;
+  ClusterHarness cluster(options, FlexiEngine());
+  ASSERT_TRUE(cluster.Bootstrap().ok());
+  const MemberId primary = cluster.WaitForPrimary(30 * kSecond);
+  ASSERT_FALSE(primary.empty());
+  ASSERT_TRUE(cluster.SyncWrite("a", "1").status.ok());
+  cluster.loop()->RunFor(2 * kSecond);
+
+  // Two distinct swap targets outside the primary's region, so neither
+  // change is an idempotent no-op and neither touches the commit quorum.
+  const RegionId home = cluster.node(primary)->region();
+  std::vector<MemberId> targets;
+  for (const auto& member : cluster.config().members) {
+    if (member.kind == MemberKind::kLogtailer && member.region != home) {
+      targets.push_back(member.id);
+    }
+  }
+  ASSERT_GE(targets.size(), 2u);
+
+  // First change opens the pending window (the install quorum can't have
+  // echoed yet — the loop hasn't run); the second must be refused.
+  ASSERT_TRUE(cluster
+                  .SwapMemberTypeViaLeader(targets[0],
+                                           RaftMemberType::kNonVoter)
+                  .ok());
+  Status second =
+      cluster.SwapMemberTypeViaLeader(targets[1], RaftMemberType::kNonVoter);
+  EXPECT_TRUE(second.IsIllegalState()) << second;
+
+  // Once the first change commits, the second goes through.
+  cluster.loop()->RunFor(5 * kSecond);
+  raft::RaftConsensus* leader = cluster.node(primary)->server()->consensus();
+  EXPECT_FALSE(leader->has_pending_config_change());
+  ASSERT_TRUE(cluster
+                  .SwapMemberTypeViaLeader(targets[1],
+                                           RaftMemberType::kNonVoter)
+                  .ok());
+  cluster.loop()->RunFor(5 * kSecond);
+  EXPECT_FALSE(leader->has_pending_config_change());
+  ASSERT_TRUE(cluster.SyncWrite("post", "v").status.ok());
+}
+
+TEST(ClusterMembershipTest, VoterWitnessSwapRoundTrip) {
+  ClusterOptions options;
+  options.seed = 66;
+  options.db_regions = 3;
+  options.logtailers_per_db = 2;
+  options.raft.enable_logless_reconfig = true;
+  ClusterHarness cluster(options, FlexiEngine());
+  ASSERT_TRUE(cluster.Bootstrap().ok());
+  const MemberId primary = cluster.WaitForPrimary(30 * kSecond);
+  ASSERT_FALSE(primary.empty());
+  ASSERT_TRUE(cluster.SyncWrite("a", "1").status.ok());
+  cluster.loop()->RunFor(2 * kSecond);
+
+  const MemberId target =
+      LogtailerOutsideRegion(cluster, cluster.node(primary)->region());
+  ASSERT_FALSE(target.empty());
+
+  // Voter -> witness: every node converges on the demoted type.
+  ASSERT_TRUE(
+      cluster.SwapMemberTypeViaLeader(target, RaftMemberType::kNonVoter)
+          .ok());
+  cluster.loop()->RunFor(5 * kSecond);
+  for (const MemberId& id : cluster.ids()) {
+    const MemberInfo* info =
+        cluster.node(id)->server()->consensus()->config().Find(target);
+    ASSERT_NE(info, nullptr) << id;
+    EXPECT_EQ(info->type, RaftMemberType::kNonVoter) << id;
+  }
+
+  // Witness -> voter: and back.
+  ASSERT_TRUE(
+      cluster.SwapMemberTypeViaLeader(target, RaftMemberType::kVoter).ok());
+  cluster.loop()->RunFor(5 * kSecond);
+  for (const MemberId& id : cluster.ids()) {
+    const MemberInfo* info =
+        cluster.node(id)->server()->consensus()->config().Find(target);
+    ASSERT_NE(info, nullptr) << id;
+    EXPECT_EQ(info->type, RaftMemberType::kVoter) << id;
+  }
+  ASSERT_TRUE(cluster.SyncWrite("post-swap", "v").status.ok());
+  EXPECT_TRUE(cluster.CheckReplicaConsistency());
+}
+
+TEST(ClusterMembershipTest, RemovedVoterInstallsFarewellAndParks) {
+  ClusterOptions options;
+  options.seed = 67;
+  options.db_regions = 3;
+  options.logtailers_per_db = 2;
+  options.raft.enable_logless_reconfig = true;
+  ClusterHarness cluster(options, FlexiEngine());
+  ASSERT_TRUE(cluster.Bootstrap().ok());
+  const MemberId primary = cluster.WaitForPrimary(30 * kSecond);
+  ASSERT_FALSE(primary.empty());
+  ASSERT_TRUE(cluster.SyncWrite("a", "1").status.ok());
+  cluster.loop()->RunFor(2 * kSecond);
+
+  const MemberId removed =
+      LogtailerOutsideRegion(cluster, cluster.node(primary)->region());
+  ASSERT_FALSE(removed.empty());
+  ASSERT_TRUE(cluster.RemoveMemberViaLeader(removed).ok());
+
+  // Long enough for many election timeouts: a removed node that never
+  // learned of its removal would campaign here and inflate terms.
+  cluster.loop()->RunFor(15 * kSecond);
+
+  raft::RaftConsensus* gone = cluster.node(removed)->server()->consensus();
+  // The farewell heartbeat delivered the config in which it is absent...
+  EXPECT_FALSE(gone->config().Contains(removed));
+  // ...so it parked: following, not campaigning, terms quiet.
+  EXPECT_EQ(gone->role(), RaftRole::kFollower);
+  raft::RaftConsensus* leader = cluster.node(primary)->server()->consensus();
+  EXPECT_LE(gone->term(), leader->term());
+  for (const MemberId& id : cluster.ids()) {
+    if (id == removed) continue;
+    EXPECT_FALSE(cluster.node(id)->server()->consensus()->config().Contains(
+        removed))
+        << id;
+  }
+  ASSERT_TRUE(cluster.SyncWrite("post-remove", "v").status.ok());
+  EXPECT_TRUE(cluster.CheckReplicaConsistency());
+}
+
+TEST(ClusterMembershipTest, ReconfigRacingLeaderTransferStaysSafe) {
+  ClusterOptions options;
+  options.seed = 68;
+  options.db_regions = 3;
+  options.logtailers_per_db = 2;
+  options.raft.enable_logless_reconfig = true;
+  ClusterHarness cluster(options, FlexiEngine());
+  ASSERT_TRUE(cluster.Bootstrap().ok());
+  const MemberId primary = cluster.WaitForPrimary(30 * kSecond);
+  ASSERT_FALSE(primary.empty());
+  ASSERT_TRUE(cluster.SyncWrite("a", "1").status.ok());
+  cluster.loop()->RunFor(2 * kSecond);
+
+  // A database voter in another region to hand leadership to, and a
+  // logtailer to demote, mid-handoff.
+  MemberId transfer_target;
+  for (const auto& member : cluster.config().members) {
+    if (member.kind == MemberKind::kMySql && member.is_voter() &&
+        member.id != primary) {
+      transfer_target = member.id;
+      break;
+    }
+  }
+  ASSERT_FALSE(transfer_target.empty());
+  const MemberId demote_target =
+      LogtailerOutsideRegion(cluster, cluster.node(primary)->region());
+  ASSERT_FALSE(demote_target.empty());
+
+  raft::RaftConsensus* old_leader =
+      cluster.node(primary)->server()->consensus();
+  ASSERT_TRUE(old_leader->TransferLeadership(transfer_target).ok());
+  // The reconfig races the in-flight transfer: both orders are legal, the
+  // change may land on either side of the handoff or be refused — what
+  // must hold is that the ring converges on one leader and one config.
+  Status racing =
+      cluster.SwapMemberTypeViaLeader(demote_target, RaftMemberType::kNonVoter);
+  EXPECT_TRUE(racing.ok() || racing.IsIllegalState() ||
+              racing.IsServiceUnavailable())
+      << racing;
+
+  cluster.loop()->RunFor(10 * kSecond);
+  const MemberId new_primary = cluster.WaitForPrimary(30 * kSecond);
+  ASSERT_FALSE(new_primary.empty());
+  raft::RaftConsensus* leader =
+      cluster.node(new_primary)->server()->consensus();
+  EXPECT_FALSE(leader->has_pending_config_change());
+  // Every node ends on the leader's exact config identity.
+  for (const MemberId& id : cluster.ids()) {
+    raft::RaftConsensus* c = cluster.node(id)->server()->consensus();
+    EXPECT_TRUE(c->config().SameIdAs(leader->config())) << id;
+  }
+  ASSERT_TRUE(cluster.SyncWrite("post-race", "v").status.ok());
+  EXPECT_TRUE(cluster.CheckReplicaConsistency());
+}
+
+// ---------------------------------------------------------------------------
+// Legacy log-path regressions (§15 bug crop): truncation rollback with
+// stacked uncommitted config entries, and the Replicate(kConfigChange)
+// guard. Hand-driven through the raft_test harness so message timing is
+// exact.
+
+using raft_test::RaftTestCluster;
+
+raft::MajorityQuorumEngine* Majority() {
+  static auto* engine = new raft::MajorityQuorumEngine();
+  return engine;
+}
+
+LogEntry ConfigEntry(uint64_t term, uint64_t index,
+                     const MembershipConfig& config) {
+  std::string payload;
+  EncodeMembershipConfig(config, &payload);
+  return LogEntry::Make({term, index}, EntryType::kConfigChange,
+                        std::move(payload));
+}
+
+AppendEntriesRequest Append(const MemberId& leader, const MemberId& dest,
+                            uint64_t term, OpId prev,
+                            std::vector<LogEntry> entries) {
+  AppendEntriesRequest request;
+  request.leader = leader;
+  request.dest = dest;
+  request.term = term;
+  request.prev = prev;
+  request.commit_marker = kZeroOpId;  // nothing committed: all stacked
+  request.entries = std::move(entries);
+  return request;
+}
+
+/// Three passive nodes (election timers effectively off) so a test can act
+/// as the leader and drive one follower with hand-crafted batches.
+raft::RaftOptions PassiveOptions() {
+  raft::RaftOptions options;
+  options.heartbeat_interval_micros = 1'000'000'000'000;  // never campaign
+  return options;
+}
+
+TEST(ClusterMembershipTest, StackedUncommittedConfigsRollBackToCommitted) {
+  RaftTestCluster nodes(69);
+  nodes.AddMemberSpec("f", "r0");
+  nodes.AddMemberSpec("ldr", "r0");
+  nodes.AddMemberSpec("x", "r1");
+  nodes.StartAll(Majority(), PassiveOptions());
+  raft::RaftConsensus* f = nodes.node("f")->consensus();
+  const MembershipConfig base = nodes.config();
+
+  // Term-2 leader stacks TWO uncommitted config entries in one batch:
+  // base+d at index 2, then base+d+e at index 3.
+  MembershipConfig with_d = base;
+  with_d.members.push_back({"d", "r1", MemberKind::kMySql,
+                            RaftMemberType::kVoter});
+  with_d.config_index = 2;
+  MembershipConfig with_de = with_d;
+  with_de.members.push_back({"e", "r2", MemberKind::kMySql,
+                             RaftMemberType::kVoter});
+  with_de.config_index = 3;
+  nodes.node("f")->Deliver(Message(Append(
+      "ldr", "f", 2, kZeroOpId,
+      {LogEntry::Make({2, 1}, EntryType::kNoOp, ""),
+       ConfigEntry(2, 2, with_d), ConfigEntry(2, 3, with_de)})));
+  ASSERT_TRUE(f->config().Contains("d"));
+  ASSERT_TRUE(f->config().Contains("e"));
+  ASSERT_FALSE(f->committed_config().Contains("d"));
+  ASSERT_TRUE(f->has_pending_config_change());
+
+  // A term-3 leader overwrites the whole divergent suffix. The historical
+  // single-slot rollback restored the INTERMEDIATE config (base+d); the
+  // correct target is the last committed config.
+  nodes.node("f")->Deliver(Message(
+      Append("x", "f", 3, {2, 1},
+             {LogEntry::Make({3, 2}, EntryType::kNoOp, "")})));
+  EXPECT_FALSE(f->config().Contains("d"));
+  EXPECT_FALSE(f->config().Contains("e"));
+  EXPECT_FALSE(f->has_pending_config_change());
+
+  // Crash/restart re-derives the same answer from disk: a rejoined
+  // follower must not come back acting on the truncated config.
+  nodes.Crash("f");
+  nodes.Restart("f");
+  f = nodes.node("f")->consensus();
+  EXPECT_FALSE(f->config().Contains("d"));
+  EXPECT_FALSE(f->config().Contains("e"));
+  EXPECT_FALSE(f->has_pending_config_change());
+}
+
+TEST(ClusterMembershipTest, PartialTruncationKeepsSurvivingConfigEntry) {
+  RaftTestCluster nodes(70);
+  nodes.AddMemberSpec("f", "r0");
+  nodes.AddMemberSpec("ldr", "r0");
+  nodes.AddMemberSpec("x", "r1");
+  nodes.StartAll(Majority(), PassiveOptions());
+  raft::RaftConsensus* f = nodes.node("f")->consensus();
+  const MembershipConfig base = nodes.config();
+
+  MembershipConfig with_d = base;
+  with_d.members.push_back({"d", "r1", MemberKind::kMySql,
+                            RaftMemberType::kVoter});
+  with_d.config_index = 2;
+  MembershipConfig with_de = with_d;
+  with_de.members.push_back({"e", "r2", MemberKind::kMySql,
+                             RaftMemberType::kVoter});
+  with_de.config_index = 3;
+  nodes.node("f")->Deliver(Message(Append(
+      "ldr", "f", 2, kZeroOpId,
+      {LogEntry::Make({2, 1}, EntryType::kNoOp, ""),
+       ConfigEntry(2, 2, with_d), ConfigEntry(2, 3, with_de)})));
+  ASSERT_TRUE(f->config().Contains("e"));
+
+  // Truncate only index 3: the surviving config entry at index 2 is the
+  // rollback target, and it is still pending (uncommitted).
+  nodes.node("f")->Deliver(Message(
+      Append("x", "f", 3, {2, 2},
+             {LogEntry::Make({3, 3}, EntryType::kNoOp, "")})));
+  EXPECT_TRUE(f->config().Contains("d"));
+  EXPECT_FALSE(f->config().Contains("e"));
+  EXPECT_TRUE(f->has_pending_config_change());
+}
+
+TEST(ClusterMembershipTest, DirectReplicateConfigChangeWhilePendingIsRejected) {
+  RaftTestCluster nodes(71);
+  nodes.AddMemberSpec("a", "r0");
+  nodes.AddMemberSpec("b", "r0");
+  nodes.AddMemberSpec("c", "r1");
+  nodes.StartAll(Majority());
+  const MemberId leader_id = nodes.WaitForLeader(30 * kSecond);
+  ASSERT_FALSE(leader_id.empty());
+  raft::RaftConsensus* leader = nodes.node(leader_id)->consensus();
+  ASSERT_TRUE(
+      nodes.WaitForCommit(leader_id, leader->last_logged(), 10 * kSecond));
+
+  // Open the legacy pending window with a real AddMember, then hit the
+  // raw entry point before the loop can commit it. Pre-guard, the direct
+  // Replicate stacked a second uncommitted config on top of the pending
+  // one and broke the truncation rollback.
+  ASSERT_TRUE(leader
+                  ->AddMember({"d", "r2", MemberKind::kMySql,
+                               RaftMemberType::kVoter})
+                  .ok());
+  ASSERT_TRUE(leader->has_pending_config_change());
+  MembershipConfig stacked = leader->config();
+  stacked.members.push_back({"e", "r2", MemberKind::kMySql,
+                             RaftMemberType::kVoter});
+  std::string payload;
+  EncodeMembershipConfig(stacked, &payload);
+  auto direct =
+      leader->Replicate(EntryType::kConfigChange, std::move(payload));
+  ASSERT_FALSE(direct.ok());
+  EXPECT_TRUE(direct.status().IsIllegalState()) << direct.status();
+
+  // The legitimate change still commits cleanly on every voter.
+  const uint64_t deadline = nodes.loop()->now() + 30 * kSecond;
+  while (nodes.loop()->now() < deadline &&
+         leader->has_pending_config_change()) {
+    nodes.loop()->RunFor(100'000);
+  }
+  EXPECT_FALSE(leader->has_pending_config_change());
+  for (const MemberId& id : {MemberId("a"), MemberId("b"), MemberId("c")}) {
+    EXPECT_TRUE(nodes.node(id)->consensus()->config().Contains("d")) << id;
+  }
 }
 
 }  // namespace

@@ -118,6 +118,79 @@ TEST(QuorumFixerTest, RestoresShatteredQuorum) {
             "precious=data");
 }
 
+TEST(QuorumFixerTest, LoglessRepairExcisesDeadVotersInOneForcedBump) {
+  // §15 pinned schedule: on a logless-reconfig ring the fixer does not
+  // stop at restoring a leader — step 5 rebuilds the membership itself,
+  // demoting every dead voter in ONE forced config bump (the force path
+  // exists precisely because the single-change rule cannot be satisfied
+  // when the old quorum is dead) and pinning quorum_spec to "majority"
+  // so the survivors alone form every future quorum.
+  sim::ClusterOptions cluster_options = RaftClusterOptions(34);
+  cluster_options.raft.enable_logless_reconfig = true;
+  sim::ClusterHarness cluster(cluster_options, FlexiEngine());
+  ASSERT_TRUE(cluster.Bootstrap().ok());
+  const MemberId primary = cluster.WaitForPrimary(30 * kSecond);
+  ASSERT_FALSE(primary.empty());
+  ASSERT_TRUE(cluster.SyncWrite("precious", "data").status.ok());
+  cluster.loop()->RunFor(2 * kSecond);
+
+  // Kill the primary's whole region: 3 of 9 voters dead, including the
+  // only region that can satisfy the single-region-dynamic election
+  // quorum.
+  const RegionId home = cluster.node(primary)->region();
+  std::vector<MemberId> dead;
+  for (const MemberId& id : cluster.ids()) {
+    if (cluster.node(id)->region() == home) {
+      cluster.Crash(id);
+      dead.push_back(id);
+    }
+  }
+  ASSERT_EQ(dead.size(), 3u);
+  cluster.loop()->RunFor(20 * kSecond);
+  EXPECT_EQ(cluster.CurrentPrimary(), "");
+
+  auto report = RunQuorumFixer(&cluster, QuorumFixerOptions());
+  ASSERT_TRUE(report.status.ok()) << report.status;
+  EXPECT_TRUE(report.quorum_was_shattered);
+  EXPECT_TRUE(report.forced_reconfig);
+  EXPECT_EQ(report.voters_excised, 3);
+
+  cluster.loop()->RunFor(10 * kSecond);
+  const MemberId new_primary = cluster.WaitForPrimary(30 * kSecond);
+  ASSERT_FALSE(new_primary.empty());
+  raft::RaftConsensus* leader =
+      cluster.node(new_primary)->server()->consensus();
+  // The repaired config committed (install quorum of the survivors),
+  // keeps the dead members as non-voting learners for operators to
+  // revive or retire, and pins the majority quorum spec.
+  EXPECT_FALSE(leader->has_pending_config_change());
+  EXPECT_EQ(leader->config().quorum_spec, "majority");
+  for (const MemberId& id : dead) {
+    const MemberInfo* info = leader->config().Find(id);
+    ASSERT_NE(info, nullptr) << id;
+    EXPECT_EQ(info->type, RaftMemberType::kNonVoter) << id;
+  }
+
+  // Availability restored; committed data intact.
+  EXPECT_TRUE(cluster.SyncWrite("alive", "again").status.ok());
+  EXPECT_EQ(cluster.node(new_primary)->server()->Read("bench.kv", "precious"),
+            "precious=data");
+
+  // Revived members rejoin as learners under the forced config — they
+  // install the (term, version)-newer config and stop being voters, so
+  // they can never resurrect the dead quorum.
+  for (const MemberId& id : dead) {
+    ASSERT_TRUE(cluster.Restart(id).ok()) << id;
+  }
+  cluster.loop()->RunFor(10 * kSecond);
+  for (const MemberId& id : dead) {
+    raft::RaftConsensus* revived = cluster.node(id)->server()->consensus();
+    EXPECT_TRUE(revived->config().SameIdAs(leader->config())) << id;
+    EXPECT_NE(revived->role(), RaftRole::kLeader) << id;
+  }
+  EXPECT_TRUE(cluster.SyncWrite("post-revival", "v").status.ok());
+}
+
 TEST(QuorumFixerTest, RefusesHealthyRing) {
   sim::ClusterHarness cluster(RaftClusterOptions(32), FlexiEngine());
   ASSERT_TRUE(cluster.Bootstrap().ok());

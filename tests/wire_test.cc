@@ -84,6 +84,58 @@ TEST(MembershipTest, ConfigCodecRejectsTruncation) {
   }
 }
 
+TEST(MembershipTest, VersionedConfigCodecRoundTrip) {
+  // Logless identity group (§15): (config_term, config_version) and the
+  // quorum-spec override survive the codec.
+  auto config = PaperTopology();
+  config.config_term = 7;
+  config.config_version = 42;
+  config.quorum_spec = "multi:2";
+  std::string buf;
+  EncodeMembershipConfig(config, &buf);
+  auto decoded = DecodeMembershipConfig(buf);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(*decoded, config);
+  EXPECT_EQ(decoded->config_term, 7u);
+  EXPECT_EQ(decoded->config_version, 42u);
+  EXPECT_EQ(decoded->quorum_spec, "multi:2");
+}
+
+TEST(MembershipTest, UnversionedConfigEncodesPreReconfigCompatible) {
+  // A legacy (identity-less) config must encode byte-identically to the
+  // pre-reconfig format: old decoders reject trailing bytes, so the
+  // identity group must be absent, not zero-filled.
+  const auto legacy = PaperTopology();
+  std::string legacy_buf;
+  EncodeMembershipConfig(legacy, &legacy_buf);
+  auto versioned = legacy;
+  versioned.config_version = 1;
+  std::string versioned_buf;
+  EncodeMembershipConfig(versioned, &versioned_buf);
+  EXPECT_LT(legacy_buf.size(), versioned_buf.size());
+  auto decoded = DecodeMembershipConfig(legacy_buf);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->config_term, 0u);
+  EXPECT_EQ(decoded->config_version, 0u);
+  EXPECT_TRUE(decoded->quorum_spec.empty());
+}
+
+TEST(MembershipTest, ConfigIdentityOrderingTermDominates) {
+  MembershipConfig a, b;
+  a.config_term = 2;
+  a.config_version = 1;
+  b.config_term = 1;
+  b.config_version = 9;
+  EXPECT_TRUE(a.IdIsNewerThan(b));   // term dominates version
+  EXPECT_FALSE(b.IdIsNewerThan(a));
+  b.config_term = 2;
+  b.config_version = 2;
+  EXPECT_TRUE(b.IdIsNewerThan(a));   // same term: version decides
+  EXPECT_FALSE(a.IdIsNewerThan(a));  // irreflexive
+  EXPECT_TRUE(a.SameIdAs(a));
+  EXPECT_FALSE(a.SameIdAs(b));
+}
+
 TEST(LogEntryTest, MakeComputesChecksum) {
   const LogEntry e = LogEntry::Make({3, 7}, EntryType::kTransaction, "data");
   EXPECT_TRUE(e.VerifyChecksum());
@@ -196,6 +248,79 @@ TEST(MessagesTest, AppendResponseLeaseEchoRoundTrip) {
   auto plain_decoded = AppendEntriesResponse::DecodeFrom(plain);
   ASSERT_TRUE(plain_decoded.ok());
   EXPECT_EQ(plain_decoded->lease_granted_micros, 0u);
+}
+
+TEST(MessagesTest, AppendEntriesConfigPayloadRoundTrip) {
+  // The config group trails the lease group; a request carrying only a
+  // config must force the trace pair and lease group out (zeros allowed)
+  // and still round-trip.
+  auto req = MakeAppendRequest();
+  std::string cfg;
+  EncodeMembershipConfig(PaperTopology(), &cfg);
+  req.config_payload = cfg;
+  std::string buf;
+  req.EncodeTo(&buf);
+  auto decoded = AppendEntriesRequest::DecodeFrom(buf);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(*decoded, req);
+  auto inner = DecodeMembershipConfig(decoded->config_payload);
+  ASSERT_TRUE(inner.ok());
+  EXPECT_EQ(*inner, PaperTopology());
+  // Without the config the encoding shrinks back to the pre-reconfig
+  // shape, which pre-reconfig decoders (rejecting trailing bytes) accept.
+  req.config_payload.clear();
+  std::string plain;
+  req.EncodeTo(&plain);
+  EXPECT_LT(plain.size(), buf.size());
+  auto plain_decoded = AppendEntriesRequest::DecodeFrom(plain);
+  ASSERT_TRUE(plain_decoded.ok());
+  EXPECT_TRUE(plain_decoded->config_payload.empty());
+}
+
+TEST(MessagesTest, AppendResponseConfigAckRoundTrip) {
+  AppendEntriesResponse resp;
+  resp.from = "lt1a";
+  resp.dest = "db0";
+  resp.term = 9;
+  resp.success = false;  // config acks ride on rejections too (§15)
+  resp.last_received = {9, 43};
+  resp.last_durable_index = 43;
+  resp.config_term = 9;
+  resp.config_version = 4;
+  std::string buf;
+  resp.EncodeTo(&buf);
+  auto decoded = AppendEntriesResponse::DecodeFrom(buf);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(*decoded, resp);
+  // No ack → the trailing group vanishes (logless-off byte identity).
+  resp.config_term = 0;
+  resp.config_version = 0;
+  std::string plain;
+  resp.EncodeTo(&plain);
+  EXPECT_LT(plain.size(), buf.size());
+  ASSERT_TRUE(AppendEntriesResponse::DecodeFrom(plain).ok());
+}
+
+TEST(MessagesTest, VoteRequestConfigIdentityRoundTrip) {
+  VoteRequest req;
+  req.candidate = "db1";
+  req.dest = "lt1b";
+  req.term = 12;
+  req.last_log = {11, 999};
+  req.candidate_region = "r1";
+  req.config_term = 11;
+  req.config_version = 3;
+  std::string buf;
+  req.EncodeTo(&buf);
+  auto decoded = VoteRequest::DecodeFrom(buf);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(*decoded, req);
+  req.config_term = 0;
+  req.config_version = 0;
+  std::string plain;
+  req.EncodeTo(&plain);
+  EXPECT_LT(plain.size(), buf.size());
+  ASSERT_TRUE(VoteRequest::DecodeFrom(plain).ok());
 }
 
 TEST(MessagesTest, ProxyOpFlagSurvives) {
