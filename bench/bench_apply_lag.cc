@@ -49,8 +49,8 @@ ReplicationResult RunReplicationArm(size_t inflight_batches, int writes,
                                     const std::string& trace_out = "") {
   sim::ClusterOptions options;
   options.seed = seed;
-  options.db_regions = 3;
-  options.logtailers_per_db = 2;
+  options.topology.db_regions = 3;
+  options.topology.logtailers_per_db = 2;
   // Slow links everywhere: 5-5.5 ms one way, ~10.5 ms RTT. With 8-entry
   // batches, a lock-step leader commits at most ~760 entries/s.
   options.network.same_region = {5'000, 500};
@@ -59,10 +59,10 @@ ReplicationResult RunReplicationArm(size_t inflight_batches, int writes,
   options.raft.max_inflight_batches = inflight_batches;
   // Observability plane: 100 ms windows so the BENCH json carries the
   // throughput trajectory, not just the end-of-run totals.
-  options.obs_sample_interval_micros = 100'000;
+  options.obs.sample_interval_micros = 100'000;
   // Acks are measured at the raft layer; keep clients from timing out
   // and spamming retned errors while the lock-step arm saturates.
-  options.client_timeout_micros = 120 * kSecond;
+  options.client.timeout_micros = 120 * kSecond;
 
   sim::ClusterHarness cluster(options, Engine());
   MYRAFT_CHECK(cluster.Bootstrap().ok());
@@ -120,15 +120,15 @@ LagResult RunLagArm(uint32_t workers, uint64_t duration_micros,
                     double rate_per_sec, uint64_t seed) {
   sim::ClusterOptions options;
   options.seed = seed;
-  options.db_regions = 3;
-  options.logtailers_per_db = 2;
+  options.topology.db_regions = 3;
+  options.topology.logtailers_per_db = 2;
   options.applier_workers = workers;
   // 700 us of modelled engine work per transaction: a serial applier
   // saturates at ~1400/s; four workers ride the overlapping commit
   // intervals of concurrent client writes well past the offered rate.
   options.applier_txn_cost_micros = 700;
-  options.server_processing_jitter_micros = 300;
-  options.client_timeout_micros = 30 * kSecond;
+  options.client.processing_jitter_micros = 300;
+  options.client.timeout_micros = 30 * kSecond;
 
   sim::ClusterHarness cluster(options, Engine());
   MYRAFT_CHECK(cluster.Bootstrap().ok());

@@ -97,9 +97,9 @@ bool ParseChaosArgs(int argc, char** argv, ChaosArgs* args) {
 
 chaos::ChaosOptions RunnerOptions(bool reconfig) {
   chaos::ChaosOptions options;
-  options.cluster.db_regions = 3;
-  options.cluster.logtailers_per_db = 2;
-  options.cluster.learners = 1;
+  options.cluster.topology.db_regions = 3;
+  options.cluster.topology.logtailers_per_db = 2;
+  options.cluster.topology.learners = 1;
   options.cluster.raft.enable_logless_reconfig = reconfig;
   return options;
 }

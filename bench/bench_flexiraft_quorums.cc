@@ -24,13 +24,13 @@ Histogram RunMode(const FlexiRaftQuorumEngine* engine, uint64_t seed,
                   int writes) {
   sim::ClusterOptions options;
   options.seed = seed;
-  options.db_regions = 6;
-  options.logtailers_per_db = 2;
-  options.learners = 2;
+  options.topology.db_regions = 6;
+  options.topology.logtailers_per_db = 2;
+  options.topology.learners = 2;
   // Measure the server-side commit path: co-located client, tiny
   // processing cost, so the quorum RTT dominates.
-  options.client_one_way_micros = 10;
-  options.server_processing_micros = 50;
+  options.client.one_way_micros = 10;
+  options.client.processing_micros = 50;
   sim::ClusterHarness cluster(options, engine);
   MYRAFT_CHECK(cluster.Bootstrap().ok());
   MYRAFT_CHECK(!cluster.WaitForPrimary(120 * kSecond).empty());

@@ -29,8 +29,8 @@ void RunPoint(SweepPoint* point, uint64_t seed, int trials) {
   for (int t = 0; t < trials; ++t) {
     sim::ClusterOptions options;
     options.seed = seed + static_cast<uint64_t>(t);
-    options.db_regions = 3;
-    options.logtailers_per_db = 2;
+    options.topology.db_regions = 3;
+    options.topology.logtailers_per_db = 2;
     options.raft.heartbeat_interval_micros = point->heartbeat_micros;
     options.raft.missed_heartbeats_before_election = point->misses;
     options.raft.election_jitter_micros = point->heartbeat_micros;

@@ -255,12 +255,12 @@ CommitLatencyResult RunCommitLatencyConfig(uint64_t seed, bool coalesced,
   constexpr uint64_t kSecond = 1'000'000;
   sim::ClusterOptions options;
   options.seed = seed;
-  options.db_regions = 3;
-  options.logtailers_per_db = 2;
+  options.topology.db_regions = 3;
+  options.topology.logtailers_per_db = 2;
   options.raft.group_commit_sync = coalesced;
   // Observability plane: 10 ms windows catch the commit-stage latency
   // series across the burst schedule.
-  options.obs_sample_interval_micros = 10'000;
+  options.obs.sample_interval_micros = 10'000;
   sim::ClusterHarness harness(options, CommitLatencyEngine());
   CommitLatencyResult result;
   if (!harness.Bootstrap().ok()) return result;

@@ -31,8 +31,8 @@ TrialResult RunTrial(bool mock_enabled, uint64_t seed,
       {flexiraft::QuorumMode::kSingleRegionDynamic});
   sim::ClusterOptions options;
   options.seed = seed;
-  options.db_regions = 3;
-  options.logtailers_per_db = 2;
+  options.topology.db_regions = 3;
+  options.topology.logtailers_per_db = 2;
   options.raft.enable_mock_election = mock_enabled;
   sim::ClusterHarness cluster(options, &engine);
   MYRAFT_CHECK(cluster.Bootstrap().ok());

@@ -32,9 +32,9 @@ ArmStats RunArm(bool proxy_enabled, uint64_t seed, int writes) {
       {flexiraft::QuorumMode::kSingleRegionDynamic});
   sim::ClusterOptions options;
   options.seed = seed;
-  options.db_regions = 6;
-  options.logtailers_per_db = 2;
-  options.learners = 2;
+  options.topology.db_regions = 6;
+  options.topology.logtailers_per_db = 2;
+  options.topology.learners = 2;
   options.proxy_enabled = proxy_enabled;
   sim::ClusterHarness cluster(options, &engine);
   MYRAFT_CHECK(cluster.Bootstrap().ok());

@@ -89,12 +89,12 @@ ReadModeResult RunReadMode(uint64_t seed, const ReadModeConfig& config,
                            int clients, int reads, int keys) {
   sim::ClusterOptions options;
   options.seed = seed;
-  options.db_regions = 5;  // the paper's 5-region deployment
-  options.logtailers_per_db = 2;
+  options.topology.db_regions = 5;  // the paper's 5-region deployment
+  options.topology.logtailers_per_db = 2;
   options.raft.enable_leader_leases = config.leases;
   // Observability plane: 10 ms windows show the read-path counters as a
   // rate series (lease vs quorum) rather than only end totals.
-  options.obs_sample_interval_micros = 10'000;
+  options.obs.sample_interval_micros = 10'000;
   sim::ClusterHarness harness(options, ReadBenchEngine());
   ReadModeResult result;
   if (!harness.Bootstrap().ok()) return result;

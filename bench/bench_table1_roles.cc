@@ -23,9 +23,9 @@ int main(int argc, char** argv) {
       {flexiraft::QuorumMode::kSingleRegionDynamic});
   sim::ClusterOptions options;
   options.seed = args.seed;
-  options.db_regions = 3;
-  options.logtailers_per_db = 2;
-  options.learners = 2;
+  options.topology.db_regions = 3;
+  options.topology.logtailers_per_db = 2;
+  options.topology.learners = 2;
   sim::ClusterHarness cluster(options, &engine);
   MYRAFT_CHECK(cluster.Bootstrap().ok());
   const MemberId primary = cluster.WaitForPrimary(60'000'000);

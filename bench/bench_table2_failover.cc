@@ -34,9 +34,9 @@ const raft::QuorumEngine* FlexiEngine() {
 sim::ClusterOptions RaftOptions(uint64_t seed) {
   sim::ClusterOptions options;
   options.seed = seed;
-  options.db_regions = 6;  // primary + five followers
-  options.logtailers_per_db = 2;
-  options.learners = 2;
+  options.topology.db_regions = 6;  // primary + five followers
+  options.topology.logtailers_per_db = 2;
+  options.topology.learners = 2;
   // Production-scale election jitter: with 17 voters spread over WAN
   // links, candidates de-synchronise over a wider window.
   options.raft.election_jitter_micros = 1'500'000;
@@ -102,7 +102,7 @@ TracedFailover RunTracedFailover(uint64_t seed) {
   sim::ClusterOptions options = RaftOptions(seed);
   // Observability plane on the instrumented trial: the 10 ms windows
   // bracket the failover dip in the exported time series.
-  options.obs_sample_interval_micros = 10'000;
+  options.obs.sample_interval_micros = 10'000;
   sim::ClusterHarness cluster(options, FlexiEngine());
   if (!cluster.Bootstrap().ok()) return out;
   const MemberId primary = cluster.WaitForPrimary(60 * kSecond);

@@ -84,18 +84,18 @@ inline void ApplyClientModel(const Fig5Setup& setup, uint64_t* one_way,
 inline Fig5ArmResult RunMyRaftArm(const Fig5Setup& setup) {
   sim::ClusterOptions options;
   options.seed = setup.seed;
-  options.db_regions = 6;
-  options.logtailers_per_db = 2;
-  options.learners = 2;
-  ApplyClientModel(setup, &options.client_one_way_micros,
-                   &options.server_processing_micros,
-                   &options.server_processing_jitter_micros);
-  options.server_processing_micros += setup.sysbench
+  options.topology.db_regions = 6;
+  options.topology.logtailers_per_db = 2;
+  options.topology.learners = 2;
+  ApplyClientModel(setup, &options.client.one_way_micros,
+                   &options.client.processing_micros,
+                   &options.client.processing_jitter_micros);
+  options.client.processing_micros += setup.sysbench
                                           ? kRaftOverheadSysbenchMicros
                                           : kRaftOverheadProductionMicros;
   // Observability plane: the exported time series is the latency/rate
   // trajectory behind the Figure-5 percentiles.
-  options.obs_sample_interval_micros = 100'000;
+  options.obs.sample_interval_micros = 100'000;
 
   sim::ClusterHarness cluster(options, Fig5FlexiEngine());
   MYRAFT_CHECK(cluster.Bootstrap().ok());

@@ -24,9 +24,9 @@ int main() {
   // Paper-style topology: three regions, each with one MySQL database and
   // two logtailers; one learner.
   sim::ClusterOptions options;
-  options.db_regions = 3;
-  options.logtailers_per_db = 2;
-  options.learners = 1;
+  options.topology.db_regions = 3;
+  options.topology.logtailers_per_db = 2;
+  options.topology.learners = 1;
   options.seed = 2024;
 
   sim::ClusterHarness cluster(options, &quorum);

@@ -20,8 +20,8 @@ int main() {
   flexiraft::FlexiRaftQuorumEngine quorum(
       {flexiraft::QuorumMode::kSingleRegionDynamic});
   sim::ClusterOptions options;
-  options.db_regions = 3;
-  options.logtailers_per_db = 2;
+  options.topology.db_regions = 3;
+  options.topology.logtailers_per_db = 2;
   options.seed = 404;
   sim::ClusterHarness cluster(options, &quorum);
   if (!cluster.Bootstrap().ok()) return 1;

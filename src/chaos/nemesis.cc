@@ -69,13 +69,13 @@ Family PickFamily(Random* rng, const NemesisOptions& options) {
 
 std::vector<MemberId> TopologyMemberIds(const sim::ClusterOptions& options) {
   std::vector<MemberId> ids;
-  for (int r = 0; r < options.db_regions; ++r) {
+  for (int r = 0; r < options.topology.db_regions; ++r) {
     ids.push_back("db" + std::to_string(r));
-    for (int l = 0; l < options.logtailers_per_db; ++l) {
+    for (int l = 0; l < options.topology.logtailers_per_db; ++l) {
       ids.push_back(StringPrintf("lt%d%c", r, static_cast<char>('a' + l)));
     }
   }
-  for (int i = 0; i < options.learners; ++i) {
+  for (int i = 0; i < options.topology.learners; ++i) {
     ids.push_back("learner" + std::to_string(i));
   }
   std::sort(ids.begin(), ids.end());

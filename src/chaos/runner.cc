@@ -43,8 +43,8 @@ ChaosReport ChaosRunner::Run(const Schedule& schedule) {
   // is read-only (no RNG draws, no behaviour changes), so the report's
   // byte-identity contract holds, and a failing seed always carries a
   // flight-recorder bundle (LastBundleJson).
-  if (cluster_options.obs_sample_interval_micros == 0) {
-    cluster_options.obs_sample_interval_micros = 5'000;
+  if (cluster_options.obs.sample_interval_micros == 0) {
+    cluster_options.obs.sample_interval_micros = 5'000;
   }
   // Chaos overrides (see ChaosOptions doc): deferred follower fsync makes
   // the durable/received distinction real (torn crashes can eat acked-but-

@@ -1,23 +1,10 @@
 #include "sim/cluster.h"
 
-#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace myraft::sim {
 
 namespace {
-
-trace::TracerOptions ClientTracerOptions(const ClusterOptions& options,
-                                         EventLoop* loop) {
-  trace::TracerOptions out;
-  out.node = "client";
-  // Keep client-minted ids disjoint from every node's (numeric server ids
-  // are small and dense).
-  out.id_salt = 0xFFFF;
-  out.capacity = options.trace_capacity;
-  out.clock = loop->clock();
-  return out;
-}
 
 NetworkOptions WithDefaultMetrics(NetworkOptions options,
                                   metrics::MetricRegistry* registry) {
@@ -25,497 +12,57 @@ NetworkOptions WithDefaultMetrics(NetworkOptions options,
   return options;
 }
 
+SimClient::Options ClientOptionsFrom(const ClusterOptions& options) {
+  SimClient::Options out;
+  out.model = options.client;
+  out.trace_capacity = options.trace_capacity;
+  return out;
+}
+
 }  // namespace
 
 ClusterHarness::ClusterHarness(ClusterOptions options,
                                const raft::QuorumEngine* quorum)
     : options_(std::move(options)),
-      quorum_(quorum),
       loop_(options_.seed),
-      network_(&loop_, WithDefaultMetrics(options_.network, &net_metrics_)),
-      client_tracer_(ClientTracerOptions(options_, &loop_)) {}
+      network_(&loop_, WithDefaultMetrics(options_.network, &net_metrics_)) {
+  ShardOptions shard_options;
+  shard_options.topology = options_.topology;
+  shard_options.raft = options_.raft;
+  shard_options.proxy = options_.proxy;
+  shard_options.proxy_enabled = options_.proxy_enabled;
+  shard_options.engine_checkpoint_wal_bytes =
+      options_.engine_checkpoint_wal_bytes;
+  shard_options.applier_workers = options_.applier_workers;
+  shard_options.applier_txn_cost_micros = options_.applier_txn_cost_micros;
+  shard_options.trace_capacity = options_.trace_capacity;
+  shard_options.slow_txn_threshold_micros =
+      options_.slow_txn_threshold_micros;
+  // Trigger routing only; TriggerFlightRecorder is a no-op until the obs
+  // plane comes up at the end of Bootstrap.
+  shard_options.slow_txn_hook = [this](const std::string& summary) {
+    TriggerFlightRecorder(obs::TriggerKind::kSlowTransaction, summary);
+  };
+  shard_ = std::make_unique<Shard>(
+      ShardContext{&loop_, &network_, &discovery_, quorum},
+      std::move(shard_options));
+  client_ = std::make_unique<SimClient>(shard_.get(),
+                                        ClientOptionsFrom(options_));
+  admin_ = std::make_unique<ShardAdmin>(shard_.get());
+}
 
 Status ClusterHarness::Bootstrap() {
-  // Build the membership config: one database voter + logtailers per
-  // region, learners round-robin across follower regions.
-  uint32_t numeric_id = 1;
-  auto add_member = [&](const MemberId& id, const RegionId& region,
-                        MemberKind kind, RaftMemberType type) {
-    config_.members.push_back(MemberInfo{id, region, kind, type});
-
-    SimNode::Options node_options;
-    node_options.server.replicaset = options_.replicaset;
-    node_options.server.id = id;
-    node_options.server.region = region;
-    node_options.server.kind = kind;
-    node_options.server.data_dir = "/" + id;
-    node_options.server.numeric_server_id = numeric_id;
-    node_options.server.server_uuid = Uuid::FromIndex(numeric_id);
-    node_options.server.raft = options_.raft;
-    node_options.server.engine_checkpoint_wal_bytes =
-        options_.engine_checkpoint_wal_bytes;
-    node_options.server.applier_workers = options_.applier_workers;
-    node_options.server.applier_txn_cost_micros =
-        options_.applier_txn_cost_micros;
-    node_options.server.slow_txn_threshold_micros =
-        options_.slow_txn_threshold_micros;
-    // Trigger routing only; TriggerFlightRecorder is a no-op until the
-    // obs plane comes up at the end of Bootstrap.
-    node_options.server.slow_txn_hook = [this](const std::string& summary) {
-      TriggerFlightRecorder(obs::TriggerKind::kSlowTransaction, summary);
-    };
-    node_options.proxy = options_.proxy;
-    node_options.proxy_enabled = options_.proxy_enabled;
-    node_options.trace_capacity = options_.trace_capacity;
-    ++numeric_id;
-    nodes_[id] = std::make_unique<SimNode>(&loop_, &network_, &discovery_,
-                                           quorum_, std::move(node_options));
-  };
-
-  for (int r = 0; r < options_.db_regions; ++r) {
-    const RegionId region = "region" + std::to_string(r);
-    add_member("db" + std::to_string(r), region, MemberKind::kMySql,
-               RaftMemberType::kVoter);
-    for (int l = 0; l < options_.logtailers_per_db; ++l) {
-      add_member(StringPrintf("lt%d%c", r, static_cast<char>('a' + l)),
-                 region, MemberKind::kLogtailer, RaftMemberType::kVoter);
-    }
-  }
-  for (int i = 0; i < options_.learners; ++i) {
-    const int r = options_.db_regions > 1
-                      ? 1 + i % (options_.db_regions - 1)
-                      : 0;
-    add_member("learner" + std::to_string(i), "region" + std::to_string(r),
-               MemberKind::kMySql, RaftMemberType::kNonVoter);
-  }
-
-  for (auto& [id, node] : nodes_) {
-    MYRAFT_RETURN_NOT_OK_PREPEND(node->Bootstrap(config_),
-                                 "bootstrapping " + id);
-  }
-  if (options_.obs_sample_interval_micros > 0) StartObservability();
+  MYRAFT_RETURN_NOT_OK(shard_->Bootstrap());
+  if (options_.obs.sample_interval_micros > 0) StartObservability();
   return Status::OK();
-}
-
-std::vector<MemberId> ClusterHarness::ids() const {
-  std::vector<MemberId> out;
-  for (const auto& [id, node] : nodes_) out.push_back(id);
-  return out;
-}
-
-std::vector<MemberId> ClusterHarness::database_ids() const {
-  std::vector<MemberId> out;
-  for (const auto& member : config_.members) {
-    if (member.kind == MemberKind::kMySql && member.is_voter()) {
-      out.push_back(member.id);
-    }
-  }
-  return out;
-}
-
-MemberId ClusterHarness::CurrentPrimary() {
-  auto primary = discovery_.GetPrimary(options_.replicaset);
-  if (!primary.has_value()) return "";
-  auto it = nodes_.find(*primary);
-  if (it == nodes_.end() || !it->second->up()) return "";
-  if (!it->second->server()->writes_enabled()) return "";
-  return *primary;
-}
-
-MemberId ClusterHarness::WaitForPrimary(uint64_t timeout_micros) {
-  const uint64_t deadline = loop_.now() + timeout_micros;
-  while (loop_.now() < deadline) {
-    const MemberId primary = CurrentPrimary();
-    if (!primary.empty()) return primary;
-    loop_.RunFor(10'000);
-  }
-  return CurrentPrimary();
-}
-
-void ClusterHarness::ClientWrite(const std::string& key,
-                                 const std::string& value,
-                                 ClientCallback done,
-                                 const MemberId& target) {
-  const uint64_t issued_at = loop_.now();
-  MemberId dest = target;
-  if (dest.empty()) {
-    auto primary = discovery_.GetPrimary(options_.replicaset);
-    if (!primary.has_value()) {
-      done(ClientWriteResult{
-          Status::ServiceUnavailable("no primary in service discovery"), 0});
-      return;
-    }
-    dest = *primary;
-  }
-
-  // Root span of the transaction's cross-node trace; every server-side
-  // commit/replication/apply span stitches under it via the propagated
-  // TraceContext.
-  const uint64_t trace = client_tracer_.NextTraceId();
-  const uint64_t span = client_tracer_.BeginSpan(
-      "client", "write", trace, 0, "key=" + key + " dest=" + dest);
-
-  // Shared completion guard: the first of {server response, client
-  // timeout} wins.
-  auto responded = std::make_shared<bool>(false);
-  auto finish = [this, done, issued_at, responded, span](
-                    Status status, binlog::Gtid gtid = binlog::Gtid{},
-                    OpId opid = OpId{}) {
-    if (*responded) return;
-    *responded = true;
-    client_tracer_.EndSpan(span, status.ok() ? "ok" : status.ToString());
-    ClientWriteResult result;
-    result.status = std::move(status);
-    result.latency_micros = loop_.now() - issued_at;
-    result.gtid = gtid;
-    result.opid = opid;
-    done(result);
-  };
-  loop_.Schedule(options_.client_timeout_micros, [finish]() {
-    finish(Status::TimedOut("client write timed out"));
-  });
-
-  loop_.Schedule(options_.client_one_way_micros, [this, dest, key, value,
-                                                  finish, trace, span]() {
-    auto it = nodes_.find(dest);
-    if (it == nodes_.end() || !it->second->up()) {
-      // Connection refused travels back to the client.
-      loop_.Schedule(options_.client_one_way_micros, [finish]() {
-        finish(Status::NetworkError("primary unreachable"));
-      });
-      return;
-    }
-    SimNode* node = it->second.get();
-    uint64_t processing = options_.server_processing_micros;
-    if (options_.server_processing_jitter_micros > 0) {
-      processing +=
-          loop_.rng()->Uniform(options_.server_processing_jitter_micros);
-    }
-    loop_.Schedule(processing, [this, node, key, value, finish, trace,
-                                span]() {
-      if (!node->up()) {
-        loop_.Schedule(options_.client_one_way_micros, [finish]() {
-          finish(Status::NetworkError("primary died mid-request"));
-        });
-        return;
-      }
-      binlog::RowOperation op;
-      op.kind = binlog::RowOperation::Kind::kInsert;
-      op.database = "bench";
-      op.table = "kv";
-      op.column_count = 2;
-      op.after_image = key + "=" + value;
-      std::vector<binlog::RowOperation> ops{std::move(op)};
-      node->server()->SubmitWrite(
-          std::move(ops),
-          [this, finish](const server::WriteResult& result) {
-            loop_.Schedule(options_.client_one_way_micros,
-                           [finish, status = result.status,
-                            gtid = result.gtid, opid = result.opid]() {
-                             finish(status, gtid, opid);
-                           });
-          },
-          trace::TraceContext{trace, span});
-    });
-  });
-}
-
-ClusterHarness::ClientWriteResult ClusterHarness::SyncWrite(
-    const std::string& key, const std::string& value,
-    uint64_t timeout_micros) {
-  ClientWriteResult result;
-  bool completed = false;
-  ClientWrite(key, value, [&](const ClientWriteResult& r) {
-    result = r;
-    completed = true;
-  });
-  const uint64_t deadline = loop_.now() + timeout_micros;
-  while (!completed && loop_.now() < deadline) {
-    loop_.RunFor(1'000);
-  }
-  if (!completed) {
-    result.status = Status::TimedOut("SyncWrite: no completion");
-  }
-  return result;
-}
-
-void ClusterHarness::ClientRead(const std::string& key,
-                                ClientReadOptions read_options,
-                                ReadClientCallback done) {
-  const uint64_t issued_at = loop_.now();
-  MemberId dest = read_options.target;
-  const RegionId client_region = read_options.client_region.empty()
-                                     ? "region0"
-                                     : read_options.client_region;
-  if (dest.empty()) {
-    auto primary = discovery_.GetPrimary(options_.replicaset);
-    if (!primary.has_value()) {
-      done(ClientReadResult{
-          Status::ServiceUnavailable("no primary in service discovery")});
-      return;
-    }
-    dest = *primary;
-    if (read_options.mode == ReadMode::kFollower) {
-      // The primary's router steers: its replication bookkeeping knows
-      // which same-region member fits the staleness budget (§13).
-      auto it = nodes_.find(*primary);
-      if (it != nodes_.end() && it->second->up()) {
-        const MemberId steered = it->second->router()->ChooseReadTarget(
-            client_region, options_.read_staleness_budget_entries);
-        if (!steered.empty()) dest = steered;
-      }
-    }
-  }
-
-  const uint64_t trace = client_tracer_.NextTraceId();
-  const uint64_t span = client_tracer_.BeginSpan(
-      "client", "read", trace, 0, "key=" + key + " dest=" + dest);
-
-  auto responded = std::make_shared<bool>(false);
-  auto finish = [this, done, issued_at, responded, span, dest](
-                    Status status,
-                    std::optional<std::string> value = std::nullopt,
-                    bool served_by_lease = false,
-                    uint64_t applied_index = 0) {
-    if (*responded) return;
-    *responded = true;
-    client_tracer_.EndSpan(span, status.ok() ? "ok" : status.ToString());
-    ClientReadResult result;
-    result.status = std::move(status);
-    result.latency_micros = loop_.now() - issued_at;
-    result.value = std::move(value);
-    result.served_by_lease = served_by_lease;
-    result.applied_index = applied_index;
-    result.served_by = dest;
-    done(result);
-  };
-  loop_.Schedule(options_.client_timeout_micros, [finish]() {
-    finish(Status::TimedOut("client read timed out"));
-  });
-
-  const ReadMode mode = read_options.mode;
-  const uint64_t min_index = read_options.min_index;
-  loop_.Schedule(options_.client_one_way_micros, [this, dest, key, finish,
-                                                  mode, min_index]() {
-    auto it = nodes_.find(dest);
-    if (it == nodes_.end() || !it->second->up()) {
-      loop_.Schedule(options_.client_one_way_micros, [finish]() {
-        finish(Status::NetworkError("read target unreachable"));
-      });
-      return;
-    }
-    SimNode* node = it->second.get();
-    uint64_t processing = options_.server_processing_micros;
-    if (options_.server_processing_jitter_micros > 0) {
-      processing +=
-          loop_.rng()->Uniform(options_.server_processing_jitter_micros);
-    }
-    loop_.Schedule(processing, [this, node, key, finish, mode,
-                                min_index]() {
-      if (!node->up()) {
-        loop_.Schedule(options_.client_one_way_micros, [finish]() {
-          finish(Status::NetworkError("read target died mid-request"));
-        });
-        return;
-      }
-      auto reply = [this, finish](Status status,
-                                  std::optional<std::string> value,
-                                  bool lease, uint64_t applied) {
-        loop_.Schedule(options_.client_one_way_micros,
-                       [finish, status = std::move(status),
-                        value = std::move(value), lease, applied]() {
-                         finish(status, value, lease, applied);
-                       });
-      };
-      if (mode == ReadMode::kFollower) {
-        // Read-your-writes gate: parks until the applier covers the
-        // client's last-seen index (§13).
-        node->server()->SubmitRead(
-            "bench.kv", key, min_index,
-            [reply](const server::ReadResult& r) {
-              reply(r.status, r.value, false, r.applied_index);
-            });
-        return;
-      }
-      // Leader read: establish the read index (lease fast path, or a
-      // ReadIndex quorum round), then serve at that index.
-      node->server()->consensus()->LinearizableRead(
-          [node, key, reply](const raft::RaftConsensus::ReadResult& rr) {
-            if (!rr.status.ok()) {
-              reply(rr.status, std::nullopt, false, 0);
-              return;
-            }
-            node->server()->SubmitRead(
-                "bench.kv", key, rr.read_index.index,
-                [reply, lease = rr.served_by_lease](
-                    const server::ReadResult& r) {
-                  reply(r.status, r.value, lease, r.applied_index);
-                });
-          });
-    });
-  });
-}
-
-ClusterHarness::ClientReadResult ClusterHarness::SyncRead(
-    const std::string& key, ClientReadOptions read_options,
-    uint64_t timeout_micros) {
-  ClientReadResult result;
-  bool completed = false;
-  ClientRead(key, read_options, [&](const ClientReadResult& r) {
-    result = r;
-    completed = true;
-  });
-  const uint64_t deadline = loop_.now() + timeout_micros;
-  while (!completed && loop_.now() < deadline) {
-    loop_.RunFor(1'000);
-  }
-  if (!completed) {
-    result.status = Status::TimedOut("SyncRead: no completion");
-  }
-  return result;
-}
-
-Status ClusterHarness::AddNewMember(const MemberInfo& member,
-                                    PrepareDiskFn prepare_disk) {
-  if (nodes_.count(member.id) > 0) {
-    return Status::AlreadyPresent("member already provisioned: " + member.id);
-  }
-  const MemberId primary = CurrentPrimary();
-  if (primary.empty()) return Status::ServiceUnavailable("no primary");
-  server::MySqlServer* leader = nodes_.at(primary)->server();
-
-  // Prepare the new member: seed it with the post-change config (current
-  // committed config + itself). Real automation also clones data; new
-  // rings here retain their full log so catch-up from index 1 works.
-  MembershipConfig seed_config = leader->consensus()->config();
-  seed_config.members.push_back(member);
-
-  SimNode::Options node_options;
-  node_options.server.replicaset = options_.replicaset;
-  node_options.server.id = member.id;
-  node_options.server.region = member.region;
-  node_options.server.kind = member.kind;
-  node_options.server.data_dir = "/" + member.id;
-  node_options.server.numeric_server_id =
-      static_cast<uint32_t>(nodes_.size() + 1);
-  node_options.server.server_uuid =
-      Uuid::FromIndex(500 + nodes_.size());
-  node_options.server.raft = options_.raft;
-  node_options.server.applier_workers = options_.applier_workers;
-  node_options.server.applier_txn_cost_micros =
-      options_.applier_txn_cost_micros;
-  node_options.server.slow_txn_threshold_micros =
-      options_.slow_txn_threshold_micros;
-  node_options.proxy = options_.proxy;
-  node_options.proxy_enabled = options_.proxy_enabled;
-  node_options.trace_capacity = options_.trace_capacity;
-  auto node = std::make_unique<SimNode>(&loop_, &network_, &discovery_,
-                                        quorum_, std::move(node_options));
-  if (prepare_disk != nullptr) {
-    MYRAFT_RETURN_NOT_OK_PREPEND(
-        prepare_disk(node->env(), "/" + member.id),
-        "preparing disk for " + member.id);
-  }
-  MYRAFT_RETURN_NOT_OK(node->Bootstrap(seed_config));
-  nodes_[member.id] = std::move(node);
-  config_.members.push_back(member);
-
-  return leader->AddMember(member);
-}
-
-Status ClusterHarness::RemoveMemberViaLeader(const MemberId& member) {
-  const MemberId primary = CurrentPrimary();
-  if (primary.empty()) return Status::ServiceUnavailable("no primary");
-  return nodes_.at(primary)->server()->RemoveMember(member);
-}
-
-Status ClusterHarness::SwapMemberTypeViaLeader(const MemberId& member,
-                                               RaftMemberType type) {
-  const MemberId primary = CurrentPrimary();
-  if (primary.empty()) return Status::ServiceUnavailable("no primary");
-  return nodes_.at(primary)->server()->SetMemberType(member, type);
-}
-
-Status ClusterHarness::SetQuorumSpecViaLeader(const std::string& spec) {
-  const MemberId primary = CurrentPrimary();
-  if (primary.empty()) return Status::ServiceUnavailable("no primary");
-  return nodes_.at(primary)->server()->SetQuorumSpec(spec);
-}
-
-ClusterHarness::DowntimeResult ClusterHarness::MeasureWriteDowntime(
-    std::function<void()> disruption, uint64_t probe_interval_micros,
-    uint64_t timeout_micros, bool expect_outage) {
-  DowntimeProbe::Options probe_options;
-  probe_options.probe_interval_micros = probe_interval_micros;
-  probe_options.timeout_micros = timeout_micros;
-  probe_options.expect_outage = expect_outage;
-  auto probe_result = DowntimeProbe::Measure(
-      &loop_,
-      [this](const std::string& key, std::function<void(bool)> report) {
-        ClientWrite(key, "v", [report](const ClientWriteResult& r) {
-          report(r.status.ok());
-        });
-      },
-      std::move(disruption), []() { return true; }, probe_options);
-  DowntimeResult result;
-  result.recovered = probe_result.completed;
-  result.downtime_micros =
-      probe_result.completed ? probe_result.downtime_micros : timeout_micros;
-  return result;
-}
-
-ClusterHarness::DowntimeResult ClusterHarness::MeasureReadDowntime(
-    std::function<void()> disruption, uint64_t probe_interval_micros,
-    uint64_t timeout_micros, bool expect_outage) {
-  DowntimeProbe::Options probe_options;
-  probe_options.probe_interval_micros = probe_interval_micros;
-  probe_options.timeout_micros = timeout_micros;
-  probe_options.expect_outage = expect_outage;
-  auto probe_result = DowntimeProbe::Measure(
-      &loop_,
-      [this](const std::string& key, std::function<void(bool)> report) {
-        // Leader reads: under leases this exercises the deferred lease
-        // handoff — a new leader must wait out the old lease before the
-        // first probe read succeeds (§13).
-        ClientRead(key, ClientReadOptions{},
-                   [report](const ClientReadResult& r) {
-                     report(r.status.ok());
-                   });
-      },
-      std::move(disruption), []() { return true; }, probe_options);
-  DowntimeResult result;
-  result.recovered = probe_result.completed;
-  result.downtime_micros =
-      probe_result.completed ? probe_result.downtime_micros : timeout_micros;
-  return result;
-}
-
-bool ClusterHarness::CheckReplicaConsistency() {
-  // Compare engines that have applied up to the same OpId.
-  std::map<uint64_t, uint64_t> checksum_by_applied;  // applied index -> sum
-  bool consistent = true;
-  for (auto& [id, node] : nodes_) {
-    if (!node->up()) continue;
-    server::MySqlServer* server = node->server();
-    if (server->engine() == nullptr) continue;
-    const uint64_t applied = server->engine()->LastAppliedOpId().index;
-    const uint64_t checksum = server->StateChecksum();
-    auto [it, inserted] = checksum_by_applied.emplace(applied, checksum);
-    if (!inserted && it->second != checksum) {
-      MYRAFT_LOG(Error) << "replica divergence at applied index " << applied
-                        << ": " << id;
-      consistent = false;
-    }
-  }
-  return consistent;
 }
 
 std::vector<trace::JournalView> ClusterHarness::TraceJournals() const {
   std::vector<trace::JournalView> out;
-  out.push_back(
-      trace::JournalView{client_tracer_.node(), client_tracer_.Snapshot()});
-  for (const auto& [id, node] : nodes_) {
-    out.push_back(trace::JournalView{id, node->tracer()->Snapshot()});
+  const trace::Tracer* tracer = client_->tracer();
+  out.push_back(trace::JournalView{tracer->node(), tracer->Snapshot()});
+  for (auto& journal : shard_->TraceJournals()) {
+    out.push_back(std::move(journal));
   }
   return out;
 }
@@ -529,19 +76,11 @@ std::string ClusterHarness::TraceChromeJson() const {
 }
 
 std::string ClusterHarness::MetricsSnapshotJson() const {
-  std::string out = "{";
-  bool first = true;
-  for (const auto& [id, node] : nodes_) {
-    if (!first) out += ',';
-    first = false;
-    out += '"';
-    out += id;
-    out += "\":";
-    out += node->metrics()->ToJson();
-  }
+  std::string out = shard_->MetricsSnapshotJson();
   // Network fault accounting rides along under a reserved key so drops
   // are visible in the same snapshot as per-node latencies.
-  if (!first) out += ',';
+  out.pop_back();  // trailing '}'
+  if (out.size() > 1) out += ',';
   out += "\"network\":";
   out += net_metrics_.ToJson();
   out += '}';
@@ -549,17 +88,7 @@ std::string ClusterHarness::MetricsSnapshotJson() const {
 }
 
 std::string ClusterHarness::MetricsSnapshotText() const {
-  std::string out;
-  for (const auto& [id, node] : nodes_) {
-    for (const std::string& line :
-         SplitString(node->metrics()->ToText(), '\n')) {
-      if (line.empty()) continue;
-      out += id;
-      out += '.';
-      out += line;
-      out += '\n';
-    }
-  }
+  std::string out = shard_->MetricsSnapshotText();
   for (const std::string& line : SplitString(net_metrics_.ToText(), '\n')) {
     if (line.empty()) continue;
     out += "network.";
@@ -574,18 +103,18 @@ std::string ClusterHarness::MetricsSnapshotText() const {
 void ClusterHarness::StartObservability() {
   obs::TimeSeriesOptions sampler_options;
   sampler_options.clock = loop_.clock();
-  sampler_options.interval_micros = options_.obs_sample_interval_micros;
-  sampler_options.capacity = options_.obs_window_capacity;
+  sampler_options.interval_micros = options_.obs.sample_interval_micros;
+  sampler_options.capacity = options_.obs.window_capacity;
   sampler_ = std::make_unique<obs::TimeSeriesSampler>(sampler_options);
   // Registries live on the SimNode (outside the server process object),
   // so crash/restart cycles never invalidate a source.
-  for (const auto& [id, node] : nodes_) {
-    sampler_->AddSource(id, node->metrics());
+  for (const MemberId& id : shard_->ids()) {
+    sampler_->AddSource(id, shard_->node(id)->metrics());
   }
   sampler_->AddSource("network", &net_metrics_);
   sampler_->AddSource("obs", &obs_metrics_);
 
-  obs::HealthOptions health_options = options_.health;
+  obs::HealthOptions health_options = options_.obs.health;
   health_options.clock = loop_.clock();
   health_ = std::make_unique<obs::HealthMonitor>(health_options);
   health_->SetTransitionCallback([this](bool healthy, uint64_t ts_micros) {
@@ -599,29 +128,31 @@ void ClusterHarness::StartObservability() {
 
   obs::FlightRecorderOptions recorder_options;
   recorder_options.clock = loop_.clock();
-  recorder_options.cooldown_micros = options_.obs_trigger_cooldown_micros;
+  recorder_options.cooldown_micros = options_.obs.trigger_cooldown_micros;
   recorder_options.metrics = &obs_metrics_;
   flight_recorder_ = std::make_unique<obs::FlightRecorder>(recorder_options);
   flight_recorder_->SetRaftstatProvider([this] { return RaftstatJson(); });
   flight_recorder_->SetTraceTailProvider([this] {
     return trace::ExportJsonArrayTail(TraceJournals(),
-                                      options_.obs_trace_tail_records);
+                                      options_.obs.trace_tail_records);
   });
   flight_recorder_->SetMetricsSeriesProvider(
       [this] { return sampler_->SeriesJson(); });
 
   // Self-rescheduling sampling tick; lives as long as the loop (which the
   // harness owns), so capturing `this` is safe.
-  loop_.Schedule(options_.obs_sample_interval_micros,
+  loop_.Schedule(options_.obs.sample_interval_micros,
                  [this] { ObservabilityTick(); });
 }
 
 void ClusterHarness::ObservabilityTick() {
   sampler_->Sample();
 
+  const std::vector<MemberId> ids = shard_->ids();
   std::vector<obs::HealthInputs> inputs;
-  inputs.reserve(nodes_.size());
-  for (const auto& [id, node] : nodes_) {
+  inputs.reserve(ids.size());
+  for (const MemberId& id : ids) {
+    SimNode* node = shard_->node(id);
     obs::HealthInputs in;
     in.node = id;
     in.up = node->up();
@@ -653,69 +184,14 @@ void ClusterHarness::ObservabilityTick() {
   }
   health_->Observe(inputs);
 
-  loop_.Schedule(options_.obs_sample_interval_micros,
+  loop_.Schedule(options_.obs.sample_interval_micros,
                  [this] { ObservabilityTick(); });
 }
 
-std::string ClusterHarness::RaftstatJson() {
-  std::string out = StringPrintf("{\"ts_us\":%llu,\"nodes\":{",
-                                 (unsigned long long)loop_.now());
-  bool first = true;
-  for (const auto& [id, node] : nodes_) {
-    if (!first) out.push_back(',');
-    first = false;
-    out.append(StringPrintf("\"%s\":", id.c_str()));
-    if (!node->up()) {
-      out.append("{\"up\":false}");
-      continue;
-    }
-    out.append("{\"up\":true,\"server\":");
-    out.append(node->server()->DebugStatus().ToJson());
-    out.append(",\"proxy\":");
-    out.append(node->router() != nullptr ? node->router()->DebugStatusJson()
-                                         : "null");
-    out.push_back('}');
-  }
-  out.append("}}");
-  return out;
-}
-
 std::string ClusterHarness::RaftstatText() {
-  std::string out =
-      StringPrintf("raftstat @ t=%lluus\n", (unsigned long long)loop_.now());
-  for (const auto& [id, node] : nodes_) {
-    if (!node->up()) {
-      out.append(StringPrintf("%s: down\n", id.c_str()));
-      continue;
-    }
-    const auto s = node->server()->DebugStatus();
-    out.append(StringPrintf(
-        "%s: term=%llu role=%s leader=%s commit=%llu.%llu synced=%llu "
-        "applied=%llu writes=%s lease=%s pending=%llu parked_reads=%llu\n",
-        id.c_str(), (unsigned long long)s.raft.term,
-        std::string(RaftRoleToString(s.raft.role)).c_str(),
-        s.raft.leader.empty() ? "?" : s.raft.leader.c_str(),
-        (unsigned long long)s.raft.commit_marker.term,
-        (unsigned long long)s.raft.commit_marker.index,
-        (unsigned long long)s.raft.last_synced_index,
-        (unsigned long long)s.applied_index, s.writes_enabled ? "on" : "off",
-        !s.raft.lease_enabled ? "off" : (s.raft.lease_valid ? "valid"
-                                                            : "invalid"),
-        (unsigned long long)s.pending_commits,
-        (unsigned long long)s.parked_reads));
-    for (const auto& p : s.raft.peers) {
-      out.append(StringPrintf(
-          "  peer %s: match=%llu next=%llu inflight=%llu/%lluB window=%llu "
-          "srtt=%lluus%s\n",
-          p.id.c_str(), (unsigned long long)p.match_index,
-          (unsigned long long)p.next_index,
-          (unsigned long long)p.inflight_batches,
-          (unsigned long long)p.inflight_bytes,
-          (unsigned long long)p.effective_window,
-          (unsigned long long)p.srtt_micros, p.stalled ? " STALLED" : ""));
-    }
-  }
-  return out;
+  return StringPrintf("raftstat @ t=%lluus\n",
+                      (unsigned long long)loop_.now()) +
+         shard_->RaftstatText();
 }
 
 bool ClusterHarness::TriggerFlightRecorder(obs::TriggerKind kind,

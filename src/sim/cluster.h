@@ -1,36 +1,48 @@
-// ClusterHarness: builds the paper's replicaset topology (§6.1: a primary
-// with two in-region logtailers, N-1 follower regions each with a database
-// + two logtailers, plus learners) on the simulator, and provides the
-// client machinery used by the evaluation: routed writes with modelled
-// client/server costs, and write-downtime probes for the failover and
-// promotion experiments (Table 2).
+// ClusterHarness: the single-shard view of the simulation. It owns the
+// EventLoop/SimNetwork/ServiceDiscovery, instantiates exactly one Shard
+// (the paper's §6.1 replicaset topology) plus its modelled SimClient, and
+// layers the observability plane (DESIGN.md §14) on top. FleetHarness
+// (src/fleet/) instantiates the same shard-core N times over one shared
+// loop — this class is the N=1 case with the historical single-cluster
+// API preserved.
 
 #ifndef MYRAFT_SIM_CLUSTER_H_
 #define MYRAFT_SIM_CLUSTER_H_
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "binlog/gtid.h"
 #include "obs/flight_recorder.h"
 #include "obs/health.h"
 #include "obs/time_series.h"
-#include "sim/downtime_probe.h"
-#include "sim/node.h"
+#include "sim/client.h"
+#include "sim/shard.h"
 
 namespace myraft::sim {
 
+/// Observability plane knobs (DESIGN.md §14). A nonzero sampling interval
+/// enables the whole plane: a TimeSeriesSampler tick over every node
+/// registry (plus "network"), a HealthMonitor fed from the same tick, and
+/// a FlightRecorder wired to the trigger matrix (invariant violations and
+/// crash injections fire from the chaos runner; slow-transaction breaches
+/// and health transitions fire from the harness).
+struct ObsOptions {
+  uint64_t sample_interval_micros = 0;
+  /// Sampler ring capacity, in windows.
+  size_t window_capacity = 256;
+  /// Merged-trace records embedded in a bundle's trace_tail section.
+  size_t trace_tail_records = 256;
+  /// Per-kind flight-recorder trigger cooldown.
+  uint64_t trigger_cooldown_micros = 50'000;
+  /// Health-monitor thresholds (sampler-cadence rolling windows).
+  obs::HealthOptions health;
+};
+
 struct ClusterOptions {
-  std::string replicaset = "rs0";
-  /// Regions hosting a database voter + its logtailers. Region 0 is the
-  /// bootstrap primary's.
-  int db_regions = 3;
-  int logtailers_per_db = 2;
-  /// Non-voting replicas, placed round-robin in follower regions.
-  int learners = 0;
+  /// Ring shape (§6.1): regions, logtailers, learners, replicaset name.
+  TopologyOptions topology;
 
   uint64_t seed = 1;
   NetworkOptions network;
@@ -47,90 +59,25 @@ struct ClusterOptions {
   /// Forwarded to every member: slow-transaction log threshold (0 = off).
   uint64_t slow_txn_threshold_micros = 0;
 
-  /// Observability plane (DESIGN.md §14). A nonzero sampling interval
-  /// enables the whole plane: a TimeSeriesSampler tick over every node
-  /// registry (plus "network"), a HealthMonitor fed from the same tick,
-  /// and a FlightRecorder wired to the trigger matrix (invariant
-  /// violations and crash injections fire from the chaos runner;
-  /// slow-transaction breaches and health transitions fire from here).
-  uint64_t obs_sample_interval_micros = 0;
-  /// Sampler ring capacity, in windows.
-  size_t obs_window_capacity = 256;
-  /// Merged-trace records embedded in a bundle's trace_tail section.
-  size_t obs_trace_tail_records = 256;
-  /// Per-kind flight-recorder trigger cooldown.
-  uint64_t obs_trigger_cooldown_micros = 50'000;
-  /// Health-monitor thresholds (sampler-cadence rolling windows).
-  obs::HealthOptions health;
+  /// Observability plane (DESIGN.md §14).
+  ObsOptions obs;
 
-  // Modelled client-path constants (see EXPERIMENTS.md, "calibration"):
-  /// One-way client <-> primary latency.
-  uint64_t client_one_way_micros = 150;
-  /// Server-side execute+prepare+flush CPU/IO cost before Raft takes over
-  /// (base + uniform jitter models statement mix and host load).
-  uint64_t server_processing_micros = 200;
-  uint64_t server_processing_jitter_micros = 0;
-  /// Client-side timeout treated as a failed write (dead primary).
-  uint64_t client_timeout_micros = 500'000;
-  /// Follower-read steering (§13): maximum replication lag, in entries,
-  /// a follower may have and still be offered client reads. 0 pins all
-  /// reads to the leader.
-  uint64_t read_staleness_budget_entries = 1'000;
+  /// Modelled client-path constants (see EXPERIMENTS.md, "calibration").
+  ClientModelOptions client;
 };
 
 class ClusterHarness {
  public:
-  struct ClientWriteResult {
-    Status status;
-    uint64_t latency_micros = 0;
-    /// Identity of the committed transaction (zero/empty on failure or
-    /// timeout). The chaos harness keys its acked-write durability ledger
-    /// on these.
-    binlog::Gtid gtid;
-    OpId opid;
-  };
-  using ClientCallback = std::function<void(const ClientWriteResult&)>;
-
-  struct DowntimeResult {
-    bool recovered = false;
-    uint64_t downtime_micros = 0;
-  };
-
-  /// How a client read is routed (§13).
-  enum class ReadMode {
-    /// To the leader: LinearizableRead (local under a valid lease, else
-    /// a ReadIndex-style quorum round), then served at the read index.
-    kLeader,
-    /// To a follower picked by the proxy's staleness-budget steering,
-    /// gated on the client's last-seen index (read-your-writes).
-    kFollower,
-  };
-
-  struct ClientReadResult {
-    Status status;
-    uint64_t latency_micros = 0;
-    std::optional<std::string> value;
-    /// Leader reads: whether the lease fast path served it (false =
-    /// quorum round). Always false for follower reads.
-    bool served_by_lease = false;
-    /// Apply cursor of the serving member — feed into the next read's
-    /// `min_index` for session monotonicity.
-    uint64_t applied_index = 0;
-    /// The member that served (or refused) the read.
-    MemberId served_by;
-  };
-  using ReadClientCallback = std::function<void(const ClientReadResult&)>;
-
-  struct ClientReadOptions {
-    ReadMode mode = ReadMode::kLeader;
-    /// Follower mode: the client's last-seen raft index (0 = any applied
-    /// state). Leader mode ignores it — ReadIndex supplies the floor.
-    uint64_t min_index = 0;
-    /// Region the client sits in (follower steering); empty = region0.
-    RegionId client_region;
-    /// Explicit destination override (skips routing).
-    MemberId target;
-  };
+  // The client/result vocabulary migrated to namespace scope with
+  // SimClient; these aliases keep the historical nested names working.
+  using ClientWriteResult = sim::ClientWriteResult;
+  using ClientCallback = SimClient::ClientCallback;
+  using DowntimeResult = sim::DowntimeResult;
+  using ReadMode = sim::ReadMode;
+  using ClientReadResult = sim::ClientReadResult;
+  using ReadClientCallback = SimClient::ReadClientCallback;
+  using ClientReadOptions = sim::ClientReadOptions;
+  using PrepareDiskFn = Shard::PrepareDiskFn;
 
   ClusterHarness(ClusterOptions options, const raft::QuorumEngine* quorum);
 
@@ -142,36 +89,57 @@ class ClusterHarness {
   EventLoop* loop() { return &loop_; }
   SimNetwork* network() { return &network_; }
   server::InMemoryServiceDiscovery* discovery() { return &discovery_; }
-  SimNode* node(const MemberId& id) { return nodes_.at(id).get(); }
-  std::vector<MemberId> ids() const;
-  std::vector<MemberId> database_ids() const;
-  const MembershipConfig& config() const { return config_; }
+
+  /// The shard-core this harness wraps (FleetHarness hosts N of these).
+  Shard* shard() { return shard_.get(); }
+  /// The modelled client bound to the shard.
+  SimClient* client() { return client_.get(); }
+  /// Control-plane facade: membership/quorum changes and leadership
+  /// transfers, each returning the resulting config identity.
+  ShardAdmin* admin() { return admin_.get(); }
+
+  SimNode* node(const MemberId& id) { return shard_->node(id); }
+  std::vector<MemberId> ids() const { return shard_->ids(); }
+  std::vector<MemberId> database_ids() const {
+    return shard_->database_ids();
+  }
+  const MembershipConfig& config() const { return shard_->config(); }
 
   /// Database member currently published as primary with writes enabled
   /// ("" if none).
-  MemberId CurrentPrimary();
+  MemberId CurrentPrimary() { return shard_->CurrentPrimary(); }
   /// Runs the loop until a primary is serving writes ("" on timeout).
-  MemberId WaitForPrimary(uint64_t timeout_micros);
+  MemberId WaitForPrimary(uint64_t timeout_micros) {
+    return shard_->WaitForPrimary(timeout_micros);
+  }
 
   // --- Client operations ----------------------------------------------------------
 
   /// Write routed to the published primary (or `target` if given), with
   /// modelled client latency + server processing cost.
   void ClientWrite(const std::string& key, const std::string& value,
-                   ClientCallback done, const MemberId& target = "");
+                   ClientCallback done, const MemberId& target = "") {
+    client_->ClientWrite(key, value, std::move(done), target);
+  }
   /// Convenience: issue a write and run the loop until it completes.
   ClientWriteResult SyncWrite(const std::string& key,
                               const std::string& value,
-                              uint64_t timeout_micros = 5'000'000);
+                              uint64_t timeout_micros = 5'000'000) {
+    return client_->SyncWrite(key, value, timeout_micros);
+  }
   /// Read with modelled client latency + processing cost, routed per
   /// `read_options` (§13): leader lease/quorum reads or steered
   /// follower reads behind the GTID-wait gate.
   void ClientRead(const std::string& key, ClientReadOptions read_options,
-                  ReadClientCallback done);
+                  ReadClientCallback done) {
+    client_->ClientRead(key, read_options, std::move(done));
+  }
   /// Convenience: issue a read and run the loop until it completes.
   ClientReadResult SyncRead(const std::string& key,
                             ClientReadOptions read_options,
-                            uint64_t timeout_micros = 5'000'000);
+                            uint64_t timeout_micros = 5'000'000) {
+    return client_->SyncRead(key, read_options, timeout_micros);
+  }
   ClientReadResult SyncRead(const std::string& key) {
     return SyncRead(key, ClientReadOptions());
   }
@@ -182,35 +150,36 @@ class ClusterHarness {
              SimNode::CrashMode mode = SimNode::CrashMode::kKeepDisk) {
     // The fault instant anchors the failover timeline (TraceAnalyzer's
     // t=0); it lives in the client journal since the node itself dies.
-    client_tracer_.Instant("fault", "crash", 0,
-                           "node=" + id +
-                               (mode == SimNode::CrashMode::kLoseUnsynced
-                                    ? " mode=lose_unsynced"
-                                    : ""));
-    nodes_.at(id)->Crash(mode);
+    client_->NoteCrash(id, mode);
+    shard_->Crash(id, mode);
   }
-  Status Restart(const MemberId& id) { return nodes_.at(id)->Restart(); }
+  Status Restart(const MemberId& id) { return shard_->Restart(id); }
 
-  /// §2.2 membership change, end to end: provisions a brand-new process
-  /// ("automation allocates and prepares a new member"), seeds it with
-  /// the current config plus itself, then invokes AddMember on the
-  /// leader. `prepare_disk`, if given, runs against the new member's
-  /// empty disk before first boot (e.g. restoring a backup so the member
-  /// can join a ring whose old log files were purged).
-  using PrepareDiskFn =
-      std::function<Status(Env* env, const std::string& data_dir)>;
+  // --- Control plane ---------------------------------------------------------------
+  //
+  // Deprecated forwarding shims: the *ViaLeader vocabulary moved to
+  // ShardAdmin (`admin()`), which additionally reports the leader that
+  // executed and the config identity produced. These keep the historical
+  // Status-only signatures alive for existing callers.
+
+  /// Deprecated: use admin()->AddMember().
   Status AddNewMember(const MemberInfo& member,
-                      PrepareDiskFn prepare_disk = nullptr);
-  /// RemoveMember via the current leader; the node keeps running but is
-  /// no longer part of the ring (automation would decommission it).
-  Status RemoveMemberViaLeader(const MemberId& member);
-  /// Changes a member's voting status via the current leader (voter ↔
-  /// witness/learner swaps). Logless rings do this as one config bump.
-  Status SwapMemberTypeViaLeader(const MemberId& member, RaftMemberType type);
-  /// Installs a quorum-rule override for the ring via the current leader
-  /// ("majority", "single-region", "multi:<K>"; "" reverts to the
-  /// engine default). Logless rings only.
-  Status SetQuorumSpecViaLeader(const std::string& spec);
+                      PrepareDiskFn prepare_disk = nullptr) {
+    return admin_->AddMember(member, std::move(prepare_disk)).status;
+  }
+  /// Deprecated: use admin()->RemoveMember().
+  Status RemoveMemberViaLeader(const MemberId& member) {
+    return admin_->RemoveMember(member).status;
+  }
+  /// Deprecated: use admin()->SwapMemberType().
+  Status SwapMemberTypeViaLeader(const MemberId& member,
+                                 RaftMemberType type) {
+    return admin_->SwapMemberType(member, type).status;
+  }
+  /// Deprecated: use admin()->SetQuorumSpec().
+  Status SetQuorumSpecViaLeader(const std::string& spec) {
+    return admin_->SetQuorumSpec(spec).status;
+  }
 
   /// Executes `disruption` and measures the client-observed write
   /// unavailability: the longest window during which probe writes
@@ -218,7 +187,11 @@ class ClusterHarness {
   DowntimeResult MeasureWriteDowntime(std::function<void()> disruption,
                                       uint64_t probe_interval_micros = 10'000,
                                       uint64_t timeout_micros = 180'000'000,
-                                      bool expect_outage = true);
+                                      bool expect_outage = true) {
+    return client_->MeasureWriteDowntime(std::move(disruption),
+                                         probe_interval_micros,
+                                         timeout_micros, expect_outage);
+  }
 
   /// Same, for client-observed READ unavailability: probes leader reads
   /// (the lease path when enabled), so failover benches capture read
@@ -226,17 +199,22 @@ class ClusterHarness {
   DowntimeResult MeasureReadDowntime(std::function<void()> disruption,
                                      uint64_t probe_interval_micros = 10'000,
                                      uint64_t timeout_micros = 180'000'000,
-                                     bool expect_outage = true);
+                                     bool expect_outage = true) {
+    return client_->MeasureReadDowntime(std::move(disruption),
+                                        probe_interval_micros,
+                                        timeout_micros, expect_outage);
+  }
 
   /// §5.1-style consistency check: all database engines that are caught up
   /// report the same state checksum. Returns false on divergence.
-  bool CheckReplicaConsistency();
+  bool CheckReplicaConsistency() { return shard_->CheckReplicaConsistency(); }
 
   // --- Metrics ---------------------------------------------------------------------
 
   /// JSON object keyed by member id, each value the node's full metric
-  /// registry snapshot. Bench drivers embed this as the "internals"
-  /// section of their BENCH_*.json output.
+  /// registry snapshot, plus the network registry under the reserved key
+  /// "network". Bench drivers embed this as the "internals" section of
+  /// their BENCH_*.json output.
   std::string MetricsSnapshotJson() const;
   /// Human-readable per-node dump (one "member.metric kind value" line
   /// per metric).
@@ -246,7 +224,7 @@ class ClusterHarness {
 
   /// Journal of the modelled client (root "client.write" spans and fault
   /// instants).
-  trace::Tracer* client_tracer() { return &client_tracer_; }
+  trace::Tracer* client_tracer() { return client_->tracer(); }
   /// Drains every journal (client first, then members in id order) for
   /// the exporters and TraceAnalyzer.
   std::vector<trace::JournalView> TraceJournals() const;
@@ -259,7 +237,7 @@ class ClusterHarness {
 
   // --- Observability plane (DESIGN.md §14) -------------------------------------
 
-  /// Non-null only when `obs_sample_interval_micros` > 0 at Bootstrap.
+  /// Non-null only when `obs.sample_interval_micros` > 0 at Bootstrap.
   obs::TimeSeriesSampler* sampler() { return sampler_.get(); }
   obs::HealthMonitor* health() { return health_.get(); }
   obs::FlightRecorder* flight_recorder() { return flight_recorder_.get(); }
@@ -268,7 +246,7 @@ class ClusterHarness {
   /// Cluster-wide structured status — the `SHOW RAFT STATUS` analogue:
   /// {"ts_us":..,"nodes":{"<id>":{"up":true,"server":{..},"proxy":{..}}
   /// | {"up":false}, ...}}. Works with or without the obs plane.
-  std::string RaftstatJson();
+  std::string RaftstatJson() { return shard_->RaftstatJson(); }
   /// Human-readable rendering of the same state, one block per node
   /// (`bench_chaos --raftstat`).
   std::string RaftstatText();
@@ -281,16 +259,15 @@ class ClusterHarness {
  private:
   void StartObservability();
   void ObservabilityTick();
+
   ClusterOptions options_;
-  const raft::QuorumEngine* quorum_;
   EventLoop loop_;
   metrics::MetricRegistry net_metrics_;  // must outlive network_
   SimNetwork network_;
-  trace::Tracer client_tracer_;
   server::InMemoryServiceDiscovery discovery_;
-  MembershipConfig config_;
-  std::map<MemberId, std::unique_ptr<SimNode>> nodes_;
-  uint64_t client_seq_ = 0;
+  std::unique_ptr<Shard> shard_;
+  std::unique_ptr<SimClient> client_;
+  std::unique_ptr<ShardAdmin> admin_;
 
   // Observability plane; all null when disabled. obs_metrics_ hosts the
   // recorder's own obs.* counters and is sampled under source "obs".

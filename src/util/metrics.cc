@@ -82,6 +82,11 @@ std::string MetricSnapshot::ToJson() const {
   return out;
 }
 
+void MetricRegistry::SetPrefix(std::string prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  prefix_ = std::move(prefix);
+}
+
 Counter* MetricRegistry::GetCounter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   MYRAFT_CHECK(gauges_.count(name) == 0 && histograms_.count(name) == 0);
@@ -134,9 +139,9 @@ std::vector<std::string> MetricRegistry::Names() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(counters_.size() + gauges_.size() + histograms_.size());
-  for (const auto& [name, _] : counters_) names.push_back(name);
-  for (const auto& [name, _] : gauges_) names.push_back(name);
-  for (const auto& [name, _] : histograms_) names.push_back(name);
+  for (const auto& [name, _] : counters_) names.push_back(prefix_ + name);
+  for (const auto& [name, _] : gauges_) names.push_back(prefix_ + name);
+  for (const auto& [name, _] : histograms_) names.push_back(prefix_ + name);
   std::sort(names.begin(), names.end());
   return names;
 }
@@ -144,10 +149,14 @@ std::vector<std::string> MetricRegistry::Names() const {
 MetricSnapshot MetricRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricSnapshot snap;
-  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
-  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, c] : counters_) {
+    snap.counters[prefix_ + name] = c->value();
+  }
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges[prefix_ + name] = g->value();
+  }
   for (const auto& [name, h] : histograms_) {
-    snap.histograms[name] = h->snapshot();
+    snap.histograms[prefix_ + name] = h->snapshot();
   }
   return snap;
 }
@@ -157,17 +166,20 @@ std::string MetricRegistry::ToText() const {
   // Interleave the three kinds in global name order.
   std::map<std::string, std::string> lines;
   for (const auto& [name, c] : counters_) {
-    lines[name] = StringPrintf("%s counter %llu", name.c_str(),
+    const std::string full = prefix_ + name;
+    lines[full] = StringPrintf("%s counter %llu", full.c_str(),
                                (unsigned long long)c->value());
   }
   for (const auto& [name, g] : gauges_) {
-    lines[name] = StringPrintf("%s gauge %lld", name.c_str(),
+    const std::string full = prefix_ + name;
+    lines[full] = StringPrintf("%s gauge %lld", full.c_str(),
                                (long long)g->value());
   }
   for (const auto& [name, h] : histograms_) {
+    const std::string full = prefix_ + name;
     Histogram snap = h->snapshot();
-    lines[name] = StringPrintf(
-        "%s histogram count=%llu mean=%s p99=%s max=%llu", name.c_str(),
+    lines[full] = StringPrintf(
+        "%s histogram count=%llu mean=%s p99=%s max=%llu", full.c_str(),
         (unsigned long long)snap.count(), FormatDouble(snap.Mean()).c_str(),
         FormatDouble(snap.Percentile(99)).c_str(),
         (unsigned long long)snap.max());
@@ -184,13 +196,13 @@ std::string MetricRegistry::ToJson() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::map<std::string, std::string> fields;
   for (const auto& [name, c] : counters_) {
-    fields[name] = StringPrintf("%llu", (unsigned long long)c->value());
+    fields[prefix_ + name] = StringPrintf("%llu", (unsigned long long)c->value());
   }
   for (const auto& [name, g] : gauges_) {
-    fields[name] = StringPrintf("%lld", (long long)g->value());
+    fields[prefix_ + name] = StringPrintf("%lld", (long long)g->value());
   }
   for (const auto& [name, h] : histograms_) {
-    fields[name] = HistogramJson(h->snapshot());
+    fields[prefix_ + name] = HistogramJson(h->snapshot());
   }
   std::string out = "{";
   bool first = true;

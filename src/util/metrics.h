@@ -96,6 +96,15 @@ struct MetricSnapshot {
 /// long-lived registry keeps accumulating into the same counters).
 class MetricRegistry {
  public:
+  /// Namespace prepended to every metric name at snapshot/serialization
+  /// time (e.g. "shard.rs3." at fleet scope, so two registries hosting
+  /// the same counter family — every shard bumps "raft.commits" — stay
+  /// distinct when their snapshots are merged or embedded side by side).
+  /// Lookups (GetCounter/Find*) keep using the bare name: the prefix is a
+  /// reporting concern, not a hot-path one.
+  void SetPrefix(std::string prefix);
+  const std::string& prefix() const { return prefix_; }
+
   Counter* GetCounter(const std::string& name);
   Gauge* GetGauge(const std::string& name);
   HistogramMetric* GetHistogram(const std::string& name);
@@ -120,6 +129,7 @@ class MetricRegistry {
 
  private:
   mutable std::mutex mu_;
+  std::string prefix_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;

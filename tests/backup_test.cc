@@ -62,8 +62,8 @@ TEST(BackupTest, EmptySourceIsNotFound) {
 TEST(BackupTest, NewMemberJoinsFromBackupAfterPurge) {
   sim::ClusterOptions options;
   options.seed = 71;
-  options.db_regions = 3;
-  options.logtailers_per_db = 2;
+  options.topology.db_regions = 3;
+  options.topology.logtailers_per_db = 2;
   sim::ClusterHarness cluster(options, FlexiEngine());
   ASSERT_TRUE(cluster.Bootstrap().ok());
   const MemberId primary = cluster.WaitForPrimary(30 * kSecond);

@@ -28,9 +28,9 @@ const raft::QuorumEngine* FlexiEngine() {
 /// The bench_chaos topology: 3 regions x (db + 2 logtailers) + 1 learner.
 ChaosOptions PaperTopologyOptions() {
   ChaosOptions options;
-  options.cluster.db_regions = 3;
-  options.cluster.logtailers_per_db = 2;
-  options.cluster.learners = 1;
+  options.cluster.topology.db_regions = 3;
+  options.cluster.topology.logtailers_per_db = 2;
+  options.cluster.topology.learners = 1;
   return options;
 }
 
@@ -126,9 +126,9 @@ ChaosOptions SelfTestOptions() {
   // One region: db0 + lt0a + lt0b. The data quorum is 2-of-3, so the
   // primary commits with a single logtailer ack.
   ChaosOptions options;
-  options.cluster.db_regions = 1;
-  options.cluster.logtailers_per_db = 2;
-  options.cluster.learners = 0;
+  options.cluster.topology.db_regions = 1;
+  options.cluster.topology.logtailers_per_db = 2;
+  options.cluster.topology.learners = 0;
   options.write_interval_micros = 5'000;
   return options;
 }
@@ -180,9 +180,9 @@ TEST(ChaosRegressionTest, SingleVoterCommitRetiresEveryWrite) {
   // before a lull was never retired: the client timed out and the
   // primary's engine stayed one transaction behind its own log forever.
   ChaosOptions options;
-  options.cluster.db_regions = 3;
-  options.cluster.logtailers_per_db = 0;
-  options.cluster.learners = 0;
+  options.cluster.topology.db_regions = 3;
+  options.cluster.topology.logtailers_per_db = 0;
+  options.cluster.topology.learners = 0;
   options.write_interval_micros = 5'000;
 
   Schedule schedule;

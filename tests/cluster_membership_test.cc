@@ -23,8 +23,8 @@ const raft::QuorumEngine* FlexiEngine() {
 TEST(ClusterMembershipTest, NewDatabaseJoinsCatchesUpAndServes) {
   ClusterOptions options;
   options.seed = 61;
-  options.db_regions = 3;
-  options.logtailers_per_db = 2;
+  options.topology.db_regions = 3;
+  options.topology.logtailers_per_db = 2;
   ClusterHarness cluster(options, FlexiEngine());
   ASSERT_TRUE(cluster.Bootstrap().ok());
   ASSERT_FALSE(cluster.WaitForPrimary(30 * kSecond).empty());
@@ -61,8 +61,8 @@ TEST(ClusterMembershipTest, NewDatabaseJoinsCatchesUpAndServes) {
 TEST(ClusterMembershipTest, AddedLogtailerJoinsTheVoterQuorum) {
   ClusterOptions options;
   options.seed = 62;
-  options.db_regions = 3;
-  options.logtailers_per_db = 2;
+  options.topology.db_regions = 3;
+  options.topology.logtailers_per_db = 2;
   ClusterHarness cluster(options, FlexiEngine());
   ASSERT_TRUE(cluster.Bootstrap().ok());
   const MemberId primary = cluster.WaitForPrimary(30 * kSecond);
@@ -96,9 +96,9 @@ TEST(ClusterMembershipTest, AddedLogtailerJoinsTheVoterQuorum) {
 TEST(ClusterMembershipTest, RemoveMemberShrinksTheRing) {
   ClusterOptions options;
   options.seed = 63;
-  options.db_regions = 3;
-  options.logtailers_per_db = 2;
-  options.learners = 1;
+  options.topology.db_regions = 3;
+  options.topology.logtailers_per_db = 2;
+  options.topology.learners = 1;
   ClusterHarness cluster(options, FlexiEngine());
   ASSERT_TRUE(cluster.Bootstrap().ok());
   const MemberId primary = cluster.WaitForPrimary(30 * kSecond);
@@ -139,8 +139,8 @@ MemberId LogtailerOutsideRegion(ClusterHarness& cluster,
 TEST(ClusterMembershipTest, LoglessAddMemberCommitsViaConfigQuorum) {
   ClusterOptions options;
   options.seed = 64;
-  options.db_regions = 3;
-  options.logtailers_per_db = 2;
+  options.topology.db_regions = 3;
+  options.topology.logtailers_per_db = 2;
   options.raft.enable_logless_reconfig = true;
   ClusterHarness cluster(options, FlexiEngine());
   ASSERT_TRUE(cluster.Bootstrap().ok());
@@ -176,8 +176,8 @@ TEST(ClusterMembershipTest, LoglessAddMemberCommitsViaConfigQuorum) {
 TEST(ClusterMembershipTest, LoglessConcurrentChangeIsRefused) {
   ClusterOptions options;
   options.seed = 65;
-  options.db_regions = 3;
-  options.logtailers_per_db = 2;
+  options.topology.db_regions = 3;
+  options.topology.logtailers_per_db = 2;
   options.raft.enable_logless_reconfig = true;
   ClusterHarness cluster(options, FlexiEngine());
   ASSERT_TRUE(cluster.Bootstrap().ok());
@@ -223,8 +223,8 @@ TEST(ClusterMembershipTest, LoglessConcurrentChangeIsRefused) {
 TEST(ClusterMembershipTest, VoterWitnessSwapRoundTrip) {
   ClusterOptions options;
   options.seed = 66;
-  options.db_regions = 3;
-  options.logtailers_per_db = 2;
+  options.topology.db_regions = 3;
+  options.topology.logtailers_per_db = 2;
   options.raft.enable_logless_reconfig = true;
   ClusterHarness cluster(options, FlexiEngine());
   ASSERT_TRUE(cluster.Bootstrap().ok());
@@ -266,8 +266,8 @@ TEST(ClusterMembershipTest, VoterWitnessSwapRoundTrip) {
 TEST(ClusterMembershipTest, RemovedVoterInstallsFarewellAndParks) {
   ClusterOptions options;
   options.seed = 67;
-  options.db_regions = 3;
-  options.logtailers_per_db = 2;
+  options.topology.db_regions = 3;
+  options.topology.logtailers_per_db = 2;
   options.raft.enable_logless_reconfig = true;
   ClusterHarness cluster(options, FlexiEngine());
   ASSERT_TRUE(cluster.Bootstrap().ok());
@@ -305,8 +305,8 @@ TEST(ClusterMembershipTest, RemovedVoterInstallsFarewellAndParks) {
 TEST(ClusterMembershipTest, ReconfigRacingLeaderTransferStaysSafe) {
   ClusterOptions options;
   options.seed = 68;
-  options.db_regions = 3;
-  options.logtailers_per_db = 2;
+  options.topology.db_regions = 3;
+  options.topology.logtailers_per_db = 2;
   options.raft.enable_logless_reconfig = true;
   ClusterHarness cluster(options, FlexiEngine());
   ASSERT_TRUE(cluster.Bootstrap().ok());

@@ -33,8 +33,8 @@ const raft::QuorumEngine* FlexiEngine() {
 ClusterOptions GroupCommitOptions(uint64_t seed, bool coalesced) {
   ClusterOptions options;
   options.seed = seed;
-  options.db_regions = 3;
-  options.logtailers_per_db = 2;
+  options.topology.db_regions = 3;
+  options.topology.logtailers_per_db = 2;
   // The contrast baseline: defer hook still installed by the sim node,
   // but the sync stage itself disabled — every Replicate fsyncs inline.
   options.raft.group_commit_sync = coalesced;

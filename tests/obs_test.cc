@@ -284,10 +284,10 @@ TEST(MetricCatalogTest, SortedLookupAndMarkdown) {
 sim::ClusterOptions ObsClusterOptions(uint64_t seed) {
   sim::ClusterOptions options;
   options.seed = seed;
-  options.db_regions = 3;
-  options.logtailers_per_db = 2;
-  options.learners = 1;
-  options.obs_sample_interval_micros = 10'000;
+  options.topology.db_regions = 3;
+  options.topology.logtailers_per_db = 2;
+  options.topology.learners = 1;
+  options.obs.sample_interval_micros = 10'000;
   return options;
 }
 
@@ -375,7 +375,7 @@ TEST(ObsClusterTest, HealthOutageAgreesWithDowntimeProbe) {
                       cluster.health()->outages()[i].duration_micros());
   }
   const uint64_t tolerance =
-      kProbeInterval + options.obs_sample_interval_micros;
+      kProbeInterval + options.obs.sample_interval_micros;
   EXPECT_LE(outage, result.downtime_micros + tolerance)
       << "health outage " << outage << "us vs probe "
       << result.downtime_micros << "us";
@@ -395,9 +395,9 @@ TEST(ObsClusterTest, HealthOutageAgreesWithDowntimeProbe) {
 
 chaos::ChaosOptions ChaosTopology() {
   chaos::ChaosOptions options;
-  options.cluster.db_regions = 3;
-  options.cluster.logtailers_per_db = 2;
-  options.cluster.learners = 1;
+  options.cluster.topology.db_regions = 3;
+  options.cluster.topology.logtailers_per_db = 2;
+  options.cluster.topology.learners = 1;
   return options;
 }
 
@@ -451,9 +451,9 @@ TEST(ChaosObsTest, InvariantViolationEmitsBundle) {
   // whose trigger names the violation — the `--bundle-out` artifact an
   // investigator starts from.
   chaos::ChaosOptions options;
-  options.cluster.db_regions = 1;
-  options.cluster.logtailers_per_db = 2;
-  options.cluster.learners = 0;
+  options.cluster.topology.db_regions = 1;
+  options.cluster.topology.logtailers_per_db = 2;
+  options.cluster.topology.learners = 0;
   options.write_interval_micros = 5'000;
   options.cluster.raft.unsafe_commit_on_received = true;
 

@@ -30,8 +30,8 @@ ClusterOptions ApplierOptions(uint64_t seed, uint32_t workers,
                               uint64_t txn_cost_micros) {
   ClusterOptions options;
   options.seed = seed;
-  options.db_regions = 3;
-  options.logtailers_per_db = 2;
+  options.topology.db_regions = 3;
+  options.topology.logtailers_per_db = 2;
   options.applier_workers = workers;
   options.applier_txn_cost_micros = txn_cost_micros;
   return options;

@@ -30,9 +30,9 @@ const raft::QuorumEngine* FlexiEngine() {
 ClusterOptions DefaultOptions(uint64_t seed) {
   ClusterOptions options;
   options.seed = seed;
-  options.db_regions = 3;
-  options.logtailers_per_db = 2;
-  options.learners = 1;
+  options.topology.db_regions = 3;
+  options.topology.logtailers_per_db = 2;
+  options.topology.learners = 1;
   return options;
 }
 

@@ -32,9 +32,9 @@ class ServerTortureTest : public ::testing::TestWithParam<uint64_t> {};
 TEST_P(ServerTortureTest, InvariantsHoldUnderRandomFaults) {
   ClusterOptions options;
   options.seed = GetParam();
-  options.db_regions = 3;
-  options.logtailers_per_db = 2;
-  options.learners = 1;
+  options.topology.db_regions = 3;
+  options.topology.logtailers_per_db = 2;
+  options.topology.learners = 1;
   ClusterHarness cluster(options, FlexiEngine());
   ASSERT_TRUE(cluster.Bootstrap().ok());
   ASSERT_FALSE(cluster.WaitForPrimary(60 * kSecond).empty());

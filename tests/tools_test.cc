@@ -80,8 +80,8 @@ TEST(EnableRaftTest, RefusesUnsafeTargets) {
 sim::ClusterOptions RaftClusterOptions(uint64_t seed) {
   sim::ClusterOptions options;
   options.seed = seed;
-  options.db_regions = 3;
-  options.logtailers_per_db = 2;
+  options.topology.db_regions = 3;
+  options.topology.logtailers_per_db = 2;
   return options;
 }
 

@@ -34,8 +34,8 @@ const raft::QuorumEngine* FlexiEngine() {
 ClusterOptions SmallCluster(uint64_t seed) {
   ClusterOptions options;
   options.seed = seed;
-  options.db_regions = 3;
-  options.logtailers_per_db = 2;
+  options.topology.db_regions = 3;
+  options.topology.logtailers_per_db = 2;
   return options;
 }
 

@@ -159,5 +159,42 @@ TEST(MetricSnapshotTest, MergeFromRollsUpAcrossNodes) {
   EXPECT_EQ(rollup.counters.at("server.reads_served"), 2u);
 }
 
+TEST(MetricRegistryTest, PrefixNamespacesSnapshotsAndSerialisation) {
+  MetricRegistry registry;
+  registry.SetPrefix("shard.rs3.");
+  // Hot-path lookups keep using the bare name; only reporting is
+  // namespaced.
+  registry.GetCounter("raft.commits")->Increment(7);
+  EXPECT_NE(registry.FindCounter("raft.commits"), nullptr);
+  EXPECT_EQ(registry.FindCounter("shard.rs3.raft.commits"), nullptr);
+
+  const MetricSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("shard.rs3.raft.commits"), 7u);
+  EXPECT_EQ(snap.counters.count("raft.commits"), 0u);
+  EXPECT_EQ(registry.Names(), std::vector<std::string>{
+                                  "shard.rs3.raft.commits"});
+  EXPECT_NE(registry.ToJson().find("\"shard.rs3.raft.commits\":7"),
+            std::string::npos);
+  EXPECT_NE(registry.ToText().find("shard.rs3.raft.commits counter 7"),
+            std::string::npos);
+}
+
+TEST(MetricSnapshotTest, PrefixedRegistriesMergeWithoutCollisions) {
+  // Two shards host the same counter family; at fleet scope the merged
+  // roll-up must keep them apart instead of summing them ambiguously.
+  MetricRegistry shard_a;
+  MetricRegistry shard_b;
+  shard_a.SetPrefix("shard.rs0.");
+  shard_b.SetPrefix("shard.rs1.");
+  shard_a.GetCounter("raft.commits")->Increment(30);
+  shard_b.GetCounter("raft.commits")->Increment(12);
+
+  MetricSnapshot fleet = shard_a.Snapshot();
+  fleet.MergeFrom(shard_b.Snapshot());
+  EXPECT_EQ(fleet.counters.at("shard.rs0.raft.commits"), 30u);
+  EXPECT_EQ(fleet.counters.at("shard.rs1.raft.commits"), 12u);
+  EXPECT_EQ(fleet.counters.count("raft.commits"), 0u);
+}
+
 }  // namespace
 }  // namespace myraft::metrics
